@@ -1,0 +1,51 @@
+//! Shared setup for the Criterion benches: a micro-scale campus fixture, a warmed
+//! LOCATER instance and a query that exercises the fine-grained (room-level) path.
+
+// Each bench target compiles this module independently and uses a different subset of
+// the helpers.
+#![allow(dead_code)]
+
+use criterion::Criterion;
+use locater_bench::datasets::{campus_fixture, BenchScale, CampusFixture};
+use locater_bench::runner::warm_up;
+use locater_core::system::{Locater, LocaterConfig, Query};
+use std::time::Duration;
+
+/// Criterion configuration tuned so the whole bench suite finishes in minutes: small
+/// sample counts, short measurement windows.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args()
+}
+
+/// Builds the micro-scale campus fixture shared by the query-latency benches.
+pub fn fixture() -> CampusFixture {
+    campus_fixture(&BenchScale::micro())
+}
+
+/// Builds a LOCATER instance over the fixture and warms its per-device models and
+/// affinity cache with a few queries.
+pub fn warmed_locater(fixture: &CampusFixture, config: LocaterConfig) -> Locater {
+    let locater = Locater::new(fixture.store.clone(), config);
+    warm_up(&locater, fixture, 10);
+    locater
+}
+
+/// Picks a query from the university workload that the given system answers with a
+/// room (i.e. one that exercises the fine-grained path), falling back to the first
+/// query of the workload.
+pub fn inside_query(fixture: &CampusFixture, locater: &Locater) -> Query {
+    for workload_query in &fixture.university.queries {
+        let query = Query::by_mac(&workload_query.mac, workload_query.t);
+        if let Ok(answer) = locater.locate(&query) {
+            if answer.is_inside() {
+                return query;
+            }
+        }
+    }
+    let first = &fixture.university.queries[0];
+    Query::by_mac(&first.mac, first.t)
+}

@@ -1,0 +1,75 @@
+//! Figure 12 bench: D-LOCATER query latency with and without the caching engine, and
+//! the scalability of the caching engine itself under concurrent readers.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use locater_core::cache::SharedAffinityGraph;
+use locater_core::system::{CacheMode, FineMode, LocaterConfig};
+use locater_events::DeviceId;
+
+fn bench(c: &mut Criterion) {
+    let fixture = common::fixture();
+    let mut group = c.benchmark_group("fig12_caching");
+    for (label, cache) in [
+        ("D-LOCATER+C", CacheMode::Enabled),
+        ("D-LOCATER_no_cache", CacheMode::Disabled),
+    ] {
+        let config = LocaterConfig::default()
+            .with_fine_mode(FineMode::Dependent)
+            .with_cache(cache);
+        let locater = common::warmed_locater(&fixture, config);
+        let query = common::inside_query(&fixture, &locater);
+        group.bench_function(label, |b| {
+            b.iter(|| criterion::black_box(locater.locate(&query).unwrap().location))
+        });
+    }
+
+    // Concurrent readers on the shared global affinity graph (crossbeam scoped
+    // threads), the access pattern of a multi-client deployment.
+    let shared = SharedAffinityGraph::new();
+    shared.write(|graph| {
+        for i in 0..200u32 {
+            for j in 0..8u32 {
+                graph.record(
+                    DeviceId::new(i),
+                    DeviceId::new(i + j + 1),
+                    0.3,
+                    0.3,
+                    (i * 100 + j * 10) as i64,
+                );
+            }
+        }
+    });
+    group.bench_function("shared_graph_concurrent_reads", |b| {
+        b.iter(|| {
+            crossbeam::thread::scope(|scope| {
+                for t in 0..4 {
+                    let graph = shared.clone();
+                    scope.spawn(move |_| {
+                        let mut acc = 0.0;
+                        for i in 0..50u32 {
+                            acc += graph.read(|g| {
+                                g.weight(
+                                    DeviceId::new(t * 40 + i),
+                                    DeviceId::new(t * 40 + i + 1),
+                                    5_000,
+                                )
+                            });
+                        }
+                        criterion::black_box(acc)
+                    });
+                }
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

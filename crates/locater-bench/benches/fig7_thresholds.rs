@@ -1,0 +1,43 @@
+//! Figure 7 bench: cost of coarse-grained gap classification (per-device model
+//! training + query-gap classification) at different τ_l thresholds.
+//!
+//! The precision sweep itself is produced by `exp_fig7_thresholds`; this bench
+//! measures the latency of the coarse pipeline the sweep exercises.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use locater_core::coarse::{CoarseConfig, CoarseLocalizer};
+use locater_events::clock;
+
+fn bench(c: &mut Criterion) {
+    let fixture = common::fixture();
+    let device = fixture
+        .store
+        .device_id(&fixture.output.monitored().next().unwrap().mac)
+        .expect("monitored device is in the store");
+    let until = fixture.store.time_span().unwrap().end;
+
+    let mut group = c.benchmark_group("fig7_coarse_pipeline");
+    for tau_l in [10_i64, 20, 30] {
+        let config = CoarseConfig {
+            tau_low: clock::minutes(tau_l),
+            ..CoarseConfig::default()
+        };
+        let localizer = CoarseLocalizer::new(config);
+        group.bench_function(format!("train_and_classify_tau_l_{tau_l}m"), |b| {
+            b.iter(|| {
+                let model = localizer.train_device_model(&fixture.store, device, until);
+                criterion::black_box(model.training_gaps)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 8 bench: cost of training the per-device coarse models as a function of the
+//! amount of historical data (1 vs 3 vs 8 weeks). The precision curves are produced
+//! by `exp_fig8_history`.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use locater_core::coarse::{CoarseConfig, CoarseLocalizer};
+use locater_events::clock;
+
+fn bench(c: &mut Criterion) {
+    let fixture = common::fixture();
+    let device = fixture
+        .store
+        .device_id(&fixture.output.monitored().next().unwrap().mac)
+        .expect("monitored device is in the store");
+    let until = fixture.store.time_span().unwrap().end;
+
+    let mut group = c.benchmark_group("fig8_history_training");
+    for weeks in [1_i64, 3, 8] {
+        let localizer = CoarseLocalizer::new(CoarseConfig {
+            history: clock::weeks(weeks),
+            ..CoarseConfig::default()
+        });
+        group.bench_function(format!("train_{weeks}_weeks"), |b| {
+            b.iter(|| {
+                criterion::black_box(
+                    localizer
+                        .train_device_model(&fixture.store, device, until)
+                        .training_gaps,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the hot paths identified in `DESIGN.md`: gap detection,
+//! pairwise device-affinity computation, room-affinity computation, global affinity
+//! graph merge/ordering, and timeline neighbor lookup.
+
+mod common;
+
+use criterion::{criterion_main, Criterion};
+use locater_core::cache::GlobalAffinityGraph;
+use locater_core::fine::{AffinityEngine, RoomAffinityWeights};
+use locater_events::{gaps_in, DeviceId};
+use locater_sim::WorkloadQuery;
+
+fn bench(c: &mut Criterion) {
+    let fixture = common::fixture();
+    let store = &fixture.store;
+    let monitored: Vec<DeviceId> = fixture
+        .output
+        .monitored()
+        .filter_map(|record| store.device_id(&record.mac))
+        .collect();
+    let device = monitored[0];
+    let other = monitored[1 % monitored.len()];
+    let WorkloadQuery { t, .. } = fixture.university.queries[0].clone();
+
+    let mut group = c.benchmark_group("micro_ops");
+
+    group.bench_function("gap_detection_full_history", |b| {
+        let seq = store.events_of(device);
+        let delta = store.delta(device);
+        b.iter(|| criterion::black_box(gaps_in(seq, delta).len()))
+    });
+
+    group.bench_function("pair_device_affinity_3_weeks", |b| {
+        let engine = AffinityEngine::new(
+            store,
+            RoomAffinityWeights::default(),
+            locater_events::clock::weeks(3),
+        );
+        b.iter(|| criterion::black_box(engine.pair_affinity(device, other, t)))
+    });
+
+    group.bench_function("room_affinity_distribution", |b| {
+        let engine = AffinityEngine::new(
+            store,
+            RoomAffinityWeights::default(),
+            locater_events::clock::weeks(3),
+        );
+        let region = store
+            .covering_region(device, t)
+            .unwrap_or(locater_space::RegionId::new(0));
+        b.iter(|| criterion::black_box(engine.room_affinities(device, region).affinities.len()))
+    });
+
+    group.bench_function("timeline_devices_online_at", |b| {
+        b.iter(|| criterion::black_box(store.devices_online_at(t, Some(device)).len()))
+    });
+
+    group.bench_function("global_graph_merge_and_order", |b| {
+        let candidates: Vec<DeviceId> = (0..64).map(DeviceId::new).collect();
+        b.iter(|| {
+            let mut graph = GlobalAffinityGraph::new();
+            for i in 0..64u32 {
+                graph.record(device, DeviceId::new(i), 0.4, 0.4, t - i as i64);
+            }
+            criterion::black_box(graph.order_neighbors(device, &candidates, t).len())
+        })
+    });
+
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

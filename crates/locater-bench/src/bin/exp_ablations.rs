@@ -1,0 +1,12 @@
+//! Prints the result tables of the `ablation` experiment (see `locater_bench::experiments::ablation`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::ablation;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_ablations at scale {scale:?}");
+    let tables = ablation::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig10` experiment (see `locater_bench::experiments::fig10`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig10;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig10_efficiency at scale {scale:?}");
+    let tables = fig10::run(&scale);
+    print_tables(&tables);
+}

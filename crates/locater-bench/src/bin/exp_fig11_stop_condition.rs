@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig11` experiment (see `locater_bench::experiments::fig11`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig11;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig11_stop_condition at scale {scale:?}");
+    let tables = fig11::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig12` experiment (see `locater_bench::experiments::fig12`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig12;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig12_cache_scalability at scale {scale:?}");
+    let tables = fig12::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig7` experiment (see `locater_bench::experiments::fig7`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig7;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig7_thresholds at scale {scale:?}");
+    let tables = fig7::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig8` experiment (see `locater_bench::experiments::fig8`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig8;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig8_history at scale {scale:?}");
+    let tables = fig8::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,12 @@
+//! Prints the result tables of the `fig9` experiment (see `locater_bench::experiments::fig9`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::fig9;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_fig9_caching_precision at scale {scale:?}");
+    let tables = fig9::run(&scale);
+    print_tables(&tables);
+}

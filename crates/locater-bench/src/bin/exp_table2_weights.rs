@@ -1,0 +1,12 @@
+//! Prints the result tables of the `table2` experiment (see `locater_bench::experiments::table2`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::table2;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_table2_weights at scale {scale:?}");
+    let tables = table2::run(&scale);
+    print_tables(&tables);
+}

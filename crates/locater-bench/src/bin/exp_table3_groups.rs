@@ -1,0 +1,12 @@
+//! Prints the result tables of the `table3` experiment (see `locater_bench::experiments::table3`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::table3;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_table3_groups at scale {scale:?}");
+    let tables = table3::run(&scale);
+    print_tables(&tables);
+}

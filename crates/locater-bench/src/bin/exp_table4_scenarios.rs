@@ -1,0 +1,12 @@
+//! Prints the result tables of the `table4` experiment (see `locater_bench::experiments::table4`).
+
+use locater_bench::datasets::BenchScale;
+use locater_bench::experiments::table4;
+use locater_bench::print_tables;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    eprintln!("running exp_table4_scenarios at scale {scale:?}");
+    let tables = table4::run(&scale);
+    print_tables(&tables);
+}

@@ -1,0 +1,54 @@
+//! One module per table/figure of the paper's evaluation (§6), plus the ablation
+//! studies called out in `DESIGN.md`.
+//!
+//! Every module exposes `run(scale) -> Vec<Table>`: it builds the required synthetic
+//! datasets, evaluates the relevant systems, and returns result tables that contain
+//! the measured values of this reproduction next to the values the paper reports.
+//! The `exp_*` binaries print those tables; `exp_all` concatenates them into the
+//! content of `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::datasets::BenchScale;
+use crate::report::Table;
+
+/// Runs every experiment in paper order and returns all result tables.
+pub fn run_all(scale: &BenchScale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(fig7::run(scale));
+    tables.extend(table2::run(scale));
+    tables.extend(fig8::run(scale));
+    tables.extend(fig9::run(scale));
+    tables.extend(table3::run(scale));
+    tables.extend(table4::run(scale));
+    tables.extend(fig10::run(scale));
+    tables.extend(fig11::run(scale));
+    tables.extend(fig12::run(scale));
+    tables.extend(ablation::run(scale));
+    tables
+}
+
+/// The scale used by the experiment unit tests: small enough for CI, large enough to
+/// exercise every code path.
+#[cfg(test)]
+pub(crate) fn test_scale() -> BenchScale {
+    BenchScale {
+        campus_weeks: 2,
+        campus_population: 16,
+        campus_access_points: 5,
+        campus_monitored: 4,
+        queries_per_person: 4,
+        generated_queries: 30,
+        scenario_scale: 0.15,
+        scenario_days: 3,
+    }
+}

@@ -1,0 +1,52 @@
+//! # locater-bench
+//!
+//! The experiment harness of the LOCATER reproduction: for **every table and figure**
+//! of the paper's evaluation (§6) there is a module under [`experiments`] that builds
+//! the required synthetic dataset, evaluates the relevant systems (LOCATER
+//! configurations and the §6.1 baselines) and produces a result table containing the
+//! measured values next to the values the paper reports.
+//!
+//! Three layers:
+//!
+//! * [`datasets`] — synthetic campus / scenario fixtures sized by a [`datasets::BenchScale`]
+//!   (`quick` by default, `LOCATER_BENCH_SCALE=full` for paper-sized runs);
+//! * [`runner`] — the query-evaluation loops (precision scoring + per-query timing);
+//! * [`experiments`] — one module per table/figure plus the ablations, each exposing
+//!   `run(scale) -> Vec<Table>`.
+//!
+//! The `exp_*` binaries print individual experiments; `exp_all` runs the whole
+//! evaluation and emits the markdown that `EXPERIMENTS.md` is built from. The
+//! Criterion benches in `benches/` measure the latency-oriented aspects of the same
+//! experiments (query latency with/without caching, with/without stop conditions,
+//! micro-operations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use datasets::{campus_fixture, scenario_fixture, BenchScale, CampusFixture, ScenarioFixture};
+pub use report::Table;
+pub use runner::{evaluate_baseline, evaluate_locater, truth_at, SystemEvaluation};
+
+/// Prints a list of result tables to stdout as markdown, separated by blank lines.
+pub fn print_tables(tables: &[Table]) {
+    for table in tables {
+        println!("{}", table.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_tables_does_not_panic() {
+        let mut table = Table::new("t", "c", &["a"]);
+        table.push_row(vec!["1".into()]);
+        print_tables(&[table]);
+    }
+}

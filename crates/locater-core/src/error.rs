@@ -1,0 +1,40 @@
+//! Error type for the cleaning engine.
+
+use std::fmt;
+
+/// Errors produced by the LOCATER cleaning engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocaterError {
+    /// The query referenced a device that has never appeared in the connectivity log.
+    UnknownDevice(String),
+    /// The query did not identify a device (neither MAC nor device id).
+    MissingDevice,
+    /// The underlying learning substrate failed.
+    Learning(String),
+}
+
+impl fmt::Display for LocaterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocaterError::UnknownDevice(mac) => write!(f, "unknown device: {mac}"),
+            LocaterError::MissingDevice => write!(f, "query does not identify a device"),
+            LocaterError::Learning(msg) => write!(f, "learning error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LocaterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LocaterError::UnknownDevice("ab".into())
+            .to_string()
+            .contains("ab"));
+        assert!(LocaterError::MissingDevice.to_string().contains("device"));
+        assert!(LocaterError::Learning("x".into()).to_string().contains("x"));
+    }
+}

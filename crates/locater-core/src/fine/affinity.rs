@@ -1,0 +1,483 @@
+//! Room, device and group affinities (paper §4.1).
+
+use locater_events::clock::Timestamp;
+use locater_events::{DeviceId, Interval};
+use locater_space::{RegionId, RoomId, Space};
+use locater_store::EventStore;
+use serde::{Deserialize, Serialize};
+
+/// The three room-affinity weights of §4.1: preferred (`w_pf`), public (`w_pb`) and
+/// private (`w_pr`) rooms. They must be strictly ordered `w_pf > w_pb > w_pr` and sum
+/// to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoomAffinityWeights {
+    /// Weight of the device's preferred rooms (`w_pf`).
+    pub preferred: f64,
+    /// Weight of public rooms (`w_pb`).
+    pub public: f64,
+    /// Weight of private, non-preferred rooms (`w_pr`).
+    pub private: f64,
+}
+
+impl RoomAffinityWeights {
+    /// The paper's combination `C1 = {0.7, 0.2, 0.1}`.
+    pub const C1: Self = Self {
+        preferred: 0.7,
+        public: 0.2,
+        private: 0.1,
+    };
+    /// The paper's combination `C2 = {0.6, 0.3, 0.1}` (slightly best in Table 2).
+    pub const C2: Self = Self {
+        preferred: 0.6,
+        public: 0.3,
+        private: 0.1,
+    };
+    /// The paper's combination `C3 = {0.5, 0.3, 0.2}` (the one in the running example).
+    pub const C3: Self = Self {
+        preferred: 0.5,
+        public: 0.3,
+        private: 0.2,
+    };
+    /// The paper's combination `C4 = {0.5, 0.4, 0.1}`.
+    pub const C4: Self = Self {
+        preferred: 0.5,
+        public: 0.4,
+        private: 0.1,
+    };
+
+    /// All four combinations evaluated in Table 2, in order.
+    pub const TABLE2: [Self; 4] = [Self::C1, Self::C2, Self::C3, Self::C4];
+
+    /// Creates weights, validating the ordering and normalization constraints of §4.1.
+    pub fn new(preferred: f64, public: f64, private: f64) -> Result<Self, String> {
+        if !(preferred > public && public > private && private > 0.0) {
+            return Err(format!(
+                "room affinity weights must satisfy w_pf > w_pb > w_pr > 0, got ({preferred}, {public}, {private})"
+            ));
+        }
+        if ((preferred + public + private) - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "room affinity weights must sum to 1, got {}",
+                preferred + public + private
+            ));
+        }
+        Ok(Self {
+            preferred,
+            public,
+            private,
+        })
+    }
+}
+
+impl Default for RoomAffinityWeights {
+    fn default() -> Self {
+        Self::C2
+    }
+}
+
+/// The room-affinity distribution of one device over the candidate rooms of a region:
+/// `α(d_i, r_j, t_q)` for every `r_j ∈ R(g_x)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoomAffinity {
+    /// Candidate rooms, in the order of [`Space::rooms_in_region`].
+    pub rooms: Vec<RoomId>,
+    /// Affinity of each candidate room; sums to 1 whenever `rooms` is non-empty.
+    pub affinities: Vec<f64>,
+}
+
+impl RoomAffinity {
+    /// Affinity of a specific room; 0 if the room is not a candidate.
+    pub fn of(&self, room: RoomId) -> f64 {
+        self.rooms
+            .iter()
+            .position(|&r| r == room)
+            .map(|i| self.affinities[i])
+            .unwrap_or(0.0)
+    }
+
+    /// The room with the highest affinity, if any.
+    pub fn best(&self) -> Option<RoomId> {
+        self.affinities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| self.rooms[i])
+    }
+
+    /// Conditional probability `P(@(d, r_j) | @(d, R_is))` of the device being in
+    /// `room` given that it is in one of the rooms of `subset` (§4.1). Returns 0 when
+    /// `room` is not in `subset` or the subset has zero total affinity.
+    pub fn conditional_within(&self, room: RoomId, subset: &[RoomId]) -> f64 {
+        if !subset.contains(&room) {
+            return 0.0;
+        }
+        let total: f64 = subset.iter().map(|&r| self.of(r)).sum();
+        if total <= 0.0 {
+            // All-zero subset: fall back to a uniform distribution over the subset, so
+            // that devices without metadata still contribute.
+            return 1.0 / subset.len() as f64;
+        }
+        self.of(room) / total
+    }
+}
+
+/// Computes room, device and group affinities against one event store.
+///
+/// The engine is cheap to construct (it only borrows the store); the expensive part is
+/// [`AffinityEngine::device_affinity`], which scans the devices' recent histories.
+#[derive(Debug, Clone, Copy)]
+pub struct AffinityEngine<'a> {
+    store: &'a EventStore,
+    weights: RoomAffinityWeights,
+    /// Length of the history window, ending at the query time, over which device
+    /// affinities are computed.
+    window: Timestamp,
+}
+
+impl<'a> AffinityEngine<'a> {
+    /// Creates an engine over `store` with the given weights and a device-affinity
+    /// history window of `window` seconds.
+    pub fn new(store: &'a EventStore, weights: RoomAffinityWeights, window: Timestamp) -> Self {
+        Self {
+            store,
+            weights,
+            window: window.max(1),
+        }
+    }
+
+    /// The space the engine computes affinities over.
+    pub fn space(&self) -> &Space {
+        self.store.space()
+    }
+
+    /// The room-affinity weights in use.
+    pub fn weights(&self) -> RoomAffinityWeights {
+        self.weights
+    }
+
+    // ------------------------------------------------------------------
+    // Room affinity
+    // ------------------------------------------------------------------
+
+    /// Room affinities `α(d, r_j, t_q)` of a device over the candidate rooms of
+    /// `region` (§4.1).
+    ///
+    /// The candidate rooms are partitioned into preferred / public / private; each
+    /// partition shares its weight equally among its rooms. Weights of empty
+    /// partitions are redistributed proportionally so the distribution always sums
+    /// to 1.
+    pub fn room_affinities(&self, device: DeviceId, region: RegionId) -> RoomAffinity {
+        let space = self.store.space();
+        let mac = self.store.device(device).mac.as_str();
+        let rooms: Vec<RoomId> = space.rooms_in_region(region).to_vec();
+        if rooms.is_empty() {
+            return RoomAffinity {
+                rooms,
+                affinities: Vec::new(),
+            };
+        }
+        let (pf, pb, pr) = space.partition_candidates(mac, region);
+        let mut mass = 0.0;
+        if !pf.is_empty() {
+            mass += self.weights.preferred;
+        }
+        if !pb.is_empty() {
+            mass += self.weights.public;
+        }
+        if !pr.is_empty() {
+            mass += self.weights.private;
+        }
+        let affinities = rooms
+            .iter()
+            .map(|room| {
+                let (weight, count) = if pf.contains(room) {
+                    (self.weights.preferred, pf.len())
+                } else if pb.contains(room) {
+                    (self.weights.public, pb.len())
+                } else {
+                    (self.weights.private, pr.len())
+                };
+                weight / mass / count as f64
+            })
+            .collect();
+        RoomAffinity { rooms, affinities }
+    }
+
+    // ------------------------------------------------------------------
+    // Device affinity
+    // ------------------------------------------------------------------
+
+    /// Device affinity `α(D)` of a set of devices (§4.1): the fraction of connectivity
+    /// events of the devices in `D` (within the history window ending at `until`) such
+    /// that every *other* device of `D` has an event on the same access point within
+    /// the validity period of the event.
+    ///
+    /// Returns 0 for sets of fewer than two devices or with no events in the window.
+    pub fn device_affinity(&self, devices: &[DeviceId], until: Timestamp) -> f64 {
+        if devices.len() < 2 {
+            return 0.0;
+        }
+        let window = Interval::new(until - self.window, until + 1);
+        let mut total = 0usize;
+        let mut intersecting = 0usize;
+        for &device in devices {
+            let delta = self.store.delta(device);
+            for event in self.store.events_of_in(device, window) {
+                total += 1;
+                let near = Interval::new(event.t - delta, event.t + delta + 1);
+                let all_present = devices.iter().filter(|&&d| d != device).all(|&other| {
+                    self.store
+                        .events_of_in(other, near)
+                        .iter()
+                        .any(|e| e.ap == event.ap)
+                });
+                if all_present {
+                    intersecting += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            intersecting as f64 / total as f64
+        }
+    }
+
+    /// Pairwise device affinity `α({a, b})`.
+    pub fn pair_affinity(&self, a: DeviceId, b: DeviceId, until: Timestamp) -> f64 {
+        self.device_affinity(&[a, b], until)
+    }
+
+    // ------------------------------------------------------------------
+    // Group affinity
+    // ------------------------------------------------------------------
+
+    /// Group affinity `α(D, r_j, t_q)` (Eq. 1): the probability of all devices in
+    /// `group` being co-located in `room`, given the regions each device is currently
+    /// located in and an already-computed device affinity for the set.
+    ///
+    /// `group` pairs each device with the region the coarse step (or its covering
+    /// event) placed it in at the query time. The intersection `R_is` of the candidate
+    /// rooms of those regions is computed here; the affinity is 0 when `room` lies
+    /// outside it.
+    pub fn group_affinity(
+        &self,
+        group: &[(DeviceId, RegionId)],
+        room: RoomId,
+        device_affinity: f64,
+    ) -> f64 {
+        if group.is_empty() || device_affinity <= 0.0 {
+            return 0.0;
+        }
+        let space = self.store.space();
+        let regions: Vec<RegionId> = group.iter().map(|&(_, g)| g).collect();
+        let intersection = space.intersect_regions(&regions);
+        if !intersection.contains(&room) {
+            return 0.0;
+        }
+        let mut probability = device_affinity;
+        for &(device, region) in group {
+            let affinity = self.room_affinities(device, region);
+            probability *= affinity.conditional_within(room, &intersection);
+        }
+        probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::{RoomType, SpaceBuilder};
+
+    /// The paper's running example (Fig. 3): region g3 covers five rooms, 2061 is d1's
+    /// office, 2065 is a public meeting room, 2059 is d2's office.
+    fn example_store() -> EventStore {
+        let space = SpaceBuilder::new("fig3")
+            .add_access_point("wap3", &["2059", "2061", "2065", "2069", "2099"])
+            .add_access_point("wap2", &["2059", "2061", "2065", "2069", "2099"])
+            .room_type("2065", RoomType::Public)
+            .room_owner("2061", "d1")
+            .room_owner("2059", "d2")
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        store.ingest_raw("d1", 1_000, "wap3").unwrap();
+        store.ingest_raw("d2", 1_000, "wap3").unwrap();
+        store
+    }
+
+    #[test]
+    fn weights_presets_are_valid() {
+        for w in RoomAffinityWeights::TABLE2 {
+            assert!(w.preferred > w.public && w.public > w.private);
+            assert!(((w.preferred + w.public + w.private) - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(RoomAffinityWeights::default(), RoomAffinityWeights::C2);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        assert!(RoomAffinityWeights::new(0.3, 0.4, 0.3).is_err()); // not ordered
+        assert!(RoomAffinityWeights::new(0.5, 0.3, 0.1).is_err()); // sums to 0.9
+        assert!(RoomAffinityWeights::new(0.6, 0.3, 0.1).is_ok());
+    }
+
+    #[test]
+    fn room_affinities_match_running_example() {
+        // With C3 = {0.5, 0.3, 0.2}: α(d1, 2061) = 0.5, α(d1, 2065) = 0.3 and the
+        // three remaining private rooms share 0.2/3 ≈ 0.066 (paper §4.1).
+        let store = example_store();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C3, 3_600);
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let affinity = engine.room_affinities(d1, g3);
+        let space = store.space();
+        let room = |name: &str| space.room_id(name).unwrap();
+        assert!((affinity.of(room("2061")) - 0.5).abs() < 1e-9);
+        assert!((affinity.of(room("2065")) - 0.3).abs() < 1e-9);
+        assert!((affinity.of(room("2059")) - 0.2 / 3.0).abs() < 1e-9);
+        assert!((affinity.affinities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(affinity.best(), Some(room("2061")));
+        assert_eq!(affinity.of(RoomId::new(999)), 0.0);
+    }
+
+    #[test]
+    fn room_affinities_without_preferred_rooms_renormalize() {
+        let store = example_store();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C2, 3_600);
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        // A device with no preferred rooms: mass is split between public and private.
+        let mut store2 = EventStore::new(store.space().as_ref().clone());
+        store2.ingest_raw("stranger", 500, "wap3").unwrap();
+        let engine2 = AffinityEngine::new(&store2, RoomAffinityWeights::C2, 3_600);
+        let stranger = store2.device_id("stranger").unwrap();
+        let affinity = engine2.room_affinities(stranger, g3);
+        assert!((affinity.affinities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Public room 2065 gets 0.3/(0.3+0.1); each of the 4 private rooms gets
+        // (0.1/(0.3+0.1))/4.
+        let space = store2.space();
+        let public = affinity.of(space.room_id("2065").unwrap());
+        let private = affinity.of(space.room_id("2099").unwrap());
+        assert!((public - 0.75).abs() < 1e-9);
+        assert!((private - 0.0625).abs() < 1e-9);
+        assert!(public > private);
+        let _ = engine;
+    }
+
+    #[test]
+    fn conditional_within_matches_paper_example() {
+        // P(@(d1, 2065) | @(d1, {2065, 2069, 2099})) = .3 / (.3 + .066 + .066) ≈ .69
+        let store = example_store();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C3, 3_600);
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let affinity = engine.room_affinities(d1, g3);
+        let space = store.space();
+        let subset = vec![
+            space.room_id("2065").unwrap(),
+            space.room_id("2069").unwrap(),
+            space.room_id("2099").unwrap(),
+        ];
+        let p = affinity.conditional_within(space.room_id("2065").unwrap(), &subset);
+        assert!((p - 0.3 / (0.3 + 2.0 * 0.2 / 3.0)).abs() < 1e-9);
+        // Room outside the subset has zero conditional probability.
+        assert_eq!(
+            affinity.conditional_within(space.room_id("2061").unwrap(), &subset),
+            0.0
+        );
+    }
+
+    #[test]
+    fn device_affinity_counts_colocated_events() {
+        let space = SpaceBuilder::new("pair")
+            .add_access_point("wap0", &["a", "b"])
+            .add_access_point("wap1", &["c", "d"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        // d1 and d2 connect together to wap0 three times, d1 alone once on wap1.
+        for i in 0..3 {
+            store.ingest_raw("d1", 1_000 + i * 2_000, "wap0").unwrap();
+            store.ingest_raw("d2", 1_100 + i * 2_000, "wap0").unwrap();
+        }
+        store.ingest_raw("d1", 50_000, "wap1").unwrap();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C2, 100_000);
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let affinity = engine.pair_affinity(d1, d2, 60_000);
+        // 6 of the 7 events are intersecting.
+        assert!((affinity - 6.0 / 7.0).abs() < 1e-9);
+        // Affinity of a device with itself-only set is zero.
+        assert_eq!(engine.device_affinity(&[d1], 60_000), 0.0);
+    }
+
+    #[test]
+    fn device_affinity_is_zero_for_never_colocated_devices() {
+        let space = SpaceBuilder::new("pair")
+            .add_access_point("wap0", &["a"])
+            .add_access_point("wap1", &["b"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        store.ingest_raw("d1", 1_000, "wap0").unwrap();
+        store.ingest_raw("d2", 1_000, "wap1").unwrap();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C2, 100_000);
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        assert_eq!(engine.pair_affinity(d1, d2, 2_000), 0.0);
+    }
+
+    #[test]
+    fn group_affinity_matches_paper_arithmetic() {
+        // Paper §4.1: α({d1, d2}) = .4, P(d1 in 2065 | R_is) = .69,
+        // P(d2 in 2065 | R_is) = .44 → α({d1, d2}, 2065) ≈ .12.
+        // We reproduce the structure (not the exact .44, which depends on d2's
+        // affinities): group affinity = device affinity × product of conditionals.
+        let store = example_store();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C3, 3_600);
+        let space = store.space();
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let g3 = space.ap_id("wap3").unwrap().region();
+        let room_2065 = space.room_id("2065").unwrap();
+        let device_affinity = 0.4;
+        let group = vec![(d1, g3), (d2, g3)];
+        let affinity = engine.group_affinity(&group, room_2065, device_affinity);
+        let a1 = engine.room_affinities(d1, g3);
+        let a2 = engine.room_affinities(d2, g3);
+        let candidates = space.rooms_in_region(g3).to_vec();
+        let expected = device_affinity
+            * a1.conditional_within(room_2065, &candidates)
+            * a2.conditional_within(room_2065, &candidates);
+        assert!((affinity - expected).abs() < 1e-12);
+        assert!(affinity > 0.0 && affinity < device_affinity);
+    }
+
+    #[test]
+    fn group_affinity_is_zero_outside_the_intersection() {
+        let space = SpaceBuilder::new("overlap")
+            .add_access_point("wap0", &["a", "b", "c"])
+            .add_access_point("wap1", &["c", "d"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        store.ingest_raw("d1", 1_000, "wap0").unwrap();
+        store.ingest_raw("d2", 1_000, "wap1").unwrap();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::C2, 3_600);
+        let space = store.space();
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let g0 = space.ap_id("wap0").unwrap().region();
+        let g1 = space.ap_id("wap1").unwrap().region();
+        let group = vec![(d1, g0), (d2, g1)];
+        // Room "a" is only in g0, not in the intersection {c}.
+        let a = space.room_id("a").unwrap();
+        let c = space.room_id("c").unwrap();
+        assert_eq!(engine.group_affinity(&group, a, 0.5), 0.0);
+        assert!(engine.group_affinity(&group, c, 0.5) > 0.0);
+        // Zero device affinity kills the group affinity.
+        assert_eq!(engine.group_affinity(&group, c, 0.0), 0.0);
+        // Empty group has no affinity.
+        assert_eq!(engine.group_affinity(&[], c, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,789 @@
+//! Algorithm 2: fine-grained localization with iterative neighbor processing.
+//!
+//! Given the region `g_x` the coarse step placed the queried device in, the algorithm
+//! maintains a posterior over the candidate rooms `R(g_x)`, initialized from the room
+//! affinities (§4.1) and updated with one *neighbor device* at a time. Neighbors are
+//! devices online at the query time whose region overlaps `g_x`; each contributes its
+//! group affinity with the queried device for every candidate room.
+//!
+//! ## Evidence smoothing
+//!
+//! The paper's Eq. 3 multiplies the raw group affinities into the posterior; taken
+//! literally, a candidate room that lies outside the intersection `R_is` of the two
+//! devices' regions would receive a hard zero and be eliminated by a single neighbor,
+//! even when the pairwise device affinity (the probability the devices are together at
+//! all) is small. We therefore fold in, per neighbor, the observation value
+//!
+//! ```text
+//! obs(r_j) = (1 − α_pair) / |R(g_x)|  +  α({d_i, d_k}, r_j, t_q)
+//! ```
+//!
+//! i.e. "with probability `1 − α_pair` the devices are not co-located and the neighbor
+//! carries no information (uniform floor); with probability `α_pair` they are, and the
+//! group affinity applies". This keeps the update monotone in the group affinity,
+//! reduces to the paper's behaviour as `α_pair → 1`, and is documented as a deviation
+//! in `DESIGN.md`.
+//!
+//! The independent variant (`I-FINE`) treats neighbors as conditionally independent;
+//! the dependent variant (`D-FINE`) clusters neighbors that are themselves co-located
+//! and folds in one observation per cluster, computed from the cluster's joint device
+//! affinity (Eq. 6).
+
+use crate::fine::affinity::{AffinityEngine, RoomAffinity, RoomAffinityWeights};
+use crate::fine::worlds::{stop_condition_met, PosteriorBounds, RoomPosterior};
+use locater_events::clock::{self, Timestamp};
+use locater_events::DeviceId;
+use locater_space::{RegionId, RoomId};
+use locater_store::EventStore;
+use serde::{Deserialize, Serialize};
+
+/// Which variant of Algorithm 2 to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum FineMode {
+    /// `I-FINE`: neighbors are treated as conditionally independent (Eq. 3).
+    #[default]
+    Independent,
+    /// `D-FINE`: neighbors that are co-located with each other form clusters, and each
+    /// cluster contributes one joint observation (Eq. 6).
+    Dependent,
+}
+
+impl std::fmt::Display for FineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FineMode::Independent => write!(f, "I-FINE"),
+            FineMode::Dependent => write!(f, "D-FINE"),
+        }
+    }
+}
+
+/// Configuration of the fine-grained localization algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineConfig {
+    /// Room-affinity weights (§4.1). Default: the paper's best combination `C2`.
+    pub weights: RoomAffinityWeights,
+    /// Independent or dependent neighbor handling. Default: independent.
+    pub mode: FineMode,
+    /// History window (ending at the query time) over which device affinities are
+    /// computed. Default: 3 weeks (where Fig. 8 shows the fine precision plateaus).
+    pub affinity_window: Timestamp,
+    /// Maximum number of neighbor devices processed per query.
+    pub max_neighbors: usize,
+    /// Minimum pairwise device affinity a neighbor must have with the queried device
+    /// for its group affinity to be folded into the posterior. Devices below the
+    /// threshold are effectively not neighbors (the paper requires a strictly positive
+    /// group affinity; a near-zero one carries no co-location information and, folded
+    /// in en masse, would drown the room-affinity prior).
+    pub min_pair_affinity: f64,
+    /// Maximum number of *contributing* neighbors folded into the posterior. The
+    /// paper's iterative algorithm effectively uses only the few most-affiliated
+    /// neighbors before its stop conditions fire; this cap bounds the same behaviour
+    /// deterministically.
+    pub max_contributors: usize,
+    /// How strongly a co-located neighbor's group affinity is allowed to shift the
+    /// posterior, in `[0, 1]`. Device affinity is measured from *same-AP*
+    /// co-occurrence, which overstates *same-room* co-location (an AP covers ~11
+    /// rooms); this factor is the assumed probability that devices co-located at the
+    /// AP level actually share a room, and it scales the evidence accordingly.
+    pub evidence_weight: f64,
+    /// Whether to use the loosened early-stop conditions of §4.2. Disabling them makes
+    /// the algorithm process every neighbor (the "no stop condition" line of Fig. 11).
+    pub use_stop_conditions: bool,
+    /// Per-device group-affinity assumed in the least-favourable possible world when
+    /// computing `minP` (Theorem 2 bound).
+    pub min_unprocessed_affinity: f64,
+    /// Per-device group-affinity assumed in the most-favourable possible world when
+    /// computing `maxP` (Theorem 1 bound).
+    pub max_unprocessed_affinity: f64,
+}
+
+impl Default for FineConfig {
+    fn default() -> Self {
+        Self {
+            weights: RoomAffinityWeights::default(),
+            mode: FineMode::Independent,
+            affinity_window: clock::weeks(3),
+            max_neighbors: 25,
+            min_pair_affinity: 0.2,
+            max_contributors: 2,
+            evidence_weight: 0.3,
+            use_stop_conditions: true,
+            min_unprocessed_affinity: 0.05,
+            max_unprocessed_affinity: 0.8,
+        }
+    }
+}
+
+/// The contribution of one processed neighbor, reported for the caching engine (the
+/// edge weights of the *local affinity graph*, §5) and for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborContribution {
+    /// The neighbor device.
+    pub device: DeviceId,
+    /// Region the neighbor was located in at the query time.
+    pub region: RegionId,
+    /// Pairwise device affinity `α({d_i, d_k})` over the history window.
+    pub pair_affinity: f64,
+    /// Local-affinity-graph edge weight: mean group affinity over the candidate rooms,
+    /// `Σ_j α({d_i, d_k}, r_j, t_q) / |R(g_x)|`.
+    pub edge_weight: f64,
+}
+
+/// Result of fine-grained localization for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineOutcome {
+    /// The selected room (highest posterior probability).
+    pub room: RoomId,
+    /// The region the candidates were drawn from.
+    pub region: RegionId,
+    /// Posterior probability of every candidate room, normalized to sum to 1.
+    pub probabilities: Vec<(RoomId, f64)>,
+    /// Number of neighbor devices that were eligible for processing.
+    pub neighbors_considered: usize,
+    /// Number of neighbor devices actually processed before stopping.
+    pub neighbors_processed: usize,
+    /// `true` if the loosened stop conditions ended the iteration early.
+    pub stopped_early: bool,
+    /// Per-neighbor contributions (one entry per *processed* neighbor).
+    pub contributions: Vec<NeighborContribution>,
+}
+
+impl FineOutcome {
+    /// Posterior probability of the selected room.
+    pub fn confidence(&self) -> f64 {
+        self.probabilities
+            .iter()
+            .find(|(room, _)| *room == self.room)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The fine-grained localizer (Algorithm 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FineLocalizer {
+    config: FineConfig,
+}
+
+impl FineLocalizer {
+    /// Creates a localizer with the given configuration.
+    pub fn new(config: FineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FineConfig {
+        &self.config
+    }
+
+    /// The neighbor devices of `device` at `t_q` for candidates in `region`: devices
+    /// online at `t_q` (a connectivity event of theirs is valid at `t_q`) whose region
+    /// overlaps `region`. Reported with the region they are located in.
+    pub fn candidate_neighbors(
+        &self,
+        store: &EventStore,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+    ) -> Vec<(DeviceId, RegionId)> {
+        store
+            .devices_online_at(t_q, Some(device))
+            .into_iter()
+            .filter(|&(_, other_region)| store.space().regions_overlap(region, other_region))
+            .collect()
+    }
+
+    /// Runs Algorithm 2 for `Q = (device, t_q)` with candidate rooms `R(region)`.
+    ///
+    /// `preferred_order`, when given, lists neighbor devices in the order they should
+    /// be processed (the caching engine passes the global-affinity-graph order here);
+    /// eligible neighbors not in the list are processed last, in their natural order.
+    pub fn locate(
+        &self,
+        store: &EventStore,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        preferred_order: Option<&[DeviceId]>,
+    ) -> FineOutcome {
+        self.locate_with_cache(store, device, t_q, region, preferred_order, None)
+    }
+
+    /// [`FineLocalizer::locate`] with an optional cache of pairwise device affinities:
+    /// when `cached_affinities` yields a value for a neighbor, the history scan that
+    /// would otherwise compute its device affinity is skipped (the caching engine of
+    /// §5 supplies this from the global affinity graph).
+    pub fn locate_with_cache(
+        &self,
+        store: &EventStore,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        preferred_order: Option<&[DeviceId]>,
+        cached_affinities: Option<&dyn Fn(DeviceId) -> Option<f64>>,
+    ) -> FineOutcome {
+        let engine = AffinityEngine::new(store, self.config.weights, self.config.affinity_window);
+        let candidates: Vec<RoomId> = store.space().rooms_in_region(region).to_vec();
+        let prior = engine.room_affinities(device, region);
+
+        // Trivial cases: zero or one candidate room.
+        if candidates.len() <= 1 {
+            let room = candidates.first().copied().unwrap_or(RoomId::new(0));
+            return FineOutcome {
+                room,
+                region,
+                probabilities: candidates.iter().map(|&r| (r, 1.0)).collect(),
+                neighbors_considered: 0,
+                neighbors_processed: 0,
+                stopped_early: false,
+                contributions: Vec::new(),
+            };
+        }
+
+        let mut neighbors = self.candidate_neighbors(store, device, t_q, region);
+        order_neighbors(&mut neighbors, preferred_order);
+        neighbors.truncate(self.config.max_neighbors);
+        let neighbors_considered = neighbors.len();
+
+        match self.config.mode {
+            FineMode::Independent => self.locate_independent(
+                &engine,
+                device,
+                t_q,
+                region,
+                &candidates,
+                &prior,
+                &neighbors,
+                neighbors_considered,
+                cached_affinities,
+            ),
+            FineMode::Dependent => self.locate_dependent(
+                &engine,
+                device,
+                t_q,
+                region,
+                &candidates,
+                &prior,
+                &neighbors,
+                neighbors_considered,
+                cached_affinities,
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn locate_independent(
+        &self,
+        engine: &AffinityEngine<'_>,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        candidates: &[RoomId],
+        prior: &RoomAffinity,
+        neighbors: &[(DeviceId, RegionId)],
+        neighbors_considered: usize,
+        cached_affinities: Option<&dyn Fn(DeviceId) -> Option<f64>>,
+    ) -> FineOutcome {
+        let uniform_floor = 1.0 / candidates.len() as f64;
+        let mut posteriors: Vec<RoomPosterior> = candidates
+            .iter()
+            .map(|&room| RoomPosterior::from_prior(prior.of(room)))
+            .collect();
+        let mut contributions = Vec::new();
+        let mut processed = 0usize;
+        let mut stopped_early = false;
+
+        for (idx, &(neighbor, neighbor_region)) in neighbors.iter().enumerate() {
+            processed += 1;
+            let pair = cached_affinities
+                .and_then(|lookup| lookup(neighbor))
+                .unwrap_or_else(|| engine.pair_affinity(device, neighbor, t_q));
+            if pair >= self.config.min_pair_affinity && pair > 0.0 {
+                let group = [(device, region), (neighbor, neighbor_region)];
+                let weight = self.config.evidence_weight.clamp(0.0, 1.0);
+                let mut edge_weight = 0.0;
+                for (posterior, &room) in posteriors.iter_mut().zip(candidates) {
+                    let alpha = engine.group_affinity(&group, room, pair);
+                    edge_weight += alpha;
+                    let observation =
+                        ((1.0 - weight * pair) * uniform_floor + weight * alpha).min(1.0);
+                    posterior.observe(observation);
+                }
+                edge_weight /= candidates.len() as f64;
+                contributions.push(NeighborContribution {
+                    device: neighbor,
+                    region: neighbor_region,
+                    pair_affinity: pair,
+                    edge_weight,
+                });
+                if self.config.use_stop_conditions
+                    && contributions.len() >= self.config.max_contributors
+                {
+                    stopped_early = idx + 1 < neighbors.len();
+                    break;
+                }
+            }
+            let remaining = neighbors.len() - (idx + 1);
+            if self.config.use_stop_conditions && remaining > 0 {
+                if let Some((leader, runner_up)) = top_two(&posteriors) {
+                    let leader_bounds = PosteriorBounds::compute(
+                        &posteriors[leader],
+                        remaining,
+                        self.config.min_unprocessed_affinity,
+                        self.config.max_unprocessed_affinity,
+                    );
+                    let runner_bounds = PosteriorBounds::compute(
+                        &posteriors[runner_up],
+                        remaining,
+                        self.config.min_unprocessed_affinity,
+                        self.config.max_unprocessed_affinity,
+                    );
+                    if stop_condition_met(&leader_bounds, &runner_bounds) {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let probabilities = normalize(candidates, &posteriors, prior);
+        let room = select_room(&probabilities, prior);
+        FineOutcome {
+            room,
+            region,
+            probabilities,
+            neighbors_considered,
+            neighbors_processed: processed,
+            stopped_early,
+            contributions,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn locate_dependent(
+        &self,
+        engine: &AffinityEngine<'_>,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        candidates: &[RoomId],
+        prior: &RoomAffinity,
+        neighbors: &[(DeviceId, RegionId)],
+        neighbors_considered: usize,
+        cached_affinities: Option<&dyn Fn(DeviceId) -> Option<f64>>,
+    ) -> FineOutcome {
+        let uniform_floor = 1.0 / candidates.len() as f64;
+        let mut clusters: Vec<Vec<(DeviceId, RegionId)>> = Vec::new();
+        let mut contributions = Vec::new();
+        let mut processed = 0usize;
+        let mut stopped_early = false;
+
+        for &(neighbor, neighbor_region) in neighbors {
+            processed += 1;
+            let pair = cached_affinities
+                .and_then(|lookup| lookup(neighbor))
+                .unwrap_or_else(|| engine.pair_affinity(device, neighbor, t_q));
+            if pair <= 0.0 || pair < self.config.min_pair_affinity {
+                continue;
+            }
+            // Record the pairwise contribution for the caching engine.
+            let group = [(device, region), (neighbor, neighbor_region)];
+            let edge_weight = candidates
+                .iter()
+                .map(|&room| engine.group_affinity(&group, room, pair))
+                .sum::<f64>()
+                / candidates.len() as f64;
+            contributions.push(NeighborContribution {
+                device: neighbor,
+                region: neighbor_region,
+                pair_affinity: pair,
+                edge_weight,
+            });
+
+            // Attach the neighbor to every cluster it is co-located with; merge them.
+            let mut linked: Vec<usize> = Vec::new();
+            for (cluster_idx, cluster) in clusters.iter().enumerate() {
+                let colocated = cluster
+                    .iter()
+                    .any(|&(member, _)| engine.pair_affinity(neighbor, member, t_q) > 0.0);
+                if colocated {
+                    linked.push(cluster_idx);
+                }
+            }
+            match linked.split_first() {
+                None => clusters.push(vec![(neighbor, neighbor_region)]),
+                Some((&first, rest)) => {
+                    clusters[first].push((neighbor, neighbor_region));
+                    // Merge the remaining linked clusters into the first, back to front
+                    // so the indices stay valid.
+                    for &idx in rest.iter().rev() {
+                        let merged = clusters.remove(idx);
+                        clusters[first].extend(merged);
+                    }
+                }
+            }
+
+            // Paper: the dependent variant terminates when any cluster's joint group
+            // affinity collapses to zero.
+            let any_dead_cluster = clusters.iter().any(|cluster| {
+                let mut members: Vec<DeviceId> = cluster.iter().map(|&(d, _)| d).collect();
+                members.push(device);
+                engine.device_affinity(&members, t_q) <= 0.0
+            });
+            if any_dead_cluster {
+                stopped_early = true;
+                break;
+            }
+            if (self.config.use_stop_conditions
+                && contributions.len() >= self.config.max_contributors)
+                || processed >= self.config.max_neighbors
+            {
+                break;
+            }
+        }
+
+        // Fold one observation per cluster into the posterior (Eq. 6 analogue).
+        let mut posteriors: Vec<RoomPosterior> = candidates
+            .iter()
+            .map(|&room| RoomPosterior::from_prior(prior.of(room)))
+            .collect();
+        let weight = self.config.evidence_weight.clamp(0.0, 1.0);
+        for cluster in &clusters {
+            let mut members: Vec<DeviceId> = cluster.iter().map(|&(d, _)| d).collect();
+            members.push(device);
+            let joint_affinity = engine.device_affinity(&members, t_q);
+            let mut group: Vec<(DeviceId, RegionId)> = cluster.clone();
+            group.push((device, region));
+            for (posterior, &room) in posteriors.iter_mut().zip(candidates) {
+                let alpha = engine.group_affinity(&group, room, joint_affinity);
+                let observation =
+                    ((1.0 - weight * joint_affinity) * uniform_floor + weight * alpha).min(1.0);
+                posterior.observe(observation);
+            }
+        }
+
+        let probabilities = normalize(candidates, &posteriors, prior);
+        let room = select_room(&probabilities, prior);
+        FineOutcome {
+            room,
+            region,
+            probabilities,
+            neighbors_considered,
+            neighbors_processed: processed,
+            stopped_early,
+            contributions,
+        }
+    }
+}
+
+/// Reorders `neighbors` so that the devices listed in `preferred_order` come first, in
+/// that order; other neighbors keep their relative order after them.
+fn order_neighbors(neighbors: &mut [(DeviceId, RegionId)], preferred_order: Option<&[DeviceId]>) {
+    let Some(order) = preferred_order else {
+        return;
+    };
+    let rank = |device: DeviceId| -> usize {
+        order
+            .iter()
+            .position(|&d| d == device)
+            .unwrap_or(order.len())
+    };
+    neighbors.sort_by_key(|&(device, _)| rank(device));
+}
+
+/// The indices of the two rooms with the highest current posterior, if at least two
+/// candidates exist.
+fn top_two(posteriors: &[RoomPosterior]) -> Option<(usize, usize)> {
+    if posteriors.len() < 2 {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut second = 1usize;
+    if posteriors[second].probability() > posteriors[best].probability() {
+        std::mem::swap(&mut best, &mut second);
+    }
+    for idx in 2..posteriors.len() {
+        let p = posteriors[idx].probability();
+        if p > posteriors[best].probability() {
+            second = best;
+            best = idx;
+        } else if p > posteriors[second].probability() {
+            second = idx;
+        }
+    }
+    Some((best, second))
+}
+
+/// Normalizes the posteriors into a probability distribution over the candidate
+/// rooms. If every posterior collapsed to zero, falls back to the prior.
+fn normalize(
+    candidates: &[RoomId],
+    posteriors: &[RoomPosterior],
+    prior: &RoomAffinity,
+) -> Vec<(RoomId, f64)> {
+    let raw: Vec<f64> = posteriors.iter().map(RoomPosterior::probability).collect();
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 {
+        return candidates.iter().map(|&r| (r, prior.of(r))).collect();
+    }
+    candidates
+        .iter()
+        .zip(raw)
+        .map(|(&room, p)| (room, p / total))
+        .collect()
+}
+
+/// Picks the room with the highest probability, breaking ties in favour of the higher
+/// prior affinity and then the lower room id (deterministic).
+fn select_room(probabilities: &[(RoomId, f64)], prior: &RoomAffinity) -> RoomId {
+    probabilities
+        .iter()
+        .max_by(|(ra, pa), (rb, pb)| {
+            pa.partial_cmp(pb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    prior
+                        .of(*ra)
+                        .partial_cmp(&prior.of(*rb))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .then_with(|| rb.cmp(ra))
+        })
+        .map(|(room, _)| *room)
+        .unwrap_or(RoomId::new(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::{RoomType, Space, SpaceBuilder};
+
+    /// Fig. 1 / Fig. 3 style space: one AP region with an office per device plus a
+    /// shared meeting room.
+    fn space() -> Space {
+        SpaceBuilder::new("fine-test")
+            .add_access_point("wap3", &["2059", "2061", "2065", "2069", "2099"])
+            .add_access_point("wap2", &["2059", "2061", "2065", "2004"])
+            .room_type("2065", RoomType::Public)
+            .room_owner("2061", "d1")
+            .room_owner("2059", "d2")
+            .build()
+            .unwrap()
+    }
+
+    /// d1 and d2 co-located on wap3 every morning for `days` days; the query day has
+    /// both online at 10:00.
+    fn colocated_store(days: i64) -> EventStore {
+        let mut store = EventStore::new(space());
+        for day in 0..days {
+            for slot in 0..6 {
+                let t = clock::at(day, 9, slot * 10, 0);
+                store.ingest_raw("d1", t, "wap3").unwrap();
+                store.ingest_raw("d2", t + 30, "wap3").unwrap();
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn no_neighbors_falls_back_to_room_affinity() {
+        let mut store = EventStore::new(space());
+        store.ingest_raw("d1", 1_000, "wap3").unwrap();
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let localizer = FineLocalizer::default();
+        let out = localizer.locate(&store, d1, 1_100, g3, None);
+        // d1's office 2061 has the highest prior.
+        assert_eq!(out.room, store.space().room_id("2061").unwrap());
+        assert_eq!(out.neighbors_considered, 0);
+        assert_eq!(out.neighbors_processed, 0);
+        assert!(!out.stopped_early);
+        let total: f64 = out.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(out.confidence() > 0.0);
+    }
+
+    #[test]
+    fn single_candidate_region_is_trivial() {
+        let space = SpaceBuilder::new("single")
+            .add_access_point("wap0", &["only"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        store.ingest_raw("d1", 1_000, "wap0").unwrap();
+        let d1 = store.device_id("d1").unwrap();
+        let g0 = store.space().ap_id("wap0").unwrap().region();
+        let out = FineLocalizer::default().locate(&store, d1, 1_000, g0, None);
+        assert_eq!(out.room, store.space().room_id("only").unwrap());
+        assert_eq!(out.probabilities.len(), 1);
+    }
+
+    #[test]
+    fn colocated_neighbor_is_processed_and_contributes() {
+        let store = colocated_store(10);
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let t_q = clock::at(9, 9, 30, 10);
+        let localizer = FineLocalizer::default();
+        let out = localizer.locate(&store, d1, t_q, g3, None);
+        assert_eq!(out.neighbors_considered, 1);
+        assert_eq!(out.neighbors_processed, 1);
+        assert_eq!(out.contributions.len(), 1);
+        let contribution = out.contributions[0];
+        assert_eq!(contribution.device, d2);
+        assert!(contribution.pair_affinity > 0.5);
+        assert!(contribution.edge_weight > 0.0);
+        // The answer is one of the candidate rooms of g3.
+        assert!(store.space().rooms_in_region(g3).contains(&out.room));
+    }
+
+    #[test]
+    fn strong_colocation_shifts_mass_toward_shared_rooms() {
+        // Fig. 3's narrative: d2 being online raises the chance of the rooms the two
+        // devices could share. Relative to an arbitrary private room, the shared
+        // public room 2065 must gain posterior mass compared to its prior ratio.
+        let store = colocated_store(10);
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let meeting = store.space().room_id("2065").unwrap();
+        let other_private = store.space().room_id("2099").unwrap();
+        let t_q = clock::at(9, 9, 30, 10);
+        let localizer = FineLocalizer::default();
+
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::default(), clock::weeks(3));
+        let prior = engine.room_affinities(d1, g3);
+        let prior_ratio = prior.of(meeting) / prior.of(other_private);
+
+        let out = localizer.locate(&store, d1, t_q, g3, None);
+        assert_eq!(
+            out.contributions.len(),
+            1,
+            "the co-located neighbor must contribute"
+        );
+        let posterior_of = |room| {
+            out.probabilities
+                .iter()
+                .find(|(r, _)| *r == room)
+                .map(|(_, p)| *p)
+                .unwrap()
+        };
+        let posterior_ratio = posterior_of(meeting) / posterior_of(other_private);
+        assert!(
+            posterior_ratio > prior_ratio,
+            "shared-room odds should improve: prior {prior_ratio} vs posterior {posterior_ratio}"
+        );
+    }
+
+    #[test]
+    fn dependent_mode_also_answers_with_candidate_room() {
+        let store = colocated_store(10);
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let t_q = clock::at(9, 9, 30, 10);
+        let localizer = FineLocalizer::new(FineConfig {
+            mode: FineMode::Dependent,
+            ..FineConfig::default()
+        });
+        let out = localizer.locate(&store, d1, t_q, g3, None);
+        assert!(store.space().rooms_in_region(g3).contains(&out.room));
+        assert_eq!(out.neighbors_processed, 1);
+        let total: f64 = out.probabilities.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stop_conditions_reduce_processed_neighbors() {
+        // Many neighbors with no co-location history: the early-stop bounds should
+        // terminate before processing all of them, while the no-stop variant
+        // processes every neighbor.
+        let mut store = EventStore::new(space());
+        for day in 0..5 {
+            for slot in 0..6 {
+                store
+                    .ingest_raw("d1", clock::at(day, 9, slot * 10, 0), "wap3")
+                    .unwrap();
+            }
+        }
+        let t_q = clock::at(4, 9, 25, 0);
+        for i in 0..15 {
+            store
+                .ingest_raw(&format!("bystander-{i}"), t_q - 60, "wap3")
+                .unwrap();
+        }
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+
+        let with_stop = FineLocalizer::new(FineConfig::default());
+        let without_stop = FineLocalizer::new(FineConfig {
+            use_stop_conditions: false,
+            ..FineConfig::default()
+        });
+        let a = with_stop.locate(&store, d1, t_q, g3, None);
+        let b = without_stop.locate(&store, d1, t_q, g3, None);
+        assert_eq!(b.neighbors_processed, b.neighbors_considered);
+        assert!(a.neighbors_processed <= b.neighbors_processed);
+        assert!(a.stopped_early || a.neighbors_processed == a.neighbors_considered);
+        // Both must agree on the answer here (bystanders carry no affinity).
+        assert_eq!(a.room, b.room);
+    }
+
+    #[test]
+    fn preferred_order_is_respected() {
+        let mut store = EventStore::new(space());
+        store.ingest_raw("d1", 1_000, "wap3").unwrap();
+        store.ingest_raw("n1", 1_000, "wap3").unwrap();
+        store.ingest_raw("n2", 1_000, "wap3").unwrap();
+        store.ingest_raw("n3", 1_000, "wap2").unwrap();
+        let d1 = store.device_id("d1").unwrap();
+        let n2 = store.device_id("n2").unwrap();
+        let n3 = store.device_id("n3").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let localizer = FineLocalizer::default();
+        let mut neighbors = localizer.candidate_neighbors(&store, d1, 1_000, g3);
+        assert_eq!(neighbors.len(), 3);
+        order_neighbors(&mut neighbors, Some(&[n3, n2]));
+        assert_eq!(neighbors[0].0, n3);
+        assert_eq!(neighbors[1].0, n2);
+    }
+
+    #[test]
+    fn max_neighbors_caps_processing() {
+        let mut store = EventStore::new(space());
+        store.ingest_raw("d1", 1_000, "wap3").unwrap();
+        for i in 0..30 {
+            store.ingest_raw(&format!("n{i}"), 1_000, "wap3").unwrap();
+        }
+        let d1 = store.device_id("d1").unwrap();
+        let g3 = store.space().ap_id("wap3").unwrap().region();
+        let localizer = FineLocalizer::new(FineConfig {
+            max_neighbors: 5,
+            max_contributors: 16,
+            use_stop_conditions: false,
+            ..FineConfig::default()
+        });
+        let out = localizer.locate(&store, d1, 1_000, g3, None);
+        assert_eq!(out.neighbors_considered, 5);
+        assert_eq!(out.neighbors_processed, 5);
+    }
+
+    #[test]
+    fn top_two_finds_leader_and_runner_up() {
+        let posteriors = vec![
+            RoomPosterior::from_prior(0.1),
+            RoomPosterior::from_prior(0.6),
+            RoomPosterior::from_prior(0.3),
+        ];
+        let (best, second) = top_two(&posteriors).unwrap();
+        assert_eq!(best, 1);
+        assert_eq!(second, 2);
+        assert!(top_two(&posteriors[..1]).is_none());
+    }
+
+    #[test]
+    fn fine_mode_display_names_match_paper() {
+        assert_eq!(FineMode::Independent.to_string(), "I-FINE");
+        assert_eq!(FineMode::Dependent.to_string(), "D-FINE");
+        assert_eq!(FineMode::default(), FineMode::Independent);
+    }
+}

@@ -1,0 +1,36 @@
+//! # locater-core
+//!
+//! The LOCATER cleaning engine (the paper's primary contribution): semantic indoor
+//! localization of devices from WiFi connectivity logs, framed as two data cleaning
+//! problems plus a caching layer that makes query answering near real-time.
+//!
+//! * [`coarse`] — **missing-value detection and repair** (paper §3). When a query time
+//!   falls in a *gap* of a device's log, a bootstrapped, semi-supervised classifier
+//!   pipeline decides whether the device was outside the building or inside, and in
+//!   which region.
+//! * [`fine`] — **location disambiguation** (paper §4). Given the region (one AP's
+//!   coverage, typically ~11 rooms), the most probable room is selected by combining
+//!   *room affinities* (space metadata: preferred / public / private rooms) and *group
+//!   affinities* (co-location patterns of devices) in an iterative Bayesian algorithm
+//!   with early-stopping bounds. Both the independent (`I-FINE`) and the dependent,
+//!   cluster-based (`D-FINE`) variants are implemented.
+//! * [`cache`] — the **caching engine** (paper §5): local affinity graphs produced by
+//!   each query are merged into a global affinity graph whose temporally-weighted
+//!   edges drive the neighbor processing order of later queries.
+//! * [`system`] — the [`Locater`](system::Locater) facade tying the engines together
+//!   behind the query API `Q = (device, time)`.
+//! * [`baselines`] — the two baselines of the evaluation (§6.1).
+//! * [`metrics`] — the `P_c` / `P_f` / `P_o` precision metrics of §6.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cache;
+pub mod coarse;
+mod error;
+pub mod fine;
+pub mod metrics;
+pub mod system;
+
+pub use error::LocaterError;

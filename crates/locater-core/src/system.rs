@@ -1,0 +1,616 @@
+//! The LOCATER system facade (paper §5): query engine + cleaning engine + caching
+//! engine behind the query API `Q = (device, time)`.
+//!
+//! [`Locater`] owns an [`EventStore`] and answers [`Query`]s with an [`Answer`]:
+//!
+//! 1. the **coarse** step ([`crate::coarse`]) decides whether the device was outside
+//!    the building at the query time or inside a specific region — either trivially
+//!    (a connectivity event is valid at that time) or by classifying the gap;
+//! 2. the **fine** step ([`crate::fine`]) disambiguates the region to a room, using
+//!    room and group affinities of the devices online around the query time;
+//! 3. the **caching engine** ([`crate::cache`]) persists the pairwise affinities
+//!    computed for the answer into the global affinity graph and uses it to order
+//!    neighbor processing for subsequent queries.
+//!
+//! Per-device coarse models are trained lazily and cached; they are refreshed when a
+//! query falls outside the window the model was trained for.
+
+use crate::cache::GlobalAffinityGraph;
+use crate::coarse::{
+    CoarseConfig, CoarseLabel, CoarseLocalizer, CoarseMethod, CoarseOutcome, DeviceCoarseModel,
+};
+use crate::error::LocaterError;
+use crate::fine::{FineConfig, FineLocalizer, FineOutcome};
+use locater_events::clock::{self, Timestamp};
+use locater_events::DeviceId;
+use locater_space::{RegionId, RoomId};
+use locater_store::EventStore;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+pub use crate::fine::FineMode;
+
+/// Whether the caching engine (global affinity graph) is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CacheMode {
+    /// Affinities are cached and used to order neighbor processing (`+C` systems).
+    #[default]
+    Enabled,
+    /// Every query recomputes affinities and processes neighbors in natural order.
+    Disabled,
+}
+
+/// A location query `Q = (d_i, t_q)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Device MAC address / log identifier, if the caller knows it.
+    pub mac: Option<String>,
+    /// Already-resolved device id, if the caller has one.
+    pub device: Option<DeviceId>,
+    /// Query time.
+    pub t: Timestamp,
+}
+
+impl Query {
+    /// Query by MAC address.
+    pub fn by_mac(mac: impl Into<String>, t: Timestamp) -> Self {
+        Self {
+            mac: Some(mac.into()),
+            device: None,
+            t,
+        }
+    }
+
+    /// Query by device id.
+    pub fn by_device(device: DeviceId, t: Timestamp) -> Self {
+        Self {
+            mac: None,
+            device: Some(device),
+            t,
+        }
+    }
+}
+
+/// A semantic location at one of the three granularities of the space model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Location {
+    /// Outside the building.
+    Outside,
+    /// Inside the building, in this region, room unknown (coarse-only answers).
+    Region(RegionId),
+    /// Inside the building, in this room of this region.
+    Room {
+        /// The selected room.
+        room: RoomId,
+        /// The region the room was selected from.
+        region: RegionId,
+    },
+}
+
+impl Location {
+    /// `true` if the location is inside the building.
+    pub fn is_inside(&self) -> bool {
+        !matches!(self, Location::Outside)
+    }
+
+    /// The region, if inside.
+    pub fn region(&self) -> Option<RegionId> {
+        match self {
+            Location::Outside => None,
+            Location::Region(region) => Some(*region),
+            Location::Room { region, .. } => Some(*region),
+        }
+    }
+
+    /// The room, if resolved to room level.
+    pub fn room(&self) -> Option<RoomId> {
+        match self {
+            Location::Room { room, .. } => Some(*room),
+            _ => None,
+        }
+    }
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Answer {
+    /// The resolved device.
+    pub device: DeviceId,
+    /// The query time.
+    pub t: Timestamp,
+    /// The cleaned semantic location.
+    pub location: Location,
+    /// How the coarse step decided the building/region label.
+    pub coarse_method: CoarseMethod,
+    /// Combined confidence of the answer in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl Answer {
+    /// `true` if the device was located inside the building.
+    pub fn is_inside(&self) -> bool {
+        self.location.is_inside()
+    }
+
+    /// `true` if the device was located outside the building.
+    pub fn is_outside(&self) -> bool {
+        !self.is_inside()
+    }
+
+    /// The region, if inside.
+    pub fn region(&self) -> Option<RegionId> {
+        self.location.region()
+    }
+
+    /// The room, if resolved to room level.
+    pub fn room(&self) -> Option<RoomId> {
+        self.location.room()
+    }
+}
+
+/// Diagnostics collected while answering one query; used by the evaluation harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryDiagnostics {
+    /// Outcome of the coarse step.
+    pub coarse: CoarseOutcome,
+    /// Outcome of the fine step (absent for outside answers).
+    pub fine: Option<FineOutcome>,
+    /// Wall-clock time spent answering the query.
+    pub elapsed: Duration,
+    /// Whether a cached per-device coarse model was reused.
+    pub coarse_model_reused: bool,
+    /// Whether the global affinity graph already had an edge for the queried device.
+    pub cache_warm: bool,
+}
+
+/// Configuration of the full LOCATER system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocaterConfig {
+    /// Coarse-grained localization parameters (§3).
+    pub coarse: CoarseConfig,
+    /// Fine-grained localization parameters (§4).
+    pub fine: FineConfig,
+    /// Whether the caching engine is active (§5).
+    pub cache: CacheMode,
+    /// A cached per-device coarse model is reused as long as the query time is within
+    /// this many seconds after the end of the window it was trained on.
+    pub model_refresh_slack: Timestamp,
+}
+
+impl Default for LocaterConfig {
+    fn default() -> Self {
+        Self {
+            coarse: CoarseConfig::default(),
+            fine: FineConfig::default(),
+            cache: CacheMode::Enabled,
+            model_refresh_slack: clock::days(7),
+        }
+    }
+}
+
+impl LocaterConfig {
+    /// Returns a copy configured for the given fine-grained mode (I-FINE / D-FINE).
+    pub fn with_fine_mode(mut self, mode: FineMode) -> Self {
+        self.fine.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the caching engine enabled or disabled.
+    pub fn with_cache(mut self, cache: CacheMode) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns a copy with the given amount of history (both coarse training history
+    /// and fine affinity window are clamped to it). Used by the Fig. 8 experiment.
+    pub fn with_history(mut self, history: Timestamp) -> Self {
+        self.coarse.history = history.max(1);
+        self.fine.affinity_window = history.clamp(1, self.fine.affinity_window.max(1));
+        self
+    }
+}
+
+/// The LOCATER system: cleaning engine + caching engine over one event store.
+#[derive(Debug)]
+pub struct Locater {
+    store: EventStore,
+    config: LocaterConfig,
+    coarse: CoarseLocalizer,
+    fine: FineLocalizer,
+    cache: RwLock<GlobalAffinityGraph>,
+    models: RwLock<HashMap<DeviceId, DeviceCoarseModel>>,
+}
+
+impl Locater {
+    /// Creates a system over `store` with the given configuration.
+    pub fn new(store: EventStore, config: LocaterConfig) -> Self {
+        Self {
+            store,
+            config,
+            coarse: CoarseLocalizer::new(config.coarse),
+            fine: FineLocalizer::new(config.fine),
+            cache: RwLock::new(GlobalAffinityGraph::new()),
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying event store.
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &LocaterConfig {
+        &self.config
+    }
+
+    /// Number of edges and samples currently held by the caching engine.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        let cache = self.cache.read();
+        (cache.num_edges(), cache.num_samples())
+    }
+
+    /// Drops all cached affinities and per-device coarse models.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+        self.models.write().clear();
+    }
+
+    /// Resolves the device a query refers to.
+    pub fn resolve(&self, query: &Query) -> Result<DeviceId, LocaterError> {
+        if let Some(device) = query.device {
+            if device.index() < self.store.num_devices() {
+                return Ok(device);
+            }
+            return Err(LocaterError::UnknownDevice(device.to_string()));
+        }
+        match &query.mac {
+            Some(mac) => self
+                .store
+                .device_id(mac)
+                .ok_or_else(|| LocaterError::UnknownDevice(mac.clone())),
+            None => Err(LocaterError::MissingDevice),
+        }
+    }
+
+    /// Answers a query.
+    pub fn locate(&self, query: &Query) -> Result<Answer, LocaterError> {
+        self.locate_detailed(query).map(|(answer, _)| answer)
+    }
+
+    /// Answers a query and returns per-query diagnostics alongside the answer.
+    pub fn locate_detailed(
+        &self,
+        query: &Query,
+    ) -> Result<(Answer, QueryDiagnostics), LocaterError> {
+        let start = Instant::now();
+        let device = self.resolve(query)?;
+        let t_q = query.t;
+
+        // ---- Coarse step --------------------------------------------------
+        let (coarse, model_reused) = self.coarse_outcome(device, t_q);
+        let region = match coarse.label {
+            CoarseLabel::Outside => {
+                let answer = Answer {
+                    device,
+                    t: t_q,
+                    location: Location::Outside,
+                    coarse_method: coarse.method,
+                    confidence: coarse.confidence,
+                };
+                let diagnostics = QueryDiagnostics {
+                    coarse,
+                    fine: None,
+                    elapsed: start.elapsed(),
+                    coarse_model_reused: model_reused,
+                    cache_warm: false,
+                };
+                return Ok((answer, diagnostics));
+            }
+            CoarseLabel::Inside(region) => region,
+        };
+
+        // ---- Fine step ----------------------------------------------------
+        // With the caching engine enabled, the global affinity graph supplies both the
+        // neighbor processing order and (for previously seen pairs) the cached device
+        // affinities, which replaces the per-pair history scans of cold queries.
+        let (order, cached_affinities, cache_warm) = match self.config.cache {
+            CacheMode::Enabled => {
+                let neighbors: Vec<DeviceId> = self
+                    .fine
+                    .candidate_neighbors(&self.store, device, t_q, region)
+                    .into_iter()
+                    .map(|(d, _)| d)
+                    .collect();
+                let cache = self.cache.read();
+                let warm = neighbors
+                    .iter()
+                    .any(|&n| !cache.samples(device, n).is_empty());
+                let cached: HashMap<DeviceId, f64> = neighbors
+                    .iter()
+                    .filter_map(|&n| {
+                        cache
+                            .cached_pair_affinity(device, n, t_q)
+                            .map(|affinity| (n, affinity))
+                    })
+                    .collect();
+                (
+                    Some(cache.order_neighbors(device, &neighbors, t_q)),
+                    Some(cached),
+                    warm,
+                )
+            }
+            CacheMode::Disabled => (None, None, false),
+        };
+        let lookup = cached_affinities
+            .as_ref()
+            .map(|map| move |neighbor: DeviceId| map.get(&neighbor).copied());
+        let fine = match &lookup {
+            Some(lookup) => self.fine.locate_with_cache(
+                &self.store,
+                device,
+                t_q,
+                region,
+                order.as_deref(),
+                Some(lookup),
+            ),
+            None => self
+                .fine
+                .locate(&self.store, device, t_q, region, order.as_deref()),
+        };
+        if self.config.cache == CacheMode::Enabled && !fine.contributions.is_empty() {
+            self.cache
+                .write()
+                .merge_local(device, &fine.contributions, t_q);
+        }
+
+        let answer = Answer {
+            device,
+            t: t_q,
+            location: Location::Room {
+                room: fine.room,
+                region,
+            },
+            coarse_method: coarse.method,
+            confidence: coarse.confidence * fine.confidence(),
+        };
+        let diagnostics = QueryDiagnostics {
+            coarse,
+            fine: Some(fine),
+            elapsed: start.elapsed(),
+            coarse_model_reused: model_reused,
+            cache_warm,
+        };
+        Ok((answer, diagnostics))
+    }
+
+    /// Runs the coarse step, reusing the cached per-device model when it is still
+    /// valid for the query time. Returns the outcome and whether the model was reused.
+    fn coarse_outcome(&self, device: DeviceId, t_q: Timestamp) -> (CoarseOutcome, bool) {
+        // Covered instants never need a model.
+        if let Some(region) = self.store.covering_region(device, t_q) {
+            return (
+                CoarseOutcome {
+                    label: CoarseLabel::Inside(region),
+                    method: CoarseMethod::CoveredByEvent,
+                    confidence: 1.0,
+                    gap: None,
+                },
+                false,
+            );
+        }
+        let Some(gap) = self.store.gap_at(device, t_q) else {
+            return (
+                CoarseOutcome {
+                    label: CoarseLabel::Outside,
+                    method: CoarseMethod::OutOfSpan,
+                    confidence: 1.0,
+                    gap: None,
+                },
+                false,
+            );
+        };
+
+        let reusable = {
+            let models = self.models.read();
+            models.get(&device).is_some_and(|model| {
+                t_q >= model.history.start
+                    && t_q <= model.history.end + self.config.model_refresh_slack
+            })
+        };
+        if !reusable {
+            let model = self.coarse.train_device_model(&self.store, device, t_q);
+            self.models.write().insert(device, model);
+        }
+        let models = self.models.read();
+        let model = models
+            .get(&device)
+            .expect("model was inserted above if missing");
+        (
+            self.coarse.classify_with_model(&self.store, model, &gap),
+            reusable,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::{RoomType, Space, SpaceBuilder};
+
+    fn space() -> Space {
+        SpaceBuilder::new("system-test")
+            .add_access_point("wap0", &["office-a", "office-b", "lounge"])
+            .add_access_point("wap1", &["lounge", "lab"])
+            .room_type("lounge", RoomType::Public)
+            .room_owner("office-a", "alice")
+            .room_owner("office-b", "bob")
+            .build()
+            .unwrap()
+    }
+
+    /// Alice and Bob work together on wap0 on weekdays for `weeks` weeks.
+    fn office_store(weeks: i64) -> EventStore {
+        let mut store = EventStore::new(space());
+        for week in 0..weeks {
+            for day in 0..5 {
+                let d = week * 7 + day;
+                for slot in 0..16 {
+                    let t = clock::at(d, 9, slot * 30, 0);
+                    store.ingest_raw("alice", t, "wap0").unwrap();
+                    store.ingest_raw("bob", t + 45, "wap0").unwrap();
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn query_resolution_by_mac_and_id() {
+        let locater = Locater::new(office_store(1), LocaterConfig::default());
+        let alice = locater.store().device_id("alice").unwrap();
+        assert_eq!(locater.resolve(&Query::by_mac("alice", 0)).unwrap(), alice);
+        assert_eq!(locater.resolve(&Query::by_device(alice, 0)).unwrap(), alice);
+        assert!(matches!(
+            locater.resolve(&Query::by_mac("nobody", 0)),
+            Err(LocaterError::UnknownDevice(_))
+        ));
+        assert!(matches!(
+            locater.resolve(&Query::by_device(DeviceId::new(99), 0)),
+            Err(LocaterError::UnknownDevice(_))
+        ));
+        assert!(matches!(
+            locater.resolve(&Query {
+                mac: None,
+                device: None,
+                t: 0
+            }),
+            Err(LocaterError::MissingDevice)
+        ));
+    }
+
+    #[test]
+    fn covered_query_resolves_to_a_room_in_the_covering_region() {
+        let locater = Locater::new(office_store(2), LocaterConfig::default());
+        let t_q = clock::at(8, 9, 5, 10);
+        let answer = locater.locate(&Query::by_mac("alice", t_q)).unwrap();
+        assert!(answer.is_inside());
+        assert_eq!(answer.coarse_method, CoarseMethod::CoveredByEvent);
+        let region = answer.region().unwrap();
+        assert_eq!(region, RegionId::new(0));
+        let room = answer.room().unwrap();
+        assert!(locater
+            .store()
+            .space()
+            .rooms_in_region(region)
+            .contains(&room));
+        assert!(answer.confidence > 0.0);
+    }
+
+    #[test]
+    fn overnight_query_is_outside() {
+        let locater = Locater::new(office_store(4), LocaterConfig::default());
+        let t_q = clock::at(22, 3, 0, 0);
+        let answer = locater.locate(&Query::by_mac("alice", t_q)).unwrap();
+        assert!(answer.is_outside());
+        assert_eq!(answer.location, Location::Outside);
+        assert_eq!(answer.room(), None);
+        assert_eq!(answer.region(), None);
+    }
+
+    #[test]
+    fn out_of_span_query_is_outside() {
+        let locater = Locater::new(office_store(1), LocaterConfig::default());
+        let answer = locater
+            .locate(&Query::by_mac("alice", clock::at(400, 12, 0, 0)))
+            .unwrap();
+        assert!(answer.is_outside());
+        assert_eq!(answer.coarse_method, CoarseMethod::OutOfSpan);
+    }
+
+    #[test]
+    fn coarse_models_are_cached_and_reused() {
+        let locater = Locater::new(office_store(4), LocaterConfig::default());
+        // A query in a short mid-day gap on the last week.
+        let t_q = clock::at(22, 9, 20, 10);
+        let (_, first) = locater
+            .locate_detailed(&Query::by_mac("alice", t_q))
+            .unwrap();
+        let (_, second) = locater
+            .locate_detailed(&Query::by_mac("alice", t_q + 60))
+            .unwrap();
+        // The first gap-classifying query trains the model; the second reuses it
+        // (covered queries never touch the model, so pick gap times).
+        if first.coarse.gap.is_some() && second.coarse.gap.is_some() {
+            assert!(!first.coarse_model_reused);
+            assert!(second.coarse_model_reused);
+        }
+    }
+
+    #[test]
+    fn caching_engine_accumulates_edges_across_queries() {
+        let locater = Locater::new(office_store(3), LocaterConfig::default());
+        assert_eq!(locater.cache_stats(), (0, 0));
+        // Alice is covered at this time and Bob is online nearby: the fine step runs
+        // and produces contributions.
+        let t_q = clock::at(15, 9, 30, 20);
+        let (_, diag) = locater
+            .locate_detailed(&Query::by_mac("alice", t_q))
+            .unwrap();
+        assert!(diag.fine.is_some());
+        let (edges, samples) = locater.cache_stats();
+        assert!(edges >= 1, "expected cached edges after a fine query");
+        assert!(samples >= 1);
+        // The second query sees a warm cache.
+        let (_, diag2) = locater
+            .locate_detailed(&Query::by_mac("alice", t_q + 120))
+            .unwrap();
+        assert!(diag2.cache_warm);
+        locater.clear_cache();
+        assert_eq!(locater.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_affinities() {
+        let config = LocaterConfig::default().with_cache(CacheMode::Disabled);
+        let locater = Locater::new(office_store(3), config);
+        let t_q = clock::at(15, 9, 30, 20);
+        let _ = locater.locate(&Query::by_mac("alice", t_q)).unwrap();
+        assert_eq!(locater.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn config_builders_adjust_modes() {
+        let config = LocaterConfig::default()
+            .with_fine_mode(FineMode::Dependent)
+            .with_cache(CacheMode::Disabled)
+            .with_history(clock::weeks(2));
+        assert_eq!(config.fine.mode, FineMode::Dependent);
+        assert_eq!(config.cache, CacheMode::Disabled);
+        assert_eq!(config.coarse.history, clock::weeks(2));
+        let locater = Locater::new(office_store(2), config);
+        let answer = locater
+            .locate(&Query::by_mac("bob", clock::at(8, 9, 30, 10)))
+            .unwrap();
+        assert!(answer.is_inside());
+    }
+
+    #[test]
+    fn location_accessors() {
+        let outside = Location::Outside;
+        assert!(!outside.is_inside());
+        assert_eq!(outside.room(), None);
+        let region = Location::Region(RegionId::new(2));
+        assert!(region.is_inside());
+        assert_eq!(region.region(), Some(RegionId::new(2)));
+        assert_eq!(region.room(), None);
+        let room = Location::Room {
+            room: RoomId::new(5),
+            region: RegionId::new(2),
+        };
+        assert_eq!(room.room(), Some(RoomId::new(5)));
+        assert_eq!(room.region(), Some(RegionId::new(2)));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests of the cleaning engine's probabilistic invariants:
+//! room-affinity distributions, group affinities, the possible-world bounds of
+//! Theorems 1–3, the stop conditions, and the caching engine's ordering.
+
+use locater_core::cache::GlobalAffinityGraph;
+use locater_core::fine::{AffinityEngine, PosteriorBounds, RoomAffinityWeights, RoomPosterior};
+use locater_events::DeviceId;
+use locater_space::{RoomType, Space, SpaceBuilder};
+use locater_store::EventStore;
+use proptest::prelude::*;
+
+/// Builds a space with `num_aps` access points each covering `rooms_per_ap` rooms with
+/// one room of overlap, and marks every third room public.
+fn build_space(num_aps: usize, rooms_per_ap: usize) -> Space {
+    let mut builder = SpaceBuilder::new("prop-space");
+    let total_rooms = num_aps * (rooms_per_ap - 1) + 1;
+    let names: Vec<String> = (0..total_rooms).map(|i| format!("r{i}")).collect();
+    for ap in 0..num_aps {
+        let start = ap * (rooms_per_ap - 1);
+        let end = (start + rooms_per_ap).min(total_rooms);
+        let coverage: Vec<&str> = names[start..end].iter().map(String::as_str).collect();
+        builder = builder.add_access_point(&format!("wap{ap}"), &coverage);
+    }
+    for (i, name) in names.iter().enumerate() {
+        if i % 3 == 0 {
+            builder = builder.room_type(name, RoomType::Public);
+        }
+    }
+    builder.build().unwrap()
+}
+
+fn arb_weights() -> impl Strategy<Value = RoomAffinityWeights> {
+    prop::sample::select(RoomAffinityWeights::TABLE2.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Room affinities always form a probability distribution over the candidate
+    /// rooms, for any space shape, any device and any weight combination (§4.1).
+    #[test]
+    fn room_affinities_are_a_distribution(
+        num_aps in 2usize..6,
+        rooms_per_ap in 3usize..8,
+        weights in arb_weights(),
+        preferred_room in 0usize..10,
+        region_idx in 0usize..6,
+    ) {
+        let space = build_space(num_aps, rooms_per_ap);
+        let mut store = EventStore::new(space);
+        store.ingest_raw("probe", 100, "wap0").unwrap();
+        let device = store.device_id("probe").unwrap();
+        // Optionally give the device a preferred room via a second store with metadata.
+        let _ = preferred_room;
+        let engine = AffinityEngine::new(&store, weights, 3_600);
+        let region = locater_space::RegionId::new((region_idx % num_aps) as u32);
+        let affinity = engine.room_affinities(device, region);
+        let total: f64 = affinity.affinities.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+        prop_assert!(affinity.affinities.iter().all(|&a| a > 0.0 && a <= 1.0));
+        prop_assert_eq!(affinity.rooms.len(), store.space().rooms_in_region(region).len());
+        // Public rooms never get less affinity than non-preferred private rooms.
+        let space = store.space();
+        let min_public = affinity
+            .rooms
+            .iter()
+            .zip(&affinity.affinities)
+            .filter(|(r, _)| space.is_public(**r))
+            .map(|(_, a)| *a)
+            .fold(f64::INFINITY, f64::min);
+        let max_private = affinity
+            .rooms
+            .iter()
+            .zip(&affinity.affinities)
+            .filter(|(r, _)| !space.is_public(**r))
+            .map(|(_, a)| *a)
+            .fold(0.0, f64::max);
+        if min_public.is_finite() && max_private > 0.0 {
+            prop_assert!(min_public >= max_private - 1e-12);
+        }
+    }
+
+    /// Device affinity is symmetric in its arguments, bounded to [0, 1], and zero for
+    /// devices that never co-occur.
+    #[test]
+    fn device_affinity_is_symmetric_and_bounded(
+        events_a in prop::collection::vec((0i64..200_000, 0u8..3), 1..60),
+        events_b in prop::collection::vec((0i64..200_000, 0u8..3), 1..60),
+    ) {
+        let space = build_space(3, 4);
+        let mut store = EventStore::new(space);
+        for (t, ap) in &events_a {
+            store.ingest_raw("dev-a", *t, &format!("wap{ap}")).unwrap();
+        }
+        for (t, ap) in &events_b {
+            store.ingest_raw("dev-b", *t, &format!("wap{ap}")).unwrap();
+        }
+        let a = store.device_id("dev-a").unwrap();
+        let b = store.device_id("dev-b").unwrap();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::default(), 400_000);
+        let ab = engine.pair_affinity(a, b, 250_000);
+        let ba = engine.pair_affinity(b, a, 250_000);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    /// Group affinity never exceeds the device affinity it is derived from, is zero
+    /// outside the intersection of the group's regions, and sums to at most the device
+    /// affinity over the candidate rooms (Eq. 1).
+    #[test]
+    fn group_affinity_is_dominated_by_device_affinity(
+        device_affinity in 0.0f64..1.0,
+        region_a in 0usize..3,
+        region_b in 0usize..3,
+    ) {
+        let space = build_space(3, 5);
+        let mut store = EventStore::new(space);
+        store.ingest_raw("d1", 1_000, &format!("wap{region_a}")).unwrap();
+        store.ingest_raw("d2", 1_000, &format!("wap{region_b}")).unwrap();
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let engine = AffinityEngine::new(&store, RoomAffinityWeights::default(), 3_600);
+        let ga = locater_space::RegionId::new(region_a as u32);
+        let gb = locater_space::RegionId::new(region_b as u32);
+        let group = [(d1, ga), (d2, gb)];
+        let space = store.space();
+        let intersection = space.intersect_regions(&[ga, gb]);
+        let mut sum = 0.0;
+        for room in space.rooms() {
+            let alpha = engine.group_affinity(&group, room.id, device_affinity);
+            prop_assert!(alpha >= 0.0);
+            prop_assert!(alpha <= device_affinity + 1e-12);
+            if !intersection.contains(&room.id) {
+                prop_assert_eq!(alpha, 0.0);
+            }
+            sum += alpha;
+        }
+        prop_assert!(sum <= device_affinity + 1e-9);
+    }
+
+    /// The possible-world envelope of Theorems 1–3 is always ordered
+    /// `min ≤ expected ≤ max`, and collapses to a point when no devices are left
+    /// unprocessed.
+    #[test]
+    fn posterior_bounds_are_ordered(
+        prior in 0.0f64..1.0,
+        observations in prop::collection::vec(0.0f64..1.0, 0..6),
+        unprocessed in 0usize..8,
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        let mut posterior = RoomPosterior::from_prior(prior);
+        for obs in observations {
+            posterior.observe(obs);
+        }
+        let bounds = PosteriorBounds::compute(&posterior, unprocessed, lo, hi);
+        prop_assert!(bounds.is_consistent(), "{bounds:?}");
+        if unprocessed == 0 {
+            prop_assert_eq!(bounds.min, bounds.max);
+        }
+        prop_assert!((0.0..=1.0).contains(&bounds.expected));
+        prop_assert!((0.0..=1.0).contains(&bounds.min));
+        prop_assert!((0.0..=1.0).contains(&bounds.max));
+    }
+
+    /// The caching engine's neighbor ordering is a permutation of its input and is
+    /// sorted by decreasing cached weight.
+    #[test]
+    fn cache_ordering_is_a_sorted_permutation(
+        edges in prop::collection::vec((1u32..40, 0.0f64..1.0, 0i64..500_000), 0..60),
+        candidates in prop::collection::vec(1u32..40, 1..20),
+        t_q in 0i64..500_000,
+    ) {
+        let center = DeviceId::new(0);
+        let mut graph = GlobalAffinityGraph::new();
+        for (other, weight, t) in edges {
+            graph.record(center, DeviceId::new(other), weight, weight, t);
+        }
+        let candidate_ids: Vec<DeviceId> = candidates.iter().map(|&c| DeviceId::new(c)).collect();
+        let ordered = graph.order_neighbors(center, &candidate_ids, t_q);
+        prop_assert_eq!(ordered.len(), candidate_ids.len());
+        let mut sorted_input = candidate_ids.clone();
+        sorted_input.sort();
+        let mut sorted_output = ordered.clone();
+        sorted_output.sort();
+        prop_assert_eq!(sorted_input, sorted_output);
+        let weights: Vec<f64> = ordered.iter().map(|&d| graph.weight(center, d, t_q)).collect();
+        for pair in weights.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Connectivity events and per-device event sequences.
+
+use crate::clock::Timestamp;
+use crate::device::DeviceId;
+use crate::interval::Interval;
+use locater_space::{AccessPointId, RegionId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a connectivity event (`eid` in the paper), unique within a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// Creates an event id from its raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One tuple of the connectivity events table `E`: device `d` connected to access
+/// point `wap` at time `t` (paper §2, Fig. 1(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectivityEvent {
+    /// Event identifier.
+    pub id: EventId,
+    /// Device that produced the event.
+    pub device: DeviceId,
+    /// Timestamp of the association event.
+    pub t: Timestamp,
+    /// Access point that logged the event.
+    pub ap: AccessPointId,
+}
+
+impl ConnectivityEvent {
+    /// Creates an event.
+    pub fn new(id: EventId, device: DeviceId, t: Timestamp, ap: AccessPointId) -> Self {
+        Self { id, device, t, ap }
+    }
+
+    /// The region this event places the device in.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.ap.region()
+    }
+}
+
+/// Compact per-device representation of an event (the device id is implied by the
+/// sequence the event is stored in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredEvent {
+    /// Event identifier.
+    pub id: EventId,
+    /// Timestamp of the association event.
+    pub t: Timestamp,
+    /// Access point that logged the event.
+    pub ap: AccessPointId,
+}
+
+impl StoredEvent {
+    /// Creates a stored event.
+    pub fn new(id: EventId, t: Timestamp, ap: AccessPointId) -> Self {
+        Self { id, t, ap }
+    }
+
+    /// The region this event places the device in.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.ap.region()
+    }
+}
+
+/// A time-sorted sequence of events of a single device (`E(d_i)` in the paper).
+///
+/// The sequence is the unit the gap-detection and validity logic operates on.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSeq {
+    events: Vec<StoredEvent>,
+}
+
+impl EventSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sequence from `(timestamp, ap raw id)` pairs, sorting them by time.
+    /// Event ids are assigned positionally. Intended for tests and examples.
+    pub fn from_pairs(pairs: &[(Timestamp, u32)]) -> Self {
+        let mut events: Vec<StoredEvent> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, ap))| {
+                StoredEvent::new(EventId::new(i as u64), t, AccessPointId::new(ap))
+            })
+            .collect();
+        events.sort_by_key(|e| e.t);
+        Self { events }
+    }
+
+    /// Appends an event, keeping the sequence sorted. Appending in timestamp order is
+    /// O(1); out-of-order events are inserted at the right position.
+    pub fn push(&mut self, event: StoredEvent) {
+        match self.events.last() {
+            Some(last) if last.t > event.t => {
+                let pos = self.events.partition_point(|e| e.t <= event.t);
+                self.events.insert(pos, event);
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    /// Number of events in the sequence.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the device has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> &[StoredEvent] {
+        &self.events
+    }
+
+    /// First event, if any.
+    pub fn first(&self) -> Option<&StoredEvent> {
+        self.events.first()
+    }
+
+    /// Last event, if any.
+    pub fn last(&self) -> Option<&StoredEvent> {
+        self.events.last()
+    }
+
+    /// Events with `t` in `[range.start, range.end)`, as a sub-slice.
+    pub fn in_range(&self, range: Interval) -> &[StoredEvent] {
+        let lo = self.events.partition_point(|e| e.t < range.start);
+        let hi = self.events.partition_point(|e| e.t < range.end);
+        &self.events[lo..hi]
+    }
+
+    /// Index of the last event with `t <= at`, if any.
+    pub fn index_at_or_before(&self, at: Timestamp) -> Option<usize> {
+        let pos = self.events.partition_point(|e| e.t <= at);
+        pos.checked_sub(1)
+    }
+
+    /// The validity interval of the event at `index`, given validity period `delta`:
+    /// `(t − δ, t + δ)` truncated at the timestamp of the next event of the device
+    /// (paper §2, Fig. 2).
+    pub fn validity_interval(&self, index: usize, delta: Timestamp) -> Interval {
+        let event = &self.events[index];
+        let end = match self.events.get(index + 1) {
+            Some(next) => next.t.min(event.t + delta),
+            None => event.t + delta,
+        };
+        Interval::new(event.t - delta, end)
+    }
+
+    /// The event whose validity interval covers `at` (the latest such event if several
+    /// overlap), together with its index.
+    pub fn covering_event(&self, at: Timestamp, delta: Timestamp) -> Option<(usize, &StoredEvent)> {
+        // Candidate: last event with t <= at, or the next event if `at` falls in its
+        // backward validity window.
+        if self.events.is_empty() {
+            return None;
+        }
+        let pos = self.events.partition_point(|e| e.t <= at);
+        if pos < self.events.len() {
+            let next = &self.events[pos];
+            // `at` may be covered by the *next* event's backward validity.
+            if self.validity_interval(pos, delta).contains(at) {
+                // Prefer the earlier event if it also covers `at`? Paper picks the
+                // event whose interval contains t_q; when both do, the later event is
+                // the most recent evidence, but its interval starts before the earlier
+                // event ends only when events are < δ apart, in which case both APs
+                // are equally valid. We prefer the earlier (already-seen) event below
+                // and fall back to this one.
+                if pos == 0 || !self.validity_interval(pos - 1, delta).contains(at) {
+                    return Some((pos, next));
+                }
+            }
+        }
+        let idx = pos.checked_sub(1)?;
+        if self.validity_interval(idx, delta).contains(at) {
+            Some((idx, &self.events[idx]))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over consecutive event pairs `(e_k, e_{k+1})`.
+    pub fn consecutive_pairs(&self) -> impl Iterator<Item = (&StoredEvent, &StoredEvent)> {
+        self.events.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// Time span `[first.t, last.t]` covered by the sequence, if non-empty.
+    pub fn span(&self) -> Option<Interval> {
+        match (self.first(), self.last()) {
+            (Some(f), Some(l)) => Some(Interval::new(f.t, l.t + 1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_sorts_by_time() {
+        let seq = EventSeq::from_pairs(&[(300, 1), (100, 0), (200, 2)]);
+        let ts: Vec<Timestamp> = seq.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+        assert_eq!(seq.len(), 3);
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    fn push_keeps_order_for_out_of_order_events() {
+        let mut seq = EventSeq::new();
+        seq.push(StoredEvent::new(
+            EventId::new(0),
+            100,
+            AccessPointId::new(0),
+        ));
+        seq.push(StoredEvent::new(
+            EventId::new(1),
+            300,
+            AccessPointId::new(1),
+        ));
+        seq.push(StoredEvent::new(
+            EventId::new(2),
+            200,
+            AccessPointId::new(2),
+        ));
+        let ts: Vec<Timestamp> = seq.events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn in_range_returns_subslice() {
+        let seq = EventSeq::from_pairs(&[(100, 0), (200, 0), (300, 0), (400, 0)]);
+        let mid = seq.in_range(Interval::new(150, 350));
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid[0].t, 200);
+        assert_eq!(mid[1].t, 300);
+        assert!(seq.in_range(Interval::new(500, 600)).is_empty());
+        assert_eq!(seq.in_range(Interval::new(100, 101)).len(), 1);
+    }
+
+    #[test]
+    fn validity_interval_truncates_at_next_event() {
+        // Mirrors Fig. 2: e1's validity ends at t2 because t2 - t1 < δ.
+        let seq = EventSeq::from_pairs(&[(1_000, 0), (1_030, 0), (5_000, 1)]);
+        let delta = 60;
+        assert_eq!(seq.validity_interval(0, delta), Interval::new(940, 1_030));
+        assert_eq!(seq.validity_interval(1, delta), Interval::new(970, 1_090));
+        assert_eq!(seq.validity_interval(2, delta), Interval::new(4_940, 5_060));
+    }
+
+    #[test]
+    fn covering_event_finds_valid_event() {
+        let seq = EventSeq::from_pairs(&[(1_000, 3), (2_000, 4)]);
+        let delta = 100;
+        // Covered by first event's forward validity.
+        let (i, e) = seq.covering_event(1_050, delta).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(e.ap, AccessPointId::new(3));
+        // Covered by second event's backward validity.
+        let (i, e) = seq.covering_event(1_950, delta).unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(e.ap, AccessPointId::new(4));
+        // In the gap: not covered.
+        assert!(seq.covering_event(1_500, delta).is_none());
+        // Before all events but within backward validity of the first.
+        assert!(seq.covering_event(950, delta).is_some());
+        // Way before anything.
+        assert!(seq.covering_event(0, delta).is_none());
+    }
+
+    #[test]
+    fn covering_event_prefers_earlier_when_overlapping() {
+        let seq = EventSeq::from_pairs(&[(1_000, 3), (1_050, 4)]);
+        let delta = 200;
+        // 1010 is covered by both; the earlier event wins.
+        let (i, _) = seq.covering_event(1_010, delta).unwrap();
+        assert_eq!(i, 0);
+        // 1060 is after the second event: second event covers it.
+        let (i, _) = seq.covering_event(1_060, delta).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn index_at_or_before_and_span() {
+        let seq = EventSeq::from_pairs(&[(100, 0), (200, 0)]);
+        assert_eq!(seq.index_at_or_before(50), None);
+        assert_eq!(seq.index_at_or_before(100), Some(0));
+        assert_eq!(seq.index_at_or_before(150), Some(0));
+        assert_eq!(seq.index_at_or_before(500), Some(1));
+        assert_eq!(seq.span(), Some(Interval::new(100, 201)));
+        assert_eq!(EventSeq::new().span(), None);
+    }
+
+    #[test]
+    fn consecutive_pairs_are_adjacent() {
+        let seq = EventSeq::from_pairs(&[(1, 0), (2, 0), (3, 0)]);
+        let pairs: Vec<(Timestamp, Timestamp)> =
+            seq.consecutive_pairs().map(|(a, b)| (a.t, b.t)).collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn event_region_is_ap_region() {
+        let e = ConnectivityEvent::new(EventId::new(1), DeviceId::new(0), 5, AccessPointId::new(7));
+        assert_eq!(e.region(), AccessPointId::new(7).region());
+        let s = StoredEvent::new(EventId::new(1), 5, AccessPointId::new(7));
+        assert_eq!(s.region(), e.region());
+        assert_eq!(EventId::new(3).to_string(), "e3");
+    }
+}

@@ -1,0 +1,55 @@
+//! # locater-events
+//!
+//! The *WiFi connectivity data model* substrate of the LOCATER reproduction
+//! (paper §2, "WiFi Connectivity Data Model").
+//!
+//! The raw input to LOCATER is a log of **connectivity events**: tuples
+//! `⟨mac address, timestamp, wap⟩` emitted whenever a device associates with an
+//! access point, probes the network, changes state, etc. Events are *sporadic*: a
+//! device that sits in one room for an hour may produce only a handful of events.
+//! This crate models:
+//!
+//! * [`MacAddress`] / [`Device`] / [`DeviceId`] — devices identified by MAC address,
+//!   each with a device-specific **validity period** `δ(d)`: an event at time `t` is
+//!   considered valid evidence of the device's region during `(t − δ, t + δ)`,
+//!   truncated at the next event of the same device.
+//! * [`ConnectivityEvent`] — one log tuple, with the access point interned to an
+//!   `AccessPointId` from [`locater_space`].
+//! * [`Gap`] — a maximal period during which no event of a device is valid. Gaps are
+//!   the *missing values* the coarse-grained localization must repair.
+//! * [`Timestamp`] helpers ([`clock`]) — day-of-week / time-of-day arithmetic on the
+//!   integer-second timeline used throughout the project.
+//! * [`validity`] — estimation of `δ(d)` from the log itself (paper Appendix 9.1).
+//!
+//! ```
+//! use locater_events::{gaps_in, EventSeq, Timestamp};
+//! use locater_space::AccessPointId;
+//!
+//! // Three events of one device on AP 0, with a validity period of 60 s.
+//! let seq = EventSeq::from_pairs(&[(100, 0), (220, 0), (1_000, 0)]);
+//! let gaps = gaps_in(&seq, 60);
+//! // 100 and 220 are within 2δ of each other: no gap. 220 → 1000 leaves one.
+//! assert_eq!(gaps.len(), 1);
+//! assert_eq!(gaps[0].start, 280);   // 220 + δ
+//! assert_eq!(gaps[0].end, 940);     // 1000 - δ
+//! assert_eq!(gaps[0].start_ap, AccessPointId::new(0));
+//! let _: Timestamp = gaps[0].duration();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+mod device;
+mod error;
+mod event;
+mod gap;
+mod interval;
+pub mod validity;
+
+pub use clock::{DayOfWeek, Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_WEEK};
+pub use device::{Device, DeviceId, MacAddress};
+pub use error::EventError;
+pub use event::{ConnectivityEvent, EventId, EventSeq, StoredEvent};
+pub use gap::{gap_containing, gaps_in, Gap};
+pub use interval::Interval;

@@ -1,0 +1,337 @@
+//! Multinomial (softmax) logistic regression trained by batch gradient descent.
+//!
+//! The paper's coarse-grained localization trains logistic-regression classifiers over
+//! gap feature vectors (§3). We implement the multinomial form; the inside/outside
+//! classifier is simply the two-class case. No external linear-algebra dependency is
+//! used: the model is small (≲10 features, ≲1 + |G| classes) and dense loops are fast
+//! enough (performance-book guidance: keep the inner loop allocation-free).
+
+use crate::dataset::Dataset;
+use crate::error::LearnError;
+use crate::scaler::StandardScaler;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for gradient-descent training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate. Default 0.1.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs. Default 200.
+    pub epochs: usize,
+    /// L2 regularization strength. Default 1e-3.
+    pub l2: f64,
+    /// Whether to fit a [`StandardScaler`] on the training data. Default `true`.
+    pub standardize: bool,
+    /// Early-stopping tolerance on the training loss improvement. Default 1e-7.
+    pub tolerance: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 200,
+            l2: 1e-3,
+            standardize: true,
+            tolerance: 1e-7,
+        }
+    }
+}
+
+/// Result of classifying one feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The most probable class.
+    pub label: usize,
+    /// Class probabilities (sum to 1).
+    pub probabilities: Vec<f64>,
+}
+
+impl Prediction {
+    /// Probability of the predicted class.
+    pub fn confidence(&self) -> f64 {
+        self.probabilities[self.label]
+    }
+
+    /// Variance of the probability array. The paper's Algorithm 1 uses this as the
+    /// prediction-confidence score for self-training: a peaked distribution (high
+    /// variance) means the classifier is sure of its label.
+    pub fn variance(&self) -> f64 {
+        let n = self.probabilities.len() as f64;
+        let mean = 1.0 / n;
+        self.probabilities
+            .iter()
+            .map(|p| (p - mean).powi(2))
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// A trained multinomial logistic regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    num_features: usize,
+    num_classes: usize,
+    /// Row-major `[num_classes × num_features]` weight matrix.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    scaler: StandardScaler,
+}
+
+impl LogisticRegression {
+    /// Trains a model on `data` with the given configuration.
+    pub fn fit(data: &Dataset, config: &TrainConfig) -> Result<Self, LearnError> {
+        if data.is_empty() {
+            return Err(LearnError::EmptyDataset);
+        }
+        let nf = data.num_features();
+        let nc = data.num_classes();
+        let scaler = if config.standardize {
+            StandardScaler::fit(data)
+        } else {
+            StandardScaler::identity(nf)
+        };
+
+        let n = data.len() as f64;
+        let mut weights = vec![0.0; nc * nf];
+        let mut biases = vec![0.0; nc];
+        let mut grad_w = vec![0.0; nc * nf];
+        let mut grad_b = vec![0.0; nc];
+        let mut probs = vec![0.0; nc];
+        let mut scaled_row = vec![0.0; nf];
+        let mut prev_loss = f64::INFINITY;
+
+        for _ in 0..config.epochs {
+            grad_w.iter_mut().for_each(|g| *g = 0.0);
+            grad_b.iter_mut().for_each(|g| *g = 0.0);
+            let mut loss = 0.0;
+
+            for (row, label) in data.iter() {
+                scaled_row.copy_from_slice(row);
+                scaler.transform_in_place(&mut scaled_row);
+                softmax_into(&weights, &biases, &scaled_row, nf, nc, &mut probs);
+                if !probs[label].is_finite() {
+                    return Err(LearnError::Diverged);
+                }
+                loss -= (probs[label].max(1e-15)).ln();
+                for c in 0..nc {
+                    let err = probs[c] - if c == label { 1.0 } else { 0.0 };
+                    grad_b[c] += err;
+                    let wrow = &mut grad_w[c * nf..(c + 1) * nf];
+                    for (g, &x) in wrow.iter_mut().zip(&scaled_row) {
+                        *g += err * x;
+                    }
+                }
+            }
+
+            if !loss.is_finite() {
+                return Err(LearnError::Diverged);
+            }
+            // L2 penalty and parameter update.
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= config.learning_rate * (g / n + config.l2 * *w);
+            }
+            for (b, g) in biases.iter_mut().zip(&grad_b) {
+                *b -= config.learning_rate * (g / n);
+            }
+            let avg_loss = loss / n;
+            if (prev_loss - avg_loss).abs() < config.tolerance {
+                break;
+            }
+            prev_loss = avg_loss;
+        }
+
+        Ok(Self {
+            num_features: nf,
+            num_classes: nc,
+            weights,
+            biases,
+            scaler,
+        })
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Class probabilities for one feature vector.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(features.len(), self.num_features);
+        let scaled = self.scaler.transform(features);
+        let mut probs = vec![0.0; self.num_classes];
+        softmax_into(
+            &self.weights,
+            &self.biases,
+            &scaled,
+            self.num_features,
+            self.num_classes,
+            &mut probs,
+        );
+        probs
+    }
+
+    /// Predicts the most probable class along with the full probability array.
+    pub fn predict(&self, features: &[f64]) -> Prediction {
+        let probabilities = self.predict_proba(features);
+        let label = argmax(&probabilities);
+        Prediction {
+            label,
+            probabilities,
+        }
+    }
+
+    /// Accuracy over a labelled dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(row, label)| self.predict(row).label == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+fn softmax_into(weights: &[f64], biases: &[f64], x: &[f64], nf: usize, nc: usize, out: &mut [f64]) {
+    let mut max_logit = f64::NEG_INFINITY;
+    for c in 0..nc {
+        let wrow = &weights[c * nf..(c + 1) * nf];
+        let logit: f64 = biases[c] + wrow.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        out[c] = logit;
+        if logit > max_logit {
+            max_logit = logit;
+        }
+    }
+    let mut sum = 0.0;
+    for o in out.iter_mut() {
+        *o = (*o - max_logit).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_binary() -> Dataset {
+        let mut d = Dataset::new(2, 2);
+        for i in 0..50 {
+            let x = i as f64 / 50.0;
+            d.push(vec![x, 0.3], 0);
+            d.push(vec![x + 2.0, 0.7], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_separable_binary_problem() {
+        let data = separable_binary();
+        let model = LogisticRegression::fit(&data, &TrainConfig::default()).unwrap();
+        assert!(model.accuracy(&data) > 0.95);
+        assert_eq!(model.predict(&[0.2, 0.3]).label, 0);
+        assert_eq!(model.predict(&[2.5, 0.7]).label, 1);
+        assert_eq!(model.num_classes(), 2);
+        assert_eq!(model.num_features(), 2);
+    }
+
+    #[test]
+    fn learns_a_three_class_problem() {
+        let mut d = Dataset::new(2, 3);
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.01;
+            d.push(vec![0.0 + jitter, 0.0], 0);
+            d.push(vec![5.0 + jitter, 0.0], 1);
+            d.push(vec![0.0 + jitter, 5.0], 2);
+        }
+        let model = LogisticRegression::fit(&d, &TrainConfig::default()).unwrap();
+        assert!(model.accuracy(&d) > 0.95);
+        assert_eq!(model.predict(&[0.1, 0.1]).label, 0);
+        assert_eq!(model.predict(&[5.1, 0.2]).label, 1);
+        assert_eq!(model.predict(&[0.2, 5.2]).label, 2);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = separable_binary();
+        let model = LogisticRegression::fit(&data, &TrainConfig::default()).unwrap();
+        let p = model.predict_proba(&[1.0, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let d = Dataset::new(2, 2);
+        assert_eq!(
+            LogisticRegression::fit(&d, &TrainConfig::default()).unwrap_err(),
+            LearnError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let mut d = Dataset::new(1, 2);
+        for i in 0..10 {
+            d.push(vec![i as f64], 1);
+        }
+        let model = LogisticRegression::fit(&d, &TrainConfig::default()).unwrap();
+        assert_eq!(model.predict(&[3.0]).label, 1);
+    }
+
+    #[test]
+    fn prediction_confidence_and_variance() {
+        let data = separable_binary();
+        let model = LogisticRegression::fit(&data, &TrainConfig::default()).unwrap();
+        let sure = model.predict(&[3.0, 0.7]);
+        let unsure = model.predict(&[1.2, 0.5]);
+        assert!(sure.confidence() > unsure.confidence());
+        assert!(sure.variance() > unsure.variance());
+        // Variance of a uniform distribution is 0.
+        let uniform = Prediction {
+            label: 0,
+            probabilities: vec![0.5, 0.5],
+        };
+        assert!(uniform.variance() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_features_cause_divergence_error() {
+        let mut d = Dataset::new(1, 2);
+        d.push(vec![f64::NAN], 0);
+        d.push(vec![1.0], 1);
+        let config = TrainConfig {
+            standardize: false,
+            ..TrainConfig::default()
+        };
+        assert_eq!(
+            LogisticRegression::fit(&d, &config).unwrap_err(),
+            LearnError::Diverged
+        );
+    }
+
+    #[test]
+    fn accuracy_of_empty_dataset_is_zero() {
+        let data = separable_binary();
+        let model = LogisticRegression::fit(&data, &TrainConfig::default()).unwrap();
+        assert_eq!(model.accuracy(&Dataset::new(2, 2)), 0.0);
+    }
+}

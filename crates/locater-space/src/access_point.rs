@@ -1,0 +1,52 @@
+//! WiFi access points.
+
+use crate::ids::{AccessPointId, RegionId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A WiFi access point (`wap_j ∈ WAP` in the paper).
+///
+/// Every access point defines exactly one coverage [`Region`](crate::Region); the set
+/// of rooms it covers is stored on the region (see [`crate::Space::rooms_in_region`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPoint {
+    /// Dense identifier of the access point.
+    pub id: AccessPointId,
+    /// Name of the access point as it appears in the connectivity log, e.g. `"wap3"`
+    /// or `"1200-ap-23"`. Unique within a space.
+    pub name: String,
+}
+
+impl AccessPoint {
+    /// Creates an access point.
+    pub fn new(id: AccessPointId, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            name: name.into(),
+        }
+    }
+
+    /// The region covered by this access point.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.id.region()
+    }
+}
+
+impl fmt::Display for AccessPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_point_region_mapping_is_one_to_one() {
+        let ap = AccessPoint::new(AccessPointId::new(3), "wap3");
+        assert_eq!(ap.region(), RegionId::new(3));
+        assert_eq!(ap.to_string(), "wap3");
+    }
+}

@@ -1,0 +1,188 @@
+//! Room adjacency graph.
+//!
+//! The paper's synthetic-data generator (§6.3, SmartBench) "considers the effect of
+//! indoor topology on the object (device) movement in indoor space based on the
+//! specific floor map". [`RoomAdjacency`] is the minimal topology substrate the
+//! simulator needs: an undirected graph over rooms with BFS shortest paths, so that
+//! simulated people move through plausible sequences of rooms instead of teleporting.
+//!
+//! If no explicit adjacency is provided, [`RoomAdjacency::from_coverage`] derives one
+//! from AP coverage: two rooms are considered adjacent when some access point covers
+//! both (rooms under the same AP are physically close).
+
+use crate::ids::RoomId;
+use crate::space::Space;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Undirected adjacency graph over the rooms of a [`Space`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoomAdjacency {
+    /// `neighbors[r]` lists the rooms adjacent to room `r`, sorted and deduplicated.
+    neighbors: Vec<Vec<RoomId>>,
+}
+
+impl RoomAdjacency {
+    /// Creates an empty adjacency graph for `num_rooms` rooms.
+    pub fn new(num_rooms: usize) -> Self {
+        Self {
+            neighbors: vec![Vec::new(); num_rooms],
+        }
+    }
+
+    /// Derives adjacency from AP coverage: rooms covered by the same access point are
+    /// mutually adjacent.
+    pub fn from_coverage(space: &Space) -> Self {
+        let mut adj = Self::new(space.num_rooms());
+        for region in space.regions() {
+            for (i, &a) in region.rooms.iter().enumerate() {
+                for &b in &region.rooms[i + 1..] {
+                    adj.connect(a, b);
+                }
+            }
+        }
+        adj.normalize();
+        adj
+    }
+
+    /// Adds an undirected edge between two rooms. Self-loops are ignored.
+    pub fn connect(&mut self, a: RoomId, b: RoomId) {
+        if a == b {
+            return;
+        }
+        self.neighbors[a.index()].push(b);
+        self.neighbors[b.index()].push(a);
+    }
+
+    fn normalize(&mut self) {
+        for n in &mut self.neighbors {
+            n.sort_unstable();
+            n.dedup();
+        }
+    }
+
+    /// Number of rooms in the graph.
+    pub fn num_rooms(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Rooms adjacent to `room`.
+    pub fn neighbors(&self, room: RoomId) -> &[RoomId] {
+        &self.neighbors[room.index()]
+    }
+
+    /// `true` if `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: RoomId, b: RoomId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+            || self.neighbors[a.index()].contains(&b)
+    }
+
+    /// BFS shortest path from `from` to `to` (inclusive of both endpoints). Returns
+    /// `None` if the rooms are disconnected.
+    pub fn shortest_path(&self, from: RoomId, to: RoomId) -> Option<Vec<RoomId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let n = self.neighbors.len();
+        let mut prev: Vec<Option<RoomId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[from.index()] = true;
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.neighbors[cur.index()] {
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    prev[next.index()] = Some(cur);
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut at = to;
+                        while let Some(p) = prev[at.index()] {
+                            path.push(p);
+                            at = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of hops between two rooms, or `None` if disconnected.
+    pub fn distance(&self, from: RoomId, to: RoomId) -> Option<usize> {
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpaceBuilder;
+
+    #[test]
+    fn coverage_adjacency_connects_rooms_under_same_ap() {
+        let space = SpaceBuilder::new("b")
+            .add_access_point("wap1", &["a", "b"])
+            .add_access_point("wap2", &["b", "c"])
+            .build()
+            .unwrap();
+        let adj = RoomAdjacency::from_coverage(&space);
+        let a = space.room_id("a").unwrap();
+        let b = space.room_id("b").unwrap();
+        let c = space.room_id("c").unwrap();
+        assert!(adj.are_adjacent(a, b));
+        assert!(adj.are_adjacent(b, c));
+        assert!(!adj.are_adjacent(a, c));
+        assert_eq!(adj.num_rooms(), 3);
+    }
+
+    #[test]
+    fn shortest_path_crosses_regions() {
+        let space = SpaceBuilder::new("b")
+            .add_access_point("wap1", &["a", "b"])
+            .add_access_point("wap2", &["b", "c"])
+            .add_access_point("wap3", &["c", "d"])
+            .build()
+            .unwrap();
+        let adj = RoomAdjacency::from_coverage(&space);
+        let a = space.room_id("a").unwrap();
+        let d = space.room_id("d").unwrap();
+        let path = adj.shortest_path(a, d).unwrap();
+        assert_eq!(path.len(), 4); // a -> b -> c -> d
+        assert_eq!(adj.distance(a, d), Some(3));
+        assert_eq!(adj.distance(a, a), Some(0));
+    }
+
+    #[test]
+    fn disconnected_rooms_have_no_path() {
+        let space = SpaceBuilder::new("b")
+            .add_access_point("wap1", &["a", "b"])
+            .add_access_point("wap2", &["c", "d"])
+            .build()
+            .unwrap();
+        let adj = RoomAdjacency::from_coverage(&space);
+        let a = space.room_id("a").unwrap();
+        let c = space.room_id("c").unwrap();
+        assert_eq!(adj.shortest_path(a, c), None);
+        assert_eq!(adj.distance(a, c), None);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut adj = RoomAdjacency::new(2);
+        adj.connect(RoomId::new(0), RoomId::new(0));
+        assert!(adj.neighbors(RoomId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn manual_edges_work() {
+        let mut adj = RoomAdjacency::new(3);
+        adj.connect(RoomId::new(0), RoomId::new(2));
+        assert!(adj.are_adjacent(RoomId::new(0), RoomId::new(2)));
+        assert!(adj.are_adjacent(RoomId::new(2), RoomId::new(0)));
+        assert!(!adj.are_adjacent(RoomId::new(0), RoomId::new(1)));
+    }
+}

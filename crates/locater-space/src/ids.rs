@@ -1,0 +1,142 @@
+//! Dense integer identifiers for the entities of the space model.
+//!
+//! All ids are newtypes over `u32` (design-pattern guide: *newtype*), created by the
+//! [`crate::SpaceBuilder`] in insertion order, so they can index directly into the
+//! internal vectors of [`crate::Space`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a room (`r_j` in the paper). Indexes into [`crate::Space::rooms`].
+    RoomId,
+    "room#"
+);
+
+define_id!(
+    /// Identifier of a region (`g_j` in the paper). There is exactly one region per
+    /// access point, and their raw indices coincide: `RegionId(i)` is the coverage
+    /// region of `AccessPointId(i)`.
+    RegionId,
+    "region#"
+);
+
+define_id!(
+    /// Identifier of a WiFi access point (`wap_j` in the paper).
+    AccessPointId,
+    "wap#"
+);
+
+impl AccessPointId {
+    /// The region covered by this access point (1:1 mapping, paper §2).
+    #[inline]
+    pub const fn region(self) -> RegionId {
+        RegionId(self.0)
+    }
+}
+
+impl RegionId {
+    /// The access point whose coverage defines this region (1:1 mapping, paper §2).
+    #[inline]
+    pub const fn access_point(self) -> AccessPointId {
+        AccessPointId(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let r = RoomId::new(7);
+        assert_eq!(r.raw(), 7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(u32::from(r), 7);
+        assert_eq!(usize::from(r), 7);
+        assert_eq!(RoomId::from(7u32), r);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(RoomId::new(3).to_string(), "room#3");
+        assert_eq!(RegionId::new(0).to_string(), "region#0");
+        assert_eq!(AccessPointId::new(12).to_string(), "wap#12");
+    }
+
+    #[test]
+    fn ap_and_region_are_isomorphic() {
+        let ap = AccessPointId::new(5);
+        assert_eq!(ap.region(), RegionId::new(5));
+        assert_eq!(ap.region().access_point(), ap);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(RoomId::new(1) < RoomId::new(2));
+        assert!(RegionId::new(10) > RegionId::new(9));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&RoomId::new(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: RoomId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, RoomId::new(42));
+    }
+}

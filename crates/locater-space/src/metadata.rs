@@ -1,0 +1,227 @@
+//! Space metadata import/export and summary statistics.
+//!
+//! The paper (§5, §9.1) lists the metadata LOCATER needs in a deployment: the set of
+//! access points, the rooms covered by each, room types (public/private), room owners
+//! and preferred rooms. [`SpaceMetadata`] is a serde-friendly, file-oriented
+//! representation of exactly that, convertible to and from a [`Space`].
+
+use crate::builder::SpaceBuilder;
+use crate::error::SpaceError;
+use crate::room::RoomType;
+use crate::space::Space;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Declarative description of a building's localization metadata, suitable for
+/// storing as JSON next to a deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SpaceMetadata {
+    /// Building name.
+    pub name: String,
+    /// AP name → covered room names.
+    pub coverage: BTreeMap<String, Vec<String>>,
+    /// Room names that are public/shared spaces; all other rooms are private.
+    #[serde(default)]
+    pub public_rooms: Vec<String>,
+    /// Room name → owner MAC addresses.
+    #[serde(default)]
+    pub owners: BTreeMap<String, Vec<String>>,
+    /// Device MAC → preferred room names (in addition to owned rooms).
+    #[serde(default)]
+    pub preferred: BTreeMap<String, Vec<String>>,
+}
+
+impl SpaceMetadata {
+    /// Builds the immutable [`Space`] described by this metadata.
+    pub fn build(&self) -> Result<Space, SpaceError> {
+        let mut builder = SpaceBuilder::new(&self.name);
+        for (ap, rooms) in &self.coverage {
+            let refs: Vec<&str> = rooms.iter().map(String::as_str).collect();
+            builder = builder.add_access_point(ap, &refs);
+        }
+        for room in &self.public_rooms {
+            builder = builder.room_type(room, RoomType::Public);
+        }
+        for (room, macs) in &self.owners {
+            for mac in macs {
+                builder = builder.room_owner(room, mac);
+            }
+        }
+        for (mac, rooms) in &self.preferred {
+            for room in rooms {
+                builder = builder.preferred_room(mac, room);
+            }
+        }
+        builder.build()
+    }
+
+    /// Extracts metadata back out of a [`Space`] (inverse of [`SpaceMetadata::build`]).
+    pub fn from_space(space: &Space) -> Self {
+        let mut coverage = BTreeMap::new();
+        for ap in space.access_points() {
+            let rooms = space
+                .rooms_in_region(ap.region())
+                .iter()
+                .map(|&r| space.room(r).name.clone())
+                .collect();
+            coverage.insert(ap.name.clone(), rooms);
+        }
+        let public_rooms = space
+            .rooms()
+            .iter()
+            .filter(|r| r.is_public())
+            .map(|r| r.name.clone())
+            .collect();
+        let mut owners = BTreeMap::new();
+        for room in space.rooms() {
+            if !room.owners.is_empty() {
+                owners.insert(room.name.clone(), room.owners.clone());
+            }
+        }
+        let mut preferred = BTreeMap::new();
+        for (mac, rooms) in space.preferred_map() {
+            let names: Vec<String> = rooms
+                .iter()
+                .map(|&r| space.room(r).name.clone())
+                .filter(|name| {
+                    // owned rooms are reconstructed through `owners`, keep only extras
+                    !owners
+                        .get(name)
+                        .map(|macs: &Vec<String>| macs.iter().any(|m| m == mac))
+                        .unwrap_or(false)
+                })
+                .collect();
+            if !names.is_empty() {
+                preferred.insert(mac.clone(), names);
+            }
+        }
+        Self {
+            name: space.name().to_string(),
+            coverage,
+            public_rooms,
+            owners,
+            preferred,
+        }
+    }
+
+    /// Serializes the metadata to pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, SpaceError> {
+        serde_json::to_string_pretty(self).map_err(|e| SpaceError::Metadata(e.to_string()))
+    }
+
+    /// Parses metadata from JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpaceError> {
+        serde_json::from_str(json).map_err(|e| SpaceError::Metadata(e.to_string()))
+    }
+}
+
+/// Summary statistics of a space, used in dataset reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSummary {
+    /// Building name.
+    pub name: String,
+    /// Number of access points / regions.
+    pub access_points: usize,
+    /// Number of rooms.
+    pub rooms: usize,
+    /// Number of public rooms.
+    pub public_rooms: usize,
+    /// Average number of rooms covered by one access point.
+    pub avg_rooms_per_ap: f64,
+    /// Number of devices with registered preferred rooms.
+    pub devices_with_preferences: usize,
+}
+
+impl SpaceSummary {
+    /// Computes the summary for a space.
+    pub fn of(space: &Space) -> Self {
+        let (public, _) = space.room_type_counts();
+        Self {
+            name: space.name().to_string(),
+            access_points: space.num_access_points(),
+            rooms: space.num_rooms(),
+            public_rooms: public,
+            avg_rooms_per_ap: space.avg_rooms_per_ap(),
+            devices_with_preferences: space.preferred_map().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpaceBuilder;
+
+    fn sample_metadata() -> SpaceMetadata {
+        let mut coverage = BTreeMap::new();
+        coverage.insert("wap1".to_string(), vec!["2002".into(), "2004".into()]);
+        coverage.insert("wap2".to_string(), vec!["2004".into(), "2061".into()]);
+        let mut owners = BTreeMap::new();
+        owners.insert("2061".to_string(), vec!["d1".to_string()]);
+        let mut preferred = BTreeMap::new();
+        preferred.insert("d2".to_string(), vec!["2004".to_string()]);
+        SpaceMetadata {
+            name: "DBH".into(),
+            coverage,
+            public_rooms: vec!["2004".into()],
+            owners,
+            preferred,
+        }
+    }
+
+    #[test]
+    fn metadata_builds_space() {
+        let meta = sample_metadata();
+        let space = meta.build().unwrap();
+        assert_eq!(space.num_access_points(), 2);
+        assert_eq!(space.num_rooms(), 3);
+        assert!(space.is_public(space.room_id("2004").unwrap()));
+        assert_eq!(
+            space.metadata_room("d1"),
+            Some(space.room_id("2061").unwrap())
+        );
+        assert_eq!(
+            space.metadata_room("d2"),
+            Some(space.room_id("2004").unwrap())
+        );
+    }
+
+    #[test]
+    fn metadata_roundtrips_through_space() {
+        let meta = sample_metadata();
+        let space = meta.build().unwrap();
+        let back = SpaceMetadata::from_space(&space);
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn metadata_roundtrips_through_json() {
+        let meta = sample_metadata();
+        let json = meta.to_json().unwrap();
+        let back = SpaceMetadata::from_json(&json).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn invalid_json_reports_metadata_error() {
+        let err = SpaceMetadata::from_json("{not json").unwrap_err();
+        matches!(err, SpaceError::Metadata(_));
+    }
+
+    #[test]
+    fn summary_counts_match_space() {
+        let space = SpaceBuilder::new("b")
+            .add_access_point("wap1", &["a", "b"])
+            .add_access_point("wap2", &["b", "c", "d"])
+            .room_type("b", RoomType::Public)
+            .preferred_room("m1", "a")
+            .build()
+            .unwrap();
+        let summary = SpaceSummary::of(&space);
+        assert_eq!(summary.access_points, 2);
+        assert_eq!(summary.rooms, 4);
+        assert_eq!(summary.public_rooms, 1);
+        assert_eq!(summary.devices_with_preferences, 1);
+        assert!((summary.avg_rooms_per_ap - 2.5).abs() < 1e-9);
+    }
+}

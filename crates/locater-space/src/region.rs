@@ -1,0 +1,129 @@
+//! Coverage regions of access points.
+
+use crate::ids::{AccessPointId, RegionId, RoomId};
+use serde::{Deserialize, Serialize};
+
+/// A region (`g_j ∈ G` in the paper): the area covered by the network connectivity of
+/// one WiFi access point.
+///
+/// Regions partition the *region granularity* of the space model. They frequently
+/// overlap: a room whose extent intersects the coverage of several APs belongs to all
+/// of their regions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Dense identifier of the region.
+    pub id: RegionId,
+    /// The access point whose coverage defines this region.
+    pub access_point: AccessPointId,
+    /// Rooms covered by this region (`R(g_j)`), sorted by id and deduplicated.
+    pub rooms: Vec<RoomId>,
+}
+
+impl Region {
+    /// Creates a region for `access_point` covering `rooms` (sorted + deduplicated).
+    pub fn new(access_point: AccessPointId, mut rooms: Vec<RoomId>) -> Self {
+        rooms.sort_unstable();
+        rooms.dedup();
+        Self {
+            id: access_point.region(),
+            access_point,
+            rooms,
+        }
+    }
+
+    /// Number of rooms covered by the region.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// `true` if the region covers no rooms.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rooms.is_empty()
+    }
+
+    /// `true` if `room` is covered by this region. O(log n).
+    pub fn covers(&self, room: RoomId) -> bool {
+        self.rooms.binary_search(&room).is_ok()
+    }
+
+    /// Rooms covered by both `self` and `other`, in sorted order.
+    pub fn intersection(&self, other: &Region) -> Vec<RoomId> {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        while i < self.rooms.len() && j < other.rooms.len() {
+            match self.rooms[i].cmp(&other.rooms[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.rooms[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if the two regions share at least one room.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.rooms.len() && j < other.rooms.len() {
+            match self.rooms[i].cmp(&other.rooms[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(ap: u32, rooms: &[u32]) -> Region {
+        Region::new(
+            AccessPointId::new(ap),
+            rooms.iter().copied().map(RoomId::new).collect(),
+        )
+    }
+
+    #[test]
+    fn new_sorts_and_dedups_rooms() {
+        let r = region(0, &[5, 1, 3, 1, 5]);
+        assert_eq!(
+            r.rooms,
+            vec![RoomId::new(1), RoomId::new(3), RoomId::new(5)]
+        );
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn covers_uses_binary_search() {
+        let r = region(1, &[2, 4, 6, 8]);
+        assert!(r.covers(RoomId::new(4)));
+        assert!(!r.covers(RoomId::new(5)));
+    }
+
+    #[test]
+    fn intersection_and_overlap() {
+        let a = region(0, &[1, 2, 3, 4]);
+        let b = region(1, &[3, 4, 5]);
+        let c = region(2, &[7, 8]);
+        assert_eq!(a.intersection(&b), vec![RoomId::new(3), RoomId::new(4)]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn empty_region_is_empty() {
+        let r = region(0, &[]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! CSV import/export of connectivity events.
+//!
+//! Association logs are commonly exchanged as flat `mac,timestamp,ap` files; this is
+//! also the format our scenario simulator writes. The format is deliberately tiny: a
+//! header line `mac,timestamp,ap` followed by one event per line. Timestamps are
+//! integer seconds since the deployment epoch.
+
+use crate::error::IngestError;
+use locater_events::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One unparsed connectivity event as found in a CSV file or ingestion stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawEvent {
+    /// Device MAC address / identifier.
+    pub mac: String,
+    /// Timestamp in seconds since the deployment epoch.
+    pub t: Timestamp,
+    /// Access point name.
+    pub ap: String,
+}
+
+impl RawEvent {
+    /// Creates a raw event.
+    pub fn new(mac: impl Into<String>, t: Timestamp, ap: impl Into<String>) -> Self {
+        Self {
+            mac: mac.into(),
+            t,
+            ap: ap.into(),
+        }
+    }
+}
+
+/// Header line used by [`format_csv`] and expected (optionally) by [`parse_csv`].
+pub const CSV_HEADER: &str = "mac,timestamp,ap";
+
+/// Serializes events to CSV with a header line.
+pub fn format_csv(events: &[RawEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 32 + CSV_HEADER.len() + 1);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for e in events {
+        out.push_str(&e.mac);
+        out.push(',');
+        out.push_str(&e.t.to_string());
+        out.push(',');
+        out.push_str(&e.ap);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV accepted by [`format_csv`]. The header line is optional; blank lines are
+/// skipped; extra whitespace around fields is trimmed.
+pub fn parse_csv(csv: &str) -> Result<Vec<RawEvent>, IngestError> {
+    let mut out = Vec::new();
+    for (idx, line) in csv.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if idx == 0 && trimmed.eq_ignore_ascii_case(CSV_HEADER) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let mac = parts
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| IngestError::Malformed {
+                line: line_no,
+                reason: "missing mac field".to_string(),
+            })?;
+        let t_str = parts
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| IngestError::Malformed {
+                line: line_no,
+                reason: "missing timestamp field".to_string(),
+            })?;
+        let ap = parts
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| IngestError::Malformed {
+                line: line_no,
+                reason: "missing ap field".to_string(),
+            })?;
+        if parts.next().is_some() {
+            return Err(IngestError::Malformed {
+                line: line_no,
+                reason: "too many fields".to_string(),
+            });
+        }
+        let t: Timestamp = t_str.parse().map_err(|_| IngestError::Malformed {
+            line: line_no,
+            reason: format!("invalid timestamp {t_str:?}"),
+        })?;
+        out.push(RawEvent::new(mac, t, ap));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_header() {
+        let events = vec![
+            RawEvent::new("aa:bb:cc:dd:ee:01", 100, "wap1"),
+            RawEvent::new("7fbh", 230, "wap3"),
+        ];
+        let csv = format_csv(&events);
+        assert!(csv.starts_with("mac,timestamp,ap\n"));
+        let parsed = parse_csv(&csv).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn header_is_optional_and_blank_lines_are_skipped() {
+        let csv = "d1,100,wap1\n\n  d2 , 200 , wap2 \n";
+        let parsed = parse_csv(csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1], RawEvent::new("d2", 200, "wap2"));
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = parse_csv("mac,timestamp,ap\nd1,abc,wap1\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 2, .. }));
+        let err = parse_csv("d1,100\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 1, .. }));
+        let err = parse_csv("d1,100,wap1,extra\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 1, .. }));
+        let err = parse_csv(",100,wap1\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_vec() {
+        assert!(parse_csv("").unwrap().is_empty());
+        assert!(parse_csv("mac,timestamp,ap\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Ingestion and storage errors.
+
+use locater_events::EventError;
+use std::fmt;
+
+/// Errors produced while ingesting connectivity events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The event referenced an access point that is not part of the space metadata.
+    UnknownAccessPoint(String),
+    /// The device identifier was invalid.
+    InvalidDevice(EventError),
+    /// The timestamp was negative (events are expected after the deployment epoch).
+    InvalidTimestamp(i64),
+    /// A CSV line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::UnknownAccessPoint(name) => {
+                write!(f, "unknown access point in event: {name}")
+            }
+            IngestError::InvalidDevice(err) => write!(f, "invalid device: {err}"),
+            IngestError::InvalidTimestamp(t) => write!(f, "invalid event timestamp: {t}"),
+            IngestError::Malformed { line, reason } => {
+                write!(f, "malformed event at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::InvalidDevice(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<EventError> for IngestError {
+    fn from(err: EventError) -> Self {
+        IngestError::InvalidDevice(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = IngestError::UnknownAccessPoint("wap9".into());
+        assert!(e.to_string().contains("wap9"));
+        let e = IngestError::InvalidTimestamp(-3);
+        assert!(e.to_string().contains("-3"));
+        let e: IngestError = EventError::InvalidMac("".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = IngestError::Malformed {
+            line: 7,
+            reason: "missing field".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

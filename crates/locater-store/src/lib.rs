@@ -1,0 +1,55 @@
+//! # locater-store
+//!
+//! Storage, ingestion and indexing substrate for LOCATER (paper §5, "Architecture of
+//! LOCATER": ingestion engine + storage engine + the database of dirty data, clean
+//! data and metadata).
+//!
+//! The centerpiece is [`EventStore`]: an in-memory, column-oriented store of WiFi
+//! connectivity events organised for the access patterns of the cleaning engine:
+//!
+//! * **per-device sorted event sequences** (`E(d_i)`) — gap detection, validity
+//!   lookups and history scans are binary searches over a dense, time-sorted vector;
+//! * **a global timeline index** — "which devices were connected around time `t`?"
+//!   (needed to find the *neighbor devices* of the fine-grained algorithm) is a range
+//!   scan over one sorted vector;
+//! * **device interning** — MAC-address strings are interned to dense [`DeviceId`]s at
+//!   ingestion; all downstream processing uses integer ids.
+//!
+//! The store also offers CSV import/export (the de-facto exchange format for
+//! association logs), per-device validity-period (δ) estimation, dataset statistics
+//! used in reports, and a streaming [`ingest`](EventStore::ingest_raw) API that accepts
+//! slightly out-of-order events.
+//!
+//! ```
+//! use locater_space::SpaceBuilder;
+//! use locater_store::EventStore;
+//!
+//! let space = SpaceBuilder::new("demo")
+//!     .add_access_point("wap1", &["r1", "r2"])
+//!     .add_access_point("wap2", &["r2", "r3"])
+//!     .build()
+//!     .unwrap();
+//! let mut store = EventStore::new(space);
+//! store.ingest_raw("aa:bb:cc:dd:ee:01", 100, "wap1").unwrap();
+//! store.ingest_raw("aa:bb:cc:dd:ee:02", 150, "wap2").unwrap();
+//! store.ingest_raw("aa:bb:cc:dd:ee:01", 4_000, "wap2").unwrap();
+//! assert_eq!(store.num_devices(), 2);
+//! assert_eq!(store.num_events(), 3);
+//! let d1 = store.device_id("aa:bb:cc:dd:ee:01").unwrap();
+//! assert_eq!(store.events_of(d1).len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod error;
+mod stats;
+mod store;
+mod timeline;
+
+pub use csv::{format_csv, parse_csv, RawEvent};
+pub use error::IngestError;
+pub use stats::DatasetStatistics;
+pub use store::EventStore;
+pub use timeline::{NearbyDevice, Timeline};

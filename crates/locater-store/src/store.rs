@@ -1,0 +1,461 @@
+//! The in-memory event store.
+
+use crate::csv::{format_csv, parse_csv, RawEvent};
+use crate::error::IngestError;
+use crate::stats::DatasetStatistics;
+use crate::timeline::{NearbyDevice, Timeline};
+use locater_events::validity::{estimate_delta, ValidityConfig};
+use locater_events::{
+    gap_containing, gaps_in, Device, DeviceId, EventId, EventSeq, Gap, Interval, MacAddress,
+    StoredEvent, Timestamp,
+};
+use locater_space::{AccessPointId, RegionId, Space};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// In-memory store of WiFi connectivity events for one building.
+///
+/// See the [crate-level documentation](crate) for the design rationale. The store owns
+/// the [`Space`] (shared behind an `Arc` so cleaning engines can hold cheap clones) and
+/// keeps per-device event sequences plus a global [`Timeline`].
+#[derive(Debug, Clone)]
+pub struct EventStore {
+    space: Arc<Space>,
+    devices: Vec<Device>,
+    mac_index: HashMap<MacAddress, DeviceId>,
+    sequences: Vec<EventSeq>,
+    timeline: Timeline,
+    next_event_id: u64,
+    validity: ValidityConfig,
+}
+
+impl EventStore {
+    /// Creates an empty store over `space` with the default validity configuration.
+    pub fn new(space: Space) -> Self {
+        Self::with_validity(space, ValidityConfig::default())
+    }
+
+    /// Creates an empty store with an explicit validity configuration.
+    pub fn with_validity(space: Space, validity: ValidityConfig) -> Self {
+        Self {
+            space: Arc::new(space),
+            devices: Vec::new(),
+            mac_index: HashMap::new(),
+            sequences: Vec::new(),
+            timeline: Timeline::new(),
+            next_event_id: 0,
+            validity,
+        }
+    }
+
+    /// The space metadata this store is attached to.
+    pub fn space(&self) -> &Arc<Space> {
+        &self.space
+    }
+
+    /// The validity-estimation configuration.
+    pub fn validity_config(&self) -> &ValidityConfig {
+        &self.validity
+    }
+
+    // ------------------------------------------------------------------
+    // Devices
+    // ------------------------------------------------------------------
+
+    /// Number of distinct devices observed.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All devices, indexable by [`DeviceId::index`].
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Returns the device with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this store.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Looks up a device id by MAC address / log identifier.
+    pub fn device_id(&self, mac: &str) -> Option<DeviceId> {
+        let mac = MacAddress::parse(mac).ok()?;
+        self.mac_index.get(&mac).copied()
+    }
+
+    /// Interns a device, creating it with the default validity period if unseen.
+    pub fn intern_device(&mut self, mac: &str) -> Result<DeviceId, IngestError> {
+        let mac = MacAddress::parse(mac)?;
+        if let Some(&id) = self.mac_index.get(&mac) {
+            return Ok(id);
+        }
+        let id = DeviceId::new(self.devices.len() as u32);
+        self.devices
+            .push(Device::new(id, mac.clone(), self.validity.default_delta));
+        self.sequences.push(EventSeq::new());
+        self.mac_index.insert(mac, id);
+        Ok(id)
+    }
+
+    /// The validity period δ of a device, in seconds.
+    pub fn delta(&self, device: DeviceId) -> Timestamp {
+        self.devices[device.index()].delta
+    }
+
+    /// Overrides the validity period of a device.
+    pub fn set_delta(&mut self, device: DeviceId, delta: Timestamp) {
+        self.devices[device.index()].delta = delta.max(1);
+    }
+
+    /// The largest validity period across all devices (used as the slack when scanning
+    /// the global timeline for nearby devices).
+    pub fn max_delta(&self) -> Timestamp {
+        self.devices
+            .iter()
+            .map(|d| d.delta)
+            .max()
+            .unwrap_or(self.validity.default_delta)
+    }
+
+    /// Re-estimates every device's validity period from its own history
+    /// (paper Appendix 9.1). Devices with too little history keep the default.
+    pub fn estimate_deltas(&mut self) {
+        for device in &mut self.devices {
+            let seq = &self.sequences[device.id.index()];
+            device.delta = estimate_delta(seq, &self.validity);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Ingests one raw event given the access point *name* (as found in logs).
+    pub fn ingest_raw(
+        &mut self,
+        mac: &str,
+        t: Timestamp,
+        ap_name: &str,
+    ) -> Result<EventId, IngestError> {
+        let ap = self
+            .space
+            .ap_id(ap_name)
+            .ok_or_else(|| IngestError::UnknownAccessPoint(ap_name.to_string()))?;
+        self.ingest(mac, t, ap)
+    }
+
+    /// Ingests one event with an already-resolved access point id.
+    pub fn ingest(
+        &mut self,
+        mac: &str,
+        t: Timestamp,
+        ap: AccessPointId,
+    ) -> Result<EventId, IngestError> {
+        if t < 0 {
+            return Err(IngestError::InvalidTimestamp(t));
+        }
+        if ap.index() >= self.space.num_access_points() {
+            return Err(IngestError::UnknownAccessPoint(ap.to_string()));
+        }
+        let device = self.intern_device(mac)?;
+        let id = EventId::new(self.next_event_id);
+        self.next_event_id += 1;
+        self.sequences[device.index()].push(StoredEvent::new(id, t, ap));
+        self.timeline.record(t, device, ap);
+        Ok(id)
+    }
+
+    /// Ingests a batch of raw events, stopping at the first error.
+    pub fn ingest_batch<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a RawEvent>,
+    ) -> Result<usize, IngestError> {
+        let mut count = 0;
+        for event in events {
+            self.ingest_raw(&event.mac, event.t, &event.ap)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Event access
+    // ------------------------------------------------------------------
+
+    /// Total number of events ingested.
+    pub fn num_events(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// The time-sorted event sequence of a device (`E(d_i)`).
+    pub fn events_of(&self, device: DeviceId) -> &EventSeq {
+        &self.sequences[device.index()]
+    }
+
+    /// Events of a device with timestamps in `[range.start, range.end)`.
+    pub fn events_of_in(&self, device: DeviceId, range: Interval) -> &[StoredEvent] {
+        self.sequences[device.index()].in_range(range)
+    }
+
+    /// The event (and its index in the device sequence) whose validity interval covers
+    /// `t`, if any.
+    pub fn covering_event(&self, device: DeviceId, t: Timestamp) -> Option<(usize, &StoredEvent)> {
+        self.sequences[device.index()].covering_event(t, self.delta(device))
+    }
+
+    /// The region a covering event (if any) places the device in at time `t`.
+    pub fn covering_region(&self, device: DeviceId, t: Timestamp) -> Option<RegionId> {
+        self.covering_event(device, t).map(|(_, e)| e.region())
+    }
+
+    /// All gaps of a device (`GAP(d_i)`).
+    pub fn gaps_of(&self, device: DeviceId) -> Vec<Gap> {
+        gaps_in(&self.sequences[device.index()], self.delta(device))
+    }
+
+    /// Gaps of a device whose interval intersects `window`.
+    pub fn gaps_of_in(&self, device: DeviceId, window: Interval) -> Vec<Gap> {
+        self.gaps_of(device)
+            .into_iter()
+            .filter(|g| g.interval().overlaps(&window))
+            .collect()
+    }
+
+    /// The gap containing `t` for this device, if `t` falls in one.
+    pub fn gap_at(&self, device: DeviceId, t: Timestamp) -> Option<Gap> {
+        gap_containing(&self.sequences[device.index()], t, self.delta(device))
+    }
+
+    /// Devices with at least one event in `[t − slack, t + slack]`, excluding
+    /// `exclude`, each with its closest event.
+    pub fn devices_near(
+        &self,
+        t: Timestamp,
+        slack: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<NearbyDevice> {
+        self.timeline.devices_near(t, slack, exclude)
+    }
+
+    /// Devices *online* at time `t`: devices with a covering event at `t`, reported
+    /// with the region that event places them in. `exclude` is omitted from the result.
+    pub fn devices_online_at(
+        &self,
+        t: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<(DeviceId, RegionId)> {
+        let slack = self.max_delta();
+        self.devices_near(t, slack, exclude)
+            .into_iter()
+            .filter_map(|near| {
+                self.covering_region(near.device, t)
+                    .map(|region| (near.device, region))
+            })
+            .collect()
+    }
+
+    /// Overall time span `[first event, last event]` of the dataset, if non-empty.
+    pub fn time_span(&self) -> Option<Interval> {
+        let first = self.timeline.range(i64::MIN / 2, i64::MAX / 2).first()?.t;
+        let last = self.timeline.range(i64::MIN / 2, i64::MAX / 2).last()?.t;
+        Some(Interval::new(first, last + 1))
+    }
+
+    /// The global timeline index.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics / CSV
+    // ------------------------------------------------------------------
+
+    /// Computes dataset statistics (event counts, devices, span, events per day).
+    pub fn stats(&self) -> DatasetStatistics {
+        DatasetStatistics::compute(self)
+    }
+
+    /// Serializes all events as CSV (`mac,timestamp,ap` with a header line).
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<RawEvent> = Vec::with_capacity(self.num_events());
+        for device in &self.devices {
+            for event in self.sequences[device.id.index()].events() {
+                rows.push(RawEvent {
+                    mac: device.mac.as_str().to_string(),
+                    t: event.t,
+                    ap: self.space.access_point(event.ap).name.clone(),
+                });
+            }
+        }
+        rows.sort_by_key(|r| r.t);
+        format_csv(&rows)
+    }
+
+    /// Builds a store by parsing CSV produced by [`EventStore::to_csv`] (or any
+    /// `mac,timestamp,ap` file with a header).
+    pub fn from_csv(space: Space, csv: &str) -> Result<Self, IngestError> {
+        let rows = parse_csv(csv)?;
+        let mut store = Self::new(space);
+        store.ingest_batch(rows.iter())?;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::SpaceBuilder;
+
+    fn space() -> Space {
+        SpaceBuilder::new("demo")
+            .add_access_point("wap1", &["r1", "r2"])
+            .add_access_point("wap2", &["r2", "r3"])
+            .add_access_point("wap3", &["r3", "r4"])
+            .build()
+            .unwrap()
+    }
+
+    fn store_with_events() -> EventStore {
+        let mut store = EventStore::new(space());
+        store.ingest_raw("d1", 1_000, "wap1").unwrap();
+        store.ingest_raw("d1", 1_200, "wap1").unwrap();
+        store.ingest_raw("d1", 10_000, "wap2").unwrap();
+        store.ingest_raw("d2", 1_100, "wap2").unwrap();
+        store.ingest_raw("d3", 9_800, "wap3").unwrap();
+        store
+    }
+
+    #[test]
+    fn ingestion_interns_devices_and_counts_events() {
+        let store = store_with_events();
+        assert_eq!(store.num_devices(), 3);
+        assert_eq!(store.num_events(), 5);
+        let d1 = store.device_id("d1").unwrap();
+        assert_eq!(store.events_of(d1).len(), 3);
+        assert_eq!(store.device(d1).mac.as_str(), "d1");
+        assert!(store.device_id("nope").is_none());
+        assert_eq!(store.devices().len(), 3);
+    }
+
+    #[test]
+    fn unknown_access_point_is_rejected() {
+        let mut store = EventStore::new(space());
+        let err = store.ingest_raw("d1", 100, "wap9").unwrap_err();
+        assert_eq!(err, IngestError::UnknownAccessPoint("wap9".into()));
+        let err = store.ingest("d1", 100, AccessPointId::new(99)).unwrap_err();
+        assert!(matches!(err, IngestError::UnknownAccessPoint(_)));
+    }
+
+    #[test]
+    fn negative_timestamp_is_rejected() {
+        let mut store = EventStore::new(space());
+        let err = store.ingest_raw("d1", -5, "wap1").unwrap_err();
+        assert_eq!(err, IngestError::InvalidTimestamp(-5));
+    }
+
+    #[test]
+    fn invalid_mac_is_rejected() {
+        let mut store = EventStore::new(space());
+        assert!(store.ingest_raw("", 100, "wap1").is_err());
+    }
+
+    #[test]
+    fn covering_event_and_gap_lookup() {
+        let store = store_with_events();
+        let d1 = store.device_id("d1").unwrap();
+        // Default delta is 600: 1_000 and 1_200 merge, gap until 10_000.
+        assert!(store.covering_event(d1, 1_100).is_some());
+        assert_eq!(
+            store.covering_region(d1, 1_100),
+            Some(AccessPointId::new(0).region())
+        );
+        let gap = store.gap_at(d1, 5_000).unwrap();
+        assert_eq!(gap.prev_t, 1_200);
+        assert_eq!(gap.next_t, 10_000);
+        assert!(store.gap_at(d1, 1_100).is_none());
+        assert_eq!(store.gaps_of(d1).len(), 1);
+        // Window queries.
+        assert_eq!(store.gaps_of_in(d1, Interval::new(0, 500)).len(), 0);
+        assert_eq!(store.gaps_of_in(d1, Interval::new(2_000, 3_000)).len(), 1);
+        assert_eq!(store.events_of_in(d1, Interval::new(1_000, 1_201)).len(), 2);
+    }
+
+    #[test]
+    fn devices_online_at_uses_validity() {
+        let store = store_with_events();
+        let d1 = store.device_id("d1").unwrap();
+        let d2 = store.device_id("d2").unwrap();
+        let d3 = store.device_id("d3").unwrap();
+        let online = store.devices_online_at(1_150, None);
+        let ids: Vec<DeviceId> = online.iter().map(|(d, _)| *d).collect();
+        assert!(ids.contains(&d1));
+        assert!(ids.contains(&d2));
+        assert!(!ids.contains(&d3));
+        // Excluding the queried device.
+        let online = store.devices_online_at(1_150, Some(d1));
+        assert!(online.iter().all(|(d, _)| *d != d1));
+        // d3 is online later.
+        let online = store.devices_online_at(9_900, None);
+        assert!(online.iter().any(|(d, _)| *d == d3));
+    }
+
+    #[test]
+    fn set_delta_changes_gap_detection() {
+        let mut store = store_with_events();
+        let d1 = store.device_id("d1").unwrap();
+        assert_eq!(store.delta(d1), 600);
+        store.set_delta(d1, 5_000);
+        assert!(store.gap_at(d1, 5_000).is_none());
+        assert_eq!(store.max_delta(), 5_000);
+        store.set_delta(d1, 0); // clamped to 1
+        assert_eq!(store.delta(d1), 1);
+    }
+
+    #[test]
+    fn estimate_deltas_uses_history() {
+        let mut store = EventStore::new(space());
+        for i in 0..30 {
+            store.ingest_raw("regular", i * 300, "wap1").unwrap();
+        }
+        store.ingest_raw("sparse", 0, "wap1").unwrap();
+        store.estimate_deltas();
+        let regular = store.device_id("regular").unwrap();
+        let sparse = store.device_id("sparse").unwrap();
+        assert_eq!(store.delta(regular), 300);
+        assert_eq!(store.delta(sparse), store.validity_config().default_delta);
+    }
+
+    #[test]
+    fn time_span_covers_all_events() {
+        let store = store_with_events();
+        let span = store.time_span().unwrap();
+        assert_eq!(span.start, 1_000);
+        assert_eq!(span.end, 10_001);
+        assert!(EventStore::new(space()).time_span().is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_events() {
+        let store = store_with_events();
+        let csv = store.to_csv();
+        let back = EventStore::from_csv(space(), &csv).unwrap();
+        assert_eq!(back.num_events(), store.num_events());
+        assert_eq!(back.num_devices(), store.num_devices());
+        let d1 = back.device_id("d1").unwrap();
+        assert_eq!(back.events_of(d1).len(), 3);
+    }
+
+    #[test]
+    fn out_of_order_ingestion_is_supported() {
+        let mut store = EventStore::new(space());
+        store.ingest_raw("d1", 5_000, "wap1").unwrap();
+        store.ingest_raw("d1", 1_000, "wap2").unwrap();
+        store.ingest_raw("d1", 3_000, "wap3").unwrap();
+        let d1 = store.device_id("d1").unwrap();
+        let ts: Vec<Timestamp> = store.events_of(d1).events().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1_000, 3_000, 5_000]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Global timeline index over all connectivity events.
+//!
+//! The fine-grained localization algorithm needs, for a query `(d_i, t_q)`, the set of
+//! *neighbor devices*: devices that are online around `t_q` in regions overlapping the
+//! queried device's region (paper §4.2). The [`Timeline`] answers "which devices were
+//! connected in `[t_q − slack, t_q + slack]`, and to which AP?" with one binary search
+//! plus a short range scan.
+
+use locater_events::{DeviceId, Timestamp};
+use locater_space::AccessPointId;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the global timeline: a device connected to an AP at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Event timestamp.
+    pub t: Timestamp,
+    /// Device that produced the event.
+    pub device: DeviceId,
+    /// Access point that logged it.
+    pub ap: AccessPointId,
+}
+
+/// A device observed near a probe time, with its closest event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NearbyDevice {
+    /// The device.
+    pub device: DeviceId,
+    /// Access point of the event closest to the probe time.
+    pub ap: AccessPointId,
+    /// Timestamp of that closest event.
+    pub t: Timestamp,
+}
+
+/// Time-sorted index of all events of all devices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records an event, keeping the index sorted. Appends are O(1) when events arrive
+    /// in timestamp order.
+    pub fn record(&mut self, t: Timestamp, device: DeviceId, ap: AccessPointId) {
+        let entry = TimelineEntry { t, device, ap };
+        match self.entries.last() {
+            Some(last) if last.t > t => {
+                let pos = self.entries.partition_point(|e| e.t <= t);
+                self.entries.insert(pos, entry);
+            }
+            _ => self.entries.push(entry),
+        }
+    }
+
+    /// All entries with `t` in `[from, to)`.
+    pub fn range(&self, from: Timestamp, to: Timestamp) -> &[TimelineEntry] {
+        let lo = self.entries.partition_point(|e| e.t < from);
+        let hi = self.entries.partition_point(|e| e.t < to);
+        &self.entries[lo..hi]
+    }
+
+    /// Devices observed in `[around − slack, around + slack]`, excluding `exclude`,
+    /// each reported once with the event closest in time to `around`.
+    pub fn devices_near(
+        &self,
+        around: Timestamp,
+        slack: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<NearbyDevice> {
+        let window = self.range(around - slack, around + slack + 1);
+        let mut best: Vec<NearbyDevice> = Vec::new();
+        for entry in window {
+            if Some(entry.device) == exclude {
+                continue;
+            }
+            match best.iter_mut().find(|d| d.device == entry.device) {
+                Some(existing) => {
+                    if (entry.t - around).abs() < (existing.t - around).abs() {
+                        existing.ap = entry.ap;
+                        existing.t = entry.t;
+                    }
+                }
+                None => best.push(NearbyDevice {
+                    device: entry.device,
+                    ap: entry.ap,
+                    t: entry.t,
+                }),
+            }
+        }
+        best
+    }
+
+    /// Number of events per day index, for statistics.
+    pub fn events_per_day(&self) -> std::collections::BTreeMap<i64, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for e in &self.entries {
+            *out.entry(locater_events::clock::day_index(e.t))
+                .or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: Timestamp, d: u32, ap: u32) -> (Timestamp, DeviceId, AccessPointId) {
+        (t, DeviceId::new(d), AccessPointId::new(ap))
+    }
+
+    fn timeline(entries: &[(Timestamp, DeviceId, AccessPointId)]) -> Timeline {
+        let mut tl = Timeline::new();
+        for &(t, d, ap) in entries {
+            tl.record(t, d, ap);
+        }
+        tl
+    }
+
+    #[test]
+    fn record_keeps_sorted_order() {
+        let tl = timeline(&[entry(300, 0, 0), entry(100, 1, 1), entry(200, 2, 0)]);
+        let ts: Vec<Timestamp> = tl.range(0, 1_000).iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+        assert_eq!(tl.len(), 3);
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let tl = timeline(&[entry(100, 0, 0), entry(200, 1, 0), entry(300, 2, 0)]);
+        assert_eq!(tl.range(100, 300).len(), 2);
+        assert_eq!(tl.range(101, 300).len(), 1);
+        assert_eq!(tl.range(400, 500).len(), 0);
+    }
+
+    #[test]
+    fn devices_near_reports_closest_event_per_device() {
+        let tl = timeline(&[
+            entry(90, 1, 0),
+            entry(110, 1, 2), // closer to 100 than 90? |110-100|=10 < |90-100|=10 → tie, keeps first
+            entry(95, 2, 1),
+            entry(500, 3, 0),
+        ]);
+        let near = tl.devices_near(100, 50, None);
+        assert_eq!(near.len(), 2);
+        let d1 = near.iter().find(|d| d.device == DeviceId::new(1)).unwrap();
+        assert_eq!(d1.t, 90); // tie resolved in favour of the first seen
+        let d2 = near.iter().find(|d| d.device == DeviceId::new(2)).unwrap();
+        assert_eq!(d2.ap, AccessPointId::new(1));
+    }
+
+    #[test]
+    fn devices_near_excludes_requested_device() {
+        let tl = timeline(&[entry(100, 1, 0), entry(100, 2, 1)]);
+        let near = tl.devices_near(100, 10, Some(DeviceId::new(1)));
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].device, DeviceId::new(2));
+    }
+
+    #[test]
+    fn devices_near_picks_nearest_of_multiple_events() {
+        let tl = timeline(&[entry(50, 1, 0), entry(98, 1, 3), entry(140, 1, 5)]);
+        let near = tl.devices_near(100, 60, None);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].ap, AccessPointId::new(3));
+        assert_eq!(near[0].t, 98);
+    }
+
+    #[test]
+    fn events_per_day_counts() {
+        let day = locater_events::SECONDS_PER_DAY;
+        let tl = timeline(&[entry(10, 0, 0), entry(20, 1, 0), entry(day + 5, 0, 0)]);
+        let per_day = tl.events_per_day();
+        assert_eq!(per_day.get(&0), Some(&2));
+        assert_eq!(per_day.get(&1), Some(&1));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the event store.
+
+use locater_space::{Space, SpaceBuilder};
+use locater_store::EventStore;
+use proptest::prelude::*;
+
+fn space() -> Space {
+    SpaceBuilder::new("prop")
+        .add_access_point("wap0", &["a", "b"])
+        .add_access_point("wap1", &["b", "c"])
+        .add_access_point("wap2", &["c", "d"])
+        .build()
+        .unwrap()
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(u8, i64, u8)>> {
+    prop::collection::vec((0u8..6, 0i64..500_000, 0u8..3), 1..150)
+}
+
+proptest! {
+    /// Ingestion never loses events: per-device sequence lengths sum to the total, and
+    /// every device sequence is sorted.
+    #[test]
+    fn ingestion_preserves_and_sorts_events(events in arb_events()) {
+        let mut store = EventStore::new(space());
+        for (dev, t, ap) in &events {
+            let mac = format!("device-{dev}");
+            let ap_name = format!("wap{ap}");
+            store.ingest_raw(&mac, *t, &ap_name).unwrap();
+        }
+        prop_assert_eq!(store.num_events(), events.len());
+        let mut total = 0usize;
+        for device in store.devices() {
+            let seq = store.events_of(device.id);
+            total += seq.len();
+            let ts: Vec<i64> = seq.events().iter().map(|e| e.t).collect();
+            let mut sorted = ts.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ts, sorted);
+        }
+        prop_assert_eq!(total, events.len());
+    }
+
+    /// CSV roundtrips preserve the number of events and devices.
+    #[test]
+    fn csv_roundtrip(events in arb_events()) {
+        let mut store = EventStore::new(space());
+        for (dev, t, ap) in &events {
+            store.ingest_raw(&format!("device-{dev}"), *t, &format!("wap{ap}")).unwrap();
+        }
+        let csv = store.to_csv();
+        let back = EventStore::from_csv(space(), &csv).unwrap();
+        prop_assert_eq!(back.num_events(), store.num_events());
+        prop_assert_eq!(back.num_devices(), store.num_devices());
+    }
+
+    /// A probe instant is never both covered by an event and inside a gap, and
+    /// devices_online_at only reports devices with covering events.
+    #[test]
+    fn online_devices_are_covered(events in arb_events(), probe in 0i64..500_000) {
+        let mut store = EventStore::new(space());
+        for (dev, t, ap) in &events {
+            store.ingest_raw(&format!("device-{dev}"), *t, &format!("wap{ap}")).unwrap();
+        }
+        for (device, region) in store.devices_online_at(probe, None) {
+            let covering = store.covering_event(device, probe);
+            prop_assert!(covering.is_some());
+            prop_assert_eq!(covering.unwrap().1.region(), region);
+            prop_assert!(store.gap_at(device, probe).is_none());
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! `locater-cli` — command-line front end for the LOCATER cleaning engine.
+//!
+//! The CLI covers the operational loop of a deployment without writing any Rust:
+//! inspect a connectivity log, clean individual queries, batch-clean a whole query
+//! file, and generate synthetic datasets to experiment with.
+//!
+//! ```text
+//! locater-cli stats    <space.json> <events.csv>
+//! locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]
+//! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent]
+//! locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
+//! ```
+//!
+//! * `space.json` is the [`SpaceMetadata`](locater::space::SpaceMetadata) format
+//!   (AP coverage, public rooms, room owners, preferred rooms).
+//! * `events.csv` / `queries.csv` are `mac,timestamp,ap` and `mac,timestamp` files.
+//! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
+//!   `<out-prefix>.truth.csv` so the other commands (and external tools) can consume
+//!   a fully synthetic deployment.
+
+use locater::core::system::Location;
+use locater::prelude::*;
+use locater::space::SpaceMetadata;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+}
+
+/// Parses arguments and runs one command, returning the text to print.
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "stats" => stats(
+            args.get(1).ok_or("missing space.json")?,
+            args.get(2).ok_or("missing events.csv")?,
+        ),
+        "locate" => locate(args),
+        "batch" => batch(args),
+        "simulate" => simulate(args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_store(space_path: &str, events_path: &str) -> Result<EventStore, String> {
+    let metadata_json = std::fs::read_to_string(space_path)
+        .map_err(|e| format!("cannot read {space_path}: {e}"))?;
+    let space = SpaceMetadata::from_json(&metadata_json)
+        .map_err(|e| format!("invalid space metadata: {e}"))?
+        .build()
+        .map_err(|e| format!("invalid space metadata: {e}"))?;
+    let csv = std::fs::read_to_string(events_path)
+        .map_err(|e| format!("cannot read {events_path}: {e}"))?;
+    let mut store =
+        EventStore::from_csv(space, &csv).map_err(|e| format!("cannot ingest events: {e}"))?;
+    store.estimate_deltas();
+    Ok(store)
+}
+
+fn config_from_flags(args: &[String]) -> LocaterConfig {
+    let mut config = LocaterConfig::default();
+    if args.iter().any(|a| a == "--dependent") {
+        config = config.with_fine_mode(FineMode::Dependent);
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        config = config.with_cache(CacheMode::Disabled);
+    }
+    config
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|idx| args.get(idx + 1))
+        .cloned()
+}
+
+fn describe(store: &EventStore, location: &Location) -> String {
+    let space = store.space();
+    match location {
+        Location::Outside => "outside the building".to_string(),
+        Location::Region(region) => format!(
+            "inside, region {region} (AP {}), room undetermined",
+            space.access_point(space.ap_of_region(*region)).name
+        ),
+        Location::Room { room, region } => format!(
+            "room {} (region {region}, AP {})",
+            space.room(*room).name,
+            space.access_point(space.ap_of_region(*region)).name
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn stats(space_path: &str, events_path: &str) -> Result<String, String> {
+    let store = load_store(space_path, events_path)?;
+    let stats = store.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", stats.to_report());
+    let (public, private) = store.space().room_type_counts();
+    let _ = writeln!(
+        out,
+        "rooms: {public} public / {private} private; {} devices have registered preferred rooms",
+        store.space().preferred_map().len()
+    );
+    let mut device_gaps = 0usize;
+    for device in store.devices() {
+        device_gaps += store.gaps_of(device.id).len();
+    }
+    let _ = writeln!(
+        out,
+        "gaps to clean across all devices: {device_gaps} (δ estimated per device, mean {:.0}s)",
+        stats.mean_delta_seconds
+    );
+    Ok(out)
+}
+
+fn locate(args: &[String]) -> Result<String, String> {
+    let space_path = args.get(1).ok_or("missing space.json")?;
+    let events_path = args.get(2).ok_or("missing events.csv")?;
+    let mac = args.get(3).ok_or("missing mac")?;
+    let t: Timestamp = args
+        .get(4)
+        .ok_or("missing timestamp")?
+        .parse()
+        .map_err(|_| "timestamp must be an integer number of seconds".to_string())?;
+    let store = load_store(space_path, events_path)?;
+    let locater = Locater::new(store, config_from_flags(args));
+    let answer = locater
+        .locate(&Query::by_mac(mac.clone(), t))
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{mac} @ {}: {} (decided by {:?}, confidence {:.2})\n",
+        locater::events::clock::format_timestamp(t),
+        describe(locater.store(), &answer.location),
+        answer.coarse_method,
+        answer.confidence
+    ))
+}
+
+fn batch(args: &[String]) -> Result<String, String> {
+    let space_path = args.get(1).ok_or("missing space.json")?;
+    let events_path = args.get(2).ok_or("missing events.csv")?;
+    let queries_path = args.get(3).ok_or("missing queries.csv")?;
+    let store = load_store(space_path, events_path)?;
+    let locater = Locater::new(store, config_from_flags(args));
+
+    let queries_text = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let mut out = String::from("mac,timestamp,location,room,confidence\n");
+    let mut answered = 0usize;
+    for (line_no, line) in queries_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (line_no == 0 && line.to_ascii_lowercase().starts_with("mac,")) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mac = parts.next().unwrap_or_default().trim();
+        let t: Timestamp = parts
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: invalid timestamp", line_no + 1))?;
+        let (location, room, confidence) = match locater.locate(&Query::by_mac(mac, t)) {
+            Ok(answer) => {
+                let room = answer
+                    .room()
+                    .map(|r| locater.store().space().room(r).name.clone())
+                    .unwrap_or_default();
+                let kind = if answer.is_outside() {
+                    "outside"
+                } else {
+                    "inside"
+                };
+                (kind.to_string(), room, answer.confidence)
+            }
+            Err(_) => ("unknown-device".to_string(), String::new(), 0.0),
+        };
+        let _ = writeln!(out, "{mac},{t},{location},{room},{confidence:.3}");
+        answered += 1;
+    }
+    let _ = writeln!(out, "# answered {answered} queries");
+    Ok(out)
+}
+
+fn simulate(args: &[String]) -> Result<String, String> {
+    let kind = args.get(1).ok_or("missing scenario kind")?;
+    let prefix = args.get(2).ok_or("missing output prefix")?;
+    let days: i64 = flag_value(args, "--days")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--days must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(14);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--seed must be an integer".to_string())
+        })
+        .transpose()?
+        .unwrap_or(7);
+
+    let output = match kind.as_str() {
+        "campus" => Simulator::new(seed).run_campus(&CampusConfig {
+            weeks: (days / 7).max(1),
+            ..CampusConfig::default()
+        }),
+        "office" | "university" | "mall" | "airport" => {
+            let scenario = match kind.as_str() {
+                "office" => ScenarioKind::Office,
+                "university" => ScenarioKind::University,
+                "mall" => ScenarioKind::Mall,
+                _ => ScenarioKind::Airport,
+            };
+            Simulator::new(seed).run_scenario(
+                &locater::sim::ScenarioConfig::new(scenario)
+                    .with_days(days)
+                    .with_seed(seed),
+            )
+        }
+        other => return Err(format!("unknown scenario {other:?}")),
+    };
+
+    // Space metadata.
+    let metadata = SpaceMetadata::from_space(&output.space);
+    let space_path = format!("{prefix}.space.json");
+    std::fs::write(&space_path, metadata.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| format!("cannot write {space_path}: {e}"))?;
+    // Events.
+    let events_path = format!("{prefix}.events.csv");
+    std::fs::write(&events_path, locater::store::format_csv(&output.events))
+        .map_err(|e| format!("cannot write {events_path}: {e}"))?;
+    // Ground truth.
+    let truth_path = format!("{prefix}.truth.csv");
+    let mut truth = String::from("mac,room,start,end\n");
+    for record in &output.people {
+        for stay in output.ground_truth.stays_of(&record.mac) {
+            let _ = writeln!(
+                truth,
+                "{},{},{},{}",
+                record.mac,
+                output.space.room(stay.room).name,
+                stay.interval.start,
+                stay.interval.end
+            );
+        }
+    }
+    std::fs::write(&truth_path, truth).map_err(|e| format!("cannot write {truth_path}: {e}"))?;
+
+    Ok(format!(
+        "simulated {kind}: {} events, {} devices, {} days\nwrote {space_path}, {events_path}, {truth_path}\n",
+        output.events.len(),
+        output.people.len(),
+        output.days
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater::store::parse_csv;
+
+    #[test]
+    fn missing_command_and_unknown_command_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(usage().contains("locater-cli"));
+    }
+
+    #[test]
+    fn simulate_then_stats_then_locate_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("locater-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("office").to_string_lossy().to_string();
+
+        let simulate_args: Vec<String> = vec![
+            "simulate".into(),
+            "office".into(),
+            prefix.clone(),
+            "--days".into(),
+            "3".into(),
+            "--seed".into(),
+            "5".into(),
+        ];
+        let report = run(&simulate_args).expect("simulate succeeds");
+        assert!(report.contains("simulated office"));
+
+        let space = format!("{prefix}.space.json");
+        let events = format!("{prefix}.events.csv");
+        let stats_out = run(&["stats".into(), space.clone(), events.clone()]).expect("stats");
+        assert!(stats_out.contains("devices"));
+        assert!(stats_out.contains("gaps to clean"));
+
+        // Locate the first device found in the events file at its first event time:
+        // always answerable.
+        let csv = std::fs::read_to_string(&events).unwrap();
+        let first = parse_csv(&csv).unwrap().into_iter().next().unwrap();
+        let locate_out = run(&[
+            "locate".into(),
+            space.clone(),
+            events.clone(),
+            first.mac.clone(),
+            first.t.to_string(),
+            "--dependent".into(),
+        ])
+        .expect("locate succeeds");
+        assert!(locate_out.contains(&first.mac));
+        assert!(locate_out.contains("room") || locate_out.contains("outside"));
+
+        // Batch: two queries, one for an unknown device.
+        let queries = dir.join("queries.csv");
+        std::fs::write(
+            &queries,
+            format!(
+                "mac,timestamp\n{},{}\nghost-device,123\n",
+                first.mac, first.t
+            ),
+        )
+        .unwrap();
+        let batch_out = run(&[
+            "batch".into(),
+            space,
+            events,
+            queries.to_string_lossy().to_string(),
+        ])
+        .expect("batch succeeds");
+        assert!(batch_out.contains("answered 2 queries"));
+        assert!(batch_out.contains("unknown-device"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flag_parsing_helpers() {
+        let args: Vec<String> = vec![
+            "x".into(),
+            "--days".into(),
+            "9".into(),
+            "--dependent".into(),
+        ];
+        assert_eq!(flag_value(&args, "--days"), Some("9".to_string()));
+        assert_eq!(flag_value(&args, "--seed"), None);
+        let config = config_from_flags(&args);
+        assert_eq!(config.fine.mode, FineMode::Dependent);
+        assert_eq!(config.cache, CacheMode::Enabled);
+        let config = config_from_flags(&["--no-cache".to_string()]);
+        assert_eq!(config.cache, CacheMode::Disabled);
+    }
+}

@@ -1,0 +1,81 @@
+//! # LOCATER
+//!
+//! A from-scratch Rust reproduction of **LOCATER: Cleaning WiFi Connectivity Datasets
+//! for Semantic Localization** (Lin et al., VLDB 2020).
+//!
+//! LOCATER locates devices (and hence the people carrying them) at *semantic* indoor
+//! granularities — building, region, room — using nothing but the association logs that
+//! every enterprise WiFi deployment already produces, i.e. tuples of
+//! `⟨mac address, timestamp, access point⟩`. It treats localization as two data
+//! cleaning problems:
+//!
+//! 1. **Coarse-grained localization** (missing-value detection and repair): the log is
+//!    sporadic, so between two connectivity events of a device there are *gaps* during
+//!    which its location is unknown. LOCATER classifies each gap as
+//!    outside-the-building or inside a specific *region* (the coverage area of one AP)
+//!    using bootstrapped heuristics plus a semi-supervised logistic-regression
+//!    self-training loop ([`locater_core::coarse`]).
+//! 2. **Fine-grained localization** (disambiguation): an AP covers many rooms, so the
+//!    region must be disambiguated to a single room. LOCATER combines *room affinities*
+//!    (derived from space metadata: preferred / public / private rooms) with *group
+//!    affinities* (how often devices are co-located) in an iterative Bayesian algorithm
+//!    with early-stopping bounds ([`locater_core::fine`]).
+//!
+//! A *caching engine* ([`locater_core::cache`]) accumulates pairwise device affinities
+//! across queries into a global affinity graph so that later queries converge faster.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`locater_space`] | space model: buildings, regions, rooms, APs, coverage, metadata |
+//! | [`locater_events`] | connectivity events, devices, validity periods, gap detection |
+//! | [`locater_store`] | event storage, indices, ingestion, CSV import/export, statistics |
+//! | [`locater_learn`] | logistic regression + semi-supervised self-training (Algorithm 1) |
+//! | [`locater_core`] | coarse & fine localization, caching, baselines, metrics, the `Locater` system |
+//! | [`locater_sim`] | SmartBench-style scenario simulator + DBH-like campus dataset generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use locater::prelude::*;
+//!
+//! // Build a small space: one building, 2 APs, a handful of rooms.
+//! let space = SpaceBuilder::new("demo-building")
+//!     .add_access_point("wap1", &["1001", "1002", "1003"])
+//!     .add_access_point("wap2", &["1003", "1004", "1005"])
+//!     .room_type("1003", RoomType::Public)
+//!     .preferred_room("aa:bb:cc:dd:ee:01", "1001")
+//!     .build()
+//!     .expect("valid space");
+//!
+//! // Ingest connectivity events.
+//! let mut store = EventStore::new(space.clone());
+//! store.ingest_raw("aa:bb:cc:dd:ee:01", 1_000, "wap1").unwrap();
+//! store.ingest_raw("aa:bb:cc:dd:ee:01", 4_000, "wap1").unwrap();
+//!
+//! // Ask LOCATER where the device was between the two events.
+//! let locater = Locater::new(store, LocaterConfig::default());
+//! let answer = locater.locate(&Query::by_mac("aa:bb:cc:dd:ee:01", 2_500)).unwrap();
+//! assert!(answer.is_inside());
+//! ```
+
+pub use locater_core as core;
+pub use locater_events as events;
+pub use locater_learn as learn;
+pub use locater_sim as sim;
+pub use locater_space as space;
+pub use locater_store as store;
+
+/// Convenience re-exports of the most commonly used types across all LOCATER crates.
+pub mod prelude {
+    pub use locater_core::baselines::{Baseline1, Baseline2, BaselineSystem};
+    pub use locater_core::metrics::{EvaluationReport, PrecisionCounts};
+    pub use locater_core::system::{Answer, CacheMode, FineMode, Locater, LocaterConfig, Query};
+    pub use locater_events::{ConnectivityEvent, Device, DeviceId, EventId, Gap, Timestamp};
+    pub use locater_sim::{
+        campus::CampusConfig, scenario::ScenarioKind, GroundTruth, SimOutput, Simulator,
+    };
+    pub use locater_space::{AccessPointId, RegionId, RoomId, RoomType, Space, SpaceBuilder};
+    pub use locater_store::{EventStore, IngestError};
+}

@@ -1,0 +1,131 @@
+//! Property-based integration tests: for arbitrary (small) connectivity logs and
+//! query times, the cleaning engine never panics, always produces well-formed answers,
+//! and the evaluation metrics stay within their mathematical bounds.
+
+use locater::core::metrics::{PrecisionCounts, TruthLocation};
+use locater::prelude::*;
+use proptest::prelude::*;
+
+fn space() -> Space {
+    SpaceBuilder::new("prop")
+        .add_access_point("wap0", &["a", "b", "c", "shared"])
+        .add_access_point("wap1", &["shared", "d", "e"])
+        .add_access_point("wap2", &["f", "g"])
+        .room_type("shared", RoomType::Public)
+        .room_owner("a", "device-0")
+        .room_owner("d", "device-1")
+        .build()
+        .unwrap()
+}
+
+/// (device index, timestamp, ap index) triples.
+fn arb_events() -> impl Strategy<Value = Vec<(u8, i64, u8)>> {
+    prop::collection::vec((0u8..4, 0i64..1_500_000, 0u8..3), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the log looks like, every query gets a well-formed answer: a room
+    /// implies a region that covers it, outside implies no region, confidence in
+    /// [0, 1].
+    #[test]
+    fn answers_are_always_well_formed(events in arb_events(), probes in prop::collection::vec((0u8..4, 0i64..1_500_000), 1..20)) {
+        let space = space();
+        let mut store = EventStore::new(space.clone());
+        for (device, t, ap) in &events {
+            store.ingest_raw(&format!("device-{device}"), *t, &format!("wap{ap}")).unwrap();
+        }
+        store.estimate_deltas();
+        let locater = Locater::new(store, LocaterConfig::default());
+        for (device, t) in probes {
+            let query = Query::by_mac(format!("device-{device}"), t);
+            match locater.locate(&query) {
+                Ok(answer) => {
+                    prop_assert!((0.0..=1.0).contains(&answer.confidence));
+                    match (answer.region(), answer.room()) {
+                        (Some(region), Some(room)) => {
+                            prop_assert!(space.rooms_in_region(region).contains(&room));
+                            prop_assert!(answer.is_inside());
+                        }
+                        (None, None) => prop_assert!(answer.is_outside()),
+                        (Some(_), None) => prop_assert!(answer.is_inside()),
+                        (None, Some(_)) => prop_assert!(false, "room without region"),
+                    }
+                }
+                Err(e) => {
+                    // Only devices absent from the log may fail to resolve.
+                    prop_assert!(e.to_string().contains("unknown device"));
+                }
+            }
+        }
+    }
+
+    /// Covered instants are always answered as inside the covering event's region,
+    /// whatever configuration is used.
+    #[test]
+    fn covered_instants_follow_the_log(events in arb_events(), mode_dependent in any::<bool>()) {
+        let space = space();
+        let mut store = EventStore::new(space);
+        for (device, t, ap) in &events {
+            store.ingest_raw(&format!("device-{device}"), *t, &format!("wap{ap}")).unwrap();
+        }
+        let mode = if mode_dependent { FineMode::Dependent } else { FineMode::Independent };
+        let locater = Locater::new(store, LocaterConfig::default().with_fine_mode(mode));
+        // Probe exactly at event timestamps: these are always covered.
+        for (device, t, ap) in events.iter().take(25) {
+            let answer = locater
+                .locate(&Query::by_mac(format!("device-{device}"), *t))
+                .unwrap();
+            prop_assert!(answer.is_inside());
+            let expected_region = locater
+                .store()
+                .space()
+                .ap_id(&format!("wap{ap}"))
+                .unwrap()
+                .region();
+            // The answer's region must cover the AP the device was connected to at
+            // that instant — it is either that AP's region or one sharing the room.
+            let region = answer.region().unwrap();
+            if region != expected_region {
+                prop_assert!(locater.store().space().regions_overlap(region, expected_region));
+            }
+        }
+    }
+
+    /// The Pc / Pf / Po metrics always stay within [0, 1] and respect the definition
+    /// Po ≤ Pc (an answer counted in Po is either outside-correct or room-correct,
+    /// both of which are also counted in Pc).
+    #[test]
+    fn precision_metrics_are_bounded(records in prop::collection::vec((0u8..4, 0u8..8, 0u8..8), 1..60)) {
+        let space = space();
+        let mut counts = PrecisionCounts::new();
+        let rooms = space.num_rooms() as u8;
+        for (kind, truth_room, predicted_room) in records {
+            let truth = if kind == 0 {
+                TruthLocation::Outside
+            } else {
+                TruthLocation::Room(RoomId::new((truth_room % rooms) as u32))
+            };
+            let predicted = match kind % 3 {
+                0 => locater::core::system::Location::Outside,
+                1 => locater::core::system::Location::Region(RegionId::new((predicted_room % 3) as u32)),
+                _ => {
+                    let region = RegionId::new((predicted_room % 3) as u32);
+                    let candidates = space.rooms_in_region(region);
+                    locater::core::system::Location::Room {
+                        room: candidates[(predicted_room as usize) % candidates.len()],
+                        region,
+                    }
+                }
+            };
+            counts.record(&space, truth, &predicted);
+        }
+        prop_assert!((0.0..=1.0).contains(&counts.pc()));
+        prop_assert!((0.0..=1.0).contains(&counts.pf()));
+        prop_assert!((0.0..=1.0).contains(&counts.po()));
+        prop_assert!(counts.po() <= counts.pc() + 1e-12);
+        prop_assert!(counts.correct_room <= counts.correct_region);
+        prop_assert!(counts.correct_outside <= counts.truth_outside);
+    }
+}
