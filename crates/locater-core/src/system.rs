@@ -20,9 +20,9 @@ use crate::coarse::{
     CoarseConfig, CoarseLabel, CoarseLocalizer, CoarseMethod, CoarseOutcome, DeviceCoarseModel,
 };
 use crate::error::LocaterError;
-use crate::fine::{FineConfig, FineLocalizer, FineOutcome};
+use crate::fine::{FineConfig, FineLocalizer, FineOutcome, NeighborContribution};
 use locater_events::clock::{self, Timestamp};
-use locater_events::DeviceId;
+use locater_events::{DeviceId, Gap};
 use locater_space::{RegionId, RoomId};
 use locater_store::EventStore;
 use parking_lot::RwLock;
@@ -293,13 +293,7 @@ impl Locater {
         let (coarse, model_reused) = self.coarse_outcome(device, t_q);
         let region = match coarse.label {
             CoarseLabel::Outside => {
-                let answer = Answer {
-                    device,
-                    t: t_q,
-                    location: Location::Outside,
-                    coarse_method: coarse.method,
-                    confidence: coarse.confidence,
-                };
+                let answer = assemble_answer(device, t_q, &coarse, None);
                 let diagnostics = QueryDiagnostics {
                     coarse,
                     fine: None,
@@ -313,69 +307,24 @@ impl Locater {
         };
 
         // ---- Fine step ----------------------------------------------------
-        // With the caching engine enabled, the global affinity graph supplies both the
-        // neighbor processing order and (for previously seen pairs) the cached device
-        // affinities, which replaces the per-pair history scans of cold queries.
-        let (order, cached_affinities, cache_warm) = match self.config.cache {
+        // The neighbor scan and the fine localization both run lock-free; the
+        // graph read lock covers only the plan extraction between them.
+        let plan = match self.config.cache {
             CacheMode::Enabled => {
-                let neighbors: Vec<DeviceId> = self
-                    .fine
-                    .candidate_neighbors(&self.store, device, t_q, region)
-                    .into_iter()
-                    .map(|(d, _)| d)
-                    .collect();
+                let neighbors = self.fine_neighbors(device, t_q, region);
                 let cache = self.cache.read();
-                let warm = neighbors
-                    .iter()
-                    .any(|&n| !cache.samples(device, n).is_empty());
-                let cached: HashMap<DeviceId, f64> = neighbors
-                    .iter()
-                    .filter_map(|&n| {
-                        cache
-                            .cached_pair_affinity(device, n, t_q)
-                            .map(|affinity| (n, affinity))
-                    })
-                    .collect();
-                (
-                    Some(cache.order_neighbors(device, &neighbors, t_q)),
-                    Some(cached),
-                    warm,
-                )
+                Some(self.fine_plan(device, t_q, &neighbors, &cache))
             }
-            CacheMode::Disabled => (None, None, false),
+            CacheMode::Disabled => None,
         };
-        let lookup = cached_affinities
-            .as_ref()
-            .map(|map| move |neighbor: DeviceId| map.get(&neighbor).copied());
-        let fine = match &lookup {
-            Some(lookup) => self.fine.locate_with_cache(
-                &self.store,
-                device,
-                t_q,
-                region,
-                order.as_deref(),
-                Some(lookup),
-            ),
-            None => self
-                .fine
-                .locate(&self.store, device, t_q, region, order.as_deref()),
-        };
+        let (fine, cache_warm) = self.fine_exec(device, t_q, region, plan);
         if self.config.cache == CacheMode::Enabled && !fine.contributions.is_empty() {
             self.cache
                 .write()
                 .merge_local(device, &fine.contributions, t_q);
         }
 
-        let answer = Answer {
-            device,
-            t: t_q,
-            location: Location::Room {
-                room: fine.room,
-                region,
-            },
-            coarse_method: coarse.method,
-            confidence: coarse.confidence * fine.confidence(),
-        };
+        let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
         let diagnostics = QueryDiagnostics {
             coarse,
             fine: Some(fine),
@@ -388,37 +337,20 @@ impl Locater {
 
     /// Runs the coarse step, reusing the cached per-device model when it is still
     /// valid for the query time. Returns the outcome and whether the model was reused.
+    ///
+    /// Lock discipline is read-mostly: the reuse check and classification take
+    /// read locks, and expensive model training happens outside any lock, so
+    /// concurrent `locate` callers with warm models never serialize.
     fn coarse_outcome(&self, device: DeviceId, t_q: Timestamp) -> (CoarseOutcome, bool) {
-        // Covered instants never need a model.
-        if let Some(region) = self.store.covering_region(device, t_q) {
-            return (
-                CoarseOutcome {
-                    label: CoarseLabel::Inside(region),
-                    method: CoarseMethod::CoveredByEvent,
-                    confidence: 1.0,
-                    gap: None,
-                },
-                false,
-            );
-        }
-        let Some(gap) = self.store.gap_at(device, t_q) else {
-            return (
-                CoarseOutcome {
-                    label: CoarseLabel::Outside,
-                    method: CoarseMethod::OutOfSpan,
-                    confidence: 1.0,
-                    gap: None,
-                },
-                false,
-            );
+        let gap = match self.coarse_shortcut(device, t_q) {
+            CoarseShortcut::Trivial(outcome) => return (outcome, false),
+            CoarseShortcut::Gap(gap) => gap,
         };
-
         let reusable = {
             let models = self.models.read();
-            models.get(&device).is_some_and(|model| {
-                t_q >= model.history.start
-                    && t_q <= model.history.end + self.config.model_refresh_slack
-            })
+            models
+                .get(&device)
+                .is_some_and(|model| self.model_covers(model, t_q))
         };
         if !reusable {
             let model = self.coarse.train_device_model(&self.store, device, t_q);
@@ -433,6 +365,396 @@ impl Locater {
             reusable,
         )
     }
+
+    /// `true` if a cached model is still valid for a query at `t_q`.
+    fn model_covers(&self, model: &DeviceCoarseModel, t_q: Timestamp) -> bool {
+        t_q >= model.history.start && t_q <= model.history.end + self.config.model_refresh_slack
+    }
+
+    /// The model-free coarse answers (covered by an event, out of the log
+    /// span), or the gap that needs model-based classification.
+    fn coarse_shortcut(&self, device: DeviceId, t_q: Timestamp) -> CoarseShortcut {
+        if let Some(region) = self.store.covering_region(device, t_q) {
+            return CoarseShortcut::Trivial(CoarseOutcome {
+                label: CoarseLabel::Inside(region),
+                method: CoarseMethod::CoveredByEvent,
+                confidence: 1.0,
+                gap: None,
+            });
+        }
+        match self.store.gap_at(device, t_q) {
+            Some(gap) => CoarseShortcut::Gap(gap),
+            None => CoarseShortcut::Trivial(CoarseOutcome {
+                label: CoarseLabel::Outside,
+                method: CoarseMethod::OutOfSpan,
+                confidence: 1.0,
+                gap: None,
+            }),
+        }
+    }
+
+    /// Runs the coarse step against an explicit model map (a shard-local map in
+    /// the batch pipeline). Returns the outcome and how the model map was used,
+    /// so callers can tell freshly trained models from untouched seeds.
+    fn coarse_outcome_in(
+        &self,
+        models: &mut HashMap<DeviceId, DeviceCoarseModel>,
+        device: DeviceId,
+        t_q: Timestamp,
+    ) -> (CoarseOutcome, ModelUse) {
+        let gap = match self.coarse_shortcut(device, t_q) {
+            CoarseShortcut::Trivial(outcome) => return (outcome, ModelUse::NotNeeded),
+            CoarseShortcut::Gap(gap) => gap,
+        };
+        let reused = models
+            .get(&device)
+            .is_some_and(|model| self.model_covers(model, t_q));
+        if !reused {
+            let model = self.coarse.train_device_model(&self.store, device, t_q);
+            models.insert(device, model);
+        }
+        let model = models
+            .get(&device)
+            .expect("model was inserted above if missing");
+        let outcome = self.coarse.classify_with_model(&self.store, model, &gap);
+        let usage = if reused {
+            ModelUse::Reused
+        } else {
+            ModelUse::Trained
+        };
+        (outcome, usage)
+    }
+
+    /// The neighbor devices eligible for the fine step — a store scan that
+    /// needs no lock.
+    fn fine_neighbors(&self, device: DeviceId, t_q: Timestamp, region: RegionId) -> Vec<DeviceId> {
+        self.fine
+            .candidate_neighbors(&self.store, device, t_q, region)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Extracts what the fine step needs from the affinity graph: the neighbor
+    /// processing order, cached pairwise affinities (which replace the per-pair
+    /// history scans of cold queries), and cache warmth. Callers take the graph
+    /// lock only for this extraction; the neighbor scan
+    /// ([`Locater::fine_neighbors`]) and [`Locater::fine_exec`] run lock-free.
+    fn fine_plan(
+        &self,
+        device: DeviceId,
+        t_q: Timestamp,
+        neighbors: &[DeviceId],
+        cache: &GlobalAffinityGraph,
+    ) -> FinePlan {
+        let warm = neighbors
+            .iter()
+            .any(|&n| !cache.samples(device, n).is_empty());
+        let cached: HashMap<DeviceId, f64> = neighbors
+            .iter()
+            .filter_map(|&n| {
+                cache
+                    .cached_pair_affinity(device, n, t_q)
+                    .map(|affinity| (n, affinity))
+            })
+            .collect();
+        let order = cache.order_neighbors(device, neighbors, t_q);
+        FinePlan {
+            order,
+            cached,
+            warm,
+        }
+    }
+
+    /// Runs the fine step with an optional cache plan. Returns the outcome and
+    /// whether the affinity graph was warm for the queried device.
+    fn fine_exec(
+        &self,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        plan: Option<FinePlan>,
+    ) -> (FineOutcome, bool) {
+        let Some(FinePlan {
+            order,
+            cached,
+            warm,
+        }) = plan
+        else {
+            return (
+                self.fine.locate(&self.store, device, t_q, region, None),
+                false,
+            );
+        };
+        let lookup = move |neighbor: DeviceId| cached.get(&neighbor).copied();
+        let fine = self.fine.locate_with_cache(
+            &self.store,
+            device,
+            t_q,
+            region,
+            Some(&order),
+            Some(&lookup),
+        );
+        (fine, warm)
+    }
+
+    /// Answers a batch of queries, sharded across `jobs` worker threads.
+    ///
+    /// The batch pipeline is built for determinism: results are **identical for
+    /// every `jobs` value** (including the sequential `jobs = 1` path) and are
+    /// returned in query order. Three properties make that hold:
+    ///
+    /// 1. every query is answered against a *frozen* snapshot of the global
+    ///    affinity graph (cloned under a brief read lock), so no shard observes
+    ///    another shard's cache warming — and, unlike per-query `locate` loops,
+    ///    no query observes warming from *earlier batch queries* either;
+    /// 2. queries are sharded **by device** — a device's queries are processed
+    ///    by one shard in query order, so its lazily trained coarse model
+    ///    evolves exactly as in the sequential path (shard-local model maps are
+    ///    seeded from the shared model cache, which is also per-device);
+    /// 3. the shard-local affinity contributions are merged into the global
+    ///    graph only after all shards join, in ascending query order.
+    ///
+    /// Device → shard assignment balances per-device query counts greedily, so
+    /// skewed workloads still spread across the pool.
+    pub fn locate_batch(
+        &self,
+        queries: &[Query],
+        jobs: usize,
+    ) -> Vec<Result<Answer, LocaterError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // Resolve every query up front; unresolvable queries error in place and
+        // never reach a shard.
+        let resolved: Vec<Result<DeviceId, LocaterError>> =
+            queries.iter().map(|q| self.resolve(q)).collect();
+
+        // Deterministic device → shard assignment: devices ordered by
+        // decreasing query count (ties by device id) go to the least-loaded
+        // shard (ties by shard index). A shard is a real worker thread, so the
+        // job count is capped by the distinct-device count — extra shards
+        // could only ever be empty.
+        let mut query_counts: HashMap<DeviceId, usize> = HashMap::new();
+        for device in resolved.iter().flatten() {
+            *query_counts.entry(*device).or_insert(0) += 1;
+        }
+        let jobs = jobs.clamp(1, queries.len()).min(query_counts.len().max(1));
+        let mut devices: Vec<(DeviceId, usize)> = query_counts.into_iter().collect();
+        devices.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut load = vec![0usize; jobs];
+        let mut shard_of: HashMap<DeviceId, usize> = HashMap::new();
+        for (device, count) in devices {
+            let shard = (0..jobs).min_by_key(|&i| (load[i], i)).expect("jobs >= 1");
+            load[shard] += count;
+            shard_of.insert(device, shard);
+        }
+        let mut shards: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+        for (idx, device) in resolved.iter().enumerate() {
+            if let Ok(device) = device {
+                shards[shard_of[device]].push(idx);
+            }
+        }
+
+        // Seed shard-local model maps from the shared cache: per-device state
+        // crosses into exactly one shard, preserving sequential semantics.
+        let seeds: Vec<HashMap<DeviceId, DeviceCoarseModel>> = {
+            let models = self.models.read();
+            shards
+                .iter()
+                .map(|indices| {
+                    let mut seed: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+                    for &idx in indices {
+                        if let Ok(device) = resolved[idx] {
+                            if let Some(model) = models.get(&device) {
+                                seed.entry(device).or_insert_with(|| model.clone());
+                            }
+                        }
+                    }
+                    seed
+                })
+                .collect()
+        };
+
+        // Parallel phase: all shards answer against the same frozen graph. The
+        // snapshot is a clone taken under a brief read lock, so concurrent
+        // single-query callers are never stalled for the batch's duration.
+        let snapshot: Option<GlobalAffinityGraph> = match self.config.cache {
+            CacheMode::Enabled => Some(self.cache.read().clone()),
+            CacheMode::Disabled => None,
+        };
+        let frozen: Option<&GlobalAffinityGraph> = snapshot.as_ref();
+        let mut outputs: Vec<ShardOutput> = Vec::new();
+        outputs.resize_with(jobs, ShardOutput::default);
+        rayon::scope(|scope| {
+            for ((indices, seed), out) in shards.iter().zip(seeds).zip(outputs.iter_mut()) {
+                if indices.is_empty() {
+                    continue;
+                }
+                let resolved = &resolved;
+                scope.spawn(move |_| {
+                    *out = self.run_shard(queries, indices, resolved, seed, frozen);
+                });
+            }
+        });
+
+        // Deterministic merge: contributions in query order, models per device.
+        let mut answers: Vec<Option<Answer>> = vec![None; queries.len()];
+        let mut contributions: Vec<ShardContribution> = Vec::new();
+        let mut trained: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+        for output in outputs {
+            for (idx, answer) in output.answers {
+                answers[idx] = Some(answer);
+            }
+            contributions.extend(output.contributions);
+            trained.extend(output.models);
+        }
+        if self.config.cache == CacheMode::Enabled && !contributions.is_empty() {
+            contributions.sort_by_key(|c| c.query_index);
+            let mut cache = self.cache.write();
+            for contribution in &contributions {
+                cache.merge_local(contribution.device, &contribution.neighbors, contribution.t);
+            }
+        }
+        if !trained.is_empty() {
+            self.models.write().extend(trained);
+        }
+
+        answers
+            .into_iter()
+            .zip(resolved)
+            .map(|(answer, device)| match device {
+                Ok(_) => Ok(answer.expect("every resolved query is answered by its shard")),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Answers one shard's queries (in query order) against the frozen graph,
+    /// collecting answers, affinity contributions, and freshly trained models
+    /// (untouched seed models are not reported back).
+    fn run_shard(
+        &self,
+        queries: &[Query],
+        indices: &[usize],
+        resolved: &[Result<DeviceId, LocaterError>],
+        mut models: HashMap<DeviceId, DeviceCoarseModel>,
+        graph: Option<&GlobalAffinityGraph>,
+    ) -> ShardOutput {
+        let mut output = ShardOutput::default();
+        let mut trained: std::collections::HashSet<DeviceId> = std::collections::HashSet::new();
+        for &idx in indices {
+            let device = match resolved[idx] {
+                Ok(device) => device,
+                Err(_) => continue,
+            };
+            let t_q = queries[idx].t;
+            let (coarse, model_use) = self.coarse_outcome_in(&mut models, device, t_q);
+            if model_use == ModelUse::Trained {
+                trained.insert(device);
+            }
+            let answer = match coarse.label {
+                CoarseLabel::Outside => assemble_answer(device, t_q, &coarse, None),
+                CoarseLabel::Inside(region) => {
+                    let plan = graph.map(|cache| {
+                        let neighbors = self.fine_neighbors(device, t_q, region);
+                        self.fine_plan(device, t_q, &neighbors, cache)
+                    });
+                    let (mut fine, _) = self.fine_exec(device, t_q, region, plan);
+                    let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
+                    if graph.is_some() && !fine.contributions.is_empty() {
+                        output.contributions.push(ShardContribution {
+                            query_index: idx,
+                            device,
+                            t: t_q,
+                            neighbors: std::mem::take(&mut fine.contributions),
+                        });
+                    }
+                    answer
+                }
+            };
+            output.answers.push((idx, answer));
+        }
+        models.retain(|device, _| trained.contains(device));
+        output.models = models;
+        output
+    }
+}
+
+/// Builds the [`Answer`] for one query from its coarse (and, when inside, fine)
+/// outcomes — the single place the answer/confidence composition lives, shared
+/// by the single-query and batch paths.
+fn assemble_answer(
+    device: DeviceId,
+    t_q: Timestamp,
+    coarse: &CoarseOutcome,
+    fine: Option<(&FineOutcome, RegionId)>,
+) -> Answer {
+    match fine {
+        None => Answer {
+            device,
+            t: t_q,
+            location: Location::Outside,
+            coarse_method: coarse.method,
+            confidence: coarse.confidence,
+        },
+        Some((fine, region)) => Answer {
+            device,
+            t: t_q,
+            location: Location::Room {
+                room: fine.room,
+                region,
+            },
+            coarse_method: coarse.method,
+            confidence: coarse.confidence * fine.confidence(),
+        },
+    }
+}
+
+/// How the coarse step used the model map for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelUse {
+    /// The query was answered without a model (covered / out of span).
+    NotNeeded,
+    /// A cached model was still valid and reused.
+    Reused,
+    /// A model was (re)trained for this query.
+    Trained,
+}
+
+/// The graph-derived inputs of one fine-step execution: neighbor processing
+/// order, cached pairwise affinities, and whether the graph was warm for the
+/// queried device. Extracted under the graph lock; executed lock-free.
+struct FinePlan {
+    order: Vec<DeviceId>,
+    cached: HashMap<DeviceId, f64>,
+    warm: bool,
+}
+
+/// Outcome of the model-free coarse checks: a trivial answer, or the gap that
+/// needs model-based classification.
+enum CoarseShortcut {
+    Trivial(CoarseOutcome),
+    Gap(Gap),
+}
+
+/// The local affinity graph of one batch-answered query, queued for the
+/// post-join merge into the global graph.
+#[derive(Debug, Clone)]
+struct ShardContribution {
+    query_index: usize,
+    device: DeviceId,
+    t: Timestamp,
+    neighbors: Vec<NeighborContribution>,
+}
+
+/// Everything one batch shard produces: answers (tagged with their query
+/// index), affinity contributions, and the shard-local trained models.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    answers: Vec<(usize, Answer)>,
+    contributions: Vec<ShardContribution>,
+    models: HashMap<DeviceId, DeviceCoarseModel>,
 }
 
 #[cfg(test)]
@@ -595,6 +917,87 @@ mod tests {
             .locate(&Query::by_mac("bob", clock::at(8, 9, 30, 10)))
             .unwrap();
         assert!(answer.is_inside());
+    }
+
+    /// A mixed batch workload over the office store: covered instants, gaps,
+    /// out-of-span times, and an unknown device.
+    fn batch_queries() -> Vec<Query> {
+        let mut queries = Vec::new();
+        for day in 10..20 {
+            for (mac, minute) in [("alice", 5), ("bob", 20), ("alice", 40)] {
+                queries.push(Query::by_mac(mac, clock::at(day, 9, minute, 10)));
+                queries.push(Query::by_mac(mac, clock::at(day, 13, minute, 0)));
+                queries.push(Query::by_mac(mac, clock::at(day, 3, minute, 0)));
+            }
+        }
+        queries.push(Query::by_mac("ghost", clock::at(12, 9, 0, 0)));
+        queries.push(Query::by_mac("alice", clock::at(400, 9, 0, 0)));
+        queries
+    }
+
+    #[test]
+    fn locate_batch_is_identical_across_job_counts() {
+        let queries = batch_queries();
+        let baseline = Locater::new(office_store(4), LocaterConfig::default());
+        let sequential = baseline.locate_batch(&queries, 1);
+        for jobs in [2, 3, 8, 64] {
+            let locater = Locater::new(office_store(4), LocaterConfig::default());
+            let parallel = locater.locate_batch(&queries, jobs);
+            assert_eq!(sequential, parallel, "jobs={jobs} diverged from jobs=1");
+        }
+    }
+
+    #[test]
+    fn locate_batch_preserves_query_order_and_errors() {
+        let locater = Locater::new(office_store(3), LocaterConfig::default());
+        let queries = batch_queries();
+        let results = locater.locate_batch(&queries, 4);
+        assert_eq!(results.len(), queries.len());
+        for (query, result) in queries.iter().zip(&results) {
+            match result {
+                Ok(answer) => assert_eq!(answer.t, query.t),
+                Err(e) => assert!(matches!(e, LocaterError::UnknownDevice(_))),
+            }
+        }
+        // The ghost query errors in place; its neighbors are still answered.
+        let ghost = queries
+            .iter()
+            .position(|q| q.mac.as_deref() == Some("ghost"));
+        assert!(results[ghost.unwrap()].is_err());
+        assert!(results.iter().filter(|r| r.is_ok()).count() >= queries.len() - 1);
+    }
+
+    #[test]
+    fn locate_batch_warms_cache_and_models_afterwards() {
+        let locater = Locater::new(office_store(3), LocaterConfig::default());
+        assert_eq!(locater.cache_stats(), (0, 0));
+        let queries: Vec<Query> = (0..8)
+            .map(|i| Query::by_mac("alice", clock::at(15, 9, 30, 20 + i)))
+            .collect();
+        let results = locater.locate_batch(&queries, 2);
+        assert!(results.iter().all(Result::is_ok));
+        let (edges, samples) = locater.cache_stats();
+        assert!(
+            edges >= 1,
+            "batch contributions must reach the global graph"
+        );
+        assert!(samples >= 1);
+    }
+
+    #[test]
+    fn locate_batch_with_cache_disabled_stores_nothing() {
+        let config = LocaterConfig::default().with_cache(CacheMode::Disabled);
+        let locater = Locater::new(office_store(3), config);
+        let queries = batch_queries();
+        let results = locater.locate_batch(&queries, 4);
+        assert!(results.iter().any(Result::is_ok));
+        assert_eq!(locater.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn locate_batch_on_empty_input_is_empty() {
+        let locater = Locater::new(office_store(1), LocaterConfig::default());
+        assert!(locater.locate_batch(&[], 4).is_empty());
     }
 
     #[test]

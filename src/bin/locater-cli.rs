@@ -7,13 +7,18 @@
 //! ```text
 //! locater-cli stats    <space.json> <events.csv>
 //! locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]
-//! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent]
+//! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]
 //! locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
 //! ```
 //!
 //! * `space.json` is the [`SpaceMetadata`](locater::space::SpaceMetadata) format
 //!   (AP coverage, public rooms, room owners, preferred rooms).
 //! * `events.csv` / `queries.csv` are `mac,timestamp,ap` and `mac,timestamp` files.
+//! * `batch` runs the parallel batch pipeline (`Locater::locate_batch`): every
+//!   query is answered against a frozen snapshot of the affinity cache, so the
+//!   output is deterministic and identical for every `--jobs` value (earlier
+//!   CLI releases answered rows one by one, progressively warming the cache,
+//!   so row-level confidences could differ from today's output).
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
 //!   `<out-prefix>.truth.csv` so the other commands (and external tools) can consume
 //!   a fully synthetic deployment.
@@ -41,7 +46,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -162,13 +167,25 @@ fn batch(args: &[String]) -> Result<String, String> {
     let space_path = args.get(1).ok_or("missing space.json")?;
     let events_path = args.get(2).ok_or("missing events.csv")?;
     let queries_path = args.get(3).ok_or("missing queries.csv")?;
+    let jobs: usize = match flag_value(args, "--jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&jobs| jobs >= 1)
+            .ok_or_else(|| "--jobs must be a positive integer".to_string())?,
+        None if args.iter().any(|a| a == "--jobs") => {
+            return Err("--jobs requires a value".to_string());
+        }
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
     let store = load_store(space_path, events_path)?;
     let locater = Locater::new(store, config_from_flags(args));
 
     let queries_text = std::fs::read_to_string(queries_path)
         .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
-    let mut out = String::from("mac,timestamp,location,room,confidence\n");
-    let mut answered = 0usize;
+    let mut queries: Vec<Query> = Vec::new();
     for (line_no, line) in queries_text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || (line_no == 0 && line.to_ascii_lowercase().starts_with("mac,")) {
@@ -182,7 +199,18 @@ fn batch(args: &[String]) -> Result<String, String> {
             .trim()
             .parse()
             .map_err(|_| format!("line {}: invalid timestamp", line_no + 1))?;
-        let (location, room, confidence) = match locater.locate(&Query::by_mac(mac, t)) {
+        queries.push(Query::by_mac(mac, t));
+    }
+
+    // The parallel batch pipeline: answers are deterministic and ordered
+    // regardless of the job count.
+    let answers = locater.locate_batch(&queries, jobs);
+    let mut out = String::from("mac,timestamp,location,room,confidence\n");
+    let mut answered = 0usize;
+    for (query, result) in queries.iter().zip(&answers) {
+        let mac = query.mac.as_deref().unwrap_or_default();
+        let t = query.t;
+        let (location, room, confidence) = match result {
             Ok(answer) => {
                 let room = answer
                     .room()
@@ -200,7 +228,7 @@ fn batch(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "{mac},{t},{location},{room},{confidence:.3}");
         answered += 1;
     }
-    let _ = writeln!(out, "# answered {answered} queries");
+    let _ = writeln!(out, "# answered {answered} queries ({jobs} jobs)");
     Ok(out)
 }
 
@@ -341,13 +369,30 @@ mod tests {
         .unwrap();
         let batch_out = run(&[
             "batch".into(),
-            space,
-            events,
+            space.clone(),
+            events.clone(),
             queries.to_string_lossy().to_string(),
+            "--jobs".into(),
+            "2".into(),
         ])
         .expect("batch succeeds");
         assert!(batch_out.contains("answered 2 queries"));
         assert!(batch_out.contains("unknown-device"));
+
+        // The same batch on one job is byte-identical (deterministic pipeline).
+        let batch_one = run(&[
+            "batch".into(),
+            space,
+            events,
+            queries.to_string_lossy().to_string(),
+            "--jobs".into(),
+            "1".into(),
+        ])
+        .expect("batch succeeds");
+        assert_eq!(
+            batch_one.replace("(1 jobs)", ""),
+            batch_out.replace("(2 jobs)", "")
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }

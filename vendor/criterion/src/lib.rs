@@ -1,0 +1,225 @@
+//! Minimal vendored `criterion` shim.
+//!
+//! Benches are declared exactly as with the real crate (`Criterion`,
+//! `benchmark_group`, `bench_function`, `b.iter(...)`, `criterion_main!`) and
+//! run as plain timed loops: a warm-up phase followed by a measurement phase,
+//! reporting the mean time per iteration. There is no statistical analysis,
+//! plotting, or result persistence — the shim exists so `cargo bench` builds
+//! and produces honest wall-clock numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per bench.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per bench.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented by the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one named bench.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!("{id:<50} {report}"),
+            None => println!("{id:<50} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// A group of related benches sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named bench inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the timed loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    report: Option<String>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured window.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(f());
+        }
+        // Measurement: `sample_size` samples, each a batch of iterations.
+        let sample_window = self.measurement_time / self.sample_size as u32;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            let mut sample_iters = 0u64;
+            loop {
+                black_box(f());
+                sample_iters += 1;
+                if sample_start.elapsed() >= sample_window {
+                    break;
+                }
+            }
+            total += sample_start.elapsed();
+            iters += sample_iters;
+        }
+        let mean = total.as_nanos() as f64 / iters as f64;
+        self.report = Some(format!("{} iters, mean {}", iters, format_nanos(mean)));
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` untimed before every timed
+    /// invocation of `routine`.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let sample_window = self.measurement_time / self.sample_size as u32;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let mut sample_time = Duration::ZERO;
+            loop {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                sample_time += start.elapsed();
+                iters += 1;
+                if sample_time >= sample_window {
+                    break;
+                }
+            }
+            total += sample_time;
+        }
+        let mean = total.as_nanos() as f64 / iters as f64;
+        self.report = Some(format!("{} iters, mean {}", iters, format_nanos(mean)));
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns/iter")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs/iter", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declares the bench entry point: calls each listed function in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(format_nanos(12.0).contains("ns"));
+        assert!(format_nanos(12_000.0).contains("µs"));
+        assert!(format_nanos(12_000_000.0).contains("ms"));
+        assert!(format_nanos(2_000_000_000.0).contains("s/iter"));
+    }
+}

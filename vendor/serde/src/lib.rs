@@ -1,0 +1,365 @@
+//! Minimal vendored serde shim.
+//!
+//! The build environment has no network access, so this crate replaces the real
+//! `serde` with a small value-tree model: [`Serialize`] converts a value into a
+//! [`Value`] tree and [`Deserialize`] reconstructs it. The derive macros
+//! (re-exported from the local `serde_derive` shim) generate field-by-field
+//! conversions that match serde's default representations closely enough for
+//! this workspace: newtype structs are transparent, named structs become maps,
+//! and enums are externally tagged.
+//!
+//! `serde_json` (also vendored) renders and parses `Value` trees as JSON.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree — the data model shared by `Serialize`,
+/// `Deserialize`, and the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (wide enough for every integer type in the workspace).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence of values.
+    Seq(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a map value, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// A total order over value trees, used to render maps deterministically.
+    fn sort_key_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+                Value::Seq(_) => 5,
+                Value::Map(_) => 6,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Seq(a), Value::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.sort_key_cmp(y) {
+                        Ordering::Equal => {}
+                        non_eq => return non_eq,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    match ka.cmp(kb).then_with(|| va.sort_key_cmp(vb)) {
+                        Ordering::Equal => {}
+                        non_eq => return non_eq,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// Error produced by [`Deserialize`] implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(message: &str) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Finds the value of a named field in a struct map. Used by generated code.
+pub fn find_entry<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Converts a value into its [`Value`] tree representation.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a value from its [`Value`] tree representation.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$ty>::try_from(*i)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty)))),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $ty),
+                    Value::Int(i) => Ok(*i as $ty),
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::custom("expected tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as a deterministic sequence of `[key, value]` pairs: JSON
+/// object keys must be strings, but the workspace also uses maps keyed by ids
+/// and id pairs. Pairs are ordered by serialized key so output is stable.
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(Value, Value)> =
+        entries.map(|(k, v)| (k.to_value(), v.to_value())).collect();
+    pairs.sort_by(|a, b| a.0.sort_key_cmp(&b.0));
+    Value::Seq(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Value::Seq(vec![k, v]))
+            .collect(),
+    )
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(|item| match item {
+                Value::Seq(pair) if pair.len() == 2 => {
+                    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+                }
+                _ => Err(Error::custom("expected [key, value] pair")),
+            })
+            .collect(),
+        _ => Err(Error::custom("expected sequence of [key, value] pairs")),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}

@@ -1,0 +1,455 @@
+//! Minimal vendored replacements for the real `serde_derive` macros.
+//!
+//! The build environment has no network access, so the workspace ships a small
+//! value-tree based serde shim (see `vendor/serde`). These derives generate
+//! implementations of that shim's `Serialize` / `Deserialize` traits:
+//!
+//! * named structs serialize to a map of field name → value;
+//! * newtype (single-field tuple) structs serialize transparently;
+//! * tuple structs serialize to a sequence;
+//! * enums serialize externally tagged (`"Variant"`, `{"Variant": value}`, or
+//!   `{"Variant": {..fields..}}`), matching serde's default representation.
+//!
+//! Supported container/field attributes: `#[serde(transparent)]` and
+//! `#[serde(default)]`. Generic types are intentionally unsupported — the
+//! workspace does not derive serde impls on generic types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Returns `true` if the attribute group (the tokens inside `#[...]`) is a
+/// `serde(...)` attribute containing the given word.
+fn serde_attr_contains(attr: &TokenStream, word: &str) -> bool {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == word)),
+        _ => false,
+    }
+}
+
+/// Skips attributes starting at `i`, returning the next index and whether any
+/// skipped attribute was `#[serde(<word>)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, word: &str) -> (usize, bool) {
+    let mut found = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if serde_attr_contains(&g.stream(), word) {
+                        found = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, found)
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the fields of a brace-delimited (named) field group.
+fn parse_named_fields(group: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, default) = skip_attrs(&tokens, i, "default");
+        i = skip_vis(&tokens, next);
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':' after field name, found {other}"),
+        }
+        // Skip the type: everything until a top-level comma (tracking angle depth).
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesized (tuple) field group.
+fn count_tuple_fields(group: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle: i32 = 0;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i, "default");
+        i = next;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(&g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, transparent) = skip_attrs(&tokens, 0, "transparent");
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(&g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                None => Shape::Unit,
+                other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+            };
+            Item::Struct {
+                name,
+                shape,
+                transparent,
+            }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(&g.stream())
+                }
+                other => panic!("serde_derive shim: unsupported enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_named_fields(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) if *transparent && fields.len() == 1 => {
+                    format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+                }
+                Shape::Named(fields) => serialize_named_fields(fields, "self."),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = serialize_named_fields(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ match self {{\n{}\n    }} }}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn deserialize_named_fields(fields: &[Field], ty: &str, entries_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}`\"))",
+                    f.name
+                )
+            };
+            format!(
+                "{n}: match ::serde::find_entry({entries_expr}, \"{n}\") {{ ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, ::std::option::Option::None => {missing} }},",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("{ty} {{ {} }}", inits.join(" "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Named(fields) if *transparent && fields.len() == 1 => format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})",
+                    f = fields[0].name
+                ),
+                Shape::Named(fields) => {
+                    let build = deserialize_named_fields(fields, name, "entries");
+                    format!(
+                        "let entries = match v {{ ::serde::Value::Map(entries) => entries, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for struct {name}\")) }};\n::std::result::Result::Ok({build})"
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = match v {{ ::serde::Value::Seq(items) if items.len() == {n} => items, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected sequence of length {n} for struct {name}\")) }};\n::std::result::Result::Ok({name}({items}))",
+                        items = items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let items = match inner {{ ::serde::Value::Seq(items) if items.len() == {n} => items, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected sequence for variant {vn}\")) }}; ::std::result::Result::Ok({name}::{vn}({items})) }},",
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let build =
+                                deserialize_named_fields(fields, &format!("{name}::{vn}"), "entries");
+                            format!(
+                                "\"{vn}\" => {{ let entries = match inner {{ ::serde::Value::Map(entries) => entries, _ => return ::std::result::Result::Err(::serde::Error::custom(\"expected map for variant {vn}\")) }}; ::std::result::Result::Ok({build}) }},"
+                            )
+                        }
+                        Shape::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        match v {{\n            ::serde::Value::Str(s) => match s.as_str() {{\n                {unit}\n                other => ::std::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant `{{other}}` for enum {name}\"))),\n            }},\n            ::serde::Value::Map(entries) if entries.len() == 1 => {{\n                let (tag, inner) = &entries[0];\n                match tag.as_str() {{\n                    {tagged}\n                    other => ::std::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant `{{other}}` for enum {name}\"))),\n                }}\n            }}\n            _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-entry map for enum {name}\")),\n        }}\n    }}\n}}",
+                unit = unit_arms.join("\n                "),
+                tagged = tagged_arms.join("\n                    ")
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
