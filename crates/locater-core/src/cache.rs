@@ -21,12 +21,32 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Canonical (unordered) edge key between two devices.
-fn edge_key(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
+pub(crate) fn edge_key(a: DeviceId, b: DeviceId) -> (DeviceId, DeviceId) {
     if a <= b {
         (a, b)
     } else {
         (b, a)
     }
+}
+
+/// Ranks `candidates` by decreasing `weight`, breaking ties by input order —
+/// the neighbor-ordering rule of §5, shared by the plain graph and the
+/// epoch-aware cache so the two can never diverge.
+pub(crate) fn rank_by_weight(
+    candidates: &[DeviceId],
+    weight: impl Fn(DeviceId) -> f64,
+) -> Vec<DeviceId> {
+    let mut scored: Vec<(usize, f64, DeviceId)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(idx, &device)| (idx, weight(device), device))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.into_iter().map(|(_, _, device)| device).collect()
 }
 
 /// One cached affinity sample on an edge of the global graph.
@@ -211,17 +231,13 @@ impl GlobalAffinityGraph {
         candidates: &[DeviceId],
         t_q: Timestamp,
     ) -> Vec<DeviceId> {
-        let mut scored: Vec<(usize, f64, DeviceId)> = candidates
-            .iter()
-            .enumerate()
-            .map(|(idx, &device)| (idx, self.weight(center, device, t_q), device))
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        scored.into_iter().map(|(_, _, device)| device).collect()
+        rank_by_weight(candidates, |device| self.weight(center, device, t_q))
+    }
+
+    /// Removes every sample cached for the pair `(a, b)` (no-op for unseen
+    /// pairs). Used by the epoch layer to evict edges whose inputs changed.
+    pub fn evict_edge(&mut self, a: DeviceId, b: DeviceId) {
+        self.edges.remove(&edge_key(a, b));
     }
 
     /// Removes all cached samples.

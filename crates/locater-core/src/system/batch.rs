@@ -1,0 +1,242 @@
+//! The deterministic sharded batch pipeline shared by
+//! [`Locater::locate_batch`](super::Locater::locate_batch) and
+//! [`LocaterService::locate_batch`](super::LocaterService::locate_batch).
+//!
+//! The pipeline is built for determinism: results are **identical for every
+//! `jobs` value** (including the sequential `jobs = 1` path) and are returned
+//! in query order. Three properties make that hold:
+//!
+//! 1. every query is answered against a *frozen* snapshot of the global
+//!    affinity graph (cloned under a brief read lock), so no shard observes
+//!    another shard's cache warming — and, unlike per-query `locate` loops, no
+//!    query observes warming from *earlier batch queries* either;
+//! 2. queries are sharded **by device** — a device's queries are processed by
+//!    one shard in query order, so its lazily trained coarse model evolves
+//!    exactly as in the sequential path (shard-local model maps are seeded from
+//!    the shared model cache, which is also per-device);
+//! 3. the shard-local affinity contributions are merged into the global graph
+//!    only after all shards join, in ascending query order.
+//!
+//! Device → shard assignment balances per-device query counts greedily, so
+//! skewed workloads still spread across the pool.
+
+use super::epoch::{EpochCache, EpochTable, ModelEntry};
+use super::service::{Effective, Engines, ModelUse};
+use super::{assemble_answer, Answer, CacheMode};
+use crate::coarse::{CoarseLabel, DeviceCoarseModel};
+use crate::error::LocaterError;
+use crate::fine::NeighborContribution;
+use locater_events::clock::Timestamp;
+use locater_events::DeviceId;
+use locater_store::EventStore;
+use std::collections::HashMap;
+
+/// One batch entry: the query time, the resolved device (or the error to
+/// report in place), and the per-request effective engine view.
+#[derive(Debug)]
+pub(crate) struct BatchItem {
+    pub(crate) t: Timestamp,
+    pub(crate) device: Result<DeviceId, LocaterError>,
+    pub(crate) eff: Effective,
+}
+
+/// The local affinity graph of one batch-answered query, queued for the
+/// post-join merge into the global graph.
+#[derive(Debug, Clone)]
+struct ShardContribution {
+    query_index: usize,
+    device: DeviceId,
+    t: Timestamp,
+    neighbors: Vec<NeighborContribution>,
+}
+
+/// Everything one batch shard produces: answers (tagged with their query
+/// index), affinity contributions, and the shard-local trained models.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    answers: Vec<(usize, Answer)>,
+    contributions: Vec<ShardContribution>,
+    models: HashMap<DeviceId, DeviceCoarseModel>,
+}
+
+/// Answers a batch of resolved items, sharded across `jobs` worker threads.
+/// Unresolvable items error in place and never reach a shard.
+pub(crate) fn run_batch(
+    engines: &Engines,
+    store: &EventStore,
+    epochs: &EpochTable,
+    items: &[BatchItem],
+    jobs: usize,
+) -> Vec<Result<Answer, LocaterError>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+
+    // Deterministic device → shard assignment: devices ordered by decreasing
+    // query count (ties by device id) go to the least-loaded shard (ties by
+    // shard index). A shard is a real worker thread, so the job count is
+    // capped by the distinct-device count — extra shards could only ever be
+    // empty.
+    let mut query_counts: HashMap<DeviceId, usize> = HashMap::new();
+    for item in items {
+        if let Ok(device) = item.device {
+            *query_counts.entry(device).or_insert(0) += 1;
+        }
+    }
+    let jobs = jobs.clamp(1, items.len()).min(query_counts.len().max(1));
+    let mut devices: Vec<(DeviceId, usize)> = query_counts.into_iter().collect();
+    devices.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let mut load = vec![0usize; jobs];
+    let mut shard_of: HashMap<DeviceId, usize> = HashMap::new();
+    for (device, count) in devices {
+        let shard = (0..jobs).min_by_key(|&i| (load[i], i)).expect("jobs >= 1");
+        load[shard] += count;
+        shard_of.insert(device, shard);
+    }
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+    for (idx, item) in items.iter().enumerate() {
+        if let Ok(device) = item.device {
+            shards[shard_of[&device]].push(idx);
+        }
+    }
+
+    // Seed shard-local model maps from the shared cache: per-device state
+    // crosses into exactly one shard, preserving sequential semantics. Only
+    // epoch-live models are seeded — a stale model must be retrained, exactly
+    // as in the single-query path.
+    let seeds: Vec<HashMap<DeviceId, DeviceCoarseModel>> = {
+        let models = engines.models.read();
+        shards
+            .iter()
+            .map(|indices| {
+                let mut seed: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+                for &idx in indices {
+                    if let Ok(device) = items[idx].device {
+                        if let Some(entry) = models.get(&device) {
+                            if entry.epoch == epochs.of(device) {
+                                seed.entry(device).or_insert_with(|| entry.model.clone());
+                            }
+                        }
+                    }
+                }
+                seed
+            })
+            .collect()
+    };
+
+    // Parallel phase: all shards answer against the same frozen cache. The
+    // snapshot is a clone taken under a brief read lock, so concurrent
+    // single-query callers are never stalled for the batch's duration. The
+    // snapshot carries its epoch stamps, so stale edges stay invisible inside
+    // the batch too.
+    let wants_cache = items
+        .iter()
+        .any(|item| item.eff.cache == CacheMode::Enabled && item.device.is_ok());
+    let snapshot: Option<EpochCache> = wants_cache.then(|| engines.cache.read().clone());
+    let frozen: Option<&EpochCache> = snapshot.as_ref();
+    let mut outputs: Vec<ShardOutput> = Vec::new();
+    outputs.resize_with(jobs, ShardOutput::default);
+    rayon::scope(|scope| {
+        for ((indices, seed), out) in shards.iter().zip(seeds).zip(outputs.iter_mut()) {
+            if indices.is_empty() {
+                continue;
+            }
+            scope.spawn(move |_| {
+                *out = run_shard(engines, store, epochs, items, indices, seed, frozen);
+            });
+        }
+    });
+
+    // Deterministic merge: contributions in query order, models per device.
+    let mut answers: Vec<Option<Answer>> = vec![None; items.len()];
+    let mut contributions: Vec<ShardContribution> = Vec::new();
+    let mut trained: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+    for output in outputs {
+        for (idx, answer) in output.answers {
+            answers[idx] = Some(answer);
+        }
+        contributions.extend(output.contributions);
+        trained.extend(output.models);
+    }
+    if !contributions.is_empty() {
+        contributions.sort_by_key(|c| c.query_index);
+        let mut cache = engines.cache.write();
+        for contribution in &contributions {
+            cache.merge_local(
+                contribution.device,
+                &contribution.neighbors,
+                contribution.t,
+                epochs,
+            );
+        }
+    }
+    if !trained.is_empty() {
+        let mut models = engines.models.write();
+        for (device, model) in trained {
+            let epoch = epochs.of(device);
+            models.insert(device, ModelEntry { model, epoch });
+        }
+    }
+
+    answers
+        .into_iter()
+        .zip(items)
+        .map(|(answer, item)| match &item.device {
+            Ok(_) => Ok(answer.expect("every resolved query is answered by its shard")),
+            Err(e) => Err(e.clone()),
+        })
+        .collect()
+}
+
+/// Answers one shard's queries (in query order) against the frozen cache,
+/// collecting answers, affinity contributions, and freshly trained models
+/// (untouched seed models are not reported back).
+fn run_shard(
+    engines: &Engines,
+    store: &EventStore,
+    epochs: &EpochTable,
+    items: &[BatchItem],
+    indices: &[usize],
+    mut models: HashMap<DeviceId, DeviceCoarseModel>,
+    cache: Option<&EpochCache>,
+) -> ShardOutput {
+    let mut output = ShardOutput::default();
+    let mut trained: std::collections::HashSet<DeviceId> = std::collections::HashSet::new();
+    for &idx in indices {
+        let item = &items[idx];
+        let device = match item.device {
+            Ok(device) => device,
+            Err(_) => continue,
+        };
+        let t_q = item.t;
+        let (coarse, model_use) = engines.coarse_outcome_in(store, &mut models, device, t_q);
+        if model_use == ModelUse::Trained {
+            trained.insert(device);
+        }
+        let answer = match coarse.label {
+            CoarseLabel::Outside => assemble_answer(device, t_q, &coarse, None),
+            CoarseLabel::Inside(region) => {
+                let use_cache = item.eff.cache == CacheMode::Enabled;
+                let plan = cache.filter(|_| use_cache).map(|cache| {
+                    let neighbors = engines.fine_neighbors(store, &item.eff, device, t_q, region);
+                    engines.fine_plan(epochs, device, t_q, &neighbors, cache)
+                });
+                let (mut fine, _) = engines.fine_exec(store, &item.eff, device, t_q, region, plan);
+                let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
+                if use_cache && cache.is_some() && !fine.contributions.is_empty() {
+                    output.contributions.push(ShardContribution {
+                        query_index: idx,
+                        device,
+                        t: t_q,
+                        neighbors: std::mem::take(&mut fine.contributions),
+                    });
+                }
+                answer
+            }
+        };
+        output.answers.push((idx, answer));
+    }
+    models.retain(|device, _| trained.contains(device));
+    output.models = models;
+    output
+}

@@ -1,0 +1,850 @@
+//! The live [`LocaterService`]: online ingestion + query answering over one
+//! mutable event store, and the shared query engine both it and the frozen
+//! [`Locater`](super::Locater) facade delegate to.
+//!
+//! ## Lifecycle
+//!
+//! 1. **build** — construct the service over an initial (possibly empty) store;
+//! 2. **serve** — answer [`LocateRequest`]s concurrently from many threads;
+//! 3. **ingest** — append live events through [`LocaterService::ingest`] /
+//!    [`LocaterService::ingest_batch`]; each appended event bumps its device's
+//!    epoch;
+//! 4. **invalidate** — nothing to do: the epoch bump makes exactly the cached
+//!    state derived from the touched device stale (see [`super::epoch`]), and
+//!    the next query over that device recomputes it.
+//!
+//! Concurrency: the store sits behind a `parking_lot::RwLock`. Queries hold a
+//! read lock for their duration (so many run in parallel); an ingest takes the
+//! write lock only for the appends themselves — one O(log n) append for
+//! [`LocaterService::ingest`], the whole batch for
+//! [`LocaterService::ingest_batch`] (which is what makes its
+//! keep-prefix-on-error semantics atomic; chunk very large backfills if
+//! queries must not stall behind them) — never for model training or affinity
+//! scans.
+
+use super::batch::{self, BatchItem};
+use super::epoch::{EpochCache, EpochTable, ModelEntry};
+use super::request::{LocateRequest, LocateResponse};
+use super::{assemble_answer, Answer, CacheMode, LocaterConfig, QueryDiagnostics};
+use crate::coarse::{CoarseLabel, CoarseLocalizer, CoarseMethod, CoarseOutcome, DeviceCoarseModel};
+use crate::error::LocaterError;
+use crate::fine::{FineConfig, FineLocalizer, FineOutcome};
+use locater_events::clock::Timestamp;
+use locater_events::{DeviceId, EventId, Gap};
+use locater_space::RegionId;
+use locater_store::{EventStore, IngestError, RawEvent};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The engine state shared by the frozen facade and the live service: the
+/// configuration, the two localizers, the epoch-stamped caching engine, and the
+/// per-device coarse model cache.
+#[derive(Debug)]
+pub(crate) struct Engines {
+    pub(crate) config: LocaterConfig,
+    pub(crate) coarse: CoarseLocalizer,
+    pub(crate) fine: FineLocalizer,
+    pub(crate) cache: RwLock<EpochCache>,
+    pub(crate) models: RwLock<HashMap<DeviceId, ModelEntry>>,
+}
+
+/// The per-request view of the engine configuration: the fine localizer to run
+/// and whether the caching engine may be consulted. Computed once per request
+/// from the service config plus the request overrides.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Effective {
+    pub(crate) fine: FineLocalizer,
+    pub(crate) cache: CacheMode,
+}
+
+/// Resolves a (mac, device-id) target against a store.
+pub(crate) fn resolve_target(
+    store: &EventStore,
+    mac: Option<&str>,
+    device: Option<DeviceId>,
+) -> Result<DeviceId, LocaterError> {
+    if let Some(device) = device {
+        if device.index() < store.num_devices() {
+            return Ok(device);
+        }
+        return Err(LocaterError::UnknownDevice(device.to_string()));
+    }
+    match mac {
+        Some(mac) => store
+            .device_id(mac)
+            .ok_or_else(|| LocaterError::UnknownDevice(mac.to_string())),
+        None => Err(LocaterError::MissingDevice),
+    }
+}
+
+/// How the coarse step used the model map for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ModelUse {
+    /// The query was answered without a model (covered / out of span).
+    NotNeeded,
+    /// A cached model was still valid and reused.
+    Reused,
+    /// A model was (re)trained for this query.
+    Trained,
+}
+
+/// The graph-derived inputs of one fine-step execution: neighbor processing
+/// order, cached pairwise affinities, and whether the graph was warm for the
+/// queried device. Extracted under the graph lock; executed lock-free.
+pub(crate) struct FinePlan {
+    order: Vec<DeviceId>,
+    cached: HashMap<DeviceId, f64>,
+    warm: bool,
+}
+
+/// Outcome of the model-free coarse checks: a trivial answer, or the gap that
+/// needs model-based classification.
+enum CoarseShortcut {
+    Trivial(CoarseOutcome),
+    Gap(Gap),
+}
+
+impl Engines {
+    pub(crate) fn new(config: LocaterConfig) -> Self {
+        Self {
+            config,
+            coarse: CoarseLocalizer::new(config.coarse),
+            fine: FineLocalizer::new(config.fine),
+            cache: RwLock::new(EpochCache::new()),
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The per-request engine view with no overrides applied.
+    pub(crate) fn effective_base(&self) -> Effective {
+        Effective {
+            fine: self.fine,
+            cache: self.config.cache,
+        }
+    }
+
+    /// The per-request engine view for one request's overrides.
+    pub(crate) fn effective_for(&self, request: &LocateRequest) -> Effective {
+        let fine = match request.fine_mode {
+            Some(mode) if mode != self.config.fine.mode => FineLocalizer::new(FineConfig {
+                mode,
+                ..self.config.fine
+            }),
+            _ => self.fine,
+        };
+        Effective {
+            fine,
+            cache: request.cache.unwrap_or(self.config.cache),
+        }
+    }
+
+    /// Drops all cached affinities and per-device coarse models.
+    pub(crate) fn clear_cache(&self) {
+        self.cache.write().clear();
+        self.models.write().clear();
+    }
+
+    /// Answers one query, returning the answer and per-query diagnostics.
+    pub(crate) fn locate_detailed(
+        &self,
+        store: &EventStore,
+        epochs: &EpochTable,
+        device: DeviceId,
+        t_q: Timestamp,
+        eff: &Effective,
+    ) -> (Answer, QueryDiagnostics) {
+        let start = Instant::now();
+
+        // ---- Coarse step --------------------------------------------------
+        let (coarse, model_reused) = self.coarse_outcome(store, epochs, device, t_q);
+        let region = match coarse.label {
+            CoarseLabel::Outside => {
+                let answer = assemble_answer(device, t_q, &coarse, None);
+                let diagnostics = QueryDiagnostics {
+                    coarse,
+                    fine: None,
+                    elapsed: start.elapsed(),
+                    coarse_model_reused: model_reused,
+                    cache_warm: false,
+                };
+                return (answer, diagnostics);
+            }
+            CoarseLabel::Inside(region) => region,
+        };
+
+        // ---- Fine step ----------------------------------------------------
+        // The neighbor scan and the fine localization both run lock-free; the
+        // graph read lock covers only the plan extraction between them.
+        let plan = match eff.cache {
+            CacheMode::Enabled => {
+                let neighbors = self.fine_neighbors(store, eff, device, t_q, region);
+                let cache = self.cache.read();
+                Some(self.fine_plan(epochs, device, t_q, &neighbors, &cache))
+            }
+            CacheMode::Disabled => None,
+        };
+        let (fine, cache_warm) = self.fine_exec(store, eff, device, t_q, region, plan);
+        if eff.cache == CacheMode::Enabled && !fine.contributions.is_empty() {
+            self.cache
+                .write()
+                .merge_local(device, &fine.contributions, t_q, epochs);
+        }
+
+        let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
+        let diagnostics = QueryDiagnostics {
+            coarse,
+            fine: Some(fine),
+            elapsed: start.elapsed(),
+            coarse_model_reused: model_reused,
+            cache_warm,
+        };
+        (answer, diagnostics)
+    }
+
+    /// Runs the coarse step, reusing the cached per-device model when it is
+    /// still epoch-live and covers the query time. Returns the outcome and
+    /// whether the model was reused.
+    ///
+    /// Lock discipline is read-mostly: the reuse check and classification take
+    /// read locks, and expensive model training happens outside any lock, so
+    /// concurrent `locate` callers with warm models never serialize.
+    fn coarse_outcome(
+        &self,
+        store: &EventStore,
+        epochs: &EpochTable,
+        device: DeviceId,
+        t_q: Timestamp,
+    ) -> (CoarseOutcome, bool) {
+        let gap = match self.coarse_shortcut(store, device, t_q) {
+            CoarseShortcut::Trivial(outcome) => return (outcome, false),
+            CoarseShortcut::Gap(gap) => gap,
+        };
+        let epoch = epochs.of(device);
+        {
+            let models = self.models.read();
+            if let Some(entry) = models.get(&device) {
+                if entry.epoch == epoch && self.model_covers(&entry.model, t_q) {
+                    return (
+                        self.coarse.classify_with_model(store, &entry.model, &gap),
+                        true,
+                    );
+                }
+            }
+        }
+        // Classify with the model just trained — never a re-read of the shared
+        // map, which a concurrent query for the same device at a different
+        // time could have overwritten with a model that does not cover `t_q`.
+        let model = self.coarse.train_device_model(store, device, t_q);
+        let outcome = self.coarse.classify_with_model(store, &model, &gap);
+        self.models
+            .write()
+            .insert(device, ModelEntry { model, epoch });
+        (outcome, false)
+    }
+
+    /// `true` if a cached model is still valid for a query at `t_q` (time
+    /// coverage only; epoch liveness is checked by the callers).
+    pub(crate) fn model_covers(&self, model: &DeviceCoarseModel, t_q: Timestamp) -> bool {
+        t_q >= model.history.start && t_q <= model.history.end + self.config.model_refresh_slack
+    }
+
+    /// The model-free coarse answers (covered by an event, out of the log
+    /// span), or the gap that needs model-based classification.
+    fn coarse_shortcut(
+        &self,
+        store: &EventStore,
+        device: DeviceId,
+        t_q: Timestamp,
+    ) -> CoarseShortcut {
+        if let Some(region) = store.covering_region(device, t_q) {
+            return CoarseShortcut::Trivial(CoarseOutcome {
+                label: CoarseLabel::Inside(region),
+                method: CoarseMethod::CoveredByEvent,
+                confidence: 1.0,
+                gap: None,
+            });
+        }
+        match store.gap_at(device, t_q) {
+            Some(gap) => CoarseShortcut::Gap(gap),
+            None => CoarseShortcut::Trivial(CoarseOutcome {
+                label: CoarseLabel::Outside,
+                method: CoarseMethod::OutOfSpan,
+                confidence: 1.0,
+                gap: None,
+            }),
+        }
+    }
+
+    /// Runs the coarse step against an explicit model map (a shard-local map in
+    /// the batch pipeline). Returns the outcome and how the model map was used,
+    /// so callers can tell freshly trained models from untouched seeds.
+    pub(crate) fn coarse_outcome_in(
+        &self,
+        store: &EventStore,
+        models: &mut HashMap<DeviceId, DeviceCoarseModel>,
+        device: DeviceId,
+        t_q: Timestamp,
+    ) -> (CoarseOutcome, ModelUse) {
+        let gap = match self.coarse_shortcut(store, device, t_q) {
+            CoarseShortcut::Trivial(outcome) => return (outcome, ModelUse::NotNeeded),
+            CoarseShortcut::Gap(gap) => gap,
+        };
+        let reused = models
+            .get(&device)
+            .is_some_and(|model| self.model_covers(model, t_q));
+        if !reused {
+            let model = self.coarse.train_device_model(store, device, t_q);
+            models.insert(device, model);
+        }
+        let model = models
+            .get(&device)
+            .expect("model was inserted above if missing");
+        let outcome = self.coarse.classify_with_model(store, model, &gap);
+        let usage = if reused {
+            ModelUse::Reused
+        } else {
+            ModelUse::Trained
+        };
+        (outcome, usage)
+    }
+
+    /// The neighbor devices eligible for the fine step — a store scan that
+    /// needs no lock.
+    pub(crate) fn fine_neighbors(
+        &self,
+        store: &EventStore,
+        eff: &Effective,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+    ) -> Vec<DeviceId> {
+        eff.fine
+            .candidate_neighbors(store, device, t_q, region)
+            .into_iter()
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Extracts what the fine step needs from the affinity graph: the neighbor
+    /// processing order, cached pairwise affinities (which replace the per-pair
+    /// history scans of cold queries), and cache warmth. Only epoch-live edges
+    /// are visible. Callers take the graph lock only for this extraction; the
+    /// neighbor scan ([`Engines::fine_neighbors`]) and [`Engines::fine_exec`]
+    /// run lock-free.
+    pub(crate) fn fine_plan(
+        &self,
+        epochs: &EpochTable,
+        device: DeviceId,
+        t_q: Timestamp,
+        neighbors: &[DeviceId],
+        cache: &EpochCache,
+    ) -> FinePlan {
+        let warm = neighbors
+            .iter()
+            .any(|&n| !cache.samples(device, n, epochs).is_empty());
+        let cached: HashMap<DeviceId, f64> = neighbors
+            .iter()
+            .filter_map(|&n| {
+                cache
+                    .cached_pair_affinity(device, n, t_q, epochs)
+                    .map(|affinity| (n, affinity))
+            })
+            .collect();
+        let order = cache.order_neighbors(device, neighbors, t_q, epochs);
+        FinePlan {
+            order,
+            cached,
+            warm,
+        }
+    }
+
+    /// Runs the fine step with an optional cache plan. Returns the outcome and
+    /// whether the affinity graph was warm for the queried device.
+    pub(crate) fn fine_exec(
+        &self,
+        store: &EventStore,
+        eff: &Effective,
+        device: DeviceId,
+        t_q: Timestamp,
+        region: RegionId,
+        plan: Option<FinePlan>,
+    ) -> (FineOutcome, bool) {
+        let Some(FinePlan {
+            order,
+            cached,
+            warm,
+        }) = plan
+        else {
+            return (eff.fine.locate(store, device, t_q, region, None), false);
+        };
+        let lookup = move |neighbor: DeviceId| cached.get(&neighbor).copied();
+        let fine =
+            eff.fine
+                .locate_with_cache(store, device, t_q, region, Some(&order), Some(&lookup));
+        (fine, warm)
+    }
+}
+
+/// The mutable half of the service: the event store and the per-device ingest
+/// epochs, updated together under one lock so a query always sees a consistent
+/// (store, epochs) pair.
+#[derive(Debug)]
+struct LiveStore {
+    store: EventStore,
+    epochs: EpochTable,
+}
+
+/// The live LOCATER service: a cleaning + caching engine over a **mutable**
+/// event store that ingests connectivity events while answering queries.
+///
+/// Unlike the frozen [`Locater`](super::Locater) facade, the dataset may grow
+/// after construction. Correctness is maintained by epoch-based invalidation
+/// (see [`super::epoch`]): after any ingest sequence, answers are identical to
+/// those of a freshly built service over the same final store.
+///
+/// ```
+/// use locater_core::system::{LocaterService, LocateRequest, LocaterConfig};
+/// use locater_space::SpaceBuilder;
+/// use locater_store::EventStore;
+///
+/// let space = SpaceBuilder::new("demo")
+///     .add_access_point("wap1", &["101", "102"])
+///     .build()
+///     .unwrap();
+/// let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+///
+/// // Live ingestion: the store grows while the service answers queries.
+/// service.ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1").unwrap();
+/// service.ingest("aa:bb:cc:dd:ee:01", 4_000, "wap1").unwrap();
+///
+/// let response = service
+///     .locate(&LocateRequest::by_mac("aa:bb:cc:dd:ee:01", 2_500))
+///     .unwrap();
+/// assert!(response.answer.is_inside());
+/// assert_eq!(response.device_epoch, 2); // two events ingested for the device
+/// ```
+#[derive(Debug)]
+pub struct LocaterService {
+    live: RwLock<LiveStore>,
+    engines: Engines,
+}
+
+impl LocaterService {
+    /// Creates a service over an initial (possibly empty) store.
+    pub fn new(store: EventStore, config: LocaterConfig) -> Self {
+        Self {
+            live: RwLock::new(LiveStore {
+                store,
+                epochs: EpochTable::new(),
+            }),
+            engines: Engines::new(config),
+        }
+    }
+
+    pub(crate) fn from_parts(store: EventStore, engines: Engines) -> Self {
+        Self {
+            live: RwLock::new(LiveStore {
+                store,
+                epochs: EpochTable::new(),
+            }),
+            engines,
+        }
+    }
+
+    /// The system configuration (per-request overrides are applied on top).
+    pub fn config(&self) -> &LocaterConfig {
+        &self.engines.config
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Appends one connectivity event (access point given by name, as found in
+    /// logs) and bumps the device's epoch. Takes the store write lock only for
+    /// the append itself.
+    pub fn ingest(&self, mac: &str, t: Timestamp, ap_name: &str) -> Result<EventId, IngestError> {
+        let mut live = self.live.write();
+        let id = live.store.ingest_raw(mac, t, ap_name)?;
+        let device = live
+            .store
+            .device_id(mac)
+            .expect("ingest_raw interned the device");
+        live.epochs.bump(device);
+        Ok(id)
+    }
+
+    /// Appends a batch of raw events, stopping at the first error (events
+    /// before the error are kept and their devices' epochs bumped). Returns the
+    /// number of events appended.
+    pub fn ingest_batch<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a RawEvent>,
+    ) -> Result<usize, IngestError> {
+        let mut live = self.live.write();
+        let mut count = 0usize;
+        for event in events {
+            live.store.ingest_raw(&event.mac, event.t, &event.ap)?;
+            let device = live
+                .store
+                .device_id(&event.mac)
+                .expect("ingest_raw interned the device");
+            live.epochs.bump(device);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Re-estimates every device's validity period δ from its (grown) history
+    /// and bumps **all** epochs: changing δ reshapes every device's gap
+    /// structure, so all cached state is invalidated.
+    pub fn reestimate_deltas(&self) {
+        let mut live = self.live.write();
+        live.store.estimate_deltas();
+        let devices = live.store.num_devices();
+        live.epochs.bump_all(devices);
+    }
+
+    /// Overrides one device's validity period δ and bumps its epoch.
+    pub fn set_delta(&self, device: DeviceId, delta: Timestamp) {
+        let mut live = self.live.write();
+        live.store.set_delta(device, delta);
+        live.epochs.bump(device);
+    }
+
+    /// Bumps one device's epoch without touching the store, invalidating every
+    /// cached value derived from its history.
+    pub fn invalidate_device(&self, device: DeviceId) {
+        self.live.write().epochs.bump(device);
+    }
+
+    /// Bumps every device's epoch, invalidating all cached state at once (the
+    /// epoch-based equivalent of the legacy `clear_cache`-and-rebuild).
+    pub fn invalidate_all(&self) {
+        let mut live = self.live.write();
+        let devices = live.store.num_devices();
+        live.epochs.bump_all(devices);
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Resolves the device a request refers to.
+    pub fn resolve(&self, request: &LocateRequest) -> Result<DeviceId, LocaterError> {
+        let live = self.live.read();
+        resolve_target(&live.store, request.mac.as_deref(), request.device)
+    }
+
+    /// Answers one request. Holds the store read lock for the duration of the
+    /// query, so concurrent requests proceed in parallel and ingests are only
+    /// delayed by in-flight queries.
+    pub fn locate(&self, request: &LocateRequest) -> Result<LocateResponse, LocaterError> {
+        let live = self.live.read();
+        let device = resolve_target(&live.store, request.mac.as_deref(), request.device)?;
+        let eff = self.engines.effective_for(request);
+        let (answer, diagnostics) =
+            self.engines
+                .locate_detailed(&live.store, &live.epochs, device, request.t, &eff);
+        Ok(LocateResponse {
+            answer,
+            device_epoch: live.epochs.of(device),
+            events_seen: live.store.num_events(),
+            diagnostics: request.diagnostics.then_some(diagnostics),
+        })
+    }
+
+    /// Answers a batch of requests through the deterministic sharded batch
+    /// pipeline (see [`Locater::locate_batch`](super::Locater::locate_batch)
+    /// for the determinism guarantees — responses are identical for every
+    /// `jobs` value and returned in request order). Per-request overrides are
+    /// honored; batch responses carry no diagnostics.
+    pub fn locate_batch(
+        &self,
+        requests: &[LocateRequest],
+        jobs: usize,
+    ) -> Vec<Result<LocateResponse, LocaterError>> {
+        let live = self.live.read();
+        let items: Vec<BatchItem> = requests
+            .iter()
+            .map(|request| BatchItem {
+                t: request.t,
+                device: resolve_target(&live.store, request.mac.as_deref(), request.device),
+                eff: self.engines.effective_for(request),
+            })
+            .collect();
+        let answers = batch::run_batch(&self.engines, &live.store, &live.epochs, &items, jobs);
+        let events_seen = live.store.num_events();
+        answers
+            .into_iter()
+            .zip(&items)
+            .map(|(answer, item)| {
+                answer.map(|answer| LocateResponse {
+                    device_epoch: item
+                        .device
+                        .as_ref()
+                        .map(|&d| live.epochs.of(d))
+                        .unwrap_or(0),
+                    events_seen,
+                    answer,
+                    diagnostics: None,
+                })
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// The current ingest epoch of a device (0 for devices never ingested
+    /// through the service).
+    pub fn device_epoch(&self, device: DeviceId) -> u64 {
+        self.live.read().epochs.of(device)
+    }
+
+    /// Runs `f` with read access to the store (the lock is held for the
+    /// duration of the closure — keep it short).
+    pub fn with_store<R>(&self, f: impl FnOnce(&EventStore) -> R) -> R {
+        f(&self.live.read().store)
+    }
+
+    /// A clone of the current store (the basis of the service's answers at
+    /// this instant; useful for rebuild-equivalence checks and snapshots).
+    pub fn store_snapshot(&self) -> EventStore {
+        self.live.read().store.clone()
+    }
+
+    /// Total number of events currently in the store.
+    pub fn num_events(&self) -> usize {
+        self.live.read().store.num_events()
+    }
+
+    /// Number of distinct devices currently in the store.
+    pub fn num_devices(&self) -> usize {
+        self.live.read().store.num_devices()
+    }
+
+    /// Number of edges and samples physically held by the caching engine,
+    /// including stale ones awaiting eviction.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.engines.cache.read().stats()
+    }
+
+    /// Number of edges and samples that are live under the current epochs —
+    /// the state queries can actually observe.
+    pub fn live_cache_stats(&self) -> (usize, usize) {
+        let live = self.live.read();
+        self.engines.cache.read().live_stats(&live.epochs)
+    }
+
+    /// Eagerly evicts stale affinity edges and stale/expired coarse models,
+    /// returning `(edges_evicted, models_evicted)`. Optional maintenance —
+    /// queries never observe stale state either way.
+    pub fn purge_stale(&self) -> (usize, usize) {
+        let live = self.live.read();
+        let edges = self.engines.cache.write().purge_stale(&live.epochs);
+        let mut models = self.engines.models.write();
+        let before = models.len();
+        models.retain(|&device, entry| entry.epoch == live.epochs.of(device));
+        (edges, before - models.len())
+    }
+
+    /// Drops all cached affinities and per-device coarse models (epochs are
+    /// untouched; prefer letting epoch invalidation work instead).
+    pub fn clear_cache(&self) {
+        self.engines.clear_cache();
+    }
+}
+
+/// Conversion from the legacy frozen facade: the store, configuration, and all
+/// cached state carry over; the dataset becomes mutable from here on.
+impl From<super::Locater> for LocaterService {
+    fn from(locater: super::Locater) -> Self {
+        locater.into_service()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Query;
+    use super::*;
+    use crate::fine::FineMode;
+    use locater_events::clock;
+    use locater_space::{RoomType, Space, SpaceBuilder};
+
+    fn space() -> Space {
+        SpaceBuilder::new("service-test")
+            .add_access_point("wap0", &["office-a", "office-b", "lounge"])
+            .add_access_point("wap1", &["lounge", "lab"])
+            .room_type("lounge", RoomType::Public)
+            .room_owner("office-a", "alice")
+            .room_owner("office-b", "bob")
+            .build()
+            .unwrap()
+    }
+
+    /// Alice and Bob work together on wap0 on weekdays for `weeks` weeks.
+    fn office_store(weeks: i64) -> EventStore {
+        let mut store = EventStore::new(space());
+        for week in 0..weeks {
+            for day in 0..5 {
+                let d = week * 7 + day;
+                for slot in 0..16 {
+                    let t = clock::at(d, 9, slot * 30, 0);
+                    store.ingest_raw("alice", t, "wap0").unwrap();
+                    store.ingest_raw("bob", t + 45, "wap0").unwrap();
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn ingest_appends_and_bumps_epochs() {
+        let service = LocaterService::new(EventStore::new(space()), LocaterConfig::default());
+        assert_eq!(service.num_events(), 0);
+        service.ingest("alice", 1_000, "wap0").unwrap();
+        service.ingest("alice", 1_300, "wap0").unwrap();
+        service.ingest("bob", 1_100, "wap1").unwrap();
+        assert_eq!(service.num_events(), 3);
+        assert_eq!(service.num_devices(), 2);
+        let alice = service.with_store(|s| s.device_id("alice").unwrap());
+        let bob = service.with_store(|s| s.device_id("bob").unwrap());
+        assert_eq!(service.device_epoch(alice), 2);
+        assert_eq!(service.device_epoch(bob), 1);
+
+        // Unknown AP: error surfaces, nothing appended.
+        assert!(service.ingest("alice", 2_000, "wap9").is_err());
+        assert_eq!(service.num_events(), 3);
+        assert_eq!(service.device_epoch(alice), 2);
+    }
+
+    #[test]
+    fn ingest_batch_stops_at_first_error_but_keeps_prefix() {
+        let service = LocaterService::new(EventStore::new(space()), LocaterConfig::default());
+        let events = [
+            RawEvent::new("alice", 1_000, "wap0"),
+            RawEvent::new("bob", 1_100, "wap1"),
+            RawEvent::new("alice", 1_200, "nope"),
+            RawEvent::new("bob", 1_300, "wap1"),
+        ];
+        let err = service.ingest_batch(events.iter()).unwrap_err();
+        assert!(matches!(err, IngestError::UnknownAccessPoint(_)));
+        assert_eq!(service.num_events(), 2);
+        let alice = service.with_store(|s| s.device_id("alice").unwrap());
+        assert_eq!(service.device_epoch(alice), 1);
+    }
+
+    #[test]
+    fn locate_answers_and_reports_epoch_and_store_size() {
+        let service = LocaterService::new(office_store(2), LocaterConfig::default());
+        let t_q = clock::at(8, 9, 5, 10);
+        let response = service
+            .locate(&LocateRequest::by_mac("alice", t_q))
+            .unwrap();
+        assert!(response.answer.is_inside());
+        assert_eq!(response.device_epoch, 0, "no live ingests yet");
+        assert_eq!(response.events_seen, service.num_events());
+        assert!(response.diagnostics.is_none(), "diagnostics are opt-in");
+
+        let detailed = service
+            .locate(&LocateRequest::by_mac("alice", t_q).with_diagnostics())
+            .unwrap();
+        assert!(detailed.diagnostics.is_some());
+    }
+
+    #[test]
+    fn per_request_cache_bypass_stores_nothing() {
+        let service = LocaterService::new(office_store(3), LocaterConfig::default());
+        let t_q = clock::at(15, 9, 30, 20);
+        let bypass = LocateRequest::by_mac("alice", t_q).bypass_cache();
+        service.locate(&bypass).unwrap();
+        assert_eq!(service.cache_stats(), (0, 0));
+
+        // The same request without the bypass warms the graph.
+        service
+            .locate(&LocateRequest::by_mac("alice", t_q))
+            .unwrap();
+        assert!(service.cache_stats().0 >= 1);
+    }
+
+    #[test]
+    fn per_request_fine_mode_override_answers() {
+        let service = LocaterService::new(office_store(3), LocaterConfig::default());
+        let t_q = clock::at(15, 9, 30, 20);
+        let response = service
+            .locate(&LocateRequest::by_mac("alice", t_q).with_fine_mode(FineMode::Dependent))
+            .unwrap();
+        assert!(response.answer.is_inside());
+    }
+
+    #[test]
+    fn ingest_invalidates_exactly_the_touched_device() {
+        let service = LocaterService::new(office_store(3), LocaterConfig::default());
+        let t_q = clock::at(15, 9, 30, 20);
+        // Warm alice↔bob (via alice's query).
+        service
+            .locate(&LocateRequest::by_mac("alice", t_q))
+            .unwrap();
+        let (live_edges, _) = service.live_cache_stats();
+        assert!(live_edges >= 1);
+
+        // An event for bob invalidates the alice↔bob edge...
+        service.ingest("bob", t_q + 600, "wap0").unwrap();
+        assert_eq!(service.live_cache_stats().0, 0);
+        assert!(
+            service.cache_stats().0 >= 1,
+            "stale edge lingers until eviction"
+        );
+
+        // ...and a purge reclaims it.
+        let (edges_evicted, _) = service.purge_stale();
+        assert!(edges_evicted >= 1);
+        assert_eq!(service.cache_stats().0, 0);
+    }
+
+    #[test]
+    fn invalidate_all_and_reestimate_deltas_bump_every_device() {
+        let service = LocaterService::new(office_store(1), LocaterConfig::default());
+        let alice = service.with_store(|s| s.device_id("alice").unwrap());
+        let bob = service.with_store(|s| s.device_id("bob").unwrap());
+        service.invalidate_all();
+        assert_eq!(service.device_epoch(alice), 1);
+        assert_eq!(service.device_epoch(bob), 1);
+        service.reestimate_deltas();
+        assert_eq!(service.device_epoch(alice), 2);
+        assert_eq!(service.device_epoch(bob), 2);
+        service.invalidate_device(alice);
+        assert_eq!(service.device_epoch(alice), 3);
+        assert_eq!(service.device_epoch(bob), 2);
+    }
+
+    #[test]
+    fn batch_routes_through_request_layer_in_order() {
+        let service = LocaterService::new(office_store(3), LocaterConfig::default());
+        let requests = vec![
+            LocateRequest::by_mac("alice", clock::at(15, 9, 30, 20)),
+            LocateRequest::by_mac("ghost", 1_000),
+            LocateRequest::by_mac("bob", clock::at(15, 3, 0, 0)).bypass_cache(),
+        ];
+        let responses = service.locate_batch(&requests, 2);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].as_ref().unwrap().answer.is_inside());
+        assert!(matches!(responses[1], Err(LocaterError::UnknownDevice(_))));
+        assert!(responses[2].as_ref().unwrap().answer.is_outside());
+    }
+
+    #[test]
+    fn frozen_facade_converts_into_service() {
+        let locater = super::super::Locater::new(office_store(2), LocaterConfig::default());
+        let t_q = clock::at(8, 9, 5, 10);
+        let frozen = locater.locate(&Query::by_mac("alice", t_q)).unwrap();
+        let service: LocaterService = locater.into();
+        let live = service
+            .locate(&LocateRequest::by_mac("alice", t_q))
+            .unwrap();
+        assert_eq!(frozen, live.answer);
+    }
+}

@@ -262,7 +262,7 @@ impl Space {
             .collect()
     }
 
-    /// Counts rooms of each [`RoomType`]: `(public, private)`.
+    /// Counts rooms of each [`RoomType`](crate::room::RoomType): `(public, private)`.
     pub fn room_type_counts(&self) -> (usize, usize) {
         let public = self.rooms.iter().filter(|r| r.is_public()).count();
         (public, self.rooms.len() - public)

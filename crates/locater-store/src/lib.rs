@@ -12,7 +12,7 @@
 //! * **a global timeline index** — "which devices were connected around time `t`?"
 //!   (needed to find the *neighbor devices* of the fine-grained algorithm) is a range
 //!   scan over one sorted vector;
-//! * **device interning** — MAC-address strings are interned to dense [`DeviceId`]s at
+//! * **device interning** — MAC-address strings are interned to dense [`DeviceId`](locater_events::DeviceId)s at
 //!   ingestion; all downstream processing uses integer ids.
 //!
 //! The store also offers CSV import/export (the de-facto exchange format for

@@ -27,7 +27,7 @@ fn main() {
     );
 
     let space = store.space().clone();
-    let locater = Locater::new(store, LocaterConfig::default());
+    let service = LocaterService::new(store, LocaterConfig::default());
 
     // 2. Pick the most predictable monitored person and replay their last Thursday.
     let person = output
@@ -52,9 +52,9 @@ fn main() {
     println!("{}", "-".repeat(58));
     for half_hour in 0..28 {
         let t = locater::events::clock::at(day, 7, half_hour * 30, 0);
-        let predicted = locater
-            .locate(&Query::by_mac(&person.mac, t))
-            .map(|a| a.location)
+        let predicted = service
+            .locate(&LocateRequest::by_mac(&person.mac, t))
+            .map(|r| r.answer.location)
             .unwrap_or(locater::core::system::Location::Outside);
         let truth_room = output.ground_truth.room_at(&person.mac, t);
         let truth = match truth_room {

@@ -22,11 +22,12 @@ fn main() {
         store.num_devices()
     );
 
+    // D-FINE is requested per query through the request layer; the service
+    // itself keeps the default (I-FINE) configuration.
     let space = store.space().clone();
-    let locater = Locater::new(
-        store,
-        LocaterConfig::default().with_fine_mode(FineMode::Dependent),
-    );
+    let service = LocaterService::new(store, LocaterConfig::default());
+    let dependent =
+        |mac: &str, t| LocateRequest::by_mac(mac, t).with_fine_mode(FineMode::Dependent);
 
     // 2. The index case and the exposure day: the monitored person who spent the most
     //    time in the building on day 10 (ties broken toward students, who move through
@@ -61,10 +62,10 @@ fn main() {
     let probe_minutes = 15;
     for probe in 0..(12 * 60 / probe_minutes) {
         let t = locater::events::clock::at(day, 8, probe * probe_minutes, 0);
-        let Ok(index_answer) = locater.locate(&Query::by_mac(&index_case.mac, t)) else {
+        let Ok(index_response) = service.locate(&dependent(&index_case.mac, t)) else {
             continue;
         };
-        let Some(index_room) = index_answer.room() else {
+        let Some(index_room) = index_response.answer.room() else {
             continue; // outside or region-only: no room-level exposure
         };
         *rooms_visited
@@ -74,8 +75,8 @@ fn main() {
             if other == &index_case.mac {
                 continue;
             }
-            if let Ok(answer) = locater.locate(&Query::by_mac(other, t)) {
-                if answer.room() == Some(index_room) {
+            if let Ok(response) = service.locate(&dependent(other, t)) {
+                if response.answer.room() == Some(index_room) {
                     *exposure_minutes.entry(other.clone()).or_insert(0) += probe_minutes;
                 }
             }

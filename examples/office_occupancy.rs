@@ -28,11 +28,14 @@ fn main() {
         output.days
     );
 
-    // 2. LOCATER over the dataset.
+    // 2. A live LOCATER service over the dataset (an HVAC deployment keeps
+    //    ingesting events; here the dataset is static for reproducibility).
     let space = store.space().clone();
-    let locater = Locater::new(store, LocaterConfig::default());
+    let service = LocaterService::new(store, LocaterConfig::default());
 
-    // 3. Occupancy per region for every hour of the second Wednesday (day 9).
+    // 3. Occupancy per region for every hour of the second Wednesday (day 9),
+    //    each hour answered as one deterministic batch through the typed
+    //    request layer.
     let day = 9;
     let devices: Vec<String> = output.people.iter().map(|p| p.mac.clone()).collect();
     println!("\nestimated occupancy per region (day {day}, hourly):");
@@ -42,14 +45,19 @@ fn main() {
     }
     println!("{:>9}", "outside");
 
+    let jobs = std::thread::available_parallelism().map_or(2, |n| n.get());
     let mut daily_peak: BTreeMap<u32, usize> = BTreeMap::new();
     for hour in 7..20 {
         let t = locater::events::clock::at(day, hour, 30, 0);
+        let requests: Vec<LocateRequest> = devices
+            .iter()
+            .map(|mac| LocateRequest::by_mac(mac, t))
+            .collect();
         let mut per_region: BTreeMap<u32, usize> = BTreeMap::new();
         let mut outside = 0usize;
-        for mac in &devices {
-            match locater.locate(&Query::by_mac(mac, t)) {
-                Ok(answer) => match answer.region() {
+        for response in service.locate_batch(&requests, jobs) {
+            match response {
+                Ok(response) => match response.answer.region() {
                     Some(region) => *per_region.entry(region.raw()).or_insert(0) += 1,
                     None => outside += 1,
                 },

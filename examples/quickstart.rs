@@ -47,49 +47,97 @@ fn main() {
     // ------------------------------------------------------------------
     let day = 3; // a Thursday
     let at = |h: i64, m: i64, s: i64| locater::events::clock::at(day, h, m, s);
-    let mut store = EventStore::new(space);
+
+    // The service starts over an *empty* store and ingests the live event
+    // stream as it arrives — the always-on regime the paper's service framing
+    // targets.
+    let service = LocaterService::new(EventStore::new(space.clone()), LocaterConfig::default());
     let events = [
         ("7fbh", at(12, 45, 2), "wap3"),
         ("7fbh", at(13, 4, 35), "wap3"),
         ("3ndb", at(13, 5, 17), "wap3"),
         ("dj8c", at(13, 5, 39), "wap3"),
         ("ws7m", at(13, 9, 11), "wap2"),
-        ("7fbh", at(13, 18, 11), "wap3"),
-        ("34sd", at(13, 20, 14), "wap1"),
     ];
     for (mac, t, ap) in events {
-        store.ingest_raw(mac, t, ap).expect("event ingests");
+        service.ingest(mac, t, ap).expect("event ingests");
     }
     println!(
         "ingested {} events from {} devices",
-        store.num_events(),
-        store.num_devices()
+        service.num_events(),
+        service.num_devices()
     );
 
     // 7fbh is a chatty laptop whose events are only trusted for ±2 minutes, so the
-    // stretch between its 13:04:35 and 13:18:11 events is a genuine gap — the missing
+    // stretch after its 13:04:35 event is a genuine hole in its log — the missing
     // value of Fig. 1(c) that the coarse cleaning step has to repair.
-    let laptop = store.device_id("7fbh").expect("device was ingested");
-    store.set_delta(laptop, 120);
+    let laptop = service
+        .with_store(|s| s.device_id("7fbh"))
+        .expect("device was ingested");
+    service.set_delta(laptop, 120);
 
     // ------------------------------------------------------------------
-    // 3. Ask LOCATER where device 7fbh was at 13:10 — inside the gap between its
-    //    13:04:35 and 13:18:11 events.
+    // 3. Ask LOCATER where device 7fbh was at 13:10. The device has not been
+    //    seen since 13:04:35, so with nothing after the query time the service
+    //    can only answer from the observed span.
     // ------------------------------------------------------------------
-    let locater = Locater::new(store, LocaterConfig::default());
     let query_time = at(13, 10, 0);
-    let answer = locater
-        .locate(&Query::by_mac("7fbh", query_time))
+    let before = service
+        .locate(&LocateRequest::by_mac("7fbh", query_time))
         .expect("device exists in the log");
-
     println!(
         "\nquery: where was 7fbh at {}?",
         locater::events::clock::format_timestamp(query_time)
     );
+    describe_answer(&space, &before.answer);
+
+    // ------------------------------------------------------------------
+    // 4. The laptop reconnects at 13:18:11 (Fig. 1b's last 7fbh event). The
+    //    ingest bumps the device's epoch — invalidating exactly the cached
+    //    state derived from its history — and the *same* query now falls in a
+    //    closed gap that the cleaning engine classifies properly.
+    // ------------------------------------------------------------------
+    service.ingest("7fbh", at(13, 18, 11), "wap3").unwrap();
+    service.ingest("34sd", at(13, 20, 14), "wap1").unwrap();
+    let after = service
+        .locate(&LocateRequest::by_mac("7fbh", query_time))
+        .expect("device exists in the log");
+    println!(
+        "\nafter the 13:18:11 event arrived (device epoch {} -> {}):",
+        before.device_epoch, after.device_epoch
+    );
+    describe_answer(&space, &after.answer);
+
+    // A query at a covered instant needs no cleaning at all.
+    let covered = service
+        .locate(&LocateRequest::by_mac("7fbh", at(13, 5, 40)))
+        .expect("device exists");
+    println!(
+        "at 13:05:40 (covered by an event) the device is in room {}",
+        space
+            .room(covered.answer.room().expect("room-level answer"))
+            .name
+    );
+
+    // And a query long after the last event is answered as outside.
+    let outside = service
+        .locate(&LocateRequest::by_mac("7fbh", at(23, 30, 0)))
+        .expect("device exists");
+    println!(
+        "at 23:30 the device is {}",
+        if outside.answer.is_outside() {
+            "outside the building"
+        } else {
+            "still inside"
+        }
+    );
+}
+
+/// Prints one answer at whatever granularity it was resolved to.
+fn describe_answer(space: &Space, answer: &Answer) {
     match (answer.is_inside(), answer.region(), answer.room()) {
         (false, _, _) => println!("answer: outside the building"),
         (true, Some(region), Some(room)) => {
-            let space = locater.store().space();
             println!(
                 "answer: inside, region {} (AP {}), room {} — decided by {:?} with confidence {:.2}",
                 region,
@@ -101,30 +149,4 @@ fn main() {
         }
         (true, region, room) => println!("answer: inside ({region:?}, {room:?})"),
     }
-
-    // A query at a covered instant needs no cleaning at all.
-    let covered = locater
-        .locate(&Query::by_mac("7fbh", at(13, 5, 40)))
-        .expect("device exists");
-    println!(
-        "at 13:05:40 (covered by an event) the device is in room {}",
-        locater
-            .store()
-            .space()
-            .room(covered.room().expect("room-level answer"))
-            .name
-    );
-
-    // And a query long after the last event is answered as outside.
-    let outside = locater
-        .locate(&Query::by_mac("7fbh", at(23, 30, 0)))
-        .expect("device exists");
-    println!(
-        "at 23:30 the device is {}",
-        if outside.is_outside() {
-            "outside the building"
-        } else {
-            "still inside"
-        }
-    );
 }

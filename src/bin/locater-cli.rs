@@ -8,17 +8,23 @@
 //! locater-cli stats    <space.json> <events.csv>
 //! locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]
 //! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]
+//! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]
 //! locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
 //! ```
 //!
-//! * `space.json` is the [`SpaceMetadata`](locater::space::SpaceMetadata) format
+//! * `space.json` is the [`SpaceMetadata`] format
 //!   (AP coverage, public rooms, room owners, preferred rooms).
 //! * `events.csv` / `queries.csv` are `mac,timestamp,ap` and `mac,timestamp` files.
-//! * `batch` runs the parallel batch pipeline (`Locater::locate_batch`): every
-//!   query is answered against a frozen snapshot of the affinity cache, so the
-//!   output is deterministic and identical for every `--jobs` value (earlier
-//!   CLI releases answered rows one by one, progressively warming the cache,
-//!   so row-level confidences could differ from today's output).
+//! * `batch` runs the parallel batch pipeline (`LocaterService::locate_batch`
+//!   through the typed request layer): every query is answered against a frozen
+//!   snapshot of the affinity cache, so the output is deterministic and
+//!   identical for every `--jobs` value (earlier CLI releases answered rows one
+//!   by one, progressively warming the cache, so row-level confidences could
+//!   differ from today's output).
+//! * `serve` starts a live [`LocaterService`] and reads commands from stdin —
+//!   `ingest <mac,timestamp,ap>`, `locate <mac> <timestamp>`, `stats`, `quit` —
+//!   so events can be appended while queries are answered, exercising the
+//!   online ingestion + epoch-invalidation path end to end.
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
 //!   `<out-prefix>.truth.csv` so the other commands (and external tools) can consume
 //!   a fully synthetic deployment.
@@ -27,6 +33,7 @@ use locater::core::system::Location;
 use locater::prelude::*;
 use locater::space::SpaceMetadata;
 use std::fmt::Write as _;
+use std::io::BufRead;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,7 +53,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -59,18 +66,23 @@ fn run(args: &[String]) -> Result<String, String> {
         ),
         "locate" => locate(args),
         "batch" => batch(args),
+        "serve" => serve(args),
         "simulate" => simulate(args),
         other => Err(format!("unknown command {other:?}")),
     }
 }
 
-fn load_store(space_path: &str, events_path: &str) -> Result<EventStore, String> {
+fn load_space(space_path: &str) -> Result<Space, String> {
     let metadata_json = std::fs::read_to_string(space_path)
         .map_err(|e| format!("cannot read {space_path}: {e}"))?;
-    let space = SpaceMetadata::from_json(&metadata_json)
+    SpaceMetadata::from_json(&metadata_json)
         .map_err(|e| format!("invalid space metadata: {e}"))?
         .build()
-        .map_err(|e| format!("invalid space metadata: {e}"))?;
+        .map_err(|e| format!("invalid space metadata: {e}"))
+}
+
+fn load_store(space_path: &str, events_path: &str) -> Result<EventStore, String> {
+    let space = load_space(space_path)?;
     let csv = std::fs::read_to_string(events_path)
         .map_err(|e| format!("cannot read {events_path}: {e}"))?;
     let mut store =
@@ -181,11 +193,12 @@ fn batch(args: &[String]) -> Result<String, String> {
             .unwrap_or(1),
     };
     let store = load_store(space_path, events_path)?;
-    let locater = Locater::new(store, config_from_flags(args));
+    let space = store.space().clone();
+    let service = LocaterService::new(store, config_from_flags(args));
 
     let queries_text = std::fs::read_to_string(queries_path)
         .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
-    let mut queries: Vec<Query> = Vec::new();
+    let mut requests: Vec<LocateRequest> = Vec::new();
     for (line_no, line) in queries_text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || (line_no == 0 && line.to_ascii_lowercase().starts_with("mac,")) {
@@ -199,22 +212,23 @@ fn batch(args: &[String]) -> Result<String, String> {
             .trim()
             .parse()
             .map_err(|_| format!("line {}: invalid timestamp", line_no + 1))?;
-        queries.push(Query::by_mac(mac, t));
+        requests.push(LocateRequest::by_mac(mac, t));
     }
 
-    // The parallel batch pipeline: answers are deterministic and ordered
+    // The parallel batch pipeline: responses are deterministic and ordered
     // regardless of the job count.
-    let answers = locater.locate_batch(&queries, jobs);
+    let responses = service.locate_batch(&requests, jobs);
     let mut out = String::from("mac,timestamp,location,room,confidence\n");
     let mut answered = 0usize;
-    for (query, result) in queries.iter().zip(&answers) {
-        let mac = query.mac.as_deref().unwrap_or_default();
-        let t = query.t;
+    for (request, result) in requests.iter().zip(&responses) {
+        let mac = request.mac.as_deref().unwrap_or_default();
+        let t = request.t;
         let (location, room, confidence) = match result {
-            Ok(answer) => {
+            Ok(response) => {
+                let answer = &response.answer;
                 let room = answer
                     .room()
-                    .map(|r| locater.store().space().room(r).name.clone())
+                    .map(|r| space.room(r).name.clone())
                     .unwrap_or_default();
                 let kind = if answer.is_outside() {
                     "outside"
@@ -230,6 +244,117 @@ fn batch(args: &[String]) -> Result<String, String> {
     }
     let _ = writeln!(out, "# answered {answered} queries ({jobs} jobs)");
     Ok(out)
+}
+
+fn serve(args: &[String]) -> Result<String, String> {
+    let space_path = args.get(1).ok_or("missing space.json")?;
+    let events_path = args.get(2).filter(|a| !a.starts_with("--"));
+    let store = match events_path {
+        Some(events_path) => load_store(space_path, events_path)?,
+        None => EventStore::new(load_space(space_path)?),
+    };
+    let service = LocaterService::new(store, config_from_flags(args));
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let commands = serve_loop(&service, stdin.lock(), &mut stdout)?;
+    Ok(format!("# served {commands} commands\n"))
+}
+
+/// The `serve` REPL: one command per input line, responses written (and
+/// flushed) to `out` as they are produced.
+///
+/// ```text
+/// ingest <mac,timestamp,ap>   append one live event (CSV, same as events.csv rows)
+/// locate <mac> <timestamp>    answer a query over the current store
+/// stats                       store size and cache liveness
+/// quit                        stop reading
+/// ```
+fn serve_loop(
+    service: &LocaterService,
+    input: impl BufRead,
+    out: &mut impl std::io::Write,
+) -> Result<usize, String> {
+    let mut commands = 0usize;
+    let mut respond = |message: String| -> Result<(), String> {
+        writeln!(out, "{message}").map_err(|e| format!("cannot write response: {e}"))?;
+        out.flush()
+            .map_err(|e| format!("cannot write response: {e}"))
+    };
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("cannot read command: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        commands += 1;
+        let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match verb {
+            "quit" | "exit" => break,
+            "ingest" => {
+                let csv = format!("mac,timestamp,ap\n{}\n", rest.trim());
+                match locater::store::parse_csv(&csv) {
+                    Ok(rows) if rows.len() == 1 => match service.ingest_batch(rows.iter()) {
+                        Ok(_) => {
+                            let device = service
+                                .with_store(|s| s.device_id(&rows[0].mac))
+                                .expect("ingest interned the device");
+                            respond(format!(
+                                "ingested {} @ {} via {} (device epoch {})",
+                                rows[0].mac,
+                                rows[0].t,
+                                rows[0].ap,
+                                service.device_epoch(device)
+                            ))?;
+                        }
+                        Err(e) => respond(format!("error: {e}"))?,
+                    },
+                    Ok(_) => {
+                        respond("error: ingest takes exactly one mac,timestamp,ap line".into())?
+                    }
+                    Err(e) => respond(format!("error: {e}"))?,
+                }
+            }
+            "locate" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(mac), Some(t)) = (parts.next(), parts.next()) else {
+                    respond("error: usage: locate <mac> <timestamp>".into())?;
+                    continue;
+                };
+                let Ok(t) = t.parse::<Timestamp>() else {
+                    respond("error: timestamp must be an integer number of seconds".into())?;
+                    continue;
+                };
+                match service.locate(&LocateRequest::by_mac(mac, t)) {
+                    Ok(response) => {
+                        let described =
+                            service.with_store(|s| describe(s, &response.answer.location));
+                        respond(format!(
+                            "{mac} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {}, {} events)",
+                            locater::events::clock::format_timestamp(t),
+                            described,
+                            response.answer.coarse_method,
+                            response.answer.confidence,
+                            response.device_epoch,
+                            response.events_seen
+                        ))?;
+                    }
+                    Err(e) => respond(format!("error: {e}"))?,
+                }
+            }
+            "stats" => {
+                let (events, devices) = (service.num_events(), service.num_devices());
+                let (edges, samples) = service.cache_stats();
+                let (live_edges, live_samples) = service.live_cache_stats();
+                respond(format!(
+                    "{events} events, {devices} devices; affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live"
+                ))?;
+            }
+            other => respond(format!(
+                "error: unknown command {other:?} (ingest / locate / stats / quit)"
+            ))?,
+        }
+    }
+    Ok(commands)
 }
 
 fn simulate(args: &[String]) -> Result<String, String> {
@@ -395,6 +520,60 @@ mod tests {
         );
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_loop_ingests_locates_and_reports_stats() {
+        let space = locater::space::SpaceBuilder::new("serve-test")
+            .add_access_point("wap1", &["101", "102"])
+            .build()
+            .unwrap();
+        let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+        let input = "\
+# comment lines and blanks are skipped
+
+stats
+ingest aa:bb:cc:dd:ee:01,1000,wap1
+ingest aa:bb:cc:dd:ee:01,4000,wap1
+locate aa:bb:cc:dd:ee:01 2500
+locate ghost 2500
+ingest broken-line-without-commas
+locate aa:bb:cc:dd:ee:01
+frobnicate
+quit
+stats
+";
+        let mut out: Vec<u8> = Vec::new();
+        let commands =
+            serve_loop(&service, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+        // `quit` stops the loop before the trailing stats line.
+        assert_eq!(commands, 9);
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("0 events, 0 devices"));
+        assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
+        assert!(out.contains("(device epoch 2)"));
+        assert!(out.contains("room") || out.contains("outside"));
+        assert!(out.contains("2 events)"), "locate reports the store size");
+        assert!(out.contains("error: unknown device: ghost"));
+        assert!(out.contains("error: usage: locate <mac> <timestamp>"));
+        assert!(out.contains("error: unknown command \"frobnicate\""));
+        assert_eq!(service.num_events(), 2);
+    }
+
+    #[test]
+    fn serve_loop_rejects_bad_ingest_lines() {
+        let space = locater::space::SpaceBuilder::new("serve-test")
+            .add_access_point("wap1", &["101"])
+            .build()
+            .unwrap();
+        let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+        let input = "ingest aa,100,wap9\nlocate aa 1x0\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_loop(&service, std::io::Cursor::new(input), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("error:"));
+        assert!(out.contains("timestamp must be an integer"));
+        assert_eq!(service.num_events(), 0);
     }
 
     #[test]

@@ -59,6 +59,37 @@
 //! let answer = locater.locate(&Query::by_mac("aa:bb:cc:dd:ee:01", 2_500)).unwrap();
 //! assert!(answer.is_inside());
 //! ```
+//!
+//! ## Live service
+//!
+//! [`Locater`](locater_core::system::Locater) freezes its dataset at
+//! construction. A long-running deployment that keeps ingesting WiFi events
+//! while answering queries uses
+//! [`LocaterService`](locater_core::system::LocaterService) instead: events
+//! appended through `ingest`/`ingest_batch` bump per-device *epoch counters*
+//! that invalidate exactly the cached state (affinity-graph edges, per-device
+//! coarse models) derived from the touched device's history — answers after
+//! any ingest sequence are identical to those of a freshly built service over
+//! the same data.
+//!
+//! ```
+//! use locater::prelude::*;
+//!
+//! let space = SpaceBuilder::new("demo")
+//!     .add_access_point("wap1", &["1001", "1002"])
+//!     .build()
+//!     .expect("valid space");
+//! let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+//!
+//! service.ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1").unwrap();
+//! service.ingest("aa:bb:cc:dd:ee:01", 4_000, "wap1").unwrap();
+//!
+//! let response = service
+//!     .locate(&LocateRequest::by_mac("aa:bb:cc:dd:ee:01", 2_500).with_diagnostics())
+//!     .unwrap();
+//! assert!(response.answer.is_inside());
+//! assert!(response.diagnostics.is_some());
+//! ```
 
 pub use locater_core as core;
 pub use locater_events as events;
@@ -71,7 +102,10 @@ pub use locater_store as store;
 pub mod prelude {
     pub use locater_core::baselines::{Baseline1, Baseline2, BaselineSystem};
     pub use locater_core::metrics::{EvaluationReport, PrecisionCounts};
-    pub use locater_core::system::{Answer, CacheMode, FineMode, Locater, LocaterConfig, Query};
+    pub use locater_core::system::{
+        Answer, CacheMode, FineMode, LocateRequest, LocateResponse, Locater, LocaterConfig,
+        LocaterService, Query,
+    };
     pub use locater_events::{ConnectivityEvent, Device, DeviceId, EventId, Gap, Timestamp};
     pub use locater_sim::{
         campus::CampusConfig, scenario::ScenarioKind, GroundTruth, SimOutput, Simulator,

@@ -70,6 +70,38 @@ fn locate_batch_is_deterministic_across_jobs_on_campus_workload() {
 }
 
 #[test]
+fn request_layer_batch_is_deterministic_and_matches_legacy() {
+    // The typed request/response layer routes through the same sharded
+    // pipeline: responses must be identical for every job count, and equal to
+    // the legacy `Locater::locate_batch` answers over the same store.
+    let size = (workload_size() / 10).clamp(500, 5_000);
+    let (store, queries) = campus_workload(size);
+    let requests: Vec<LocateRequest> = queries.iter().map(LocateRequest::from_query).collect();
+
+    let legacy = Locater::new(store.clone(), LocaterConfig::default());
+    let legacy_answers = legacy.locate_batch(&queries, 1);
+
+    let baseline = LocaterService::new(store.clone(), LocaterConfig::default());
+    let sequential = baseline.locate_batch(&requests, 1);
+    assert_eq!(sequential.len(), legacy_answers.len());
+    for (idx, (legacy, response)) in legacy_answers.iter().zip(&sequential).enumerate() {
+        match (legacy, response) {
+            (Ok(a), Ok(b)) => assert_eq!(a, &b.answer, "query {idx}: request layer diverged"),
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "query {idx}: outcome diverged"),
+        }
+    }
+
+    for jobs in [3, 8] {
+        let service = LocaterService::new(store.clone(), LocaterConfig::default());
+        let parallel = service.locate_batch(&requests, jobs);
+        assert_eq!(
+            sequential, parallel,
+            "request-layer batch diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn locate_batch_agrees_with_single_queries_on_a_cold_system() {
     // Every batch answer is computed against the frozen pre-batch cache, so
     // the first query of each device must match what a *fresh* system answers

@@ -143,6 +143,80 @@ fn baselines_and_metrics_compose_into_a_report() {
 }
 
 #[test]
+fn live_service_surface_ingest_locate_and_epochs() {
+    // The LocaterService / LocateRequest / LocateResponse surface a downstream
+    // deployment composes: build → serve → ingest → (epoch) invalidate.
+    let service = LocaterService::new(EventStore::new(demo_space()), LocaterConfig::default());
+    assert_eq!(service.num_events(), 0);
+    assert_eq!(service.config().cache, CacheMode::Enabled);
+
+    // Ingest by single event and by batch.
+    service.ingest("aa:aa:aa:aa:aa:01", 1_000, "wap-a").unwrap();
+    let batch = [
+        RawEvent::new("aa:aa:aa:aa:aa:01", 9_000, "wap-a"),
+        RawEvent::new("aa:aa:aa:aa:aa:02", 1_100, "wap-b"),
+    ];
+    assert_eq!(service.ingest_batch(batch.iter()).unwrap(), 2);
+    assert_eq!(service.num_events(), 3);
+    assert_eq!(service.num_devices(), 2);
+
+    // Epoch observability: one counter per device, bumped per event.
+    let d1 = service
+        .with_store(|s| s.device_id("aa:aa:aa:aa:aa:01"))
+        .unwrap();
+    let d2 = service
+        .with_store(|s| s.device_id("aa:aa:aa:aa:aa:02"))
+        .unwrap();
+    assert_eq!(service.device_epoch(d1), 2);
+    assert_eq!(service.device_epoch(d2), 1);
+
+    // Request builders: target forms, overrides, diagnostics opt-in.
+    let request = LocateRequest::by_mac("aa:aa:aa:aa:aa:01", 5_000);
+    let by_device = LocateRequest::by_device(d1, 5_000)
+        .with_fine_mode(FineMode::Dependent)
+        .with_diagnostics();
+    let response = service.locate(&request).unwrap();
+    let response_by_device = service.locate(&by_device).unwrap();
+    assert_eq!(response.answer.device, response_by_device.answer.device);
+    assert_eq!(response.device_epoch, 2);
+    assert_eq!(response.events_seen, 3);
+    assert!(response.diagnostics.is_none());
+    assert!(response_by_device.diagnostics.is_some());
+    assert_eq!(response.location(), response.answer.location);
+
+    // Cache bypass per request leaves the caching engine untouched.
+    let cold = service
+        .locate(&LocateRequest::by_mac("aa:aa:aa:aa:aa:01", 5_000).bypass_cache())
+        .unwrap();
+    assert_eq!(cold.answer.t, 5_000);
+
+    // Batch through the request layer, in request order with in-place errors.
+    let requests = vec![
+        LocateRequest::by_mac("aa:aa:aa:aa:aa:01", 5_000),
+        LocateRequest::by_mac("ff:ff:ff:ff:ff:ff", 5_000),
+    ];
+    let responses = service.locate_batch(&requests, 2);
+    assert!(responses[0].is_ok());
+    assert!(responses[1].is_err());
+
+    // A fresh ingest invalidates: the service stays queryable and the answer
+    // tracks the new data (equivalence is covered by tests/service_equivalence.rs).
+    service.ingest("aa:aa:aa:aa:aa:01", 5_500, "wap-b").unwrap();
+    assert_eq!(service.device_epoch(d1), 3);
+    let after = service.locate(&request).unwrap();
+    assert_eq!(after.device_epoch, 3);
+    assert!(after.answer.is_inside());
+
+    // Legacy interop: Query converts into LocateRequest, Locater into a service.
+    let legacy = LocateRequest::from_query(&Query::by_mac("aa:aa:aa:aa:aa:01", 5_000));
+    assert_eq!(legacy.to_query(), Query::by_mac("aa:aa:aa:aa:aa:01", 5_000));
+    let snapshot = service.store_snapshot();
+    let frozen = Locater::new(snapshot, LocaterConfig::default());
+    let service_again: LocaterService = frozen.into_service();
+    assert_eq!(service_again.num_events(), service.num_events());
+}
+
+#[test]
 fn simulator_output_feeds_directly_into_the_cleaning_engine() {
     let output = Simulator::new(1).run_scenario(
         &locater::sim::ScenarioConfig::new(ScenarioKind::Mall)

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng, StdRng};
 use std::marker::PhantomData;
 use std::ops::Range;
 
-/// Test-runner types ([`TestRng`], [`ProptestConfig`]).
+/// Test-runner types ([`TestRng`], [`ProptestConfig`](test_runner::ProptestConfig)).
 pub mod test_runner {
     use super::*;
 
@@ -233,7 +233,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::*;
 
-    /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+    /// Sizes accepted by [`vec()`]: an exact length or a half-open range.
     pub trait IntoSizeRange {
         /// The `[lo, hi)` bounds of the size.
         fn bounds(&self) -> (usize, usize);
@@ -251,7 +251,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,
