@@ -59,9 +59,9 @@ fn bench(c: &mut Criterion) {
         ("delta_estimated", fixture.store.delta(device)),
         ("delta_30_minutes", clock::minutes(30)),
     ] {
-        let seq = fixture.store.events_of(device);
+        let timeline = fixture.store.timeline_of(device);
         group.bench_function(label, |b| {
-            b.iter(|| criterion::black_box(locater_events::gaps_in(seq, delta).len()))
+            b.iter(|| criterion::black_box(timeline.gaps(delta).len()))
         });
     }
     group.finish();

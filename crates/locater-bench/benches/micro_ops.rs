@@ -7,7 +7,7 @@ mod common;
 use criterion::{criterion_main, Criterion};
 use locater_core::cache::GlobalAffinityGraph;
 use locater_core::fine::{AffinityEngine, RoomAffinityWeights};
-use locater_events::{gaps_in, DeviceId};
+use locater_events::DeviceId;
 use locater_sim::WorkloadQuery;
 
 fn bench(c: &mut Criterion) {
@@ -25,9 +25,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_ops");
 
     group.bench_function("gap_detection_full_history", |b| {
-        let seq = store.events_of(device);
+        let timeline = store.timeline_of(device);
         let delta = store.delta(device);
-        b.iter(|| criterion::black_box(gaps_in(seq, delta).len()))
+        b.iter(|| criterion::black_box(timeline.gaps(delta).len()))
     });
 
     group.bench_function("pair_device_affinity_3_weeks", |b| {

@@ -1,0 +1,94 @@
+//! Windowed-query benchmark: segment-pruned accessors vs full-history scans.
+//!
+//! The cleaning algorithms are window-shaped — coarse training reads an 8-week
+//! history, affinity computation reads a validity-sized neighborhood — but
+//! before time-partitioning every such query paid for the device's *entire*
+//! history. This bench pits the segment-pruned store accessors against
+//! equivalent brute-force scans over the same [`locater_store::DeviceTimeline`]
+//! on the `metro_campus` corpus (size with `LOCATER_METRO_SCALE` /
+//! `LOCATER_METRO_WEEKS`):
+//!
+//! * windowed gap detection (`gaps_of_in`) vs detect-all-then-filter;
+//! * windowed event iteration (`events_of_in`) vs iterate-all-then-filter;
+//! * coarse model training, which composes both pruned paths.
+
+use criterion::{black_box, criterion_main, Criterion};
+use locater_core::coarse::CoarseLocalizer;
+use locater_events::{clock, DeviceId, Interval};
+use locater_sim::{CampusConfig, Simulator};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(7).run_campus(&config);
+    let mut store = output.build_store();
+    store.estimate_deltas();
+
+    // The busiest device gives the starkest full-scan-vs-pruned contrast.
+    let device: DeviceId = (0..store.num_devices() as u32)
+        .map(DeviceId::new)
+        .max_by_key(|&d| store.timeline_of(d).len())
+        .expect("metro campus has devices");
+    let timeline = store.timeline_of(device);
+    let delta = store.delta(device);
+    let span = timeline.span().expect("device has events");
+    // A two-week window ending at the newest event: the always-on regime where
+    // most history is strictly older than anything the query needs.
+    let window = Interval::new(span.end - clock::weeks(2), span.end);
+    println!(
+        "metro_campus device {device}: {} events in {} segments; window covers {} events",
+        timeline.len(),
+        timeline.num_segments(),
+        store.events_of_in(device, window).count()
+    );
+
+    let mut group = c.benchmark_group("segment_pruning");
+    group.bench_function("gaps_full_scan_then_filter", |b| {
+        b.iter(|| {
+            black_box(
+                timeline
+                    .gaps(delta)
+                    .into_iter()
+                    .filter(|g| g.interval().overlaps(&window))
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("gaps_segment_pruned", |b| {
+        b.iter(|| black_box(store.gaps_of_in(device, window).len()))
+    });
+    group.bench_function("window_events_full_scan_then_filter", |b| {
+        b.iter(|| {
+            black_box(
+                timeline
+                    .iter()
+                    .filter(|e| e.t >= window.start && e.t < window.end)
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("window_events_segment_pruned", |b| {
+        b.iter(|| black_box(store.events_of_in(device, window).count()))
+    });
+    group.bench_function("coarse_training_pruned_window", |b| {
+        let localizer = CoarseLocalizer::default();
+        b.iter(|| {
+            black_box(
+                localizer
+                    .train_device_model(&store, device, span.end - 1)
+                    .training_gaps,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

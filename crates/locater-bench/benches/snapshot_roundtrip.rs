@@ -1,0 +1,70 @@
+//! Cold-start benchmark: binary snapshot load vs CSV replay on the
+//! `metro_campus` scenario.
+//!
+//! A service restart must rebuild its [`locater_store::EventStore`] before it
+//! can answer a single query. The two paths compared here:
+//!
+//! * **csv_replay** — parse the `mac,timestamp,ap` log, re-intern devices,
+//!   re-sort every timeline and re-estimate validity periods (what every
+//!   restart cost before snapshots existed);
+//! * **snapshot_load** — one sequential read of the versioned binary snapshot,
+//!   which already contains the device table, estimated δs and the segment
+//!   runs verbatim.
+//!
+//! The dataset is the `metro_campus` large scenario; size it with
+//! `LOCATER_METRO_SCALE` / `LOCATER_METRO_WEEKS` (CI runs a reduced scale,
+//! local runs default to the full ~400k-event corpus).
+
+use criterion::{black_box, criterion_main, Criterion};
+use locater_sim::{CampusConfig, Simulator};
+use locater_store::EventStore;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(7).run_campus(&config);
+    let mut store = output.build_store();
+    store.estimate_deltas();
+    let space = (**store.space()).clone();
+    let csv = store.to_csv();
+    let snapshot = store.to_snapshot_bytes().expect("snapshot encodes");
+    println!(
+        "metro_campus: {} events, {} devices, {} segments; csv {} B, snapshot {} B",
+        store.num_events(),
+        store.num_devices(),
+        store.num_segments(),
+        csv.len(),
+        snapshot.len()
+    );
+
+    let mut group = c.benchmark_group("snapshot_roundtrip");
+    group.bench_function("cold_start_csv_replay", |b| {
+        b.iter(|| {
+            let mut replayed =
+                EventStore::from_csv(space.clone(), black_box(&csv)).expect("csv replays");
+            replayed.estimate_deltas();
+            black_box(replayed.num_events())
+        })
+    });
+    group.bench_function("cold_start_snapshot_load", |b| {
+        b.iter(|| {
+            let loaded =
+                EventStore::from_snapshot_bytes(black_box(&snapshot)).expect("snapshot loads");
+            black_box(loaded.num_events())
+        })
+    });
+    group.bench_function("snapshot_save", |b| {
+        b.iter(|| black_box(store.to_snapshot_bytes().expect("snapshot encodes").len()))
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

@@ -17,7 +17,7 @@
 //!   time to move around.
 
 use locater_events::clock::{self, Timestamp};
-use locater_events::{EventSeq, Gap, Interval};
+use locater_events::{Gap, StoredEvent};
 use locater_space::RegionId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -57,11 +57,18 @@ pub struct BootstrapSummary {
 
 /// The most visited region of the device during the gap's time-of-day window across
 /// the history period, if any events fall in that window.
-pub fn most_visited_region(gap: &Gap, seq: &EventSeq, history: Interval) -> Option<RegionId> {
+///
+/// `events` must be the device's events *already restricted to the history window*
+/// (the segmented store produces exactly that, zero-copy, via
+/// `EventStore::events_of_in(device, history)` without scanning older segments).
+pub fn most_visited_region<'a>(
+    gap: &Gap,
+    events: impl IntoIterator<Item = &'a StoredEvent>,
+) -> Option<RegionId> {
     let window_start = clock::seconds_of_day(gap.start);
     let window_end = clock::seconds_of_day(gap.end);
     let mut counts: HashMap<RegionId, usize> = HashMap::new();
-    for event in seq.in_range(history) {
+    for event in events {
         let sod = clock::seconds_of_day(event.t);
         let in_window = if window_start <= window_end {
             sod >= window_start && sod <= window_end
@@ -80,12 +87,13 @@ pub fn most_visited_region(gap: &Gap, seq: &EventSeq, history: Interval) -> Opti
 
 /// Applies the bootstrapping heuristics to one gap.
 ///
+/// * `events` — the device's events within the history window (see
+///   [`most_visited_region`]).
 /// * `tau_low` / `tau_high` — building-level thresholds (`τ_l`, `τ_h`).
 /// * `region_tau_low` / `region_tau_high` — region-level thresholds (`τ'_l`, `τ'_h`).
-pub fn bootstrap_label(
+pub fn bootstrap_label<'a>(
     gap: &Gap,
-    seq: &EventSeq,
-    history: Interval,
+    events: impl IntoIterator<Item = &'a StoredEvent>,
     tau_low: Timestamp,
     tau_high: Timestamp,
     region_tau_low: Timestamp,
@@ -105,7 +113,7 @@ pub fn bootstrap_label(
         if gap.same_region() {
             Some(gap.start_region())
         } else {
-            most_visited_region(gap, seq, history).or(Some(gap.start_region()))
+            most_visited_region(gap, events).or(Some(gap.start_region()))
         }
     } else {
         None
@@ -114,11 +122,11 @@ pub fn bootstrap_label(
 }
 
 /// Labels every gap in `gaps` and returns the labels alongside summary counters.
-#[allow(clippy::too_many_arguments)]
-pub fn bootstrap_labels(
+/// `events` is re-iterated once per gap, so it must be cheaply cloneable (a
+/// slice reference or the store's windowed iterator both are).
+pub fn bootstrap_labels<'a>(
     gaps: &[Gap],
-    seq: &EventSeq,
-    history: Interval,
+    events: impl IntoIterator<Item = &'a StoredEvent> + Clone,
     tau_low: Timestamp,
     tau_high: Timestamp,
     region_tau_low: Timestamp,
@@ -130,8 +138,7 @@ pub fn bootstrap_labels(
         .map(|gap| {
             let label = bootstrap_label(
                 gap,
-                seq,
-                history,
+                events.clone(),
                 tau_low,
                 tau_high,
                 region_tau_low,
@@ -157,7 +164,7 @@ pub fn bootstrap_labels(
 mod tests {
     use super::*;
     use locater_events::clock::{at, minutes};
-    use locater_events::gaps_in;
+    use locater_events::{gaps_in, EventSeq};
 
     const TAU_L: Timestamp = minutes(20);
     const TAU_H: Timestamp = minutes(180);
@@ -165,8 +172,7 @@ mod tests {
     const RTAU_H: Timestamp = minutes(40);
 
     fn label_of(seq: &EventSeq, gap: &Gap) -> BootstrapLabel {
-        let history = Interval::new(0, at(30, 0, 0, 0));
-        bootstrap_label(gap, seq, history, TAU_L, TAU_H, RTAU_L, RTAU_H)
+        bootstrap_label(gap, seq.events(), TAU_L, TAU_H, RTAU_L, RTAU_H)
     }
 
     #[test]
@@ -217,8 +223,7 @@ mod tests {
         let gap = gaps_in(&seq, 300)[0];
         // Only the bounding events exist; they are outside the gap window, so the most
         // visited region is None and we fall back to the start region.
-        let history = Interval::new(0, at(1, 0, 0, 0));
-        let label = bootstrap_label(&gap, &seq, history, TAU_L, TAU_H, RTAU_L, RTAU_H);
+        let label = bootstrap_label(&gap, seq.events(), TAU_L, TAU_H, RTAU_L, RTAU_H);
         assert_eq!(label, BootstrapLabel::Inside(Some(RegionId::new(1))));
     }
 
@@ -232,9 +237,7 @@ mod tests {
         ]);
         let gaps = gaps_in(&seq, 300);
         assert_eq!(gaps.len(), 3);
-        let history = Interval::new(0, at(30, 0, 0, 0));
-        let (labels, summary) =
-            bootstrap_labels(&gaps, &seq, history, TAU_L, TAU_H, RTAU_L, RTAU_H);
+        let (labels, summary) = bootstrap_labels(&gaps, seq.events(), TAU_L, TAU_H, RTAU_L, RTAU_H);
         assert_eq!(labels.len(), 3);
         assert_eq!(summary.inside, 1);
         assert_eq!(summary.unlabeled, 1);
@@ -247,10 +250,9 @@ mod tests {
         let seq = EventSeq::from_pairs(&[(at(1, 10, 5, 0), 4), (at(2, 10, 5, 0), 2)]);
         let probe = EventSeq::from_pairs(&[(at(5, 10, 0, 0), 0), (at(5, 10, 15, 0), 0)]);
         let gap = gaps_in(&probe, 300)[0];
-        let history = Interval::new(0, at(10, 0, 0, 0));
         // Both regions seen once: the smaller region id wins (deterministic).
         assert_eq!(
-            most_visited_region(&gap, &seq, history),
+            most_visited_region(&gap, seq.events()),
             Some(RegionId::new(2))
         );
     }

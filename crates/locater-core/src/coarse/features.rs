@@ -6,7 +6,7 @@
 //! history period.
 
 use locater_events::clock;
-use locater_events::{EventSeq, Gap, Interval};
+use locater_events::{Gap, Interval, StoredEvent};
 use serde::{Deserialize, Serialize};
 
 /// Number of numeric features produced per gap.
@@ -35,8 +35,15 @@ pub struct GapFeatures {
 
 impl GapFeatures {
     /// Extracts features for `gap`, computing the connection density against the
-    /// device's event sequence over `history` (the `N`-day period `T` of the paper).
-    pub fn extract(gap: &Gap, seq: &EventSeq, history: Interval) -> Self {
+    /// device's events over `history` (the `N`-day period `T` of the paper).
+    /// `events` must already be restricted to the history window; the segmented
+    /// store's windowed accessor (`EventStore::events_of_in`) produces exactly
+    /// that as a zero-copy iterator, without scanning older segments.
+    pub fn extract<'a>(
+        gap: &Gap,
+        events: impl IntoIterator<Item = &'a StoredEvent>,
+        history: Interval,
+    ) -> Self {
         Self {
             start_time_of_day: clock::seconds_of_day(gap.start) as f64,
             end_time_of_day: clock::seconds_of_day(gap.end) as f64,
@@ -45,7 +52,7 @@ impl GapFeatures {
             end_day: gap.end_day().index() as f64,
             start_region: gap.start_region().raw() as f64,
             end_region: gap.end_region().raw() as f64,
-            density: connection_density(gap, seq, history),
+            density: connection_density(gap, events, history),
         }
     }
 
@@ -66,14 +73,17 @@ impl GapFeatures {
 
 /// Connection density ω of a gap: the average number of the device's connectivity
 /// events per day of the history period whose time of day falls within the gap's
-/// time-of-day window.
-pub fn connection_density(gap: &Gap, seq: &EventSeq, history: Interval) -> f64 {
+/// time-of-day window. `events` must already be restricted to `history`.
+pub fn connection_density<'a>(
+    gap: &Gap,
+    events: impl IntoIterator<Item = &'a StoredEvent>,
+    history: Interval,
+) -> f64 {
     let days = ((history.duration() + clock::SECONDS_PER_DAY - 1) / clock::SECONDS_PER_DAY).max(1);
     let window_start = clock::seconds_of_day(gap.start);
     let window_end = clock::seconds_of_day(gap.end);
-    let events = seq.in_range(history);
     let count = events
-        .iter()
+        .into_iter()
         .filter(|e| {
             let sod = clock::seconds_of_day(e.t);
             if window_start <= window_end {
@@ -91,7 +101,7 @@ pub fn connection_density(gap: &Gap, seq: &EventSeq, history: Interval) -> f64 {
 mod tests {
     use super::*;
     use locater_events::clock::at;
-    use locater_events::gaps_in;
+    use locater_events::{gaps_in, EventSeq};
 
     fn gap_and_seq() -> (Gap, EventSeq) {
         // Events at 09:00 and 13:00 on day 3 create a gap; history contains events at
@@ -115,7 +125,7 @@ mod tests {
     fn features_reflect_gap_geometry() {
         let (gap, seq) = gap_and_seq();
         let history = Interval::new(0, at(4, 0, 0, 0));
-        let f = GapFeatures::extract(&gap, &seq, history);
+        let f = GapFeatures::extract(&gap, seq.in_range(history), history);
         assert_eq!(f.start_time_of_day, (9 * 3600 + 600) as f64);
         assert_eq!(f.end_time_of_day, (13 * 3600 - 600) as f64);
         assert_eq!(f.duration, (4 * 3600 - 1200) as f64);
@@ -132,7 +142,7 @@ mod tests {
         // 4-day history: events at 10:00 (day 0) and 10:30 (day 1) fall in the gap's
         // 09:10–12:50 window; 20:00 (day 2) and the gap boundary events do not.
         let history = Interval::new(0, at(4, 0, 0, 0));
-        let density = connection_density(&gap, &seq, history);
+        let density = connection_density(&gap, seq.in_range(history), history);
         assert!((density - 2.0 / 4.0).abs() < 1e-9);
     }
 
@@ -148,7 +158,7 @@ mod tests {
         let gap = gaps.last().copied().unwrap();
         let history = Interval::new(0, at(4, 0, 0, 0));
         // Event at 23:45 on day 0 falls in the wrapped window (23:10 .. 00:40).
-        let density = connection_density(&gap, &seq, history);
+        let density = connection_density(&gap, seq.in_range(history), history);
         assert!(density > 0.0);
     }
 
@@ -156,6 +166,9 @@ mod tests {
     fn density_is_zero_with_no_matching_history() {
         let (gap, seq) = gap_and_seq();
         let history = Interval::new(at(2, 0, 0, 0), at(3, 0, 0, 0)); // only the 20:00 event
-        assert_eq!(connection_density(&gap, &seq, history), 0.0);
+        assert_eq!(
+            connection_density(&gap, seq.in_range(history), history),
+            0.0
+        );
     }
 }

@@ -21,7 +21,7 @@ use crate::coarse::bootstrap::{bootstrap_labels, BootstrapLabel, BootstrapSummar
 use crate::coarse::features::GapFeatures;
 use crate::error::LocaterError;
 use locater_events::clock::{self, Timestamp};
-use locater_events::{DeviceId, Gap, Interval};
+use locater_events::{DeviceId, Gap, Interval, StoredEvent};
 use locater_learn::{Dataset, SelfTrainingClassifier, SelfTrainingConfig, TrainConfig};
 use locater_space::RegionId;
 use locater_store::EventStore;
@@ -228,6 +228,11 @@ impl CoarseLocalizer {
     }
 
     /// Trains the per-device classifiers over the `history` window ending at `until`.
+    ///
+    /// Training reads only the segments of the device timeline that overlap the
+    /// history window: both the event scan and the gap scan are segment-pruned,
+    /// so a device with years of history costs the same as one with exactly
+    /// `history` worth of data.
     pub fn train_device_model(
         &self,
         store: &EventStore,
@@ -235,22 +240,17 @@ impl CoarseLocalizer {
         until: Timestamp,
     ) -> DeviceCoarseModel {
         let history = Interval::new(until - self.config.history, until);
-        let seq = store.events_of(device);
-        let delta = store.delta(device);
-        let mut gaps: Vec<Gap> = store
-            .gaps_of(device)
-            .into_iter()
-            .filter(|g| g.interval().overlaps(&history))
-            .collect();
+        // One segment-pruned materialization of the window, shared by the
+        // bootstrap heuristics and every per-gap feature extraction below.
+        let events: Vec<StoredEvent> = store.events_of_in(device, history).copied().collect();
+        let mut gaps: Vec<Gap> = store.gaps_of_in(device, history);
         if gaps.len() > self.config.max_training_gaps {
             let skip = gaps.len() - self.config.max_training_gaps;
             gaps.drain(..skip);
         }
-        let _ = delta;
         let (labels, bootstrap) = bootstrap_labels(
             &gaps,
-            seq,
-            history,
+            &events,
             self.config.tau_low,
             self.config.tau_high,
             self.config.region_tau_low,
@@ -258,13 +258,13 @@ impl CoarseLocalizer {
         );
 
         // Dominant region over the history window (fallback region label).
-        let dominant_region = dominant_region(store, device, history);
+        let dominant_region = dominant_region(&events);
 
         // ---- Building-level classifier: class 0 = inside, 1 = outside. ----
         let mut building_labeled = Dataset::new(NUM_GAP_FEATURES, 2);
         let mut building_unlabeled: Vec<Vec<f64>> = Vec::new();
         for (gap, label) in gaps.iter().zip(&labels) {
-            let features = GapFeatures::extract(gap, seq, history).to_vec();
+            let features = GapFeatures::extract(gap, &events, history).to_vec();
             match label {
                 BootstrapLabel::Inside(_) => building_labeled.push(features, 0),
                 BootstrapLabel::Outside => building_labeled.push(features, 1),
@@ -296,10 +296,10 @@ impl CoarseLocalizer {
                             region_classes.len() - 1
                         }
                     };
-                    region_rows.push((GapFeatures::extract(gap, seq, history).to_vec(), class));
+                    region_rows.push((GapFeatures::extract(gap, &events, history).to_vec(), class));
                 }
                 BootstrapLabel::Inside(None) => {
-                    region_unlabeled.push(GapFeatures::extract(gap, seq, history).to_vec());
+                    region_unlabeled.push(GapFeatures::extract(gap, &events, history).to_vec());
                 }
                 _ => {}
             }
@@ -334,7 +334,6 @@ impl CoarseLocalizer {
         model: &DeviceCoarseModel,
         gap: &Gap,
     ) -> CoarseOutcome {
-        let seq = store.events_of(model.device);
         let duration = gap.duration();
 
         // Decisive durations are handled by the same heuristics used to bootstrap the
@@ -355,8 +354,15 @@ impl CoarseLocalizer {
             );
         }
 
-        // Ambiguous duration: ask the classifiers.
-        let features = GapFeatures::extract(gap, seq, model.history).to_vec();
+        // Ambiguous duration: ask the classifiers. The density feature scans
+        // the model's history window through the zero-copy, segment-pruned
+        // iterator; older segments stay cold and nothing is materialized.
+        let features = GapFeatures::extract(
+            gap,
+            store.events_of_in(model.device, model.history),
+            model.history,
+        )
+        .to_vec();
         match &model.building {
             Some(classifier) => {
                 let prediction = classifier.model().predict(&features);
@@ -414,17 +420,20 @@ impl CoarseLocalizer {
         if gap.same_region() {
             return gap.start_region();
         }
-        let seq = store.events_of(model.device);
-        crate::coarse::bootstrap::most_visited_region(gap, seq, model.history)
-            .or(model.dominant_region)
-            .unwrap_or_else(|| gap.start_region())
+        crate::coarse::bootstrap::most_visited_region(
+            gap,
+            store.events_of_in(model.device, model.history),
+        )
+        .or(model.dominant_region)
+        .unwrap_or_else(|| gap.start_region())
     }
 }
 
-/// The region with the most connectivity events of `device` within `history`.
-fn dominant_region(store: &EventStore, device: DeviceId, history: Interval) -> Option<RegionId> {
+/// The region with the most connectivity events among `events` (the device's
+/// history window).
+fn dominant_region(events: &[StoredEvent]) -> Option<RegionId> {
     let mut counts: std::collections::HashMap<RegionId, usize> = std::collections::HashMap::new();
-    for event in store.events_of_in(device, history) {
+    for event in events {
         *counts.entry(event.region()).or_insert(0) += 1;
     }
     counts

@@ -226,9 +226,10 @@ impl<'a> AffinityEngine<'a> {
                 total += 1;
                 let near = Interval::new(event.t - delta, event.t + delta + 1);
                 let all_present = devices.iter().filter(|&&d| d != device).all(|&other| {
+                    // Segment-pruned window iterator: only the one or two
+                    // segments overlapping the validity window are touched.
                     self.store
                         .events_of_in(other, near)
-                        .iter()
                         .any(|e| e.ap == event.ap)
                 });
                 if all_present {

@@ -81,7 +81,10 @@ impl Gap {
     }
 }
 
-fn gap_between(prev: &StoredEvent, next: &StoredEvent, delta: Timestamp) -> Option<Gap> {
+/// The gap between two *consecutive* events of one device, if their spacing exceeds
+/// `2δ` (the segmented store uses this to detect gaps across segment boundaries
+/// without materializing the full sequence).
+pub fn gap_between(prev: &StoredEvent, next: &StoredEvent, delta: Timestamp) -> Option<Gap> {
     if next.t - prev.t > 2 * delta {
         Some(Gap {
             start: prev.t + delta,

@@ -35,6 +35,26 @@
 //! assert_eq!(gaps[0].start_ap, AccessPointId::new(0));
 //! let _: Timestamp = gaps[0].duration();
 //! ```
+//!
+//! Validity intervals answer "where was the device at `t`?" directly when an
+//! event covers `t`, and δ itself is estimated from the log's stationary
+//! reconnection rhythm:
+//!
+//! ```
+//! use locater_events::validity::{estimate_delta_events, ValidityConfig};
+//! use locater_events::EventSeq;
+//!
+//! // A device reconnecting every 5 minutes on the same AP...
+//! let pairs: Vec<(i64, u32)> = (0..20).map(|i| (i * 300, 0)).collect();
+//! let seq = EventSeq::from_pairs(&pairs);
+//! // ...earns a 5-minute validity period (clamped to the configured bounds).
+//! let delta = estimate_delta_events(seq.events(), &ValidityConfig::default());
+//! assert_eq!(delta, 300);
+//! // An instant shortly after an event is covered by it; instants past the
+//! // last event's validity are not.
+//! assert!(seq.covering_event(1_300, delta).is_some());
+//! assert_eq!(seq.covering_event(19 * 300 + delta + 1, delta), None);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,5 +71,5 @@ pub use clock::{DayOfWeek, Timestamp, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS
 pub use device::{Device, DeviceId, MacAddress};
 pub use error::EventError;
 pub use event::{ConnectivityEvent, EventId, EventSeq, StoredEvent};
-pub use gap::{gap_containing, gaps_in, Gap};
+pub use gap::{gap_between, gap_containing, gaps_in, Gap};
 pub use interval::Interval;

@@ -51,13 +51,30 @@ impl Default for ValidityConfig {
 /// `config.max_delta * 4` (larger spacings are treated as absences, not as connection
 /// periodicity).
 pub fn estimate_delta(seq: &EventSeq, config: &ValidityConfig) -> Timestamp {
+    estimate_delta_events(seq.events(), config)
+}
+
+/// [`estimate_delta`] over any time-sorted run of events, without requiring them to
+/// live in one contiguous [`EventSeq`] — the segmented store estimates δ by chaining
+/// its segments through this entry point.
+pub fn estimate_delta_events<'a>(
+    events: impl IntoIterator<Item = &'a crate::event::StoredEvent>,
+    config: &ValidityConfig,
+) -> Timestamp {
     let cap = config.max_delta.saturating_mul(4);
-    let mut samples: Vec<Timestamp> = seq
-        .consecutive_pairs()
-        .filter(|(a, b)| a.ap == b.ap)
-        .map(|(a, b)| b.t - a.t)
-        .filter(|&dt| dt > 0 && dt <= cap)
-        .collect();
+    let mut samples: Vec<Timestamp> = Vec::new();
+    let mut prev: Option<&crate::event::StoredEvent> = None;
+    for event in events {
+        if let Some(p) = prev {
+            if p.ap == event.ap {
+                let dt = event.t - p.t;
+                if dt > 0 && dt <= cap {
+                    samples.push(dt);
+                }
+            }
+        }
+        prev = Some(event);
+    }
     if samples.len() < config.min_samples {
         return config.default_delta;
     }

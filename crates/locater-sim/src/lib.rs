@@ -34,6 +34,24 @@
 //! let monitored = output.monitored().next().unwrap();
 //! let _room_or_outside = output.ground_truth.room_at(&monitored.mac, 3_600);
 //! ```
+//!
+//! The four SmartBench scenarios come from [`ScenarioConfig`]; the large
+//! `metro_campus` corpus (used by the snapshot and segment-pruning benches) is
+//! an environment-sized campus:
+//!
+//! ```
+//! use locater_sim::{CampusConfig, ScenarioConfig, ScenarioKind, Simulator};
+//!
+//! let office = Simulator::new(1).run_scenario(
+//!     &ScenarioConfig::new(ScenarioKind::Office).with_days(2).with_scale(0.2),
+//! );
+//! assert!(office.people.iter().any(|p| p.profile == "Employees"));
+//!
+//! // `metro()` is the full-size configuration; `metro_from_env()` resizes it
+//! // via LOCATER_METRO_SCALE / LOCATER_METRO_WEEKS for CI-sized runs.
+//! let metro = CampusConfig::metro();
+//! assert!(metro.access_points > CampusConfig::default().access_points);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,6 +4,9 @@
 //! also the format our scenario simulator writes. The format is deliberately tiny: a
 //! header line `mac,timestamp,ap` followed by one event per line. Timestamps are
 //! integer seconds since the deployment epoch.
+//!
+//! Parse errors carry the 1-based line *and column* of the offending field, so a
+//! bad row in a million-line export is locatable without bisecting the file.
 
 use crate::error::IngestError;
 use locater_events::Timestamp;
@@ -50,53 +53,73 @@ pub fn format_csv(events: &[RawEvent]) -> String {
     out
 }
 
+/// Parses one CSV data line into an event. Returns `Ok(None)` for blank lines;
+/// the caller decides whether a first-line header is expected. `line_no` is the
+/// 1-based position used in error messages; reported columns are 1-based byte
+/// offsets into `line`.
+pub fn parse_csv_line(line: &str, line_no: usize) -> Result<Option<RawEvent>, IngestError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let indent = line.len() - line.trim_start().len();
+    let malformed = |offset: usize, reason: String| IngestError::Malformed {
+        line: line_no,
+        column: indent + offset + 1,
+        reason,
+    };
+    // Field boundaries, tracked by byte offset within the trimmed line.
+    let mut fields: Vec<(usize, &str)> = Vec::with_capacity(3);
+    let mut start = 0usize;
+    for (idx, byte) in trimmed.bytes().enumerate() {
+        if byte == b',' {
+            fields.push((start, &trimmed[start..idx]));
+            start = idx + 1;
+        }
+    }
+    fields.push((start, &trimmed[start..]));
+    if fields.len() > 3 {
+        let (offset, _) = fields[3];
+        return Err(malformed(offset, "too many fields".to_string()));
+    }
+    let (mac_off, mac) = fields[0];
+    let mac = mac.trim();
+    if mac.is_empty() {
+        return Err(malformed(mac_off, "missing mac field".to_string()));
+    }
+    let &(t_off, t_str) = fields
+        .get(1)
+        .ok_or_else(|| malformed(trimmed.len(), "missing timestamp field".to_string()))?;
+    let &(ap_off, ap) = fields
+        .get(2)
+        .ok_or_else(|| malformed(trimmed.len(), "missing ap field".to_string()))?;
+    let ap = ap.trim();
+    if ap.is_empty() {
+        return Err(malformed(ap_off, "missing ap field".to_string()));
+    }
+    let t_str = t_str.trim();
+    let t: Timestamp = t_str
+        .parse()
+        .map_err(|_| malformed(t_off, format!("invalid timestamp {t_str:?}")))?;
+    Ok(Some(RawEvent::new(mac, t, ap)))
+}
+
+/// `true` if `line` is the (case-insensitive) `mac,timestamp,ap` header.
+pub(crate) fn is_csv_header(line: &str) -> bool {
+    line.trim().eq_ignore_ascii_case(CSV_HEADER)
+}
+
 /// Parses CSV accepted by [`format_csv`]. The header line is optional; blank lines are
 /// skipped; extra whitespace around fields is trimmed.
 pub fn parse_csv(csv: &str) -> Result<Vec<RawEvent>, IngestError> {
     let mut out = Vec::new();
     for (idx, line) in csv.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
+        if idx == 0 && is_csv_header(line) {
             continue;
         }
-        if idx == 0 && trimmed.eq_ignore_ascii_case(CSV_HEADER) {
-            continue;
+        if let Some(event) = parse_csv_line(line, idx + 1)? {
+            out.push(event);
         }
-        let mut parts = trimmed.split(',');
-        let mac = parts
-            .next()
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .ok_or_else(|| IngestError::Malformed {
-                line: line_no,
-                reason: "missing mac field".to_string(),
-            })?;
-        let t_str = parts
-            .next()
-            .map(str::trim)
-            .ok_or_else(|| IngestError::Malformed {
-                line: line_no,
-                reason: "missing timestamp field".to_string(),
-            })?;
-        let ap = parts
-            .next()
-            .map(str::trim)
-            .ok_or_else(|| IngestError::Malformed {
-                line: line_no,
-                reason: "missing ap field".to_string(),
-            })?;
-        if parts.next().is_some() {
-            return Err(IngestError::Malformed {
-                line: line_no,
-                reason: "too many fields".to_string(),
-            });
-        }
-        let t: Timestamp = t_str.parse().map_err(|_| IngestError::Malformed {
-            line: line_no,
-            reason: format!("invalid timestamp {t_str:?}"),
-        })?;
-        out.push(RawEvent::new(mac, t, ap));
     }
     Ok(out)
 }
@@ -138,8 +161,44 @@ mod tests {
     }
 
     #[test]
+    fn malformed_fields_report_their_column() {
+        // `abc` starts at byte 3 (0-based) → column 4.
+        let err = parse_csv("d1,abc,wap1\n").unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::Malformed {
+                line: 1,
+                column: 4,
+                reason: "invalid timestamp \"abc\"".into()
+            }
+        );
+        assert!(err.to_string().contains("line 1, column 4"));
+        // Leading whitespace shifts the reported column accordingly.
+        let err = parse_csv("  d1,xyz,wap1\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { column: 6, .. }));
+        // The extra field's own offset is reported.
+        let err = parse_csv("d1,100,wap1,extra\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { column: 13, .. }));
+        // Missing trailing fields point past the end of the line.
+        let err = parse_csv("d1\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { column: 3, .. }));
+        // An empty ap field is reported at its own position.
+        let err = parse_csv("d1,100,\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { column: 8, .. }));
+    }
+
+    #[test]
     fn empty_input_parses_to_empty_vec() {
         assert!(parse_csv("").unwrap().is_empty());
         assert!(parse_csv("mac,timestamp,ap\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_csv_line_skips_blanks() {
+        assert_eq!(parse_csv_line("   ", 5).unwrap(), None);
+        assert_eq!(
+            parse_csv_line("d1,100,wap1", 5).unwrap(),
+            Some(RawEvent::new("d1", 100, "wap1"))
+        );
     }
 }

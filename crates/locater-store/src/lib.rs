@@ -4,23 +4,33 @@
 //! LOCATER": ingestion engine + storage engine + the database of dirty data, clean
 //! data and metadata).
 //!
-//! The centerpiece is [`EventStore`]: an in-memory, column-oriented store of WiFi
+//! The centerpiece is [`EventStore`]: a **time-partitioned, segmented** store of WiFi
 //! connectivity events organised for the access patterns of the cleaning engine:
 //!
-//! * **per-device sorted event sequences** (`E(d_i)`) — gap detection, validity
-//!   lookups and history scans are binary searches over a dense, time-sorted vector;
-//! * **a global timeline index** — "which devices were connected around time `t`?"
-//!   (needed to find the *neighbor devices* of the fine-grained algorithm) is a range
-//!   scan over one sorted vector;
-//! * **device interning** — MAC-address strings are interned to dense [`DeviceId`](locater_events::DeviceId)s at
-//!   ingestion; all downstream processing uses integer ids.
+//! * **per-device segmented timelines** ([`DeviceTimeline`]) — each device's
+//!   time-sorted history is split into immutable time-bucketed [`Segment`]s plus a
+//!   mutable *head* segment receiving live appends. Gap detection, validity lookups
+//!   and history scans prune whole segments by their time bounds before doing any
+//!   per-event work, so windowed queries cost `O(window)`, not `O(history)`;
+//! * **a global timeline index** ([`Timeline`]) — "which devices were connected
+//!   around time `t`?" (needed to find the *neighbor devices* of the fine-grained
+//!   algorithm) is a range scan over one sorted index;
+//! * **device interning** — MAC-address strings are interned to dense
+//!   [`DeviceId`](locater_events::DeviceId)s at ingestion; all downstream processing
+//!   uses integer ids;
+//! * **binary snapshot persistence** ([`EventStore::save_snapshot`] /
+//!   [`EventStore::load_snapshot`]) — the whole store round-trips bit-identically
+//!   through a compact, versioned, checksummed binary format (see [`snapshot`]), so
+//!   cold starts skip CSV replay entirely;
+//! * **streaming loaders** — CSV ([`EventStore::load_csv_reader`]) and NDJSON
+//!   ([`EventStore::load_ndjson_reader`]) sources are ingested one line at a time in
+//!   bounded memory, with parse *and* semantic errors annotated with their input
+//!   line (and column, for CSV field errors).
 //!
-//! The store also offers CSV import/export (the de-facto exchange format for
-//! association logs), per-device validity-period (δ) estimation, dataset statistics
-//! used in reports, and a streaming [`ingest`](EventStore::ingest_raw) API that accepts
-//! slightly out-of-order events.
+//! ## Ingest, query, segment layout
 //!
 //! ```
+//! use locater_events::Interval;
 //! use locater_space::SpaceBuilder;
 //! use locater_store::EventStore;
 //!
@@ -29,14 +39,52 @@
 //!     .add_access_point("wap2", &["r2", "r3"])
 //!     .build()
 //!     .unwrap();
-//! let mut store = EventStore::new(space);
+//! // Small segment span so this example shows several segments.
+//! let mut store = EventStore::new(space).with_segment_span(3_600);
 //! store.ingest_raw("aa:bb:cc:dd:ee:01", 100, "wap1").unwrap();
 //! store.ingest_raw("aa:bb:cc:dd:ee:02", 150, "wap2").unwrap();
 //! store.ingest_raw("aa:bb:cc:dd:ee:01", 4_000, "wap2").unwrap();
 //! assert_eq!(store.num_devices(), 2);
 //! assert_eq!(store.num_events(), 3);
+//!
 //! let d1 = store.device_id("aa:bb:cc:dd:ee:01").unwrap();
-//! assert_eq!(store.events_of(d1).len(), 2);
+//! // Two events, one hour apart → two segments; the newest is the head.
+//! let timeline = store.timeline_of(d1);
+//! assert_eq!(timeline.len(), 2);
+//! assert_eq!(timeline.num_segments(), 2);
+//! assert_eq!(timeline.head().unwrap().bucket(), 1);
+//! // Window queries only visit segments overlapping the window.
+//! let in_window: Vec<i64> = store
+//!     .events_of_in(d1, Interval::new(0, 3_600))
+//!     .map(|e| e.t)
+//!     .collect();
+//! assert_eq!(in_window, vec![100]);
+//! ```
+//!
+//! ## Snapshot round-trip
+//!
+//! ```
+//! use locater_space::SpaceBuilder;
+//! use locater_store::EventStore;
+//!
+//! let space = SpaceBuilder::new("demo")
+//!     .add_access_point("wap1", &["r1"])
+//!     .build()
+//!     .unwrap();
+//! let mut store = EventStore::new(space);
+//! store.ingest_raw("aa:bb:cc:dd:ee:01", 1_000, "wap1").unwrap();
+//!
+//! // The snapshot embeds the space, devices and segment runs; reloading it
+//! // reproduces the store bit-for-bit (event ids included).
+//! let bytes = store.to_snapshot_bytes().unwrap();
+//! let reloaded = EventStore::from_snapshot_bytes(&bytes).unwrap();
+//! assert_eq!(reloaded, store);
+//!
+//! // Decoding failures are typed errors, never panics.
+//! assert!(matches!(
+//!     EventStore::from_snapshot_bytes(b"not a snapshot"),
+//!     Err(locater_store::StoreError::NotASnapshot)
+//! ));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,12 +92,18 @@
 
 mod csv;
 mod error;
+mod ndjson;
+mod segment;
+pub mod snapshot;
 mod stats;
 mod store;
 mod timeline;
 
-pub use csv::{format_csv, parse_csv, RawEvent};
-pub use error::IngestError;
+pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
+pub use error::{IngestError, StoreError};
+pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
+pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::DatasetStatistics;
 pub use store::EventStore;
 pub use timeline::{NearbyDevice, Timeline};

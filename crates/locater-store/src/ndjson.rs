@@ -1,0 +1,87 @@
+//! NDJSON (newline-delimited JSON) import of connectivity events.
+//!
+//! Large measured WiFi corpora are commonly shipped as one-JSON-object-per-line
+//! streams, which compress well and can be ingested without ever holding the
+//! whole dataset in memory. Each line is an object with the same fields as a
+//! CSV row:
+//!
+//! ```json
+//! {"mac": "aa:bb:cc:dd:ee:01", "t": 1200, "ap": "wap1"}
+//! ```
+//!
+//! Blank lines and `#` comment lines are skipped; parse errors carry the
+//! 1-based line number, like the CSV loader's.
+
+use crate::csv::RawEvent;
+use crate::error::IngestError;
+
+/// Parses one NDJSON line into an event. Returns `Ok(None)` for blank lines and
+/// `#` comments; `line_no` is the 1-based position used in error messages.
+pub fn parse_ndjson_line(line: &str, line_no: usize) -> Result<Option<RawEvent>, IngestError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    serde_json::from_str::<RawEvent>(trimmed)
+        .map(Some)
+        .map_err(|err| IngestError::Malformed {
+            line: line_no,
+            column: 1,
+            reason: format!("invalid NDJSON event: {err}"),
+        })
+}
+
+/// Serializes events as NDJSON, one object per line (the inverse of
+/// [`parse_ndjson`]).
+pub fn format_ndjson(events: &[RawEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48);
+    for event in events {
+        out.push_str(&serde_json::to_string(event).expect("RawEvent serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a full NDJSON document into events (for small inputs; large files
+/// should stream through [`crate::EventStore::load_ndjson_reader`]).
+pub fn parse_ndjson(ndjson: &str) -> Result<Vec<RawEvent>, IngestError> {
+    let mut out = Vec::new();
+    for (idx, line) in ndjson.lines().enumerate() {
+        if let Some(event) = parse_ndjson_line(line, idx + 1)? {
+            out.push(event);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let events = vec![
+            RawEvent::new("aa:bb:cc:dd:ee:01", 100, "wap1"),
+            RawEvent::new("device-2", 230, "wap3"),
+        ];
+        let ndjson = format_ndjson(&events);
+        assert_eq!(ndjson.lines().count(), 2);
+        assert_eq!(parse_ndjson(&ndjson).unwrap(), events);
+    }
+
+    #[test]
+    fn blanks_and_comments_are_skipped() {
+        let text = "\n# a comment\n{\"mac\":\"d1\",\"t\":5,\"ap\":\"wap1\"}\n";
+        let parsed = parse_ndjson(text).unwrap();
+        assert_eq!(parsed, vec![RawEvent::new("d1", 5, "wap1")]);
+    }
+
+    #[test]
+    fn bad_lines_report_their_position() {
+        let err = parse_ndjson("{\"mac\":\"d1\",\"t\":5,\"ap\":\"wap1\"}\nnot-json\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 2, .. }));
+        assert!(err.to_string().contains("NDJSON"));
+        let err = parse_ndjson("{\"mac\":\"d1\"}\n").unwrap_err();
+        assert!(matches!(err, IngestError::Malformed { line: 1, .. }));
+    }
+}

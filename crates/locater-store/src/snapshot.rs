@@ -1,0 +1,479 @@
+//! Versioned binary snapshot persistence for [`EventStore`].
+//!
+//! A snapshot captures the *entire* store — space metadata, device table,
+//! per-device segment runs, validity configuration and event-id counter — in a
+//! compact binary layout, so a service restart costs one sequential file read
+//! instead of replaying (re-parsing, re-interning, re-sorting) the whole CSV
+//! log. The wire layout of version 1:
+//!
+//! ```text
+//! magic      8 B   "LOCATRSN"
+//! version    u32   1
+//! checksum   u64   FNV-1a 64 over the payload bytes
+//! length     u64   payload byte count
+//! payload:
+//!   space     u32 len + SpaceMetadata JSON (UTF-8)
+//!   validity  default/min/max δ (i64 ×3), percentile (f64 bits), min_samples (u64)
+//!   span      i64   segment span in seconds
+//!   next id   u64   event-id counter
+//!   devices   u32 count, then per device: mac (u16 len + UTF-8), δ (i64)
+//!   runs      per device: u32 segment count, then per segment:
+//!             bucket (i64), u32 event count, events as (id u64, t i64, ap u32)
+//! ```
+//!
+//! All integers are little-endian. Events inside a segment are stored in the
+//! segment's own (time-sorted, tie-stable) order, so replaying them through
+//! [`DeviceTimeline::push`] reproduces the exact in-memory structure — the
+//! round-trip is bit-identical, event ids and epoch-relevant ordering included.
+//! Decoding failures surface as typed [`StoreError`]s ([`StoreError::NotASnapshot`],
+//! [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
+//! [`StoreError::ChecksumMismatch`], [`StoreError::Corrupt`]) — never panics.
+
+use crate::error::StoreError;
+use crate::segment::DeviceTimeline;
+use crate::store::EventStore;
+use locater_events::validity::ValidityConfig;
+use locater_events::{Device, DeviceId, EventId, MacAddress, StoredEvent};
+use locater_space::{AccessPointId, SpaceMetadata};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes every snapshot starts with.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"LOCATRSN";
+/// Newest snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_payload(store: &EventStore) -> Result<Vec<u8>, StoreError> {
+    let (space, validity, span, next_event_id, devices, timelines) = store.snapshot_parts();
+    let mut out = Vec::with_capacity(64 + store.num_events() * 20);
+
+    let space_json = SpaceMetadata::from_space(space)
+        .to_json()
+        .map_err(|e| StoreError::Space(e.to_string()))?;
+    put_u32(&mut out, space_json.len() as u32);
+    out.extend_from_slice(space_json.as_bytes());
+
+    put_i64(&mut out, validity.default_delta);
+    put_i64(&mut out, validity.min_delta);
+    put_i64(&mut out, validity.max_delta);
+    put_u64(&mut out, validity.percentile.to_bits());
+    put_u64(&mut out, validity.min_samples as u64);
+
+    put_i64(&mut out, span);
+    put_u64(&mut out, next_event_id);
+
+    put_u32(&mut out, devices.len() as u32);
+    for device in devices {
+        let mac = device.mac.as_str().as_bytes();
+        // The length field is a u16; an oversized identifier must fail loudly
+        // at write time, not truncate into an undecodable-but-checksummed file.
+        let mac_len = u16::try_from(mac.len()).map_err(|_| {
+            StoreError::Unencodable(format!(
+                "device {} identifier is {} bytes (format limit {})",
+                device.id,
+                mac.len(),
+                u16::MAX
+            ))
+        })?;
+        put_u16(&mut out, mac_len);
+        out.extend_from_slice(mac);
+        put_i64(&mut out, device.delta);
+    }
+    for timeline in timelines {
+        put_u32(&mut out, timeline.num_segments() as u32);
+        for segment in timeline.segments() {
+            put_i64(&mut out, segment.bucket());
+            put_u32(&mut out, segment.len() as u32);
+            for event in segment.events() {
+                put_u64(&mut out, event.id.0);
+                put_i64(&mut out, event.t);
+                put_u32(&mut out, event.ap.raw());
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        // Checked: a crafted length field near usize::MAX must surface as a
+        // typed error, not an addition overflow / inverted-range panic.
+        if n > self.bytes.len() - self.pos {
+            return Err(StoreError::Truncated {
+                needed: self.pos.saturating_add(n),
+                available: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, len: usize) -> Result<&'a str, StoreError> {
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|_| StoreError::Corrupt("non-UTF-8 string".to_string()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<EventStore, StoreError> {
+    let mut d = Decoder::new(payload);
+
+    let space_len = d.u32()? as usize;
+    let space_json = d.str(space_len)?;
+    let space = SpaceMetadata::from_json(space_json)
+        .map_err(|e| StoreError::Space(e.to_string()))?
+        .build()
+        .map_err(|e| StoreError::Space(e.to_string()))?;
+
+    let validity = ValidityConfig {
+        default_delta: d.i64()?,
+        min_delta: d.i64()?,
+        max_delta: d.i64()?,
+        percentile: f64::from_bits(d.u64()?),
+        min_samples: d.u64()? as usize,
+    };
+    let span = d.i64()?;
+    if span < 1 {
+        return Err(StoreError::Corrupt(format!("segment span {span} < 1")));
+    }
+    let next_event_id = d.u64()?;
+
+    let device_count = d.u32()? as usize;
+    let mut devices = Vec::with_capacity(device_count.min(1 << 20));
+    for idx in 0..device_count {
+        let mac_len = d.u16()? as usize;
+        let mac = MacAddress::parse(d.str(mac_len)?)
+            .map_err(|e| StoreError::Corrupt(format!("device {idx}: {e}")))?;
+        let delta = d.i64()?;
+        devices.push(Device::new(DeviceId::new(idx as u32), mac, delta));
+    }
+
+    let mut timelines = Vec::with_capacity(device_count.min(1 << 20));
+    for idx in 0..device_count {
+        let mut timeline = DeviceTimeline::new(span);
+        let segment_count = d.u32()? as usize;
+        let mut prev_bucket = i64::MIN;
+        for _ in 0..segment_count {
+            let bucket = d.i64()?;
+            if bucket <= prev_bucket {
+                return Err(StoreError::Corrupt(format!(
+                    "device {idx}: segment buckets out of order ({prev_bucket} then {bucket})"
+                )));
+            }
+            prev_bucket = bucket;
+            let event_count = d.u32()? as usize;
+            if event_count == 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "device {idx}: empty segment {bucket}"
+                )));
+            }
+            let mut prev_t = i64::MIN;
+            for _ in 0..event_count {
+                let id = EventId::new(d.u64()?);
+                let t = d.i64()?;
+                let ap = AccessPointId::new(d.u32()?);
+                if t.div_euclid(span) != bucket {
+                    return Err(StoreError::Corrupt(format!(
+                        "device {idx}: event {id} at t={t} outside segment bucket {bucket}"
+                    )));
+                }
+                if t < prev_t {
+                    return Err(StoreError::Corrupt(format!(
+                        "device {idx}: events out of order inside segment {bucket}"
+                    )));
+                }
+                prev_t = t;
+                timeline.push(StoredEvent::new(id, t, ap));
+            }
+        }
+        timelines.push(timeline);
+    }
+    if !d.done() {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after payload",
+            payload.len() - d.pos
+        )));
+    }
+    EventStore::from_snapshot_parts(space, validity, span, next_event_id, devices, timelines)
+}
+
+// ---------------------------------------------------------------------------
+// Public surface on EventStore
+// ---------------------------------------------------------------------------
+
+impl EventStore {
+    /// Encodes the store as a snapshot byte buffer (header + checksummed payload).
+    pub fn to_snapshot_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let payload = encode_payload(self)?;
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    /// Decodes a snapshot produced by [`EventStore::to_snapshot_bytes`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut d = Decoder::new(bytes);
+        let magic = d.take(8).map_err(|_| StoreError::NotASnapshot)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(StoreError::NotASnapshot);
+        }
+        let version = d.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let expected = d.u64()?;
+        let payload_len = d.u64()? as usize;
+        let payload = d.take(payload_len)?;
+        let actual = fnv1a(payload);
+        if actual != expected {
+            return Err(StoreError::ChecksumMismatch { expected, actual });
+        }
+        decode_payload(payload)
+    }
+
+    /// Writes the snapshot to a writer.
+    pub fn write_snapshot(&self, writer: &mut impl Write) -> Result<(), StoreError> {
+        let bytes = self.to_snapshot_bytes()?;
+        writer.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot from a reader (the input is buffered fully; snapshots
+    /// are single files sized well below the store they decode into).
+    pub fn read_snapshot(reader: &mut impl Read) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+
+    /// Saves the store as a snapshot file.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let bytes = self.to_snapshot_bytes()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    /// Loads a store from a snapshot file.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::SpaceBuilder;
+
+    fn sample_store() -> EventStore {
+        let space = SpaceBuilder::new("snap-test")
+            .add_access_point("wap1", &["r1", "r2"])
+            .add_access_point("wap2", &["r2", "r3"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space).with_segment_span(1_000);
+        store.ingest_raw("aa:bb:cc:dd:ee:01", 100, "wap1").unwrap();
+        store.ingest_raw("aa:bb:cc:dd:ee:02", 150, "wap2").unwrap();
+        store
+            .ingest_raw("aa:bb:cc:dd:ee:01", 2_500, "wap2")
+            .unwrap();
+        store.ingest_raw("aa:bb:cc:dd:ee:01", 900, "wap1").unwrap(); // out of order
+        store.estimate_deltas();
+        store
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let store = sample_store();
+        let bytes = store.to_snapshot_bytes().unwrap();
+        let back = EventStore::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(back, store);
+        // And the re-encoded snapshot is byte-identical too.
+        assert_eq!(back.to_snapshot_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn io_roundtrip_through_writer_and_file() {
+        let store = sample_store();
+        let mut buf: Vec<u8> = Vec::new();
+        store.write_snapshot(&mut buf).unwrap();
+        let back = EventStore::read_snapshot(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(back, store);
+
+        let path = std::env::temp_dir().join(format!("locater-snap-{}.bin", std::process::id()));
+        store.save_snapshot(&path).unwrap();
+        let back = EventStore::load_snapshot(&path).unwrap();
+        assert_eq!(back, store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_not_a_snapshot() {
+        let mut bytes = sample_store().to_snapshot_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&bytes),
+            Err(StoreError::NotASnapshot)
+        ));
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(b"tiny"),
+            Err(StoreError::NotASnapshot)
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let mut bytes = sample_store().to_snapshot_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&bytes),
+            Err(StoreError::UnsupportedVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let bytes = sample_store().to_snapshot_bytes().unwrap();
+        // Truncated mid-payload: the header's declared length cannot be read.
+        let cut = &bytes[..bytes.len() - 7];
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(cut),
+            Err(StoreError::Truncated { .. })
+        ));
+        // A flipped payload byte fails the checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&corrupt),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_declared_lengths_error_instead_of_panicking() {
+        // A crafted header declaring a near-u64::MAX payload length must not
+        // overflow the decoder's cursor arithmetic.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd length
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&bytes),
+            Err(StoreError::Truncated { .. })
+        ));
+        // Same inside the payload: a huge space-JSON length field.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&super::fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&bytes),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_device_identifiers_fail_at_write_time() {
+        // MacAddress accepts arbitrary opaque identifiers, so a 70k-byte one is
+        // reachable from input files; the u16 length field cannot carry it and
+        // encoding must refuse rather than write a corrupt-but-checksummed file.
+        let space = SpaceBuilder::new("long-mac")
+            .add_access_point("wap1", &["r1"])
+            .build()
+            .unwrap();
+        let mut store = EventStore::new(space);
+        let huge_mac = "x".repeat(70_000);
+        store.ingest_raw(&huge_mac, 100, "wap1").unwrap();
+        assert!(matches!(
+            store.to_snapshot_bytes(),
+            Err(StoreError::Unencodable(_))
+        ));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let space = SpaceBuilder::new("empty")
+            .add_access_point("wap1", &["r1"])
+            .build()
+            .unwrap();
+        let store = EventStore::new(space);
+        let back = EventStore::from_snapshot_bytes(&store.to_snapshot_bytes().unwrap()).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.num_events(), 0);
+    }
+}

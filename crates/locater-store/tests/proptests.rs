@@ -1,5 +1,6 @@
-//! Property-based tests for the event store.
+//! Property-based tests for the segmented event store.
 
+use locater_events::Interval;
 use locater_space::{Space, SpaceBuilder};
 use locater_store::EventStore;
 use proptest::prelude::*;
@@ -17,51 +18,135 @@ fn arb_events() -> impl Strategy<Value = Vec<(u8, i64, u8)>> {
     prop::collection::vec((0u8..6, 0i64..500_000, 0u8..3), 1..150)
 }
 
+/// A store with a deliberately small segment span so arbitrary event sets
+/// produce many segments (and plenty of cross-segment boundaries).
+fn build_store(events: &[(u8, i64, u8)], span: i64) -> EventStore {
+    let mut store = EventStore::new(space()).with_segment_span(span);
+    for (dev, t, ap) in events {
+        store
+            .ingest_raw(&format!("device-{dev}"), *t, &format!("wap{ap}"))
+            .unwrap();
+    }
+    store
+}
+
 proptest! {
-    /// Ingestion never loses events: per-device sequence lengths sum to the total, and
-    /// every device sequence is sorted.
+    /// Ingestion never loses events: per-device timeline lengths sum to the total,
+    /// every device timeline is globally sorted, and segment bucketing is consistent
+    /// with the configured span.
     #[test]
-    fn ingestion_preserves_and_sorts_events(events in arb_events()) {
-        let mut store = EventStore::new(space());
-        for (dev, t, ap) in &events {
-            let mac = format!("device-{dev}");
-            let ap_name = format!("wap{ap}");
-            store.ingest_raw(&mac, *t, &ap_name).unwrap();
-        }
+    fn ingestion_preserves_and_sorts_events(events in arb_events(), span in 1_000i64..100_000) {
+        let store = build_store(&events, span);
         prop_assert_eq!(store.num_events(), events.len());
         let mut total = 0usize;
         for device in store.devices() {
-            let seq = store.events_of(device.id);
-            total += seq.len();
-            let ts: Vec<i64> = seq.events().iter().map(|e| e.t).collect();
+            let timeline = store.timeline_of(device.id);
+            total += timeline.len();
+            let ts: Vec<i64> = timeline.iter().map(|e| e.t).collect();
             let mut sorted = ts.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(ts, sorted);
+            prop_assert_eq!(&ts, &sorted);
+            for segment in timeline.segments() {
+                prop_assert!(!segment.is_empty());
+                for e in segment.events() {
+                    prop_assert_eq!(e.t.div_euclid(span), segment.bucket());
+                }
+            }
         }
         prop_assert_eq!(total, events.len());
+    }
+
+    /// The segmented representation is invisible to readers: window queries and
+    /// windowed gap detection agree exactly with brute-force filters over the full
+    /// history.
+    #[test]
+    fn segment_pruned_queries_match_full_scans(
+        events in arb_events(),
+        span in 500i64..80_000,
+        win_start in -10_000i64..510_000,
+        win_len in 0i64..200_000,
+    ) {
+        let store = build_store(&events, span);
+        let window = Interval::new(win_start, win_start + win_len);
+        for device in store.devices() {
+            let timeline = store.timeline_of(device.id);
+            let all: Vec<_> = timeline.iter().copied().collect();
+            let expect_events: Vec<i64> = all
+                .iter()
+                .filter(|e| e.t >= window.start && e.t < window.end)
+                .map(|e| e.t)
+                .collect();
+            let got_events: Vec<i64> = store
+                .events_of_in(device.id, window)
+                .map(|e| e.t)
+                .collect();
+            prop_assert_eq!(got_events, expect_events);
+
+            let full_gaps = store.gaps_of(device.id);
+            let expect_gaps: Vec<_> = full_gaps
+                .iter()
+                .filter(|g| g.interval().overlaps(&window))
+                .copied()
+                .collect();
+            prop_assert_eq!(store.gaps_of_in(device.id, window), expect_gaps);
+        }
+    }
+
+    /// Segmentation is a pure function of the event order, not of the span: any two
+    /// spans produce identical query answers.
+    #[test]
+    fn segment_span_does_not_change_answers(events in arb_events(), probe in 0i64..500_000) {
+        let fine = build_store(&events, 2_000);
+        let coarse = build_store(&events, 1_000_000);
+        for device in fine.devices() {
+            prop_assert_eq!(
+                fine.covering_event(device.id, probe),
+                coarse.covering_event(device.id, probe)
+            );
+            prop_assert_eq!(fine.gap_at(device.id, probe), coarse.gap_at(device.id, probe));
+            prop_assert_eq!(fine.gaps_of(device.id), coarse.gaps_of(device.id));
+        }
     }
 
     /// CSV roundtrips preserve the number of events and devices.
     #[test]
     fn csv_roundtrip(events in arb_events()) {
-        let mut store = EventStore::new(space());
-        for (dev, t, ap) in &events {
-            store.ingest_raw(&format!("device-{dev}"), *t, &format!("wap{ap}")).unwrap();
-        }
+        let store = build_store(&events, 50_000);
         let csv = store.to_csv();
         let back = EventStore::from_csv(space(), &csv).unwrap();
         prop_assert_eq!(back.num_events(), store.num_events());
         prop_assert_eq!(back.num_devices(), store.num_devices());
     }
 
+    /// Snapshot roundtrips are **bit-identical**: the reloaded store compares equal
+    /// (devices, deltas, segment runs, event ids, global timeline order — the
+    /// ordering the service's epoch bookkeeping depends on) and re-encodes to the
+    /// same bytes.
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical(events in arb_events(), span in 1_000i64..100_000) {
+        let mut store = build_store(&events, span);
+        store.estimate_deltas();
+        let bytes = store.to_snapshot_bytes().unwrap();
+        let back = EventStore::from_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &store);
+        prop_assert_eq!(back.to_snapshot_bytes().unwrap(), bytes);
+    }
+
+    /// Any truncation of a valid snapshot fails with a typed error — never a panic,
+    /// never a silently short store.
+    #[test]
+    fn truncated_snapshots_error_out(events in arb_events(), cut_fraction in 0.0f64..1.0) {
+        let store = build_store(&events, 10_000);
+        let bytes = store.to_snapshot_bytes().unwrap();
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(EventStore::from_snapshot_bytes(&bytes[..cut]).is_err());
+    }
+
     /// A probe instant is never both covered by an event and inside a gap, and
     /// devices_online_at only reports devices with covering events.
     #[test]
     fn online_devices_are_covered(events in arb_events(), probe in 0i64..500_000) {
-        let mut store = EventStore::new(space());
-        for (dev, t, ap) in &events {
-            store.ingest_raw(&format!("device-{dev}"), *t, &format!("wap{ap}")).unwrap();
-        }
+        let store = build_store(&events, 25_000);
         for (device, region) in store.devices_online_at(probe, None) {
             let covering = store.covering_event(device, probe);
             prop_assert!(covering.is_some());

@@ -9,12 +9,23 @@
 //! locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]
 //! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]
 //! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]
-//! locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
+//! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache]
+//! locater-cli snapshot save <space.json> <events.csv> <out.snap>
+//! locater-cli snapshot load <store.snap>
+//! locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
 //! ```
 //!
 //! * `space.json` is the [`SpaceMetadata`] format
 //!   (AP coverage, public rooms, room owners, preferred rooms).
 //! * `events.csv` / `queries.csv` are `mac,timestamp,ap` and `mac,timestamp` files.
+//! * `snapshot save` ingests a CSV log once (estimating validity periods) and
+//!   persists the whole store — space, device table, segment runs — as one
+//!   versioned binary file; `snapshot load` verifies and summarizes it; and
+//!   `serve --snapshot` cold-starts the live service from it without replaying
+//!   the CSV.
+//! * `simulate metro_campus` generates the large metropolitan-campus corpus,
+//!   sized by `LOCATER_METRO_SCALE` / `LOCATER_METRO_WEEKS` (see
+//!   `CampusConfig::metro_from_env`).
 //! * `batch` runs the parallel batch pipeline (`LocaterService::locate_batch`
 //!   through the typed request layer): every query is answered against a frozen
 //!   snapshot of the affinity cache, so the output is deterministic and
@@ -53,7 +64,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]\n  locater-cli simulate campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap>\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -67,6 +78,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "locate" => locate(args),
         "batch" => batch(args),
         "serve" => serve(args),
+        "snapshot" => snapshot(args),
         "simulate" => simulate(args),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -247,11 +259,18 @@ fn batch(args: &[String]) -> Result<String, String> {
 }
 
 fn serve(args: &[String]) -> Result<String, String> {
-    let space_path = args.get(1).ok_or("missing space.json")?;
-    let events_path = args.get(2).filter(|a| !a.starts_with("--"));
-    let store = match events_path {
-        Some(events_path) => load_store(space_path, events_path)?,
-        None => EventStore::new(load_space(space_path)?),
+    let store = if let Some(snapshot_path) = flag_value(args, "--snapshot") {
+        // Cold start from the binary snapshot: no CSV replay, validity periods
+        // already estimated, segments restored verbatim.
+        EventStore::load_snapshot(&snapshot_path)
+            .map_err(|e| format!("cannot load snapshot {snapshot_path}: {e}"))?
+    } else {
+        let space_path = args.get(1).ok_or("missing space.json (or --snapshot)")?;
+        let events_path = args.get(2).filter(|a| !a.starts_with("--"));
+        match events_path {
+            Some(events_path) => load_store(space_path, events_path)?,
+            None => EventStore::new(load_space(space_path)?),
+        }
     };
     let service = LocaterService::new(store, config_from_flags(args));
     let stdin = std::io::stdin();
@@ -357,6 +376,44 @@ fn serve_loop(
     Ok(commands)
 }
 
+fn snapshot(args: &[String]) -> Result<String, String> {
+    let action = args.get(1).ok_or("missing snapshot action (save|load)")?;
+    match action.as_str() {
+        "save" => {
+            let space_path = args.get(2).ok_or("missing space.json")?;
+            let events_path = args.get(3).ok_or("missing events.csv")?;
+            let out_path = args.get(4).ok_or("missing output snapshot path")?;
+            let store = load_store(space_path, events_path)?;
+            store
+                .save_snapshot(out_path)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            let size = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
+            Ok(format!(
+                "saved {out_path}: {} events, {} devices, {} segments ({size} bytes)\n",
+                store.num_events(),
+                store.num_devices(),
+                store.num_segments()
+            ))
+        }
+        "load" => {
+            let path = args.get(2).ok_or("missing snapshot path")?;
+            let store = EventStore::load_snapshot(path)
+                .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "{}", store.stats().to_report());
+            let _ = writeln!(
+                out,
+                "segments: {} across {} devices (span {}s)",
+                store.num_segments(),
+                store.num_devices(),
+                store.segment_span()
+            );
+            Ok(out)
+        }
+        other => Err(format!("unknown snapshot action {other:?} (save|load)")),
+    }
+}
+
 fn simulate(args: &[String]) -> Result<String, String> {
     let kind = args.get(1).ok_or("missing scenario kind")?;
     let prefix = args.get(2).ok_or("missing output prefix")?;
@@ -380,6 +437,14 @@ fn simulate(args: &[String]) -> Result<String, String> {
             weeks: (days / 7).max(1),
             ..CampusConfig::default()
         }),
+        "metro_campus" => {
+            // Env-sized large scenario; --days overrides the env/default weeks.
+            let mut config = CampusConfig::metro_from_env();
+            if flag_value(args, "--days").is_some() {
+                config.weeks = (days / 7).max(1);
+            }
+            Simulator::new(seed).run_campus(&config)
+        }
         "office" | "university" | "mall" | "airport" => {
             let scenario = match kind.as_str() {
                 "office" => ScenarioKind::Office,
@@ -520,6 +585,81 @@ mod tests {
         );
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_save_load_and_serve_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("locater-cli-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("office").to_string_lossy().to_string();
+        run(&[
+            "simulate".into(),
+            "office".into(),
+            prefix.clone(),
+            "--days".into(),
+            "3".into(),
+            "--seed".into(),
+            "11".into(),
+        ])
+        .expect("simulate succeeds");
+        let space = format!("{prefix}.space.json");
+        let events = format!("{prefix}.events.csv");
+        let snap = format!("{prefix}.snap");
+
+        let saved = run(&[
+            "snapshot".into(),
+            "save".into(),
+            space,
+            events.clone(),
+            snap.clone(),
+        ])
+        .expect("snapshot save succeeds");
+        assert!(saved.contains("saved"));
+        assert!(saved.contains("segments"));
+
+        let loaded =
+            run(&["snapshot".into(), "load".into(), snap.clone()]).expect("snapshot load succeeds");
+        assert!(loaded.contains("events"));
+        assert!(loaded.contains("segments:"));
+
+        // Serving straight from the snapshot answers queries without the CSV.
+        let csv = std::fs::read_to_string(&events).unwrap();
+        let first = parse_csv(&csv).unwrap().into_iter().next().unwrap();
+        let store = EventStore::load_snapshot(&snap).expect("snapshot loads");
+        let service = LocaterService::new(store, LocaterConfig::default());
+        let mut out: Vec<u8> = Vec::new();
+        let input = format!("locate {} {}\nquit\n", first.mac, first.t);
+        serve_loop(&service, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains(&first.mac));
+        assert!(out.contains("room") || out.contains("outside"));
+
+        // Corrupting the snapshot yields a typed, non-panicking CLI error.
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&snap, bytes).unwrap();
+        let err = run(&["snapshot".into(), "load".into(), snap]).unwrap_err();
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_command_rejects_bad_usage() {
+        assert!(run(&["snapshot".into()]).is_err());
+        assert!(run(&["snapshot".into(), "frob".into()]).is_err());
+        assert!(run(&["snapshot".into(), "save".into()]).is_err());
+        assert!(run(&[
+            "snapshot".into(),
+            "load".into(),
+            "/no/such/file.snap".into()
+        ])
+        .is_err());
+        assert!(
+            run(&["serve".into()]).is_err(),
+            "serve needs a space or snapshot"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! |---|---|
 //! | [`locater_space`] | space model: buildings, regions, rooms, APs, coverage, metadata |
 //! | [`locater_events`] | connectivity events, devices, validity periods, gap detection |
-//! | [`locater_store`] | event storage, indices, ingestion, CSV import/export, statistics |
+//! | [`locater_store`] | segmented event storage, indices, CSV/NDJSON ingestion, binary snapshots, statistics |
 //! | [`locater_learn`] | logistic regression + semi-supervised self-training (Algorithm 1) |
 //! | [`locater_core`] | coarse & fine localization, caching, baselines, metrics, the `Locater` system |
 //! | [`locater_sim`] | SmartBench-style scenario simulator + DBH-like campus dataset generator |
@@ -111,5 +111,5 @@ pub mod prelude {
         campus::CampusConfig, scenario::ScenarioKind, GroundTruth, SimOutput, Simulator,
     };
     pub use locater_space::{AccessPointId, RegionId, RoomId, RoomType, Space, SpaceBuilder};
-    pub use locater_store::{EventStore, IngestError};
+    pub use locater_store::{DeviceTimeline, EventStore, IngestError, StoreError};
 }
