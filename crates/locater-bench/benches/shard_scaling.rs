@@ -1,0 +1,142 @@
+//! Shard-scaling bench: concurrent ingest and locate throughput of the
+//! [`ShardedLocaterService`] at 1 / 2 / 4 / 8 shards on the `metro_campus`
+//! corpus.
+//!
+//! Every ingest on a single-shard service serializes through one store write
+//! lock; the sharded service write-locks only the event's home shard, so
+//! concurrent writers for different devices proceed in parallel. This bench
+//! measures that directly:
+//!
+//! * **ingest/shards_N** — worker threads replay the corpus concurrently,
+//!   each thread owning a disjoint set of devices (the realistic regime:
+//!   events of one device arrive in order, different devices race). Devices
+//!   are pre-interned so the measurement hits the steady-state home-shard
+//!   fast path, not the one-time all-shard interning of first contact.
+//! * **locate/shards_N** — worker threads answer a fixed query workload
+//!   concurrently against a pre-warmed service (reads take per-shard read
+//!   guards; the comparison isolates the view/guard overhead, since answers
+//!   are byte-identical for every shard count).
+//!
+//! Size the corpus with `LOCATER_METRO_SCALE` / `LOCATER_METRO_WEEKS` (CI
+//! runs a reduced scale).
+
+mod common;
+
+use criterion::{black_box, criterion_main, Criterion};
+use locater_core::system::{LocateRequest, LocaterConfig, ShardedLocaterService};
+use locater_sim::{generated_workload, CampusConfig, Simulator};
+use locater_store::{EventStore, RawEvent};
+
+const WORKER_THREADS: usize = 4;
+/// Events replayed per ingest iteration (a slice of the corpus keeps one
+/// iteration short enough for CI smoke runs).
+const INGEST_EVENTS: usize = 8_000;
+const LOCATE_QUERIES: usize = 400;
+
+fn bench(c: &mut Criterion) {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(7).run_campus(&config);
+    let empty = EventStore::new(output.space.clone());
+    let events: Vec<RawEvent> = output.events.iter().take(INGEST_EVENTS).cloned().collect();
+    println!(
+        "metro_campus: replaying {} of {} events, {} devices, {WORKER_THREADS} writer threads",
+        events.len(),
+        output.events.len(),
+        output.people.len()
+    );
+
+    // One seed event per device: pre-interns every device so measured ingests
+    // take the home-shard fast path.
+    let mut seen = std::collections::HashSet::new();
+    let seed_events: Vec<RawEvent> = output
+        .events
+        .iter()
+        .filter(|event| seen.insert(event.mac.clone()))
+        .cloned()
+        .collect();
+
+    // Per-thread event slices, partitioned by device so each device's events
+    // stay in order within one thread.
+    let thread_events: Vec<Vec<RawEvent>> = {
+        let mut slices: Vec<Vec<RawEvent>> = vec![Vec::new(); WORKER_THREADS];
+        let mut device_of: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for event in &events {
+            let next = device_of.len() % WORKER_THREADS;
+            let slot = *device_of.entry(event.mac.clone()).or_insert(next);
+            slices[slot].push(event.clone());
+        }
+        slices
+    };
+
+    let mut group = c.benchmark_group("shard_scaling");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("ingest/shards_{shards}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let service =
+                        ShardedLocaterService::new(empty.clone(), LocaterConfig::default(), shards);
+                    service
+                        .ingest_batch(seed_events.iter())
+                        .expect("seeds ingest");
+                    service
+                },
+                |service| {
+                    std::thread::scope(|scope| {
+                        for slice in &thread_events {
+                            let service = &service;
+                            scope.spawn(move || {
+                                for event in slice {
+                                    service
+                                        .ingest(&event.mac, event.t, &event.ap)
+                                        .expect("replayed event ingests");
+                                }
+                            });
+                        }
+                    });
+                    black_box(service.num_events())
+                },
+            )
+        });
+    }
+
+    // Locate throughput: a warmed service per shard count, queried from
+    // WORKER_THREADS reader threads.
+    let workload = generated_workload(&output, LOCATE_QUERIES, 0x5AD5);
+    let requests: Vec<LocateRequest> = workload
+        .queries
+        .iter()
+        .map(|q| LocateRequest::by_mac(&q.mac, q.t))
+        .collect();
+    for shards in [1usize, 2, 4, 8] {
+        let mut store = output.build_store();
+        store.estimate_deltas();
+        let service = ShardedLocaterService::new(store, LocaterConfig::default(), shards);
+        // Warm models and affinity caches once.
+        for request in &requests {
+            let _ = service.locate(request);
+        }
+        group.bench_function(format!("locate/shards_{shards}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for chunk in requests.chunks(requests.len().div_ceil(WORKER_THREADS)) {
+                        let service = &service;
+                        scope.spawn(move || {
+                            for request in chunk {
+                                black_box(service.locate(request).ok());
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

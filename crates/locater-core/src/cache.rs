@@ -240,6 +240,16 @@ impl GlobalAffinityGraph {
         self.edges.remove(&edge_key(a, b));
     }
 
+    /// Moves every edge of `other` into this graph. The sharded service uses
+    /// this to assemble the frozen union snapshot of a batch from the per-shard
+    /// caches; edge sets are disjoint there (each edge lives in exactly one
+    /// shard), so a duplicate edge simply takes `other`'s samples.
+    pub fn absorb(&mut self, other: GlobalAffinityGraph) {
+        for (key, samples) in other.edges {
+            self.edges.insert(key, samples);
+        }
+    }
+
     /// Removes all cached samples.
     pub fn clear(&mut self) {
         self.edges.clear();

@@ -24,7 +24,7 @@ use locater_events::clock::{self, Timestamp};
 use locater_events::{DeviceId, Gap, Interval, StoredEvent};
 use locater_learn::{Dataset, SelfTrainingClassifier, SelfTrainingConfig, TrainConfig};
 use locater_space::RegionId;
-use locater_store::EventStore;
+use locater_store::EventRead;
 use serde::{Deserialize, Serialize};
 
 /// Number of features of the gap feature vector (re-exported for dataset sizing).
@@ -200,7 +200,7 @@ impl CoarseLocalizer {
     /// when issuing many queries against the same device.
     pub fn localize(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         t_q: Timestamp,
     ) -> Result<CoarseOutcome, LocaterError> {
@@ -235,7 +235,7 @@ impl CoarseLocalizer {
     /// `history` worth of data.
     pub fn train_device_model(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         until: Timestamp,
     ) -> DeviceCoarseModel {
@@ -330,7 +330,7 @@ impl CoarseLocalizer {
     /// Classifies the query gap with an already-trained device model.
     pub fn classify_with_model(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         model: &DeviceCoarseModel,
         gap: &Gap,
     ) -> CoarseOutcome {
@@ -413,7 +413,7 @@ impl CoarseLocalizer {
     /// otherwise the gap's start region.
     fn heuristic_region(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         model: &DeviceCoarseModel,
         gap: &Gap,
     ) -> RegionId {
@@ -447,6 +447,7 @@ mod tests {
     use super::*;
     use locater_events::clock::at;
     use locater_space::{Space, SpaceBuilder};
+    use locater_store::EventStore;
 
     fn space() -> Space {
         SpaceBuilder::new("coarse-test")

@@ -3,7 +3,7 @@
 use locater_events::clock::Timestamp;
 use locater_events::{DeviceId, Interval};
 use locater_space::{RegionId, RoomId, Space};
-use locater_store::EventStore;
+use locater_store::EventRead;
 use serde::{Deserialize, Serialize};
 
 /// The three room-affinity weights of §4.1: preferred (`w_pf`), public (`w_pb`) and
@@ -125,9 +125,9 @@ impl RoomAffinity {
 ///
 /// The engine is cheap to construct (it only borrows the store); the expensive part is
 /// [`AffinityEngine::device_affinity`], which scans the devices' recent histories.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct AffinityEngine<'a> {
-    store: &'a EventStore,
+    store: &'a dyn EventRead,
     weights: RoomAffinityWeights,
     /// Length of the history window, ending at the query time, over which device
     /// affinities are computed.
@@ -137,7 +137,7 @@ pub struct AffinityEngine<'a> {
 impl<'a> AffinityEngine<'a> {
     /// Creates an engine over `store` with the given weights and a device-affinity
     /// history window of `window` seconds.
-    pub fn new(store: &'a EventStore, weights: RoomAffinityWeights, window: Timestamp) -> Self {
+    pub fn new(store: &'a dyn EventRead, weights: RoomAffinityWeights, window: Timestamp) -> Self {
         Self {
             store,
             weights,
@@ -289,6 +289,7 @@ impl<'a> AffinityEngine<'a> {
 mod tests {
     use super::*;
     use locater_space::{RoomType, SpaceBuilder};
+    use locater_store::EventStore;
 
     /// The paper's running example (Fig. 3): region g3 covers five rooms, 2061 is d1's
     /// office, 2065 is a public meeting room, 2059 is d2's office.

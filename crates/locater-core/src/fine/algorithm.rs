@@ -34,7 +34,7 @@ use crate::fine::worlds::{stop_condition_met, PosteriorBounds, RoomPosterior};
 use locater_events::clock::{self, Timestamp};
 use locater_events::DeviceId;
 use locater_space::{RegionId, RoomId};
-use locater_store::EventStore;
+use locater_store::EventRead;
 use serde::{Deserialize, Serialize};
 
 /// Which variant of Algorithm 2 to run.
@@ -181,7 +181,7 @@ impl FineLocalizer {
     /// overlaps `region`. Reported with the region they are located in.
     pub fn candidate_neighbors(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         t_q: Timestamp,
         region: RegionId,
@@ -200,7 +200,7 @@ impl FineLocalizer {
     /// eligible neighbors not in the list are processed last, in their natural order.
     pub fn locate(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         t_q: Timestamp,
         region: RegionId,
@@ -215,7 +215,7 @@ impl FineLocalizer {
     /// §5 supplies this from the global affinity graph).
     pub fn locate_with_cache(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         t_q: Timestamp,
         region: RegionId,
@@ -557,6 +557,7 @@ fn select_room(probabilities: &[(RoomId, f64)], prior: &RoomAffinity) -> RoomId 
 mod tests {
     use super::*;
     use locater_space::{RoomType, Space, SpaceBuilder};
+    use locater_store::EventStore;
 
     /// Fig. 1 / Fig. 3 style space: one AP region with an office per device plus a
     /// shared meeting room.

@@ -1,26 +1,29 @@
 //! The deterministic sharded batch pipeline shared by
-//! [`Locater::locate_batch`](super::Locater::locate_batch) and
-//! [`LocaterService::locate_batch`](super::LocaterService::locate_batch).
+//! [`Locater::locate_batch`](super::Locater::locate_batch),
+//! [`LocaterService::locate_batch`](super::LocaterService::locate_batch) and
+//! [`ShardedLocaterService::locate_batch`](super::ShardedLocaterService::locate_batch).
 //!
 //! The pipeline is built for determinism: results are **identical for every
 //! `jobs` value** (including the sequential `jobs = 1` path) and are returned
 //! in query order. Three properties make that hold:
 //!
 //! 1. every query is answered against a *frozen* snapshot of the global
-//!    affinity graph (cloned under a brief read lock), so no shard observes
-//!    another shard's cache warming — and, unlike per-query `locate` loops, no
-//!    query observes warming from *earlier batch queries* either;
-//! 2. queries are sharded **by device** — a device's queries are processed by
-//!    one shard in query order, so its lazily trained coarse model evolves
-//!    exactly as in the sequential path (shard-local model maps are seeded from
-//!    the shared model cache, which is also per-device);
-//! 3. the shard-local affinity contributions are merged into the global graph
-//!    only after all shards join, in ascending query order.
+//!    affinity graph (supplied by the caller — for the sharded service, the
+//!    union of every shard's cache), so no worker observes another worker's
+//!    cache warming — and, unlike per-query `locate` loops, no query observes
+//!    warming from *earlier batch queries* either;
+//! 2. queries are grouped **by device** — a device's queries are processed by
+//!    one worker in query order, so its lazily trained coarse model evolves
+//!    exactly as in the sequential path (worker-local model maps are seeded
+//!    from the live model cache, which is also per-device);
+//! 3. the worker-local affinity contributions are handed back in ascending
+//!    query order (`BatchOutcome::contributions`) and the caller applies
+//!    them to the live cache(s) only after all workers join.
 //!
-//! Device → shard assignment balances per-device query counts greedily, so
+//! Device → worker assignment balances per-device query counts greedily, so
 //! skewed workloads still spread across the pool.
 
-use super::epoch::{EpochCache, EpochTable, ModelEntry};
+use super::epoch::{EpochCache, EpochRead};
 use super::service::{Effective, Engines, ModelUse};
 use super::{assemble_answer, Answer, CacheMode};
 use crate::coarse::{CoarseLabel, DeviceCoarseModel};
@@ -28,7 +31,7 @@ use crate::error::LocaterError;
 use crate::fine::NeighborContribution;
 use locater_events::clock::Timestamp;
 use locater_events::DeviceId;
-use locater_store::EventStore;
+use locater_store::EventRead;
 use std::collections::HashMap;
 
 /// One batch entry: the query time, the resolved device (or the error to
@@ -41,42 +44,73 @@ pub(crate) struct BatchItem {
 }
 
 /// The local affinity graph of one batch-answered query, queued for the
-/// post-join merge into the global graph.
+/// post-join merge into the live cache(s).
 #[derive(Debug, Clone)]
-struct ShardContribution {
-    query_index: usize,
-    device: DeviceId,
-    t: Timestamp,
-    neighbors: Vec<NeighborContribution>,
+pub(crate) struct BatchContribution {
+    pub(crate) query_index: usize,
+    pub(crate) device: DeviceId,
+    pub(crate) t: Timestamp,
+    pub(crate) neighbors: Vec<NeighborContribution>,
 }
 
-/// Everything one batch shard produces: answers (tagged with their query
-/// index), affinity contributions, and the shard-local trained models.
+/// Everything one worker produces: answers (tagged with their query index),
+/// affinity contributions, and the worker-local trained models.
 #[derive(Debug, Default)]
-struct ShardOutput {
+struct WorkerOutput {
     answers: Vec<(usize, Answer)>,
-    contributions: Vec<ShardContribution>,
+    contributions: Vec<BatchContribution>,
     models: HashMap<DeviceId, DeviceCoarseModel>,
 }
 
-/// Answers a batch of resolved items, sharded across `jobs` worker threads.
-/// Unresolvable items error in place and never reach a shard.
+/// What a batch run hands back to its caller: in-order answers, affinity
+/// contributions sorted by query index (apply them to the live cache in this
+/// order), and the models freshly trained along the way (write them back to
+/// the per-device model cache stamped with the devices' current epochs).
+#[derive(Debug)]
+pub(crate) struct BatchOutcome {
+    pub(crate) answers: Vec<Result<Answer, LocaterError>>,
+    pub(crate) contributions: Vec<BatchContribution>,
+    pub(crate) trained: HashMap<DeviceId, DeviceCoarseModel>,
+}
+
+/// `true` if any resolved item may consult the caching engine — the caller
+/// only needs to snapshot the live cache(s) in that case.
+pub(crate) fn wants_cache(items: &[BatchItem]) -> bool {
+    items
+        .iter()
+        .any(|item| item.eff.cache == CacheMode::Enabled && item.device.is_ok())
+}
+
+/// Answers a batch of resolved items across `jobs` worker threads.
+/// Unresolvable items error in place and never reach a worker.
+///
+/// `seeds` are the epoch-live per-device coarse models at batch start, taken
+/// by value: each device lands in exactly one worker, so every seed moves
+/// into its worker's map without another clone. `frozen` is the immutable
+/// affinity-cache snapshot every worker reads. The caller owns applying
+/// [`BatchOutcome::contributions`] and [`BatchOutcome::trained`] back to the
+/// live state — see [`merge_into_engines`] for the single-cache case.
 pub(crate) fn run_batch(
     engines: &Engines,
-    store: &EventStore,
-    epochs: &EpochTable,
+    store: &dyn EventRead,
+    epochs: &dyn EpochRead,
     items: &[BatchItem],
     jobs: usize,
-) -> Vec<Result<Answer, LocaterError>> {
+    mut seeds: HashMap<DeviceId, DeviceCoarseModel>,
+    frozen: Option<&EpochCache>,
+) -> BatchOutcome {
     if items.is_empty() {
-        return Vec::new();
+        return BatchOutcome {
+            answers: Vec::new(),
+            contributions: Vec::new(),
+            trained: HashMap::new(),
+        };
     }
 
-    // Deterministic device → shard assignment: devices ordered by decreasing
-    // query count (ties by device id) go to the least-loaded shard (ties by
-    // shard index). A shard is a real worker thread, so the job count is
-    // capped by the distinct-device count — extra shards could only ever be
-    // empty.
+    // Deterministic device → worker assignment: devices ordered by decreasing
+    // query count (ties by device id) go to the least-loaded worker (ties by
+    // worker index). A worker is a real thread, so the job count is capped by
+    // the distinct-device count — extra workers could only ever be empty.
     let mut query_counts: HashMap<DeviceId, usize> = HashMap::new();
     for item in items {
         if let Ok(device) = item.device {
@@ -87,69 +121,56 @@ pub(crate) fn run_batch(
     let mut devices: Vec<(DeviceId, usize)> = query_counts.into_iter().collect();
     devices.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let mut load = vec![0usize; jobs];
-    let mut shard_of: HashMap<DeviceId, usize> = HashMap::new();
+    let mut worker_of: HashMap<DeviceId, usize> = HashMap::new();
     for (device, count) in devices {
-        let shard = (0..jobs).min_by_key(|&i| (load[i], i)).expect("jobs >= 1");
-        load[shard] += count;
-        shard_of.insert(device, shard);
+        let worker = (0..jobs).min_by_key(|&i| (load[i], i)).expect("jobs >= 1");
+        load[worker] += count;
+        worker_of.insert(device, worker);
     }
-    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); jobs];
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); jobs];
     for (idx, item) in items.iter().enumerate() {
         if let Ok(device) = item.device {
-            shards[shard_of[&device]].push(idx);
+            groups[worker_of[&device]].push(idx);
         }
     }
 
-    // Seed shard-local model maps from the shared cache: per-device state
-    // crosses into exactly one shard, preserving sequential semantics. Only
-    // epoch-live models are seeded — a stale model must be retrained, exactly
-    // as in the single-query path.
-    let seeds: Vec<HashMap<DeviceId, DeviceCoarseModel>> = {
-        let models = engines.models.read();
-        shards
-            .iter()
-            .map(|indices| {
-                let mut seed: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
-                for &idx in indices {
-                    if let Ok(device) = items[idx].device {
-                        if let Some(entry) = models.get(&device) {
-                            if entry.epoch == epochs.of(device) {
-                                seed.entry(device).or_insert_with(|| entry.model.clone());
-                            }
-                        }
+    // Worker-local model maps seeded from the live cache: per-device state
+    // crosses into exactly one worker (so seeds move, never clone),
+    // preserving sequential semantics.
+    let seeded: Vec<HashMap<DeviceId, DeviceCoarseModel>> = groups
+        .iter()
+        .map(|indices| {
+            let mut seed: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+            for &idx in indices {
+                if let Ok(device) = items[idx].device {
+                    if let Some(model) = seeds.remove(&device) {
+                        seed.insert(device, model);
                     }
                 }
-                seed
-            })
-            .collect()
-    };
+            }
+            seed
+        })
+        .collect();
 
-    // Parallel phase: all shards answer against the same frozen cache. The
-    // snapshot is a clone taken under a brief read lock, so concurrent
-    // single-query callers are never stalled for the batch's duration. The
+    // Parallel phase: all workers answer against the same frozen cache. The
     // snapshot carries its epoch stamps, so stale edges stay invisible inside
     // the batch too.
-    let wants_cache = items
-        .iter()
-        .any(|item| item.eff.cache == CacheMode::Enabled && item.device.is_ok());
-    let snapshot: Option<EpochCache> = wants_cache.then(|| engines.cache.read().clone());
-    let frozen: Option<&EpochCache> = snapshot.as_ref();
-    let mut outputs: Vec<ShardOutput> = Vec::new();
-    outputs.resize_with(jobs, ShardOutput::default);
+    let mut outputs: Vec<WorkerOutput> = Vec::new();
+    outputs.resize_with(jobs, WorkerOutput::default);
     rayon::scope(|scope| {
-        for ((indices, seed), out) in shards.iter().zip(seeds).zip(outputs.iter_mut()) {
+        for ((indices, seed), out) in groups.iter().zip(seeded).zip(outputs.iter_mut()) {
             if indices.is_empty() {
                 continue;
             }
             scope.spawn(move |_| {
-                *out = run_shard(engines, store, epochs, items, indices, seed, frozen);
+                *out = run_worker(engines, store, epochs, items, indices, seed, frozen);
             });
         }
     });
 
     // Deterministic merge: contributions in query order, models per device.
     let mut answers: Vec<Option<Answer>> = vec![None; items.len()];
-    let mut contributions: Vec<ShardContribution> = Vec::new();
+    let mut contributions: Vec<BatchContribution> = Vec::new();
     let mut trained: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
     for output in outputs {
         for (idx, answer) in output.answers {
@@ -158,10 +179,57 @@ pub(crate) fn run_batch(
         contributions.extend(output.contributions);
         trained.extend(output.models);
     }
-    if !contributions.is_empty() {
-        contributions.sort_by_key(|c| c.query_index);
+    contributions.sort_by_key(|c| c.query_index);
+
+    let answers = answers
+        .into_iter()
+        .zip(items)
+        .map(|(answer, item)| match &item.device {
+            Ok(_) => Ok(answer.expect("every resolved query is answered by its worker")),
+            Err(e) => Err(e.clone()),
+        })
+        .collect();
+    BatchOutcome {
+        answers,
+        contributions,
+        trained,
+    }
+}
+
+/// Collects the epoch-live model seeds for the batch items from one live model
+/// map (the single-cache deployments; the sharded service gathers seeds from
+/// each device's home shard instead).
+pub(crate) fn live_seeds(
+    engines: &Engines,
+    epochs: &dyn EpochRead,
+    items: &[BatchItem],
+) -> HashMap<DeviceId, DeviceCoarseModel> {
+    let models = engines.models.read();
+    let mut seeds = HashMap::new();
+    for item in items {
+        if let Ok(device) = item.device {
+            if let Some(entry) = models.get(&device) {
+                if entry.epoch == epochs.epoch_of(device) {
+                    seeds.entry(device).or_insert_with(|| entry.model.clone());
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Applies a batch outcome to a single-cache engine: contributions merge into
+/// the global graph in query order, trained models are stamped with the
+/// devices' current epochs. (The sharded service routes the same effects to
+/// the owner shard of each edge / device instead.)
+pub(crate) fn merge_into_engines(
+    engines: &Engines,
+    epochs: &dyn EpochRead,
+    outcome: &BatchOutcome,
+) {
+    if !outcome.contributions.is_empty() {
         let mut cache = engines.cache.write();
-        for contribution in &contributions {
+        for contribution in &outcome.contributions {
             cache.merge_local(
                 contribution.device,
                 &contribution.neighbors,
@@ -170,37 +238,34 @@ pub(crate) fn run_batch(
             );
         }
     }
-    if !trained.is_empty() {
+    if !outcome.trained.is_empty() {
         let mut models = engines.models.write();
-        for (device, model) in trained {
-            let epoch = epochs.of(device);
-            models.insert(device, ModelEntry { model, epoch });
+        for (device, model) in &outcome.trained {
+            let epoch = epochs.epoch_of(*device);
+            models.insert(
+                *device,
+                super::epoch::ModelEntry {
+                    model: model.clone(),
+                    epoch,
+                },
+            );
         }
     }
-
-    answers
-        .into_iter()
-        .zip(items)
-        .map(|(answer, item)| match &item.device {
-            Ok(_) => Ok(answer.expect("every resolved query is answered by its shard")),
-            Err(e) => Err(e.clone()),
-        })
-        .collect()
 }
 
-/// Answers one shard's queries (in query order) against the frozen cache,
+/// Answers one worker's queries (in query order) against the frozen cache,
 /// collecting answers, affinity contributions, and freshly trained models
 /// (untouched seed models are not reported back).
-fn run_shard(
+fn run_worker(
     engines: &Engines,
-    store: &EventStore,
-    epochs: &EpochTable,
+    store: &dyn EventRead,
+    epochs: &dyn EpochRead,
     items: &[BatchItem],
     indices: &[usize],
     mut models: HashMap<DeviceId, DeviceCoarseModel>,
     cache: Option<&EpochCache>,
-) -> ShardOutput {
-    let mut output = ShardOutput::default();
+) -> WorkerOutput {
+    let mut output = WorkerOutput::default();
     let mut trained: std::collections::HashSet<DeviceId> = std::collections::HashSet::new();
     for &idx in indices {
         let item = &items[idx];
@@ -224,7 +289,7 @@ fn run_shard(
                 let (mut fine, _) = engines.fine_exec(store, &item.eff, device, t_q, region, plan);
                 let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
                 if use_cache && cache.is_some() && !fine.contributions.is_empty() {
-                    output.contributions.push(ShardContribution {
+                    output.contributions.push(BatchContribution {
                         query_index: idx,
                         device,
                         t: t_q,

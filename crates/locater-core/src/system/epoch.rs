@@ -35,6 +35,23 @@ use locater_events::clock::Timestamp;
 use locater_events::DeviceId;
 use std::collections::HashMap;
 
+/// Read access to per-device ingest epochs.
+///
+/// The caching engine only ever *reads* epochs when checking stamp liveness, so
+/// it works against either a single [`EpochTable`] or a sharded view combining
+/// the per-shard tables of a [`ShardedLocaterService`](super::ShardedLocaterService)
+/// (where the table of a device's home shard is authoritative for it).
+pub trait EpochRead: Sync {
+    /// The current epoch of a device (0 for devices never bumped).
+    fn epoch_of(&self, device: DeviceId) -> u64;
+}
+
+impl EpochRead for EpochTable {
+    fn epoch_of(&self, device: DeviceId) -> u64 {
+        self.of(device)
+    }
+}
+
 /// Per-device ingest epochs.
 ///
 /// `epoch(d)` starts at 0 and is bumped once per event ingested for `d` (and
@@ -123,21 +140,21 @@ impl EpochCache {
     }
 
     /// The stamp the edge `{a, b}` would carry if recorded now.
-    fn current_stamp(a: DeviceId, b: DeviceId, epochs: &EpochTable) -> (u64, u64) {
+    fn current_stamp(a: DeviceId, b: DeviceId, epochs: &dyn EpochRead) -> (u64, u64) {
         let (lo, hi) = edge_key(a, b);
-        (epochs.of(lo), epochs.of(hi))
+        (epochs.epoch_of(lo), epochs.epoch_of(hi))
     }
 
     /// `true` if the edge `{a, b}` exists and its stamp matches the current
     /// epochs of both endpoints.
-    pub fn is_live(&self, a: DeviceId, b: DeviceId, epochs: &EpochTable) -> bool {
+    pub fn is_live(&self, a: DeviceId, b: DeviceId, epochs: &dyn EpochRead) -> bool {
         self.stamps
             .get(&edge_key(a, b))
             .is_some_and(|&stamp| stamp == Self::current_stamp(a, b, epochs))
     }
 
     /// The live samples cached for the pair `{a, b}` (empty when absent or stale).
-    pub fn samples(&self, a: DeviceId, b: DeviceId, epochs: &EpochTable) -> &[AffinitySample] {
+    pub fn samples(&self, a: DeviceId, b: DeviceId, epochs: &dyn EpochRead) -> &[AffinitySample] {
         if self.is_live(a, b, epochs) {
             self.graph.samples(a, b)
         } else {
@@ -146,7 +163,7 @@ impl EpochCache {
     }
 
     /// Epoch-aware [`GlobalAffinityGraph::weight`]: stale edges weigh 0.
-    pub fn weight(&self, a: DeviceId, b: DeviceId, t_q: Timestamp, epochs: &EpochTable) -> f64 {
+    pub fn weight(&self, a: DeviceId, b: DeviceId, t_q: Timestamp, epochs: &dyn EpochRead) -> f64 {
         if self.is_live(a, b, epochs) {
             self.graph.weight(a, b, t_q)
         } else {
@@ -160,7 +177,7 @@ impl EpochCache {
         a: DeviceId,
         b: DeviceId,
         t_q: Timestamp,
-        epochs: &EpochTable,
+        epochs: &dyn EpochRead,
     ) -> Option<f64> {
         if self.is_live(a, b, epochs) {
             self.graph.cached_pair_affinity(a, b, t_q)
@@ -177,7 +194,7 @@ impl EpochCache {
         center: DeviceId,
         candidates: &[DeviceId],
         t_q: Timestamp,
-        epochs: &EpochTable,
+        epochs: &dyn EpochRead,
     ) -> Vec<DeviceId> {
         rank_by_weight(candidates, |device| {
             self.weight(center, device, t_q, epochs)
@@ -192,7 +209,7 @@ impl EpochCache {
         center: DeviceId,
         contributions: &[NeighborContribution],
         t: Timestamp,
-        epochs: &EpochTable,
+        epochs: &dyn EpochRead,
     ) {
         for contribution in contributions {
             let neighbor = contribution.device;
@@ -227,7 +244,7 @@ impl EpochCache {
     }
 
     /// Number of edges and samples that are live under the given epochs.
-    pub fn live_stats(&self, epochs: &EpochTable) -> (usize, usize) {
+    pub fn live_stats(&self, epochs: &dyn EpochRead) -> (usize, usize) {
         let mut edges = 0usize;
         let mut samples = 0usize;
         for (&(a, b), &stamp) in &self.stamps {
@@ -242,7 +259,7 @@ impl EpochCache {
     /// Evicts every stale edge, returning the number of edges removed. Reads
     /// already skip stale edges; this is an optional maintenance sweep that
     /// reclaims their memory eagerly.
-    pub fn purge_stale(&mut self, epochs: &EpochTable) -> usize {
+    pub fn purge_stale(&mut self, epochs: &dyn EpochRead) -> usize {
         let stale: Vec<(DeviceId, DeviceId)> = self
             .stamps
             .iter()
@@ -254,6 +271,15 @@ impl EpochCache {
             self.stamps.remove(&(a, b));
         }
         stale.len()
+    }
+
+    /// Moves every stamped edge of `other` into this cache. Used to assemble
+    /// the frozen union snapshot of a sharded batch from the per-shard caches,
+    /// whose edge sets are disjoint (each edge lives in the cache of the shard
+    /// owning its lower endpoint).
+    pub fn absorb(&mut self, other: EpochCache) {
+        self.graph.absorb(other.graph);
+        self.stamps.extend(other.stamps);
     }
 
     /// Drops every cached edge, live or stale.

@@ -32,10 +32,12 @@ pub mod batch;
 pub mod epoch;
 pub mod request;
 pub mod service;
+pub mod shard;
 
-pub use epoch::{EpochCache, EpochTable, ModelEntry};
+pub use epoch::{EpochCache, EpochRead, EpochTable, ModelEntry};
 pub use request::{LocateRequest, LocateResponse};
 pub use service::LocaterService;
+pub use shard::{ShardStats, ShardedLocaterService};
 
 use crate::coarse::{CoarseConfig, CoarseMethod, CoarseOutcome};
 use crate::error::LocaterError;
@@ -327,7 +329,19 @@ impl Locater {
                 eff,
             })
             .collect();
-        batch::run_batch(&self.engines, &self.store, &self.epochs, &items, jobs)
+        let seeds = batch::live_seeds(&self.engines, &self.epochs, &items);
+        let frozen = batch::wants_cache(&items).then(|| self.engines.cache.read().clone());
+        let outcome = batch::run_batch(
+            &self.engines,
+            &self.store,
+            &self.epochs,
+            &items,
+            jobs,
+            seeds,
+            frozen.as_ref(),
+        );
+        batch::merge_into_engines(&self.engines, &self.epochs, &outcome);
+        outcome.answers
     }
 
     /// Converts this frozen facade into a live [`LocaterService`], carrying the

@@ -22,9 +22,9 @@
 //! queries must not stall behind them) — never for model training or affinity
 //! scans.
 
-use super::batch::{self, BatchItem};
-use super::epoch::{EpochCache, EpochTable, ModelEntry};
+use super::epoch::{EpochCache, EpochRead, ModelEntry};
 use super::request::{LocateRequest, LocateResponse};
+use super::shard::ShardedLocaterService;
 use super::{assemble_answer, Answer, CacheMode, LocaterConfig, QueryDiagnostics};
 use crate::coarse::{CoarseLabel, CoarseLocalizer, CoarseMethod, CoarseOutcome, DeviceCoarseModel};
 use crate::error::LocaterError;
@@ -32,7 +32,7 @@ use crate::fine::{FineConfig, FineLocalizer, FineOutcome};
 use locater_events::clock::Timestamp;
 use locater_events::{DeviceId, EventId, Gap};
 use locater_space::RegionId;
-use locater_store::{EventStore, IngestError, RawEvent};
+use locater_store::{EventRead, EventStore, IngestError, RawEvent};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -60,7 +60,7 @@ pub(crate) struct Effective {
 
 /// Resolves a (mac, device-id) target against a store.
 pub(crate) fn resolve_target(
-    store: &EventStore,
+    store: &dyn EventRead,
     mac: Option<&str>,
     device: Option<DeviceId>,
 ) -> Result<DeviceId, LocaterError> {
@@ -93,9 +93,9 @@ pub(crate) enum ModelUse {
 /// order, cached pairwise affinities, and whether the graph was warm for the
 /// queried device. Extracted under the graph lock; executed lock-free.
 pub(crate) struct FinePlan {
-    order: Vec<DeviceId>,
-    cached: HashMap<DeviceId, f64>,
-    warm: bool,
+    pub(crate) order: Vec<DeviceId>,
+    pub(crate) cached: HashMap<DeviceId, f64>,
+    pub(crate) warm: bool,
 }
 
 /// Outcome of the model-free coarse checks: a trivial answer, or the gap that
@@ -148,8 +148,8 @@ impl Engines {
     /// Answers one query, returning the answer and per-query diagnostics.
     pub(crate) fn locate_detailed(
         &self,
-        store: &EventStore,
-        epochs: &EpochTable,
+        store: &dyn EventRead,
+        epochs: &dyn EpochRead,
         device: DeviceId,
         t_q: Timestamp,
         eff: &Effective,
@@ -209,10 +209,10 @@ impl Engines {
     /// Lock discipline is read-mostly: the reuse check and classification take
     /// read locks, and expensive model training happens outside any lock, so
     /// concurrent `locate` callers with warm models never serialize.
-    fn coarse_outcome(
+    pub(crate) fn coarse_outcome(
         &self,
-        store: &EventStore,
-        epochs: &EpochTable,
+        store: &dyn EventRead,
+        epochs: &dyn EpochRead,
         device: DeviceId,
         t_q: Timestamp,
     ) -> (CoarseOutcome, bool) {
@@ -220,7 +220,7 @@ impl Engines {
             CoarseShortcut::Trivial(outcome) => return (outcome, false),
             CoarseShortcut::Gap(gap) => gap,
         };
-        let epoch = epochs.of(device);
+        let epoch = epochs.epoch_of(device);
         {
             let models = self.models.read();
             if let Some(entry) = models.get(&device) {
@@ -253,7 +253,7 @@ impl Engines {
     /// span), or the gap that needs model-based classification.
     fn coarse_shortcut(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         device: DeviceId,
         t_q: Timestamp,
     ) -> CoarseShortcut {
@@ -281,7 +281,7 @@ impl Engines {
     /// so callers can tell freshly trained models from untouched seeds.
     pub(crate) fn coarse_outcome_in(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         models: &mut HashMap<DeviceId, DeviceCoarseModel>,
         device: DeviceId,
         t_q: Timestamp,
@@ -313,7 +313,7 @@ impl Engines {
     /// needs no lock.
     pub(crate) fn fine_neighbors(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         eff: &Effective,
         device: DeviceId,
         t_q: Timestamp,
@@ -334,7 +334,7 @@ impl Engines {
     /// run lock-free.
     pub(crate) fn fine_plan(
         &self,
-        epochs: &EpochTable,
+        epochs: &dyn EpochRead,
         device: DeviceId,
         t_q: Timestamp,
         neighbors: &[DeviceId],
@@ -363,7 +363,7 @@ impl Engines {
     /// whether the affinity graph was warm for the queried device.
     pub(crate) fn fine_exec(
         &self,
-        store: &EventStore,
+        store: &dyn EventRead,
         eff: &Effective,
         device: DeviceId,
         t_q: Timestamp,
@@ -386,15 +386,6 @@ impl Engines {
     }
 }
 
-/// The mutable half of the service: the event store and the per-device ingest
-/// epochs, updated together under one lock so a query always sees a consistent
-/// (store, epochs) pair.
-#[derive(Debug)]
-struct LiveStore {
-    store: EventStore,
-    epochs: EpochTable,
-}
-
 /// The live LOCATER service: a cleaning + caching engine over a **mutable**
 /// event store that ingests connectivity events while answering queries.
 ///
@@ -402,6 +393,11 @@ struct LiveStore {
 /// after construction. Correctness is maintained by epoch-based invalidation
 /// (see [`super::epoch`]): after any ingest sequence, answers are identical to
 /// those of a freshly built service over the same final store.
+///
+/// Internally this is exactly a [`ShardedLocaterService`] with **one shard** —
+/// the single-writer special case of the per-device-partitioned service. Use
+/// [`ShardedLocaterService::new`] with more shards when concurrent ingest
+/// throughput matters; answers are byte-identical for every shard count.
 ///
 /// ```
 /// use locater_core::system::{LocaterService, LocateRequest, LocaterConfig};
@@ -426,35 +422,32 @@ struct LiveStore {
 /// ```
 #[derive(Debug)]
 pub struct LocaterService {
-    live: RwLock<LiveStore>,
-    engines: Engines,
+    inner: ShardedLocaterService,
 }
 
 impl LocaterService {
     /// Creates a service over an initial (possibly empty) store.
     pub fn new(store: EventStore, config: LocaterConfig) -> Self {
         Self {
-            live: RwLock::new(LiveStore {
-                store,
-                epochs: EpochTable::new(),
-            }),
-            engines: Engines::new(config),
+            inner: ShardedLocaterService::new(store, config, 1),
         }
     }
 
     pub(crate) fn from_parts(store: EventStore, engines: Engines) -> Self {
         Self {
-            live: RwLock::new(LiveStore {
-                store,
-                epochs: EpochTable::new(),
-            }),
-            engines,
+            inner: ShardedLocaterService::from_parts_single(store, engines),
         }
+    }
+
+    /// The equivalent sharded service (one shard), for callers that want the
+    /// shard-aware API surface.
+    pub fn into_sharded(self) -> ShardedLocaterService {
+        self.inner
     }
 
     /// The system configuration (per-request overrides are applied on top).
     pub fn config(&self) -> &LocaterConfig {
-        &self.engines.config
+        self.inner.config()
     }
 
     // ------------------------------------------------------------------
@@ -465,14 +458,7 @@ impl LocaterService {
     /// logs) and bumps the device's epoch. Takes the store write lock only for
     /// the append itself.
     pub fn ingest(&self, mac: &str, t: Timestamp, ap_name: &str) -> Result<EventId, IngestError> {
-        let mut live = self.live.write();
-        let id = live.store.ingest_raw(mac, t, ap_name)?;
-        let device = live
-            .store
-            .device_id(mac)
-            .expect("ingest_raw interned the device");
-        live.epochs.bump(device);
-        Ok(id)
+        self.inner.ingest(mac, t, ap_name)
     }
 
     /// Appends a batch of raw events, stopping at the first error (events
@@ -482,49 +468,31 @@ impl LocaterService {
         &self,
         events: impl IntoIterator<Item = &'a RawEvent>,
     ) -> Result<usize, IngestError> {
-        let mut live = self.live.write();
-        let mut count = 0usize;
-        for event in events {
-            live.store.ingest_raw(&event.mac, event.t, &event.ap)?;
-            let device = live
-                .store
-                .device_id(&event.mac)
-                .expect("ingest_raw interned the device");
-            live.epochs.bump(device);
-            count += 1;
-        }
-        Ok(count)
+        self.inner.ingest_batch(events)
     }
 
     /// Re-estimates every device's validity period δ from its (grown) history
     /// and bumps **all** epochs: changing δ reshapes every device's gap
     /// structure, so all cached state is invalidated.
     pub fn reestimate_deltas(&self) {
-        let mut live = self.live.write();
-        live.store.estimate_deltas();
-        let devices = live.store.num_devices();
-        live.epochs.bump_all(devices);
+        self.inner.reestimate_deltas()
     }
 
     /// Overrides one device's validity period δ and bumps its epoch.
     pub fn set_delta(&self, device: DeviceId, delta: Timestamp) {
-        let mut live = self.live.write();
-        live.store.set_delta(device, delta);
-        live.epochs.bump(device);
+        self.inner.set_delta(device, delta)
     }
 
     /// Bumps one device's epoch without touching the store, invalidating every
     /// cached value derived from its history.
     pub fn invalidate_device(&self, device: DeviceId) {
-        self.live.write().epochs.bump(device);
+        self.inner.invalidate_device(device)
     }
 
     /// Bumps every device's epoch, invalidating all cached state at once (the
     /// epoch-based equivalent of the legacy `clear_cache`-and-rebuild).
     pub fn invalidate_all(&self) {
-        let mut live = self.live.write();
-        let devices = live.store.num_devices();
-        live.epochs.bump_all(devices);
+        self.inner.invalidate_all()
     }
 
     // ------------------------------------------------------------------
@@ -533,26 +501,14 @@ impl LocaterService {
 
     /// Resolves the device a request refers to.
     pub fn resolve(&self, request: &LocateRequest) -> Result<DeviceId, LocaterError> {
-        let live = self.live.read();
-        resolve_target(&live.store, request.mac.as_deref(), request.device)
+        self.inner.resolve(request)
     }
 
     /// Answers one request. Holds the store read lock for the duration of the
     /// query, so concurrent requests proceed in parallel and ingests are only
     /// delayed by in-flight queries.
     pub fn locate(&self, request: &LocateRequest) -> Result<LocateResponse, LocaterError> {
-        let live = self.live.read();
-        let device = resolve_target(&live.store, request.mac.as_deref(), request.device)?;
-        let eff = self.engines.effective_for(request);
-        let (answer, diagnostics) =
-            self.engines
-                .locate_detailed(&live.store, &live.epochs, device, request.t, &eff);
-        Ok(LocateResponse {
-            answer,
-            device_epoch: live.epochs.of(device),
-            events_seen: live.store.num_events(),
-            diagnostics: request.diagnostics.then_some(diagnostics),
-        })
+        self.inner.locate(request)
     }
 
     /// Answers a batch of requests through the deterministic sharded batch
@@ -565,33 +521,7 @@ impl LocaterService {
         requests: &[LocateRequest],
         jobs: usize,
     ) -> Vec<Result<LocateResponse, LocaterError>> {
-        let live = self.live.read();
-        let items: Vec<BatchItem> = requests
-            .iter()
-            .map(|request| BatchItem {
-                t: request.t,
-                device: resolve_target(&live.store, request.mac.as_deref(), request.device),
-                eff: self.engines.effective_for(request),
-            })
-            .collect();
-        let answers = batch::run_batch(&self.engines, &live.store, &live.epochs, &items, jobs);
-        let events_seen = live.store.num_events();
-        answers
-            .into_iter()
-            .zip(&items)
-            .map(|(answer, item)| {
-                answer.map(|answer| LocateResponse {
-                    device_epoch: item
-                        .device
-                        .as_ref()
-                        .map(|&d| live.epochs.of(d))
-                        .unwrap_or(0),
-                    events_seen,
-                    answer,
-                    diagnostics: None,
-                })
-            })
-            .collect()
+        self.inner.locate_batch(requests, jobs)
     }
 
     // ------------------------------------------------------------------
@@ -601,60 +531,55 @@ impl LocaterService {
     /// The current ingest epoch of a device (0 for devices never ingested
     /// through the service).
     pub fn device_epoch(&self, device: DeviceId) -> u64 {
-        self.live.read().epochs.of(device)
+        self.inner.device_epoch(device)
     }
 
     /// Runs `f` with read access to the store (the lock is held for the
     /// duration of the closure — keep it short).
     pub fn with_store<R>(&self, f: impl FnOnce(&EventStore) -> R) -> R {
-        f(&self.live.read().store)
+        // One shard ⇒ shard 0 holds the whole dataset.
+        self.inner.with_shard_store(0, f)
     }
 
     /// A clone of the current store (the basis of the service's answers at
     /// this instant; useful for rebuild-equivalence checks and snapshots).
     pub fn store_snapshot(&self) -> EventStore {
-        self.live.read().store.clone()
+        self.inner.store_snapshot()
     }
 
     /// Total number of events currently in the store.
     pub fn num_events(&self) -> usize {
-        self.live.read().store.num_events()
+        self.inner.num_events()
     }
 
     /// Number of distinct devices currently in the store.
     pub fn num_devices(&self) -> usize {
-        self.live.read().store.num_devices()
+        self.inner.num_devices()
     }
 
     /// Number of edges and samples physically held by the caching engine,
     /// including stale ones awaiting eviction.
     pub fn cache_stats(&self) -> (usize, usize) {
-        self.engines.cache.read().stats()
+        self.inner.cache_stats()
     }
 
     /// Number of edges and samples that are live under the current epochs —
     /// the state queries can actually observe.
     pub fn live_cache_stats(&self) -> (usize, usize) {
-        let live = self.live.read();
-        self.engines.cache.read().live_stats(&live.epochs)
+        self.inner.live_cache_stats()
     }
 
     /// Eagerly evicts stale affinity edges and stale/expired coarse models,
     /// returning `(edges_evicted, models_evicted)`. Optional maintenance —
     /// queries never observe stale state either way.
     pub fn purge_stale(&self) -> (usize, usize) {
-        let live = self.live.read();
-        let edges = self.engines.cache.write().purge_stale(&live.epochs);
-        let mut models = self.engines.models.write();
-        let before = models.len();
-        models.retain(|&device, entry| entry.epoch == live.epochs.of(device));
-        (edges, before - models.len())
+        self.inner.purge_stale()
     }
 
     /// Drops all cached affinities and per-device coarse models (epochs are
     /// untouched; prefer letting epoch invalidation work instead).
     pub fn clear_cache(&self) {
-        self.engines.clear_cache();
+        self.inner.clear_cache()
     }
 }
 

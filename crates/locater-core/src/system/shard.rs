@@ -1,0 +1,800 @@
+//! The sharded live service: N independent per-device partitions behind one
+//! query API.
+//!
+//! LOCATER's pipeline is embarrassingly partitionable by device — coarse
+//! localization, δ estimation, epochs and model state are per-device, and only
+//! the fine-grained affinity step reads across devices. The
+//! [`ShardedLocaterService`] exploits that: each shard owns its own segmented
+//! [`EventStore`], `RwLock`, [`EpochTable`] and caches (affinity edges and
+//! coarse models), so **concurrent ingests for different devices never contend
+//! on a lock**. Cross-device reads go through a read-only multi-shard view
+//! ([`locater_store::ShardedRead`]) assembled from per-shard read guards taken
+//! in ascending shard order.
+//!
+//! ## State placement
+//!
+//! | State | Lives in |
+//! |---|---|
+//! | device `d`'s timeline, epoch counter, coarse model | `d`'s home shard (`shard_of_device(d, n)`) |
+//! | device table (ids, MACs, δs) | replicated in every shard store |
+//! | affinity edge `{a, b}` | the home shard of `min(a, b)` |
+//!
+//! ## Equivalence
+//!
+//! Answers are **byte-identical to a single-shard
+//! [`LocaterService`](super::LocaterService)** for
+//! every shard count — the public [`LocaterService`](super::LocaterService)
+//! *is* the `shards = 1`
+//! special case of this type. The canonical `(t, device)` order of the global
+//! timeline index makes the merged neighbor scan representation-transparent,
+//! and edge/model/epoch placement partitions (never duplicates) the state a
+//! single-shard deployment would hold. `tests/shard_equivalence.rs` enforces
+//! this for LCG-seeded ingest/locate interleavings at N ∈ {2, 3, 8}.
+
+use super::batch::{self, BatchItem};
+use super::epoch::{EpochCache, EpochRead, EpochTable, ModelEntry};
+use super::request::{LocateRequest, LocateResponse};
+use super::service::{resolve_target, Engines, FinePlan};
+use super::{assemble_answer, Answer, CacheMode, LocaterConfig, QueryDiagnostics};
+use crate::cache::{edge_key, rank_by_weight};
+use crate::coarse::{CoarseLabel, DeviceCoarseModel};
+use crate::error::LocaterError;
+use crate::fine::NeighborContribution;
+use locater_events::clock::Timestamp;
+use locater_events::validity::estimate_delta_events;
+use locater_events::{DeviceId, EventId};
+use locater_space::Space;
+use locater_store::{
+    shard_of_device, EventRead, EventStore, IngestError, RawEvent, ShardedRead, StoreError,
+};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The mutable half of one shard: its partition of the event store and the
+/// epoch table authoritative for its owned devices, updated together under one
+/// lock so a query always sees a consistent `(store, epochs)` pair.
+#[derive(Debug)]
+struct ShardLive {
+    store: EventStore,
+    epochs: EpochTable,
+}
+
+/// One shard: its mutable `(store, epochs)` pair plus its own engines (config,
+/// localizers, affinity cache, model cache).
+#[derive(Debug)]
+struct Shard {
+    live: RwLock<ShardLive>,
+    engines: Engines,
+}
+
+/// Per-shard observability counters reported by
+/// [`ShardedLocaterService::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Events stored in this shard's partition.
+    pub events: usize,
+    /// Devices whose home shard this is (their timelines, epochs and models
+    /// live here).
+    pub owned_devices: usize,
+    /// Affinity edges physically held by this shard's cache (live and stale).
+    pub edges: usize,
+    /// Affinity edges live under the current epochs.
+    pub live_edges: usize,
+    /// Affinity samples physically held (live and stale).
+    pub samples: usize,
+    /// Affinity samples live under the current epochs.
+    pub live_samples: usize,
+}
+
+/// Epoch view over the per-shard tables: the table of a device's home shard is
+/// authoritative for it.
+struct ShardedEpochs<'a> {
+    tables: Vec<&'a EpochTable>,
+}
+
+impl EpochRead for ShardedEpochs<'_> {
+    fn epoch_of(&self, device: DeviceId) -> u64 {
+        self.tables[shard_of_device(device, self.tables.len())].of(device)
+    }
+}
+
+/// The sharded live LOCATER service: online ingestion + query answering over
+/// `N` per-device partitions (see the [module docs](self) for the design).
+///
+/// The public API mirrors [`LocaterService`](super::LocaterService) — which is
+/// exactly this type with one shard — and answers are byte-identical for every
+/// shard count. Use more shards when concurrent ingest throughput matters:
+/// an ingest for a known device write-locks only the device's home shard.
+///
+/// ```
+/// use locater_core::system::{LocateRequest, LocaterConfig, ShardedLocaterService};
+/// use locater_space::SpaceBuilder;
+/// use locater_store::EventStore;
+///
+/// let space = SpaceBuilder::new("demo")
+///     .add_access_point("wap1", &["101", "102"])
+///     .build()
+///     .unwrap();
+/// let service =
+///     ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 4);
+/// assert_eq!(service.num_shards(), 4);
+///
+/// // Ingest routes each event to the device's home shard.
+/// service.ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1").unwrap();
+/// service.ingest("aa:bb:cc:dd:ee:01", 4_000, "wap1").unwrap();
+///
+/// // Queries answer over the multi-shard view, identically to one shard.
+/// let response = service
+///     .locate(&LocateRequest::by_mac("aa:bb:cc:dd:ee:01", 2_500))
+///     .unwrap();
+/// assert!(response.answer.is_inside());
+/// assert_eq!(response.device_epoch, 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedLocaterService {
+    shards: Vec<Shard>,
+    /// Global event-id sequence: ids stay globally sequential across shards
+    /// (each append aligns the owning shard's counter from here), so the
+    /// rejoined store is bit-identical to a single-shard deployment's.
+    next_event_id: AtomicU64,
+}
+
+impl ShardedLocaterService {
+    /// Creates a service over an initial (possibly empty) store, partitioned
+    /// into `shards` per-device shards (clamped to at least 1).
+    pub fn new(store: EventStore, config: LocaterConfig, shards: usize) -> Self {
+        let next_event_id = AtomicU64::new(store.next_event_id());
+        let shards = store
+            .split(shards.max(1))
+            .into_iter()
+            .map(|piece| Shard {
+                live: RwLock::new(ShardLive {
+                    store: piece,
+                    epochs: EpochTable::new(),
+                }),
+                engines: Engines::new(config),
+            })
+            .collect();
+        Self {
+            shards,
+            next_event_id,
+        }
+    }
+
+    /// Cold-starts a sharded service from a binary snapshot (the same file
+    /// format a single-shard deployment writes — the store is split after
+    /// loading).
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        config: LocaterConfig,
+        shards: usize,
+    ) -> Result<Self, StoreError> {
+        Ok(Self::new(EventStore::load_snapshot(path)?, config, shards))
+    }
+
+    /// Builds a single-shard service around existing engines (cache and model
+    /// state carry over) — the [`Locater::into_service`](super::Locater::into_service)
+    /// conversion path.
+    pub(crate) fn from_parts_single(store: EventStore, engines: Engines) -> Self {
+        let next_event_id = AtomicU64::new(store.next_event_id());
+        Self {
+            shards: vec![Shard {
+                live: RwLock::new(ShardLive {
+                    store,
+                    epochs: EpochTable::new(),
+                }),
+                engines,
+            }],
+            next_event_id,
+        }
+    }
+
+    /// Number of shards the service is partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of a device under this service's shard count.
+    pub fn home_shard(&self, device: DeviceId) -> usize {
+        shard_of_device(device, self.shards.len())
+    }
+
+    /// The system configuration (per-request overrides are applied on top).
+    pub fn config(&self) -> &LocaterConfig {
+        &self.shards[0].engines.config
+    }
+
+    /// Read guards on every shard, taken in ascending shard order (the
+    /// service-wide lock order; writers acquire in the same order).
+    fn read_all(&self) -> Vec<RwLockReadGuard<'_, ShardLive>> {
+        self.shards.iter().map(|shard| shard.live.read()).collect()
+    }
+
+    /// Write guards on every shard, in ascending shard order.
+    fn write_all(&self) -> Vec<RwLockWriteGuard<'_, ShardLive>> {
+        self.shards.iter().map(|shard| shard.live.write()).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Appends one connectivity event (access point given by name, as found in
+    /// logs) and bumps the device's epoch.
+    ///
+    /// For a device the service has already seen, only the device's **home
+    /// shard** is write-locked — ingests for devices on different shards
+    /// proceed fully in parallel. The first event of a new device takes a
+    /// brief all-shard write lock to intern it into every replicated device
+    /// table at the same dense id.
+    pub fn ingest(&self, mac: &str, t: Timestamp, ap_name: &str) -> Result<EventId, IngestError> {
+        let known = self.shards[0].live.read().store.device_id(mac);
+        if let Some(device) = known {
+            let home = self.home_shard(device);
+            let mut live = self.shards[home].live.write();
+            live.store.validate_raw(t, ap_name)?;
+            let id = self.sequenced_ingest(&mut live.store, mac, t, ap_name)?;
+            live.epochs.bump(device);
+            return Ok(id);
+        }
+        // New device: intern into every shard under the full lock so the
+        // replicated tables assign the same dense id everywhere.
+        let mut guards = self.write_all();
+        let device = Self::intern_everywhere(&mut guards, mac, t, ap_name)?;
+        let home = shard_of_device(device, guards.len());
+        let id = self.sequenced_ingest(&mut guards[home].store, mac, t, ap_name)?;
+        guards[home].epochs.bump(device);
+        Ok(id)
+    }
+
+    /// Appends one pre-validated event, drawing its id from the service-wide
+    /// sequence so ids stay globally sequential across shards.
+    fn sequenced_ingest(
+        &self,
+        store: &mut EventStore,
+        mac: &str,
+        t: Timestamp,
+        ap_name: &str,
+    ) -> Result<EventId, IngestError> {
+        store.set_next_event_id(self.next_event_id.fetch_add(1, Ordering::Relaxed));
+        store.ingest_raw(mac, t, ap_name)
+    }
+
+    /// Appends a batch of raw events under one all-shard write lock (the batch
+    /// is atomic with respect to queries), stopping at the first error —
+    /// events before it are kept and their devices' epochs bumped. Returns the
+    /// number of events appended.
+    pub fn ingest_batch<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a RawEvent>,
+    ) -> Result<usize, IngestError> {
+        let mut guards = self.write_all();
+        let mut count = 0usize;
+        for event in events {
+            let device = match guards[0].store.device_id(&event.mac) {
+                Some(device) => device,
+                None => Self::intern_everywhere(&mut guards, &event.mac, event.t, &event.ap)?,
+            };
+            guards[0].store.validate_raw(event.t, &event.ap)?;
+            let home = shard_of_device(device, guards.len());
+            self.sequenced_ingest(&mut guards[home].store, &event.mac, event.t, &event.ap)?;
+            guards[home].epochs.bump(device);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Interns a new device into every shard's replicated table, validating
+    /// the event first so an invalid event interns nothing (mirroring the
+    /// error order of [`EventStore::ingest_raw`]: access point, then
+    /// timestamp, then MAC).
+    fn intern_everywhere(
+        guards: &mut [RwLockWriteGuard<'_, ShardLive>],
+        mac: &str,
+        t: Timestamp,
+        ap_name: &str,
+    ) -> Result<DeviceId, IngestError> {
+        // Re-check under the write lock: another ingest may have interned the
+        // device between our read probe and lock acquisition.
+        if let Some(device) = guards[0].store.device_id(mac) {
+            return Ok(device);
+        }
+        guards[0].store.validate_raw(t, ap_name)?;
+        let mut device = None;
+        for guard in guards.iter_mut() {
+            let interned = guard.store.intern_device(mac)?;
+            debug_assert!(device.is_none() || device == Some(interned));
+            device = Some(interned);
+        }
+        Ok(device.expect("at least one shard"))
+    }
+
+    /// Re-estimates every device's validity period δ from its history (held by
+    /// its home shard), writes the result into every replicated device table,
+    /// and bumps **all** epochs: changing δ reshapes every device's gap
+    /// structure, so all cached state is invalidated.
+    pub fn reestimate_deltas(&self) {
+        let mut guards = self.write_all();
+        let shards = guards.len();
+        let num_devices = guards[0].store.num_devices();
+        let deltas: Vec<Timestamp> = (0..num_devices)
+            .map(|idx| {
+                let device = DeviceId::new(idx as u32);
+                let home = &guards[shard_of_device(device, shards)].store;
+                estimate_delta_events(home.timeline_of(device).iter(), home.validity_config())
+            })
+            .collect();
+        for guard in guards.iter_mut() {
+            for (idx, &delta) in deltas.iter().enumerate() {
+                guard.store.set_delta(DeviceId::new(idx as u32), delta);
+            }
+            guard.epochs.bump_all(num_devices);
+        }
+    }
+
+    /// Overrides one device's validity period δ in every replicated device
+    /// table and bumps its epoch.
+    pub fn set_delta(&self, device: DeviceId, delta: Timestamp) {
+        let mut guards = self.write_all();
+        for guard in guards.iter_mut() {
+            guard.store.set_delta(device, delta);
+        }
+        let home = shard_of_device(device, guards.len());
+        guards[home].epochs.bump(device);
+    }
+
+    /// Bumps one device's epoch without touching the store, invalidating every
+    /// cached value derived from its history.
+    pub fn invalidate_device(&self, device: DeviceId) {
+        self.shards[self.home_shard(device)]
+            .live
+            .write()
+            .epochs
+            .bump(device);
+    }
+
+    /// Bumps every device's epoch, invalidating all cached state at once.
+    pub fn invalidate_all(&self) {
+        let mut guards = self.write_all();
+        let num_devices = guards[0].store.num_devices();
+        for guard in guards.iter_mut() {
+            guard.epochs.bump_all(num_devices);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Resolves the device a request refers to (the device table is replicated,
+    /// so one shard answers).
+    pub fn resolve(&self, request: &LocateRequest) -> Result<DeviceId, LocaterError> {
+        let live = self.shards[0].live.read();
+        resolve_target(&live.store, request.mac.as_deref(), request.device)
+    }
+
+    /// Answers one request over the multi-shard view. Holds every shard's read
+    /// lock for the duration of the query (acquired in ascending order), so
+    /// concurrent queries proceed in parallel and ingests are only delayed by
+    /// in-flight queries touching their shard.
+    pub fn locate(&self, request: &LocateRequest) -> Result<LocateResponse, LocaterError> {
+        let guards = self.read_all();
+        let view = ShardedRead::new(guards.iter().map(|guard| &guard.store).collect());
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let device = resolve_target(&view, request.mac.as_deref(), request.device)?;
+        let home = self.home_shard(device);
+        let eff = self.shards[home].engines.effective_for(request);
+        let (answer, diagnostics) =
+            self.locate_detailed(&view, &epochs, device, request.t, &eff, home);
+        Ok(LocateResponse {
+            answer,
+            device_epoch: epochs.epoch_of(device),
+            events_seen: view.num_events(),
+            diagnostics: request.diagnostics.then_some(diagnostics),
+        })
+    }
+
+    /// The sharded analogue of [`Engines::locate_detailed`]: coarse and model
+    /// state come from the queried device's home shard, fine-step cache reads
+    /// and writes route to each edge's owner shard.
+    fn locate_detailed(
+        &self,
+        view: &ShardedRead<'_>,
+        epochs: &dyn EpochRead,
+        device: DeviceId,
+        t_q: Timestamp,
+        eff: &super::service::Effective,
+        home: usize,
+    ) -> (Answer, QueryDiagnostics) {
+        let engines = &self.shards[home].engines;
+        let start = Instant::now();
+
+        let (coarse, model_reused) = engines.coarse_outcome(view, epochs, device, t_q);
+        let region = match coarse.label {
+            CoarseLabel::Outside => {
+                let answer = assemble_answer(device, t_q, &coarse, None);
+                let diagnostics = QueryDiagnostics {
+                    coarse,
+                    fine: None,
+                    elapsed: start.elapsed(),
+                    coarse_model_reused: model_reused,
+                    cache_warm: false,
+                };
+                return (answer, diagnostics);
+            }
+            CoarseLabel::Inside(region) => region,
+        };
+
+        let plan = match eff.cache {
+            CacheMode::Enabled => {
+                let neighbors = engines.fine_neighbors(view, eff, device, t_q, region);
+                Some(self.fine_plan(epochs, device, t_q, &neighbors))
+            }
+            CacheMode::Disabled => None,
+        };
+        let (fine, cache_warm) = engines.fine_exec(view, eff, device, t_q, region, plan);
+        if eff.cache == CacheMode::Enabled && !fine.contributions.is_empty() {
+            self.merge_contributions(device, &fine.contributions, t_q, epochs);
+        }
+
+        let answer = assemble_answer(device, t_q, &coarse, Some((&fine, region)));
+        let diagnostics = QueryDiagnostics {
+            coarse,
+            fine: Some(fine),
+            elapsed: start.elapsed(),
+            coarse_model_reused: model_reused,
+            cache_warm,
+        };
+        (answer, diagnostics)
+    }
+
+    /// Extracts the fine-step plan from the owner shards' caches: each edge
+    /// `{device, n}` is read from the cache of `min(device, n)`'s home shard.
+    /// The needed cache read guards are taken once, in ascending shard order.
+    fn fine_plan(
+        &self,
+        epochs: &dyn EpochRead,
+        device: DeviceId,
+        t_q: Timestamp,
+        neighbors: &[DeviceId],
+    ) -> FinePlan {
+        let shards = self.shards.len();
+        let owner_of = |neighbor: DeviceId| shard_of_device(edge_key(device, neighbor).0, shards);
+        let mut needed = vec![false; shards];
+        for &neighbor in neighbors {
+            needed[owner_of(neighbor)] = true;
+        }
+        let caches: Vec<Option<RwLockReadGuard<'_, EpochCache>>> = self
+            .shards
+            .iter()
+            .zip(&needed)
+            .map(|(shard, &needed)| needed.then(|| shard.engines.cache.read()))
+            .collect();
+        let cache_of = |neighbor: DeviceId| -> &EpochCache {
+            caches[owner_of(neighbor)]
+                .as_deref()
+                .expect("owner cache guard was taken above")
+        };
+        let warm = neighbors
+            .iter()
+            .any(|&n| !cache_of(n).samples(device, n, epochs).is_empty());
+        let cached: HashMap<DeviceId, f64> = neighbors
+            .iter()
+            .filter_map(|&n| {
+                cache_of(n)
+                    .cached_pair_affinity(device, n, t_q, epochs)
+                    .map(|affinity| (n, affinity))
+            })
+            .collect();
+        let order = rank_by_weight(neighbors, |n| cache_of(n).weight(device, n, t_q, epochs));
+        FinePlan {
+            order,
+            cached,
+            warm,
+        }
+    }
+
+    /// Merges one answered query's local affinity graph into the owner shards'
+    /// caches (write locks taken per owner, in ascending shard order).
+    fn merge_contributions(
+        &self,
+        center: DeviceId,
+        contributions: &[NeighborContribution],
+        t: Timestamp,
+        epochs: &dyn EpochRead,
+    ) {
+        let shards = self.shards.len();
+        if shards == 1 {
+            self.shards[0]
+                .engines
+                .cache
+                .write()
+                .merge_local(center, contributions, t, epochs);
+            return;
+        }
+        let mut per_owner: Vec<Vec<NeighborContribution>> = vec![Vec::new(); shards];
+        for contribution in contributions {
+            let owner = shard_of_device(edge_key(center, contribution.device).0, shards);
+            per_owner[owner].push(*contribution);
+        }
+        for (shard, subset) in self.shards.iter().zip(per_owner) {
+            if !subset.is_empty() {
+                shard
+                    .engines
+                    .cache
+                    .write()
+                    .merge_local(center, &subset, t, epochs);
+            }
+        }
+    }
+
+    /// Answers a batch of requests through the deterministic batch pipeline
+    /// (see [`super::batch`]): requests are grouped by device across `jobs`
+    /// worker threads, answered against a frozen union snapshot of every
+    /// shard's affinity cache, and the results merge back to each edge's and
+    /// model's owner shard in query order. Responses are identical for every
+    /// `jobs` value **and every shard count**, in request order; batch
+    /// responses carry no diagnostics.
+    pub fn locate_batch(
+        &self,
+        requests: &[LocateRequest],
+        jobs: usize,
+    ) -> Vec<Result<LocateResponse, LocaterError>> {
+        let guards = self.read_all();
+        let view = ShardedRead::new(guards.iter().map(|guard| &guard.store).collect());
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let shards = self.shards.len();
+        let engines = &self.shards[0].engines;
+        let items: Vec<BatchItem> = requests
+            .iter()
+            .map(|request| BatchItem {
+                t: request.t,
+                device: resolve_target(&view, request.mac.as_deref(), request.device),
+                eff: engines.effective_for(request),
+            })
+            .collect();
+
+        // Epoch-live model seeds come from each device's home shard.
+        let mut seeds: HashMap<DeviceId, DeviceCoarseModel> = HashMap::new();
+        for item in &items {
+            let Ok(device) = item.device else { continue };
+            if seeds.contains_key(&device) {
+                continue;
+            }
+            let home = shard_of_device(device, shards);
+            let models = self.shards[home].engines.models.read();
+            if let Some(entry) = models.get(&device) {
+                if entry.epoch == epochs.epoch_of(device) {
+                    seeds.insert(device, entry.model.clone());
+                }
+            }
+        }
+
+        // The frozen snapshot is the union of every shard's cache — edge sets
+        // are disjoint (each edge lives in its owner shard), so the union is
+        // exactly the cache a single-shard deployment would hold.
+        let frozen: Option<EpochCache> = batch::wants_cache(&items).then(|| {
+            let mut union = self.shards[0].engines.cache.read().clone();
+            for shard in &self.shards[1..] {
+                union.absorb(shard.engines.cache.read().clone());
+            }
+            union
+        });
+
+        let outcome = batch::run_batch(
+            engines,
+            &view,
+            &epochs,
+            &items,
+            jobs,
+            seeds,
+            frozen.as_ref(),
+        );
+
+        // Post-join merge: contributions route to edge owners in query order,
+        // trained models to their devices' home shards.
+        for contribution in &outcome.contributions {
+            self.merge_contributions(
+                contribution.device,
+                &contribution.neighbors,
+                contribution.t,
+                &epochs,
+            );
+        }
+        for (&device, model) in &outcome.trained {
+            let home = shard_of_device(device, shards);
+            self.shards[home].engines.models.write().insert(
+                device,
+                ModelEntry {
+                    model: model.clone(),
+                    epoch: epochs.epoch_of(device),
+                },
+            );
+        }
+
+        let events_seen = view.num_events();
+        outcome
+            .answers
+            .into_iter()
+            .zip(&items)
+            .map(|(answer, item)| {
+                answer.map(|answer| LocateResponse {
+                    device_epoch: item
+                        .device
+                        .as_ref()
+                        .map(|&d| epochs.epoch_of(d))
+                        .unwrap_or(0),
+                    events_seen,
+                    answer,
+                    diagnostics: None,
+                })
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability & maintenance
+    // ------------------------------------------------------------------
+
+    /// The current ingest epoch of a device (0 for devices never ingested
+    /// through the service).
+    pub fn device_epoch(&self, device: DeviceId) -> u64 {
+        self.shards[self.home_shard(device)]
+            .live
+            .read()
+            .epochs
+            .of(device)
+    }
+
+    /// The space metadata the service answers over.
+    pub fn space(&self) -> Arc<Space> {
+        self.shards[0].live.read().store.space().clone()
+    }
+
+    /// Looks up a device id by MAC address / log identifier.
+    pub fn device_id(&self, mac: &str) -> Option<DeviceId> {
+        self.shards[0].live.read().store.device_id(mac)
+    }
+
+    /// Runs `f` with read access to one shard's store partition (the lock is
+    /// held for the duration of the closure — keep it short). With one shard,
+    /// shard 0 holds the whole dataset.
+    pub fn with_shard_store<R>(&self, shard: usize, f: impl FnOnce(&EventStore) -> R) -> R {
+        f(&self.shards[shard].live.read().store)
+    }
+
+    /// A combined clone of the current store — the basis of the service's
+    /// answers at this instant, reassembled from the shard partitions
+    /// ([`EventStore::rejoin`]); bit-identical to what a single-shard service
+    /// over the same events would hold. Useful for rebuild-equivalence checks
+    /// and snapshots.
+    pub fn store_snapshot(&self) -> EventStore {
+        let guards = self.read_all();
+        if guards.len() == 1 {
+            return guards[0].store.clone();
+        }
+        EventStore::rejoin(guards.iter().map(|guard| &guard.store))
+            .expect("shards of one service always rejoin")
+    }
+
+    /// Persists the combined store as one binary snapshot — the same file a
+    /// single-shard deployment writes, loadable with any shard count
+    /// ([`ShardedLocaterService::from_snapshot`]).
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.store_snapshot().save_snapshot(path)
+    }
+
+    /// Total number of events currently stored across all shards.
+    pub fn num_events(&self) -> usize {
+        self.read_all()
+            .iter()
+            .map(|guard| guard.store.num_events())
+            .sum()
+    }
+
+    /// Number of distinct devices currently known (the device table is
+    /// replicated, so one shard answers).
+    pub fn num_devices(&self) -> usize {
+        self.shards[0].live.read().store.num_devices()
+    }
+
+    /// Number of edges and samples physically held across all shard caches,
+    /// including stale ones awaiting eviction.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        let mut edges = 0usize;
+        let mut samples = 0usize;
+        for shard in &self.shards {
+            let (e, s) = shard.engines.cache.read().stats();
+            edges += e;
+            samples += s;
+        }
+        (edges, samples)
+    }
+
+    /// Number of edges and samples live under the current epochs across all
+    /// shard caches — the state queries can actually observe.
+    pub fn live_cache_stats(&self) -> (usize, usize) {
+        let guards = self.read_all();
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let mut edges = 0usize;
+        let mut samples = 0usize;
+        for shard in &self.shards {
+            let (e, s) = shard.engines.cache.read().live_stats(&epochs);
+            edges += e;
+            samples += s;
+        }
+        (edges, samples)
+    }
+
+    /// Per-shard event/device/cache counters (what `locater-cli serve`'s
+    /// `stats` command prints).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let guards = self.read_all();
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let shards = self.shards.len();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let store = &guards[index].store;
+                let owned_devices = (0..store.num_devices())
+                    .filter(|&idx| shard_of_device(DeviceId::new(idx as u32), shards) == index)
+                    .count();
+                let cache = shard.engines.cache.read();
+                let (edges, samples) = cache.stats();
+                let (live_edges, live_samples) = cache.live_stats(&epochs);
+                ShardStats {
+                    shard: index,
+                    events: store.num_events(),
+                    owned_devices,
+                    edges,
+                    live_edges,
+                    samples,
+                    live_samples,
+                }
+            })
+            .collect()
+    }
+
+    /// Eagerly evicts stale affinity edges and stale coarse models from every
+    /// shard, returning `(edges_evicted, models_evicted)`. Optional
+    /// maintenance — queries never observe stale state either way.
+    pub fn purge_stale(&self) -> (usize, usize) {
+        let guards = self.read_all();
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let mut edges = 0usize;
+        let mut models_evicted = 0usize;
+        for shard in &self.shards {
+            edges += shard.engines.cache.write().purge_stale(&epochs);
+            let mut models = shard.engines.models.write();
+            let before = models.len();
+            models.retain(|&device, entry| entry.epoch == epochs.epoch_of(device));
+            models_evicted += before - models.len();
+        }
+        (edges, models_evicted)
+    }
+
+    /// Drops all cached affinities and per-device coarse models on every shard
+    /// (epochs are untouched; prefer letting epoch invalidation work instead).
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            shard.engines.clear_cache();
+        }
+    }
+}

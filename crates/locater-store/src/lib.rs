@@ -25,7 +25,14 @@
 //! * **streaming loaders** — CSV ([`EventStore::load_csv_reader`]) and NDJSON
 //!   ([`EventStore::load_ndjson_reader`]) sources are ingested one line at a time in
 //!   bounded memory, with parse *and* semantic errors annotated with their input
-//!   line (and column, for CSV field errors).
+//!   line (and column, for CSV field errors);
+//! * **per-device sharding** — [`EventStore::split`] / [`EventStore::rejoin`]
+//!   partition a store into per-device shards and reassemble them
+//!   bit-identically ([`shard_of_device`] is the assignment), and the
+//!   [`EventRead`] trait + [`ShardedRead`] view let readers treat the
+//!   partitions as one logical store with answers identical to the combined
+//!   one (the global [`Timeline`] keeps canonical `(t, device)` order exactly
+//!   so that this merge is exact).
 //!
 //! ## Ingest, query, segment layout
 //!
@@ -93,7 +100,9 @@
 mod csv;
 mod error;
 mod ndjson;
+mod read;
 mod segment;
+mod shard;
 pub mod snapshot;
 mod stats;
 mod store;
@@ -102,7 +111,9 @@ mod timeline;
 pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
 pub use error::{IngestError, StoreError};
 pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
+pub use read::EventRead;
 pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
+pub use shard::{shard_of_device, ShardedRead};
 pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::DatasetStatistics;
 pub use store::EventStore;

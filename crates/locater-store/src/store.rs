@@ -175,6 +175,23 @@ impl EventStore {
     // Ingestion
     // ------------------------------------------------------------------
 
+    /// Validates a raw event without ingesting it, with exactly the checks and
+    /// error order of [`EventStore::ingest_raw`] (access point, then
+    /// timestamp). The sharded service calls this before drawing a global
+    /// event id, so a rejected event never consumes an id — keeping this the
+    /// single source of truth is what guarantees sharded and single-shard
+    /// stores assign identical id sequences.
+    pub fn validate_raw(&self, t: Timestamp, ap_name: &str) -> Result<AccessPointId, IngestError> {
+        let ap = self
+            .space
+            .ap_id(ap_name)
+            .ok_or_else(|| IngestError::UnknownAccessPoint(ap_name.to_string()))?;
+        if t < 0 {
+            return Err(IngestError::InvalidTimestamp(t));
+        }
+        Ok(ap)
+    }
+
     /// Ingests one raw event given the access point *name* (as found in logs).
     pub fn ingest_raw(
         &mut self,
@@ -182,10 +199,7 @@ impl EventStore {
         t: Timestamp,
         ap_name: &str,
     ) -> Result<EventId, IngestError> {
-        let ap = self
-            .space
-            .ap_id(ap_name)
-            .ok_or_else(|| IngestError::UnknownAccessPoint(ap_name.to_string()))?;
+        let ap = self.validate_raw(t, ap_name)?;
         self.ingest(mac, t, ap)
     }
 
@@ -209,6 +223,20 @@ impl EventStore {
         self.timelines[device.index()].push(StoredEvent::new(id, t, ap));
         self.timeline.record(t, device, ap);
         Ok(id)
+    }
+
+    /// The id the next ingested event will receive.
+    pub fn next_event_id(&self) -> u64 {
+        self.next_event_id
+    }
+
+    /// Aligns the event-id counter. Partitioning plumbing: the sharded service
+    /// keeps event ids globally sequential across per-shard partitions by
+    /// setting the owning shard's counter from one shared sequence before each
+    /// append (see [`EventStore::split`]), so a rejoined store is bit-identical
+    /// to what one unpartitioned store would have produced.
+    pub fn set_next_event_id(&mut self, next: u64) {
+        self.next_event_id = next;
     }
 
     /// Ingests a batch of raw events, stopping at the first error.
@@ -440,8 +468,8 @@ impl EventStore {
     }
 
     /// Reassembles a store from decoded snapshot parts: rebuilds the MAC index
-    /// and the global timeline (events sorted by `(t, event id)`, which is
-    /// exactly the order incremental ingestion produced them in).
+    /// and the global timeline (events sorted by `(t, device, event id)`, which
+    /// is exactly the canonical order incremental ingestion keeps the index in).
     pub(crate) fn from_snapshot_parts(
         space: Space,
         validity: ValidityConfig,
@@ -484,7 +512,7 @@ impl EventStore {
                 entries.push((event.t, event.id.0, device, event.ap));
             }
         }
-        entries.sort_unstable_by_key(|&(t, id, _, _)| (t, id));
+        entries.sort_unstable_by_key(|&(t, id, device, _)| (t, device, id));
         let mut timeline = Timeline::new();
         for (t, _, device, ap) in entries {
             timeline.record(t, device, ap);

@@ -33,9 +33,55 @@ pub struct NearbyDevice {
 }
 
 /// Time-sorted index of all events of all devices.
+///
+/// Entries are kept in **canonical `(t, device)` order**: ties at the same
+/// timestamp are ordered by device id, and only events of the *same* device at
+/// the same timestamp keep their ingestion order. This makes the index — and
+/// everything derived from it, most importantly the neighbor order of
+/// [`Timeline::devices_near`] — a pure function of the event *set*, independent
+/// of the interleaving the events arrived in. That representation transparency
+/// is what lets a sharded deployment (per-device partitioned stores, see
+/// [`crate::ShardedRead`]) reproduce the answers of a single store bit for bit.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Timeline {
     entries: Vec<TimelineEntry>,
+}
+
+/// The canonical ordering key of a timeline entry: time first, device id second.
+#[inline]
+fn entry_key(entry: &TimelineEntry) -> (Timestamp, DeviceId) {
+    (entry.t, entry.device)
+}
+
+/// Scans canonically ordered timeline entries and reports each device once with
+/// its event closest to `around` (earlier event wins exact-distance ties).
+/// Shared by [`Timeline::devices_near`] and the multi-shard merged view so the
+/// two can never diverge.
+pub(crate) fn devices_near_in<'a>(
+    window: impl IntoIterator<Item = &'a TimelineEntry>,
+    around: Timestamp,
+    exclude: Option<DeviceId>,
+) -> Vec<NearbyDevice> {
+    let mut best: Vec<NearbyDevice> = Vec::new();
+    for entry in window {
+        if Some(entry.device) == exclude {
+            continue;
+        }
+        match best.iter_mut().find(|d| d.device == entry.device) {
+            Some(existing) => {
+                if (entry.t - around).abs() < (existing.t - around).abs() {
+                    existing.ap = entry.ap;
+                    existing.t = entry.t;
+                }
+            }
+            None => best.push(NearbyDevice {
+                device: entry.device,
+                ap: entry.ap,
+                t: entry.t,
+            }),
+        }
+    }
+    best
 }
 
 impl Timeline {
@@ -54,13 +100,15 @@ impl Timeline {
         self.entries.is_empty()
     }
 
-    /// Records an event, keeping the index sorted. Appends are O(1) when events arrive
-    /// in timestamp order.
+    /// Records an event, keeping the index in canonical `(t, device)` order
+    /// (events of the same device at the same timestamp keep ingestion order).
+    /// Appends are O(1) when events arrive in canonical order.
     pub fn record(&mut self, t: Timestamp, device: DeviceId, ap: AccessPointId) {
         let entry = TimelineEntry { t, device, ap };
+        let key = entry_key(&entry);
         match self.entries.last() {
-            Some(last) if last.t > t => {
-                let pos = self.entries.partition_point(|e| e.t <= t);
+            Some(last) if entry_key(last) > key => {
+                let pos = self.entries.partition_point(|e| entry_key(e) <= key);
                 self.entries.insert(pos, entry);
             }
             _ => self.entries.push(entry),
@@ -75,34 +123,20 @@ impl Timeline {
     }
 
     /// Devices observed in `[around − slack, around + slack]`, excluding `exclude`,
-    /// each reported once with the event closest in time to `around`.
+    /// each reported once with the event closest in time to `around`. Devices
+    /// are listed in the canonical `(t, device)` order of their first event in
+    /// the window.
     pub fn devices_near(
         &self,
         around: Timestamp,
         slack: Timestamp,
         exclude: Option<DeviceId>,
     ) -> Vec<NearbyDevice> {
-        let window = self.range(around - slack, around + slack + 1);
-        let mut best: Vec<NearbyDevice> = Vec::new();
-        for entry in window {
-            if Some(entry.device) == exclude {
-                continue;
-            }
-            match best.iter_mut().find(|d| d.device == entry.device) {
-                Some(existing) => {
-                    if (entry.t - around).abs() < (existing.t - around).abs() {
-                        existing.ap = entry.ap;
-                        existing.t = entry.t;
-                    }
-                }
-                None => best.push(NearbyDevice {
-                    device: entry.device,
-                    ap: entry.ap,
-                    t: entry.t,
-                }),
-            }
-        }
-        best
+        devices_near_in(
+            self.range(around - slack, around + slack + 1),
+            around,
+            exclude,
+        )
     }
 
     /// Number of events per day index, for statistics.

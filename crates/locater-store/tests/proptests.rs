@@ -2,7 +2,7 @@
 
 use locater_events::Interval;
 use locater_space::{Space, SpaceBuilder};
-use locater_store::EventStore;
+use locater_store::{EventRead, EventStore, ShardedRead};
 use proptest::prelude::*;
 
 fn space() -> Space {
@@ -152,6 +152,57 @@ proptest! {
             prop_assert!(covering.is_some());
             prop_assert_eq!(covering.unwrap().1.region(), region);
             prop_assert!(store.gap_at(device, probe).is_none());
+        }
+    }
+
+    /// Splitting a store into per-device shards and rejoining reproduces it
+    /// bit for bit — snapshot bytes included — for any shard count.
+    #[test]
+    fn split_rejoin_roundtrip_is_bit_identical(
+        events in arb_events(),
+        span in 1_000i64..100_000,
+        shards in 1usize..9,
+    ) {
+        let store = build_store(&events, span);
+        let pieces = store.split(shards);
+        prop_assert_eq!(pieces.len(), shards);
+        let rejoined = EventStore::rejoin(&pieces).unwrap();
+        prop_assert_eq!(&rejoined, &store);
+        prop_assert_eq!(
+            rejoined.to_snapshot_bytes().unwrap(),
+            store.to_snapshot_bytes().unwrap()
+        );
+    }
+
+    /// The multi-shard read view is indistinguishable from the combined store:
+    /// routed timeline reads and the merged canonical neighbor scan agree
+    /// exactly (ties across devices included — `arb_events` produces plenty).
+    #[test]
+    fn sharded_read_is_indistinguishable_from_combined_store(
+        events in arb_events(),
+        span in 1_000i64..100_000,
+        shards in 1usize..9,
+        probe in 0i64..500_000,
+        slack in 1i64..50_000,
+    ) {
+        let store = build_store(&events, span);
+        let pieces = store.split(shards);
+        let view = ShardedRead::new(pieces.iter().collect());
+        prop_assert_eq!(EventRead::num_events(&view), store.num_events());
+        prop_assert_eq!(
+            view.devices_near(probe, slack, None),
+            store.devices_near(probe, slack, None)
+        );
+        prop_assert_eq!(
+            view.devices_online_at(probe, None),
+            store.devices_online_at(probe, None)
+        );
+        for device in store.devices() {
+            prop_assert_eq!(view.gap_at(device.id, probe), store.gap_at(device.id, probe));
+            prop_assert_eq!(
+                view.covering_event(device.id, probe),
+                store.covering_event(device.id, probe)
+            );
         }
     }
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline markdown link check: every *relative* link in README.md and docs/
+# must resolve to an existing file (anchors are stripped; http(s)/mailto links
+# are skipped — CI has no network). Run from the repository root:
+#
+#   scripts/check-links.sh
+#
+# Exits non-zero listing every broken link.
+set -u
+
+fail=0
+files=$(ls README.md 2>/dev/null; find docs -name '*.md' 2>/dev/null | sort)
+
+for file in $files; do
+    dir=$(dirname "$file")
+    # Inline links: [text](target). Multiple links per line are handled by
+    # splitting on ')(' boundaries first.
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](\([^)]*\))/\1/')
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*) continue ;;   # external: not checked offline
+            '#'*) continue ;;                          # same-file anchor
+        esac
+        target=${link%%#*}
+        [ -z "$target" ] && continue
+        # Resolve strictly relative to the linking file's directory — that is
+        # how GitHub and rendered docs resolve it; a repo-root fallback would
+        # green-light links that 404 when rendered.
+        if [ ! -e "$dir/$target" ]; then
+            echo "BROKEN: $file -> $link"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+echo "markdown link check: all relative links in README.md + docs/ resolve"

@@ -7,9 +7,9 @@
 //! ```text
 //! locater-cli stats    <space.json> <events.csv>
 //! locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]
-//! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]
-//! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]
-//! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache]
+//! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]
+//! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]
+//! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]
 //! locater-cli snapshot save <space.json> <events.csv> <out.snap>
 //! locater-cli snapshot load <store.snap>
 //! locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
@@ -32,10 +32,13 @@
 //!   identical for every `--jobs` value (earlier CLI releases answered rows one
 //!   by one, progressively warming the cache, so row-level confidences could
 //!   differ from today's output).
-//! * `serve` starts a live [`LocaterService`] and reads commands from stdin —
+//! * `serve` starts a live [`ShardedLocaterService`] (`--shards N`, default 1 —
+//!   the plain `LocaterService` regime) and reads commands from stdin —
 //!   `ingest <mac,timestamp,ap>`, `locate <mac> <timestamp>`, `stats`, `quit` —
 //!   so events can be appended while queries are answered, exercising the
-//!   online ingestion + epoch-invalidation path end to end.
+//!   online ingestion + epoch-invalidation path end to end. `stats` reports
+//!   totals plus one line per shard (see `docs/OPERATIONS.md`); answers are
+//!   byte-identical for every `--shards` value.
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
 //!   `<out-prefix>.truth.csv` so the other commands (and external tools) can consume
 //!   a fully synthetic deployment.
@@ -64,7 +67,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap>\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap>\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -121,8 +124,22 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
-fn describe(store: &EventStore, location: &Location) -> String {
-    let space = store.space();
+/// Parses `--shards N` (default 1 — the single-shard `LocaterService` regime).
+fn shards_from_flags(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--shards") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&shards| shards >= 1)
+            .ok_or_else(|| "--shards must be a positive integer".to_string()),
+        None if args.iter().any(|a| a == "--shards") => {
+            Err("--shards requires a value".to_string())
+        }
+        None => Ok(1),
+    }
+}
+
+fn describe(space: &Space, location: &Location) -> String {
     match location {
         Location::Outside => "outside the building".to_string(),
         Location::Region(region) => format!(
@@ -181,7 +198,7 @@ fn locate(args: &[String]) -> Result<String, String> {
     Ok(format!(
         "{mac} @ {}: {} (decided by {:?}, confidence {:.2})\n",
         locater::events::clock::format_timestamp(t),
-        describe(locater.store(), &answer.location),
+        describe(locater.store().space(), &answer.location),
         answer.coarse_method,
         answer.confidence
     ))
@@ -204,9 +221,10 @@ fn batch(args: &[String]) -> Result<String, String> {
             .map(|n| n.get())
             .unwrap_or(1),
     };
+    let shards = shards_from_flags(args)?;
     let store = load_store(space_path, events_path)?;
     let space = store.space().clone();
-    let service = LocaterService::new(store, config_from_flags(args));
+    let service = ShardedLocaterService::new(store, config_from_flags(args), shards);
 
     let queries_text = std::fs::read_to_string(queries_path)
         .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
@@ -272,7 +290,8 @@ fn serve(args: &[String]) -> Result<String, String> {
             None => EventStore::new(load_space(space_path)?),
         }
     };
-    let service = LocaterService::new(store, config_from_flags(args));
+    let service =
+        ShardedLocaterService::new(store, config_from_flags(args), shards_from_flags(args)?);
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let commands = serve_loop(&service, stdin.lock(), &mut stdout)?;
@@ -285,11 +304,11 @@ fn serve(args: &[String]) -> Result<String, String> {
 /// ```text
 /// ingest <mac,timestamp,ap>   append one live event (CSV, same as events.csv rows)
 /// locate <mac> <timestamp>    answer a query over the current store
-/// stats                       store size and cache liveness
+/// stats                       totals plus per-shard event/device/cache counts
 /// quit                        stop reading
 /// ```
 fn serve_loop(
-    service: &LocaterService,
+    service: &ShardedLocaterService,
     input: impl BufRead,
     out: &mut impl std::io::Write,
 ) -> Result<usize, String> {
@@ -315,7 +334,7 @@ fn serve_loop(
                     Ok(rows) if rows.len() == 1 => match service.ingest_batch(rows.iter()) {
                         Ok(_) => {
                             let device = service
-                                .with_store(|s| s.device_id(&rows[0].mac))
+                                .device_id(&rows[0].mac)
                                 .expect("ingest interned the device");
                             respond(format!(
                                 "ingested {} @ {} via {} (device epoch {})",
@@ -345,8 +364,7 @@ fn serve_loop(
                 };
                 match service.locate(&LocateRequest::by_mac(mac, t)) {
                     Ok(response) => {
-                        let described =
-                            service.with_store(|s| describe(s, &response.answer.location));
+                        let described = describe(&service.space(), &response.answer.location);
                         respond(format!(
                             "{mac} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {}, {} events)",
                             locater::events::clock::format_timestamp(t),
@@ -361,12 +379,33 @@ fn serve_loop(
                 }
             }
             "stats" => {
-                let (events, devices) = (service.num_events(), service.num_devices());
-                let (edges, samples) = service.cache_stats();
-                let (live_edges, live_samples) = service.live_cache_stats();
-                respond(format!(
-                    "{events} events, {devices} devices; affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live"
-                ))?;
+                // One consistent sweep: totals are sums of the per-shard
+                // counters, so the header can never disagree with the lines.
+                let per_shard = service.shard_stats();
+                let devices = service.num_devices();
+                let events: usize = per_shard.iter().map(|s| s.events).sum();
+                let edges: usize = per_shard.iter().map(|s| s.edges).sum();
+                let samples: usize = per_shard.iter().map(|s| s.samples).sum();
+                let live_edges: usize = per_shard.iter().map(|s| s.live_edges).sum();
+                let live_samples: usize = per_shard.iter().map(|s| s.live_samples).sum();
+                let mut report = format!(
+                    "{events} events, {devices} devices across {} shard(s); affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live",
+                    service.num_shards()
+                );
+                for stats in per_shard {
+                    let _ = write!(
+                        report,
+                        "\nshard {}: {} events, {} devices; cache: {}/{} edges live, {}/{} samples live",
+                        stats.shard,
+                        stats.events,
+                        stats.owned_devices,
+                        stats.live_edges,
+                        stats.edges,
+                        stats.live_samples,
+                        stats.samples
+                    );
+                }
+                respond(report)?;
             }
             other => respond(format!(
                 "error: unknown command {other:?} (ingest / locate / stats / quit)"
@@ -572,8 +611,8 @@ mod tests {
         // The same batch on one job is byte-identical (deterministic pipeline).
         let batch_one = run(&[
             "batch".into(),
-            space,
-            events,
+            space.clone(),
+            events.clone(),
             queries.to_string_lossy().to_string(),
             "--jobs".into(),
             "1".into(),
@@ -583,6 +622,20 @@ mod tests {
             batch_one.replace("(1 jobs)", ""),
             batch_out.replace("(2 jobs)", "")
         );
+
+        // ...and byte-identical again when the service is sharded.
+        let batch_sharded = run(&[
+            "batch".into(),
+            space,
+            events,
+            queries.to_string_lossy().to_string(),
+            "--jobs".into(),
+            "2".into(),
+            "--shards".into(),
+            "3".into(),
+        ])
+        .expect("sharded batch succeeds");
+        assert_eq!(batch_sharded, batch_out);
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -626,7 +679,8 @@ mod tests {
         let csv = std::fs::read_to_string(&events).unwrap();
         let first = parse_csv(&csv).unwrap().into_iter().next().unwrap();
         let store = EventStore::load_snapshot(&snap).expect("snapshot loads");
-        let service = LocaterService::new(store, LocaterConfig::default());
+        // Serve from the snapshot with two shards: the store splits on load.
+        let service = ShardedLocaterService::new(store, LocaterConfig::default(), 2);
         let mut out: Vec<u8> = Vec::new();
         let input = format!("locate {} {}\nquit\n", first.mac, first.t);
         serve_loop(&service, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
@@ -668,7 +722,8 @@ mod tests {
             .add_access_point("wap1", &["101", "102"])
             .build()
             .unwrap();
-        let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+        let service =
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2);
         let input = "\
 # comment lines and blanks are skipped
 
@@ -689,7 +744,9 @@ stats
         // `quit` stops the loop before the trailing stats line.
         assert_eq!(commands, 9);
         let out = String::from_utf8(out).unwrap();
-        assert!(out.contains("0 events, 0 devices"));
+        assert!(out.contains("0 events, 0 devices across 2 shard(s)"));
+        assert!(out.contains("shard 0: 0 events"));
+        assert!(out.contains("shard 1: 0 events"));
         assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
         assert!(out.contains("(device epoch 2)"));
         assert!(out.contains("room") || out.contains("outside"));
@@ -706,7 +763,8 @@ stats
             .add_access_point("wap1", &["101"])
             .build()
             .unwrap();
-        let service = LocaterService::new(EventStore::new(space), LocaterConfig::default());
+        let service =
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 1);
         let input = "ingest aa,100,wap9\nlocate aa 1x0\n";
         let mut out: Vec<u8> = Vec::new();
         serve_loop(&service, std::io::Cursor::new(input), &mut out).unwrap();
@@ -731,5 +789,13 @@ stats
         assert_eq!(config.cache, CacheMode::Enabled);
         let config = config_from_flags(&["--no-cache".to_string()]);
         assert_eq!(config.cache, CacheMode::Disabled);
+
+        assert_eq!(shards_from_flags(&[]).unwrap(), 1);
+        assert_eq!(
+            shards_from_flags(&["--shards".into(), "4".into()]).unwrap(),
+            4
+        );
+        assert!(shards_from_flags(&["--shards".into()]).is_err());
+        assert!(shards_from_flags(&["--shards".into(), "0".into()]).is_err());
     }
 }

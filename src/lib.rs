@@ -30,7 +30,7 @@
 //! |---|---|
 //! | [`locater_space`] | space model: buildings, regions, rooms, APs, coverage, metadata |
 //! | [`locater_events`] | connectivity events, devices, validity periods, gap detection |
-//! | [`locater_store`] | segmented event storage, indices, CSV/NDJSON ingestion, binary snapshots, statistics |
+//! | [`locater_store`] | segmented event storage, indices, per-device sharding, CSV/NDJSON ingestion, binary snapshots, statistics |
 //! | [`locater_learn`] | logistic regression + semi-supervised self-training (Algorithm 1) |
 //! | [`locater_core`] | coarse & fine localization, caching, baselines, metrics, the `Locater` system |
 //! | [`locater_sim`] | SmartBench-style scenario simulator + DBH-like campus dataset generator |
@@ -70,7 +70,10 @@
 //! that invalidate exactly the cached state (affinity-graph edges, per-device
 //! coarse models) derived from the touched device's history — answers after
 //! any ingest sequence are identical to those of a freshly built service over
-//! the same data.
+//! the same data. When concurrent ingest throughput matters, the same service
+//! scales out as [`ShardedLocaterService`](locater_core::system::ShardedLocaterService)
+//! (`N` per-device partitions, byte-identical answers for every `N`;
+//! `LocaterService` is the `N = 1` case).
 //!
 //! ```
 //! use locater::prelude::*;
@@ -104,7 +107,7 @@ pub mod prelude {
     pub use locater_core::metrics::{EvaluationReport, PrecisionCounts};
     pub use locater_core::system::{
         Answer, CacheMode, FineMode, LocateRequest, LocateResponse, Locater, LocaterConfig,
-        LocaterService, Query,
+        LocaterService, Query, ShardStats, ShardedLocaterService,
     };
     pub use locater_events::{ConnectivityEvent, Device, DeviceId, EventId, Gap, Timestamp};
     pub use locater_sim::{
