@@ -1,0 +1,264 @@
+//! Co-location-index bench: cold fine-grained localization on the
+//! `metro_campus` corpus, indexed vs scan path.
+//!
+//! The fine step's cost is dominated by pairwise device-affinity computation.
+//! Against raw timelines every *cold* pair pays a per-event rescan of the
+//! neighbor's history around each event in the window; the
+//! [`locater_store::ColocationIndex`] turns the same count into a
+//! bucket-intersection merge over only the access points both devices touched
+//! (see `crates/locater-store/src/colocation.rs`). Answers are bit-identical
+//! — this bench asserts that on every query before timing anything.
+//!
+//! * **cold_fine_locate/indexed** — `FineLocalizer::locate` against the store
+//!   (its index answers the affinity probes); no affinity cache, no warm
+//!   state: the cold-query regime the epoch cache cannot amortize.
+//! * **cold_fine_locate/scan** — the same queries against
+//!   [`locater_store::ScanRead`] of the same store, which masks the index and
+//!   forces the original timeline scans.
+//! * **pair_affinity/{indexed,scan}** — the underlying primitive, measured on
+//!   the device pairs the locate queries actually probed.
+//!
+//! Besides the Criterion output, the bench writes a machine-readable
+//! `BENCH_5.json` (override the path with `LOCATER_BENCH_JSON`) recording the
+//! corpus size and the measured means, so the perf trajectory is tracked
+//! across PRs. With `LOCATER_BENCH_GUARD=1` (set in CI) the bench **fails**
+//! if the indexed path is not faster than the scan path — the regression
+//! guard for the fast path.
+//!
+//! Size the corpus with `LOCATER_METRO_SCALE` / `LOCATER_METRO_WEEKS` (CI
+//! runs a reduced scale).
+
+mod common;
+
+use criterion::{black_box, criterion_main, Criterion};
+use locater_core::fine::{AffinityEngine, FineConfig, FineLocalizer};
+use locater_events::{DeviceId, Timestamp};
+use locater_sim::{generated_workload, CampusConfig, Simulator};
+use locater_space::RegionId;
+use locater_store::{EventStore, ScanRead};
+use std::time::Instant;
+
+/// Queries benchmarked (each runs the full cold fine step).
+const QUERIES: usize = 16;
+
+/// One resolved cold fine-mode query.
+struct FineQuery {
+    device: DeviceId,
+    t: Timestamp,
+    region: RegionId,
+}
+
+/// Mean nanoseconds per execution of `f`: the best (minimum) mean across
+/// several batches, which rejects scheduler/thermal noise spikes — both the
+/// indexed and the scan path are measured the same way, so the comparison
+/// stays fair. (Criterion prints its own numbers separately.)
+fn mean_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up pass.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+fn resolve_queries(store: &EventStore, output: &locater_sim::SimOutput) -> Vec<FineQuery> {
+    // Fine-step queries need a region; take probe times covered by an event
+    // (the coarse step would answer `CoveredByEvent` and hand the region to
+    // the fine step), and keep only queries with at least one neighbor so the
+    // affinity path actually runs.
+    let workload = generated_workload(output, QUERIES * 20, 0xC0106);
+    let localizer = FineLocalizer::default();
+    let mut queries = Vec::new();
+    for q in &workload.queries {
+        if queries.len() >= QUERIES {
+            break;
+        }
+        let Some(device) = store.device_id(&q.mac) else {
+            continue;
+        };
+        let Some(region) = store.covering_region(device, q.t) else {
+            continue;
+        };
+        if localizer
+            .candidate_neighbors(store, device, q.t, region)
+            .is_empty()
+        {
+            continue;
+        }
+        queries.push(FineQuery {
+            device,
+            t: q.t,
+            region,
+        });
+    }
+    queries
+}
+
+fn bench(c: &mut Criterion) {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(7).run_campus(&config);
+    let mut store = output.build_store();
+    store.estimate_deltas();
+    let scan = ScanRead::new(&store);
+    let index_stats = store.colocation_stats();
+    println!(
+        "metro_campus: {} events, {} devices; index: {} AP posting lists, {} buckets",
+        store.num_events(),
+        store.num_devices(),
+        index_stats.ap_lists,
+        index_stats.buckets
+    );
+
+    let queries = resolve_queries(&store, &output);
+    assert!(
+        !queries.is_empty(),
+        "the corpus must yield fine-mode queries with neighbors"
+    );
+    println!("cold fine-mode queries: {}", queries.len());
+
+    let localizer = FineLocalizer::default();
+    let fine_config = FineConfig::default();
+
+    // Correctness first: the indexed and scan paths must agree bit for bit on
+    // every benchmarked query (FineOutcome compares its f64s exactly).
+    let mut pairs: Vec<(DeviceId, DeviceId, Timestamp)> = Vec::new();
+    for q in &queries {
+        let indexed = localizer.locate(&store, q.device, q.t, q.region, None);
+        let scanned = localizer.locate(&scan, q.device, q.t, q.region, None);
+        assert_eq!(
+            indexed, scanned,
+            "indexed and scan-backed fine outcomes diverged"
+        );
+        for (neighbor, _) in localizer
+            .candidate_neighbors(&store, q.device, q.t, q.region)
+            .into_iter()
+            .take(4)
+        {
+            pairs.push((q.device, neighbor, q.t));
+        }
+    }
+
+    // JSON means (measured outside Criterion so the report does not depend on
+    // the shim's internals).
+    let indexed_locate_ns = mean_ns(3, || {
+        for q in &queries {
+            black_box(localizer.locate(&store, q.device, q.t, q.region, None));
+        }
+    }) / queries.len() as f64;
+    let scan_locate_ns = mean_ns(3, || {
+        for q in &queries {
+            black_box(localizer.locate(&scan, q.device, q.t, q.region, None));
+        }
+    }) / queries.len() as f64;
+
+    let engine_indexed =
+        AffinityEngine::new(&store, fine_config.weights, fine_config.affinity_window);
+    let engine_scan = AffinityEngine::new(&scan, fine_config.weights, fine_config.affinity_window);
+    for &(a, b, t) in &pairs {
+        let x = engine_indexed.pair_affinity(a, b, t);
+        let y = engine_scan.pair_affinity(a, b, t);
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "pair affinity diverged for {a:?}/{b:?} at {t}"
+        );
+    }
+    let indexed_pair_ns = mean_ns(5, || {
+        for &(a, b, t) in &pairs {
+            black_box(engine_indexed.pair_affinity(a, b, t));
+        }
+    }) / pairs.len().max(1) as f64;
+    let scan_pair_ns = mean_ns(5, || {
+        for &(a, b, t) in &pairs {
+            black_box(engine_scan.pair_affinity(a, b, t));
+        }
+    }) / pairs.len().max(1) as f64;
+
+    let locate_speedup = scan_locate_ns / indexed_locate_ns.max(1.0);
+    let pair_speedup = scan_pair_ns / indexed_pair_ns.max(1.0);
+    println!(
+        "cold fine locate: indexed {:.0} ns/query vs scan {:.0} ns/query ({locate_speedup:.1}x)",
+        indexed_locate_ns, scan_locate_ns
+    );
+    println!(
+        "pair affinity:    indexed {:.0} ns/pair  vs scan {:.0} ns/pair  ({pair_speedup:.1}x)",
+        indexed_pair_ns, scan_pair_ns
+    );
+
+    // Machine-readable trajectory record (workspace root by default — cargo
+    // runs benches with the package directory as cwd).
+    let json_path = std::env::var("LOCATER_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_5.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"affinity_index\",\n  \"corpus\": \"metro_campus\",\n  \"events\": {},\n  \"devices\": {},\n  \"shards\": 1,\n  \"queries\": {},\n  \"pairs\": {},\n  \"results\": {{\n    \"cold_fine_locate_indexed_mean_ns\": {:.0},\n    \"cold_fine_locate_scan_mean_ns\": {:.0},\n    \"pair_affinity_indexed_mean_ns\": {:.0},\n    \"pair_affinity_scan_mean_ns\": {:.0}\n  }},\n  \"speedup\": {{\n    \"cold_fine_locate\": {:.2},\n    \"pair_affinity\": {:.2}\n  }}\n}}\n",
+        store.num_events(),
+        store.num_devices(),
+        queries.len(),
+        pairs.len(),
+        indexed_locate_ns,
+        scan_locate_ns,
+        indexed_pair_ns,
+        scan_pair_ns,
+        locate_speedup,
+        pair_speedup,
+    );
+    std::fs::write(&json_path, &json).expect("write bench JSON");
+    println!("wrote {json_path}");
+
+    // Regression guard (CI sets LOCATER_BENCH_GUARD=1): the indexed path must
+    // not be slower than the scan path it replaces.
+    if std::env::var("LOCATER_BENCH_GUARD").is_ok_and(|v| v == "1") {
+        assert!(
+            indexed_locate_ns < scan_locate_ns,
+            "regression: indexed cold locate ({indexed_locate_ns:.0} ns) is not faster than the scan path ({scan_locate_ns:.0} ns)"
+        );
+        assert!(
+            indexed_pair_ns < scan_pair_ns,
+            "regression: indexed pair affinity ({indexed_pair_ns:.0} ns) is not faster than the scan path ({scan_pair_ns:.0} ns)"
+        );
+    }
+
+    // Criterion numbers for the human-readable bench log.
+    let mut group = c.benchmark_group("affinity_index");
+    group.bench_function("cold_fine_locate/indexed", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(localizer.locate(&store, q.device, q.t, q.region, None));
+            }
+        })
+    });
+    group.bench_function("cold_fine_locate/scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(localizer.locate(&scan, q.device, q.t, q.region, None));
+            }
+        })
+    });
+    group.bench_function("pair_affinity/indexed", |b| {
+        b.iter(|| {
+            for &(a, b, t) in &pairs {
+                black_box(engine_indexed.pair_affinity(a, b, t));
+            }
+        })
+    });
+    group.bench_function("pair_affinity/scan", |b| {
+        b.iter(|| {
+            for &(a, b, t) in &pairs {
+                black_box(engine_scan.pair_affinity(a, b, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

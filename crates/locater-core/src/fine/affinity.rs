@@ -3,8 +3,9 @@
 use locater_events::clock::Timestamp;
 use locater_events::{DeviceId, Interval};
 use locater_space::{RegionId, RoomId, Space};
-use locater_store::EventRead;
+use locater_store::{DevicePostings, EventRead, PostingCursor};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// The three room-affinity weights of §4.1: preferred (`w_pf`), public (`w_pb`) and
 /// private (`w_pr`) rooms. They must be strictly ordered `w_pf > w_pb > w_pr` and sum
@@ -75,6 +76,15 @@ impl Default for RoomAffinityWeights {
     }
 }
 
+/// The partition a candidate room falls into for one device (§4.1), in the
+/// precedence order of [`Space::partition_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Partition {
+    Preferred,
+    Public,
+    Private,
+}
+
 /// The room-affinity distribution of one device over the candidate rooms of a region:
 /// `α(d_i, r_j, t_q)` for every `r_j ∈ R(g_x)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,6 +128,56 @@ impl RoomAffinity {
             return 1.0 / subset.len() as f64;
         }
         self.of(room) / total
+    }
+}
+
+/// One "other" device of a device-affinity set, as seen by the indexed fast
+/// path: its full postings when its store view is indexed, or a marker to
+/// probe it through segment-pruned timeline scans.
+enum OtherDevice<'a> {
+    Indexed(&'a DevicePostings),
+    Scanned(DeviceId),
+}
+
+/// How one "other" device is probed for co-presence on a specific access
+/// point: through a merge cursor over its posting list (the probed windows
+/// advance monotonically, so the whole probe sequence is one two-pointer
+/// merge), or by a segment-pruned timeline scan.
+enum OtherOnAp<'a> {
+    Indexed(PostingCursor<'a>),
+    Scanned(DeviceId),
+}
+
+/// Per-query memo of room-affinity distributions.
+///
+/// `α(d, r_j, t_q)` is a pure function of `(device, region)` against a frozen
+/// store, so one `locate` call computes each distribution at most once and
+/// every group-affinity evaluation reuses it — the dependent-mode inner loop
+/// previously recomputed it once per candidate room per cluster member.
+#[derive(Debug, Default)]
+pub struct RoomAffinityMemo {
+    entries: HashMap<(DeviceId, RegionId), RoomAffinity>,
+}
+
+impl RoomAffinityMemo {
+    /// Creates an empty memo (one per query).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized distribution of `(device, region)`, if already computed.
+    pub fn get(&self, device: DeviceId, region: RegionId) -> Option<&RoomAffinity> {
+        self.entries.get(&(device, region))
+    }
+
+    /// Number of distinct `(device, region)` distributions computed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -169,38 +229,58 @@ impl<'a> AffinityEngine<'a> {
     pub fn room_affinities(&self, device: DeviceId, region: RegionId) -> RoomAffinity {
         let space = self.store.space();
         let mac = self.store.device(device).mac.as_str();
-        let rooms: Vec<RoomId> = space.rooms_in_region(region).to_vec();
-        if rooms.is_empty() {
+        let candidates = space.rooms_in_region(region);
+        if candidates.is_empty() {
             return RoomAffinity {
-                rooms,
+                rooms: Vec::new(),
                 affinities: Vec::new(),
             };
         }
-        let (pf, pb, pr) = space.partition_candidates(mac, region);
+        // One classification pass: tag every candidate room with its
+        // partition and count partition sizes — no intermediate partition
+        // vectors, no quadratic `contains` probes. The precedence matches
+        // `Space::partition_candidates`: preferred beats public beats private.
+        let preferred = space.preferred_rooms(mac);
+        let mut tags = Vec::with_capacity(candidates.len());
+        let (mut n_pf, mut n_pb, mut n_pr) = (0usize, 0usize, 0usize);
+        for &room in candidates {
+            let tag = if preferred.contains(&room) {
+                n_pf += 1;
+                Partition::Preferred
+            } else if space.is_public(room) {
+                n_pb += 1;
+                Partition::Public
+            } else {
+                n_pr += 1;
+                Partition::Private
+            };
+            tags.push(tag);
+        }
         let mut mass = 0.0;
-        if !pf.is_empty() {
+        if n_pf > 0 {
             mass += self.weights.preferred;
         }
-        if !pb.is_empty() {
+        if n_pb > 0 {
             mass += self.weights.public;
         }
-        if !pr.is_empty() {
+        if n_pr > 0 {
             mass += self.weights.private;
         }
-        let affinities = rooms
-            .iter()
-            .map(|room| {
-                let (weight, count) = if pf.contains(room) {
-                    (self.weights.preferred, pf.len())
-                } else if pb.contains(room) {
-                    (self.weights.public, pb.len())
-                } else {
-                    (self.weights.private, pr.len())
+        let affinities = tags
+            .into_iter()
+            .map(|tag| {
+                let (weight, count) = match tag {
+                    Partition::Preferred => (self.weights.preferred, n_pf),
+                    Partition::Public => (self.weights.public, n_pb),
+                    Partition::Private => (self.weights.private, n_pr),
                 };
                 weight / mass / count as f64
             })
             .collect();
-        RoomAffinity { rooms, affinities }
+        RoomAffinity {
+            rooms: candidates.to_vec(),
+            affinities,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -213,6 +293,15 @@ impl<'a> AffinityEngine<'a> {
     /// the validity period of the event.
     ///
     /// Returns 0 for sets of fewer than two devices or with no events in the window.
+    ///
+    /// When the store maintains a co-location index
+    /// ([`EventRead::postings_of`]), the count runs as a bucket-intersection
+    /// merge over only the access points the devices share — APs only one
+    /// device touched contribute a windowed count without per-event work, and
+    /// each co-presence probe is a bucket-pruned binary search instead of a
+    /// timeline rescan. Without an index the original per-event window scan
+    /// runs. Both paths count the same events, so the returned ratio is
+    /// **bit-identical** either way (`tests/affinity_index_equivalence.rs`).
     pub fn device_affinity(&self, devices: &[DeviceId], until: Timestamp) -> f64 {
         if devices.len() < 2 {
             return 0.0;
@@ -220,21 +309,39 @@ impl<'a> AffinityEngine<'a> {
         let window = Interval::new(until - self.window, until + 1);
         let mut total = 0usize;
         let mut intersecting = 0usize;
+        // The dominant shape — one distinct pair, both sides indexed — runs
+        // as a single pass over the second device's timeline slice against
+        // the first device's posting slices (see [`PairAffinitySession`]).
+        // The one-shot session pays its dispatch-table setup for a single
+        // merge, but still measures faster than a per-AP slice merge — and
+        // the hot caller (Algorithm 2) amortizes one session across all
+        // neighbors of a query.
+        if let [a, b] = *devices {
+            if a != b && self.store.postings_of(a).is_some() && self.store.postings_of(b).is_some()
+            {
+                return self.pair_session(a, until).affinity(b);
+            }
+        }
         for &device in devices {
             let delta = self.store.delta(device);
-            for event in self.store.events_of_in(device, window) {
-                total += 1;
-                let near = Interval::new(event.t - delta, event.t + delta + 1);
-                let all_present = devices.iter().filter(|&&d| d != device).all(|&other| {
-                    // Segment-pruned window iterator: only the one or two
-                    // segments overlapping the validity window are touched.
-                    self.store
-                        .events_of_in(other, near)
-                        .any(|e| e.ap == event.ap)
-                });
-                if all_present {
-                    intersecting += 1;
-                }
+            match self.store.postings_of(device) {
+                Some(postings) => self.tally_indexed(
+                    postings,
+                    devices,
+                    device,
+                    delta,
+                    window,
+                    &mut total,
+                    &mut intersecting,
+                ),
+                None => self.tally_scanned(
+                    devices,
+                    device,
+                    delta,
+                    window,
+                    &mut total,
+                    &mut intersecting,
+                ),
             }
         }
         if total == 0 {
@@ -244,9 +351,139 @@ impl<'a> AffinityEngine<'a> {
         }
     }
 
+    /// The indexed fast path of [`AffinityEngine::device_affinity`] for one
+    /// device of the set.
+    ///
+    /// The window event *total* is one bucket-pruned count over the device's
+    /// all-APs multiset. The *intersecting* count then only ever touches
+    /// access points **every** device of the set connected to: the devices'
+    /// AP lists are intersected by a sorted merge (each other device's list
+    /// pointer advances monotonically), and on each shared AP the device's
+    /// window timestamps merge against the others' posting lists through
+    /// forward-only cursors. APs not shared by the whole set — typically most
+    /// of them — cost nothing at all.
+    #[allow(clippy::too_many_arguments)]
+    fn tally_indexed(
+        &self,
+        postings: &DevicePostings,
+        devices: &[DeviceId],
+        device: DeviceId,
+        delta: Timestamp,
+        window: Interval,
+        total: &mut usize,
+        intersecting: &mut usize,
+    ) {
+        *total += postings.count_in(window);
+        let others: Vec<OtherDevice<'_>> = devices
+            .iter()
+            .filter(|&&other| other != device)
+            .map(|&other| match self.store.postings_of(other) {
+                Some(other_postings) => OtherDevice::Indexed(other_postings),
+                None => OtherDevice::Scanned(other),
+            })
+            .collect();
+        // Sorted-merge position of each indexed other device's AP lists;
+        // advances monotonically with this device's AP iteration.
+        let mut ap_pos: Vec<usize> = vec![0; others.len()];
+        let mut probes: Vec<OtherOnAp<'_>> = Vec::with_capacity(others.len());
+        for list in postings.ap_lists() {
+            let ap = list.ap();
+            // Lists without window events need no merge work at all (their
+            // events are already in the total and can contribute nothing).
+            let mut window_ts = list.timestamps_in(window).peekable();
+            if window_ts.peek().is_none() {
+                continue;
+            }
+            probes.clear();
+            let mut impossible = false;
+            for (slot, other) in others.iter().enumerate() {
+                match other {
+                    OtherDevice::Indexed(other_postings) => {
+                        let lists = other_postings.ap_lists();
+                        let mut idx = ap_pos[slot];
+                        while idx < lists.len() && lists[idx].ap() < ap {
+                            idx += 1;
+                        }
+                        ap_pos[slot] = idx;
+                        if idx < lists.len() && lists[idx].ap() == ap {
+                            probes.push(OtherOnAp::Indexed(lists[idx].cursor()));
+                        } else {
+                            // That device never connected to this AP: nothing
+                            // here can intersect (the events are already in
+                            // the total).
+                            impossible = true;
+                            break;
+                        }
+                    }
+                    OtherDevice::Scanned(other) => probes.push(OtherOnAp::Scanned(*other)),
+                }
+            }
+            if impossible {
+                continue;
+            }
+            for t in window_ts {
+                // The window iterator is ascending, so `t - delta` never
+                // decreases — exactly the contract of the merge cursors.
+                let all_present = probes.iter_mut().all(|other| match other {
+                    OtherOnAp::Indexed(cursor) => cursor
+                        .advance_to(t - delta)
+                        .is_some_and(|ts| ts < t + delta + 1),
+                    OtherOnAp::Scanned(other) => self
+                        .store
+                        .events_of_in(*other, Interval::new(t - delta, t + delta + 1))
+                        .any(|e| e.ap == ap),
+                });
+                if all_present {
+                    *intersecting += 1;
+                }
+            }
+        }
+    }
+
+    /// The scan fallback of [`AffinityEngine::device_affinity`] for one device
+    /// of the set (used when its store view exposes no index): the original
+    /// segment-pruned per-event window scan.
+    fn tally_scanned(
+        &self,
+        devices: &[DeviceId],
+        device: DeviceId,
+        delta: Timestamp,
+        window: Interval,
+        total: &mut usize,
+        intersecting: &mut usize,
+    ) {
+        for event in self.store.events_of_in(device, window) {
+            *total += 1;
+            let near = Interval::new(event.t - delta, event.t + delta + 1);
+            let all_present = devices.iter().filter(|&&d| d != device).all(|&other| {
+                match self.store.postings_of(other) {
+                    // Another device of the set may still be indexed; the
+                    // probe answers identically either way.
+                    Some(other_postings) => other_postings
+                        .on_ap(event.ap)
+                        .is_some_and(|list| list.any_in(near)),
+                    None => self
+                        .store
+                        .events_of_in(other, near)
+                        .any(|e| e.ap == event.ap),
+                }
+            });
+            if all_present {
+                *intersecting += 1;
+            }
+        }
+    }
+
     /// Pairwise device affinity `α({a, b})`.
     pub fn pair_affinity(&self, a: DeviceId, b: DeviceId, until: Timestamp) -> f64 {
         self.device_affinity(&[a, b], until)
+    }
+
+    /// A [`PairAffinitySession`] for the repeated `α({device, ·})`
+    /// evaluations of one query — same answers as
+    /// [`AffinityEngine::pair_affinity`], the queried side computed once.
+    pub fn pair_session(&self, device: DeviceId, until: Timestamp) -> PairAffinitySession<'a> {
+        PairAffinitySession::new(*self, device, until)
     }
 
     // ------------------------------------------------------------------
@@ -282,6 +519,239 @@ impl<'a> AffinityEngine<'a> {
             probability *= affinity.conditional_within(room, &intersection);
         }
         probability
+    }
+
+    /// Memoized [`AffinityEngine::room_affinities`]: computes the distribution
+    /// on first use and returns the cached copy afterwards.
+    pub fn room_affinities_memo<'m>(
+        &self,
+        memo: &'m mut RoomAffinityMemo,
+        device: DeviceId,
+        region: RegionId,
+    ) -> &'m RoomAffinity {
+        memo.entries
+            .entry((device, region))
+            .or_insert_with(|| self.room_affinities(device, region))
+    }
+
+    /// [`AffinityEngine::group_affinity`] evaluated over every room of
+    /// `rooms` at once: the region intersection is computed once per group
+    /// (not once per room) and per-device room affinities are read through
+    /// `memo`. Element `i` equals `group_affinity(group, rooms[i],
+    /// device_affinity)` bit for bit.
+    pub fn group_affinities(
+        &self,
+        memo: &mut RoomAffinityMemo,
+        group: &[(DeviceId, RegionId)],
+        rooms: &[RoomId],
+        device_affinity: f64,
+    ) -> Vec<f64> {
+        if group.is_empty() || device_affinity <= 0.0 {
+            return vec![0.0; rooms.len()];
+        }
+        let space = self.store.space();
+        let regions: Vec<RegionId> = group.iter().map(|&(_, g)| g).collect();
+        let intersection = space.intersect_regions(&regions);
+        // Materialize every member's distribution, then cache its subset
+        // total: `conditional_within` recomputes the sum per room, which made
+        // this loop cubic in the candidate count. The total is the identical
+        // expression evaluated once, so every division is bit-identical.
+        for &(device, region) in group {
+            self.room_affinities_memo(memo, device, region);
+        }
+        let members: Vec<(&RoomAffinity, f64)> = group
+            .iter()
+            .map(|&(device, region)| {
+                let affinity = memo.get(device, region).expect("memoized above");
+                let total: f64 = intersection.iter().map(|&r| affinity.of(r)).sum();
+                (affinity, total)
+            })
+            .collect();
+        rooms
+            .iter()
+            .map(|&room| {
+                if !intersection.contains(&room) {
+                    return 0.0;
+                }
+                let mut probability = device_affinity;
+                for &(affinity, total) in &members {
+                    // `conditional_within(room, intersection)` with the
+                    // subset total hoisted.
+                    probability *= if total <= 0.0 {
+                        1.0 / intersection.len() as f64
+                    } else {
+                        affinity.of(room) / total
+                    };
+                }
+                probability
+            })
+            .collect()
+    }
+}
+
+/// Precomputed query-side state for the pairwise device affinities of one
+/// `locate` call.
+///
+/// Algorithm 2 evaluates `α({d, n})` for up to `max_neighbors` neighbors `n`
+/// with the *same* queried device `d`, history window, and δ. The session
+/// materializes `d`'s side of the merge once — per-AP window/vicinity slices
+/// borrowed straight from the co-location index plus a dense AP dispatch
+/// table — so each neighbor costs only one pass over its own (contiguous,
+/// segment-pruned) timeline slice. [`PairAffinitySession::affinity`] is
+/// bit-identical to [`AffinityEngine::pair_affinity`] (asserted in
+/// `tests/affinity_index_equivalence.rs`); it falls back to the engine
+/// whenever either side has no index.
+pub struct PairAffinitySession<'a> {
+    engine: AffinityEngine<'a>,
+    device: DeviceId,
+    until: Timestamp,
+    window: Interval,
+    delta: Timestamp,
+    /// `Some` when the queried device's store view is indexed.
+    side: Option<QuerySide<'a>>,
+}
+
+/// The queried device's precomputed merge slices (borrowed from the store).
+struct QuerySide<'a> {
+    total_in_window: usize,
+    /// The window padded by the queried device's δ: exactly the stretch of
+    /// neighbor events that can take part in either merge direction.
+    ext: Interval,
+    /// Dense AP dispatch: `slot_of[ap] = index into aps`, `u32::MAX` when the
+    /// queried device has no relevant events on that AP.
+    slot_of: Vec<u32>,
+    aps: Vec<QueryAp<'a>>,
+    /// Reused per-neighbor cursor pairs, one per entry of `aps`.
+    cursors: std::cell::RefCell<Vec<(u32, u32)>>,
+}
+
+struct QueryAp<'a> {
+    /// The device's events on this AP within the window padded by the global
+    /// max δ — every timestamp any neighbor's merge can involve (the partner
+    /// slice for the neighbor-side direction).
+    full: &'a [Timestamp],
+    /// The in-window sub-slice of `full` (the own slice).
+    win: &'a [Timestamp],
+}
+
+impl<'a> PairAffinitySession<'a> {
+    fn new(engine: AffinityEngine<'a>, device: DeviceId, until: Timestamp) -> Self {
+        let window = Interval::new(until - engine.window, until + 1);
+        let delta = engine.store.delta(device);
+        let side = engine.store.postings_of(device).map(|postings| {
+            // Lists with no events anywhere near the window cannot take part
+            // in any direction of any neighbor's merge (δ ≤ the global max δ
+            // bounds each side's reach), so they are dropped up front.
+            let slack = engine.store.max_delta();
+            let reach = Interval::new(window.start - slack, window.end + slack);
+            let mut slot_of = vec![u32::MAX; engine.store.space().num_access_points()];
+            let mut aps = Vec::new();
+            for list in postings.ap_lists() {
+                let full = list.slice_in(reach);
+                if full.is_empty() {
+                    continue;
+                }
+                let lo = full.partition_point(|&t| t < window.start);
+                let hi = lo + full[lo..].partition_point(|&t| t < window.end);
+                slot_of[list.ap().index()] = aps.len() as u32;
+                aps.push(QueryAp {
+                    full,
+                    win: &full[lo..hi],
+                });
+            }
+            QuerySide {
+                total_in_window: postings.count_in(window),
+                ext: Interval::new(window.start - delta, window.end + delta),
+                cursors: std::cell::RefCell::new(vec![(0, 0); aps.len()]),
+                slot_of,
+                aps,
+            }
+        });
+        Self {
+            engine,
+            device,
+            until,
+            window,
+            delta,
+            side,
+        }
+    }
+
+    /// `α({device, other})` — bit-identical to
+    /// [`AffinityEngine::pair_affinity`]`(device, other, until)`.
+    ///
+    /// One pass over the neighbor's (contiguous, segment-pruned) timeline
+    /// slice drives both merge directions: for each neighbor event near the
+    /// window, the session-side per-AP cursors (a) count the queried device's
+    /// not-yet-counted window events the neighbor event reaches within the
+    /// queried δ, and (b) probe whether the queried device has an event
+    /// within the neighbor's δ. The neighbor's per-AP posting lists are never
+    /// touched — only its timeline slice, read sequentially.
+    pub fn affinity(&self, other: DeviceId) -> f64 {
+        let (Some(side), Some(pb)) = (
+            (other != self.device)
+                .then_some(self.side.as_ref())
+                .flatten(),
+            self.engine.store.postings_of(other),
+        ) else {
+            return self.engine.pair_affinity(self.device, other, self.until);
+        };
+        let total = side.total_in_window + pb.count_in(self.window);
+        if total == 0 {
+            return 0.0;
+        }
+        let delta_b = self.engine.store.delta(other);
+        let mut cursors = side.cursors.borrow_mut();
+        cursors.fill((0, 0));
+        let mut intersecting = 0usize;
+        for event in self.engine.store.events_of_in(other, side.ext) {
+            let slot = side.slot_of[event.ap.index()];
+            if slot == u32::MAX {
+                // The queried device has no events near the window on this
+                // AP: the neighbor event reaches nothing and has no partner.
+                continue;
+            }
+            let qa = &side.aps[slot as usize];
+            let (cover, probe) = &mut cursors[slot as usize];
+            let t_b = event.t;
+            // Query-side direction: count own window events in
+            // [t_b − δ, t_b + δ] not counted yet. Reaches advance with t_b,
+            // so skipped events (below the reach) are dead for good and each
+            // own event is counted at most once. Cursor steps are linear —
+            // the per-AP strides are a handful of events, where a branchy
+            // walk beats a binary search.
+            let mut cov = *cover as usize;
+            while cov < qa.win.len() && qa.win[cov] < t_b - self.delta {
+                cov += 1;
+            }
+            let start = cov;
+            while cov < qa.win.len() && qa.win[cov] <= t_b + self.delta {
+                cov += 1;
+            }
+            intersecting += cov - start;
+            *cover = cov as u32;
+            // Neighbor-side direction: an in-window neighbor event intersects
+            // iff the queried device has an event on this AP within δ_other.
+            if self.window.contains(t_b) {
+                let mut pr = *probe as usize;
+                while pr < qa.full.len() && qa.full[pr] < t_b - delta_b {
+                    pr += 1;
+                }
+                *probe = pr as u32;
+                if pr < qa.full.len() && qa.full[pr] <= t_b + delta_b {
+                    intersecting += 1;
+                }
+            }
+        }
+        intersecting as f64 / total as f64
+    }
+
+    /// [`PairAffinitySession::affinity`] gated by the contribution threshold:
+    /// `Some(α)` exactly when `α >= floor && α > 0` — the neighbor-contribution
+    /// predicate of Algorithm 2, shared so every caller applies it identically.
+    pub fn contributing_affinity(&self, other: DeviceId, floor: f64) -> Option<f64> {
+        let pair = self.affinity(other);
+        (pair >= floor && pair > 0.0).then_some(pair)
     }
 }
 

@@ -29,7 +29,7 @@
 //! and folds in one observation per cluster, computed from the cluster's joint device
 //! affinity (Eq. 6).
 
-use crate::fine::affinity::{AffinityEngine, RoomAffinity, RoomAffinityWeights};
+use crate::fine::affinity::{AffinityEngine, RoomAffinity, RoomAffinityMemo, RoomAffinityWeights};
 use crate::fine::worlds::{stop_condition_met, PosteriorBounds, RoomPosterior};
 use locater_events::clock::{self, Timestamp};
 use locater_events::DeviceId;
@@ -224,7 +224,15 @@ impl FineLocalizer {
     ) -> FineOutcome {
         let engine = AffinityEngine::new(store, self.config.weights, self.config.affinity_window);
         let candidates: Vec<RoomId> = store.space().rooms_in_region(region).to_vec();
-        let prior = engine.room_affinities(device, region);
+        // One memo per query: every room-affinity distribution this call
+        // needs — the prior and one per processed neighbor/cluster member —
+        // is computed exactly once and reused by every group-affinity
+        // evaluation (the queried device's own distribution is in every
+        // group, so it is always a hit).
+        let mut memo = RoomAffinityMemo::new();
+        let prior = engine
+            .room_affinities_memo(&mut memo, device, region)
+            .clone();
 
         // Trivial cases: zero or one candidate room.
         if candidates.len() <= 1 {
@@ -248,6 +256,7 @@ impl FineLocalizer {
         match self.config.mode {
             FineMode::Independent => self.locate_independent(
                 &engine,
+                &mut memo,
                 device,
                 t_q,
                 region,
@@ -259,6 +268,7 @@ impl FineLocalizer {
             ),
             FineMode::Dependent => self.locate_dependent(
                 &engine,
+                &mut memo,
                 device,
                 t_q,
                 region,
@@ -275,6 +285,7 @@ impl FineLocalizer {
     fn locate_independent(
         &self,
         engine: &AffinityEngine<'_>,
+        memo: &mut RoomAffinityMemo,
         device: DeviceId,
         t_q: Timestamp,
         region: RegionId,
@@ -292,18 +303,27 @@ impl FineLocalizer {
         let mut contributions = Vec::new();
         let mut processed = 0usize;
         let mut stopped_early = false;
+        // The queried device's merge buffers are shared across neighbors and
+        // built only when the first affinity actually needs computing.
+        let session = std::cell::OnceCell::new();
 
         for (idx, &(neighbor, neighbor_region)) in neighbors.iter().enumerate() {
             processed += 1;
-            let pair = cached_affinities
-                .and_then(|lookup| lookup(neighbor))
-                .unwrap_or_else(|| engine.pair_affinity(device, neighbor, t_q));
-            if pair >= self.config.min_pair_affinity && pair > 0.0 {
+            // A sub-threshold affinity is discarded unread;
+            // `contributing_affinity` centralizes the contribution predicate
+            // so cached and computed values are gated identically.
+            let contributing = match cached_affinities.and_then(|lookup| lookup(neighbor)) {
+                Some(pair) => (pair >= self.config.min_pair_affinity && pair > 0.0).then_some(pair),
+                None => session
+                    .get_or_init(|| engine.pair_session(device, t_q))
+                    .contributing_affinity(neighbor, self.config.min_pair_affinity),
+            };
+            if let Some(pair) = contributing {
                 let group = [(device, region), (neighbor, neighbor_region)];
                 let weight = self.config.evidence_weight.clamp(0.0, 1.0);
+                let alphas = engine.group_affinities(memo, &group, candidates, pair);
                 let mut edge_weight = 0.0;
-                for (posterior, &room) in posteriors.iter_mut().zip(candidates) {
-                    let alpha = engine.group_affinity(&group, room, pair);
+                for (posterior, &alpha) in posteriors.iter_mut().zip(&alphas) {
                     edge_weight += alpha;
                     let observation =
                         ((1.0 - weight * pair) * uniform_floor + weight * alpha).min(1.0);
@@ -363,6 +383,7 @@ impl FineLocalizer {
     fn locate_dependent(
         &self,
         engine: &AffinityEngine<'_>,
+        memo: &mut RoomAffinityMemo,
         device: DeviceId,
         t_q: Timestamp,
         region: RegionId,
@@ -377,20 +398,24 @@ impl FineLocalizer {
         let mut contributions = Vec::new();
         let mut processed = 0usize;
         let mut stopped_early = false;
+        let session = std::cell::OnceCell::new();
 
         for &(neighbor, neighbor_region) in neighbors {
             processed += 1;
-            let pair = cached_affinities
-                .and_then(|lookup| lookup(neighbor))
-                .unwrap_or_else(|| engine.pair_affinity(device, neighbor, t_q));
-            if pair <= 0.0 || pair < self.config.min_pair_affinity {
+            let contributing = match cached_affinities.and_then(|lookup| lookup(neighbor)) {
+                Some(pair) => (pair > 0.0 && pair >= self.config.min_pair_affinity).then_some(pair),
+                None => session
+                    .get_or_init(|| engine.pair_session(device, t_q))
+                    .contributing_affinity(neighbor, self.config.min_pair_affinity),
+            };
+            let Some(pair) = contributing else {
                 continue;
-            }
+            };
             // Record the pairwise contribution for the caching engine.
             let group = [(device, region), (neighbor, neighbor_region)];
-            let edge_weight = candidates
+            let edge_weight = engine
+                .group_affinities(memo, &group, candidates, pair)
                 .iter()
-                .map(|&room| engine.group_affinity(&group, room, pair))
                 .sum::<f64>()
                 / candidates.len() as f64;
             contributions.push(NeighborContribution {
@@ -454,8 +479,8 @@ impl FineLocalizer {
             let joint_affinity = engine.device_affinity(&members, t_q);
             let mut group: Vec<(DeviceId, RegionId)> = cluster.clone();
             group.push((device, region));
-            for (posterior, &room) in posteriors.iter_mut().zip(candidates) {
-                let alpha = engine.group_affinity(&group, room, joint_affinity);
+            let alphas = engine.group_affinities(memo, &group, candidates, joint_affinity);
+            for (posterior, &alpha) in posteriors.iter_mut().zip(&alphas) {
                 let observation =
                     ((1.0 - weight * joint_affinity) * uniform_floor + weight * alpha).min(1.0);
                 posterior.observe(observation);

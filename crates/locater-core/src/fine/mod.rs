@@ -24,6 +24,8 @@ mod affinity;
 mod algorithm;
 mod worlds;
 
-pub use affinity::{AffinityEngine, RoomAffinity, RoomAffinityWeights};
+pub use affinity::{
+    AffinityEngine, PairAffinitySession, RoomAffinity, RoomAffinityMemo, RoomAffinityWeights,
+};
 pub use algorithm::{FineConfig, FineLocalizer, FineMode, FineOutcome, NeighborContribution};
 pub use worlds::{PosteriorBounds, RoomPosterior};

@@ -90,6 +90,11 @@ pub struct ShardStats {
     pub samples: usize,
     /// Affinity samples live under the current epochs.
     pub live_samples: usize,
+    /// Co-location-index posting lists held by this shard's store partition
+    /// (one per `(owned device, access point)` pair with events).
+    pub index_ap_lists: usize,
+    /// Co-location-index time buckets across those posting lists.
+    pub index_buckets: usize,
 }
 
 /// Epoch view over the per-shard tables: the table of a device's home shard is
@@ -757,6 +762,7 @@ impl ShardedLocaterService {
                 let cache = shard.engines.cache.read();
                 let (edges, samples) = cache.stats();
                 let (live_edges, live_samples) = cache.live_stats(&epochs);
+                let colocation = store.colocation_stats();
                 ShardStats {
                     shard: index,
                     events: store.num_events(),
@@ -765,6 +771,8 @@ impl ShardedLocaterService {
                     live_edges,
                     samples,
                     live_samples,
+                    index_ap_lists: colocation.ap_lists,
+                    index_buckets: colocation.buckets,
                 }
             })
             .collect()

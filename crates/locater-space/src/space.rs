@@ -14,7 +14,12 @@ use std::collections::HashMap;
 ///
 /// Built through [`crate::SpaceBuilder`]. Cloning a `Space` is a deep copy; wrap it in
 /// an `Arc` for sharing across engines (the event store does this internally).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization routes through the same constructor the builder uses, so
+/// derived state (`room_regions`, the region-overlap matrix) is always
+/// recomputed from the authoritative fields — a foreign or stale document can
+/// never smuggle in an inconsistent matrix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Space {
     name: String,
     rooms: Vec<Room>,
@@ -24,8 +29,43 @@ pub struct Space {
     regions: Vec<Region>,
     /// For each room, the sorted list of regions whose coverage includes it.
     room_regions: Vec<Vec<RegionId>>,
+    /// Row-major `num_regions × num_regions` overlap matrix: entry
+    /// `a·n + b` is `true` iff regions `a` and `b` share a room. Derived in
+    /// [`Space::from_parts`] (like `room_regions`), so region-overlap checks
+    /// — the neighbor filter runs one per online device per query — are one
+    /// indexed load instead of a room-list merge.
+    region_overlap: Vec<bool>,
     /// Preferred rooms per device MAC address (`R_pf(d_i)` in the paper).
     preferred: HashMap<String, Vec<RoomId>>,
+}
+
+impl Deserialize for Space {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        /// The authoritative fields only; serialized derived fields
+        /// (`room_regions`, `region_overlap`) are ignored and recomputed by
+        /// [`Space::from_parts`].
+        #[derive(Deserialize)]
+        struct Parts {
+            name: String,
+            rooms: Vec<Room>,
+            room_names: HashMap<String, RoomId>,
+            access_points: Vec<AccessPoint>,
+            ap_names: HashMap<String, AccessPointId>,
+            regions: Vec<Region>,
+            preferred: HashMap<String, Vec<RoomId>>,
+        }
+        let parts = Parts::from_value(v)?;
+        Space::from_parts(
+            parts.name,
+            parts.rooms,
+            parts.room_names,
+            parts.access_points,
+            parts.ap_names,
+            parts.regions,
+            parts.preferred,
+        )
+        .map_err(|err| serde::Error::custom(&err.to_string()))
+    }
 }
 
 impl Space {
@@ -56,6 +96,18 @@ impl Space {
             regions_of_room.sort_unstable();
             regions_of_room.dedup();
         }
+        let n = regions.len();
+        let mut region_overlap = vec![false; n * n];
+        for regions_of_room in &room_regions {
+            for &a in regions_of_room {
+                for &b in regions_of_room {
+                    region_overlap[a.index() * n + b.index()] = true;
+                }
+            }
+        }
+        for (idx, row) in region_overlap.chunks_mut(n).enumerate() {
+            row[idx] = true; // a region always overlaps itself
+        }
         Ok(Self {
             name,
             rooms,
@@ -64,6 +116,7 @@ impl Space {
             ap_names,
             regions,
             room_regions,
+            region_overlap,
             preferred,
         })
     }
@@ -170,12 +223,10 @@ impl Space {
         &self.regions[region.index()].rooms
     }
 
-    /// `true` if the two regions share at least one room.
+    /// `true` if the two regions share at least one room — one load from the
+    /// precomputed overlap matrix.
     pub fn regions_overlap(&self, a: RegionId, b: RegionId) -> bool {
-        if a == b {
-            return true;
-        }
-        self.regions[a.index()].overlaps(&self.regions[b.index()])
+        self.region_overlap[a.index() * self.regions.len() + b.index()]
     }
 
     /// Intersection of the candidate-room sets of several regions (`R_is` in §4.1),

@@ -1,0 +1,650 @@
+//! The incremental co-location index: per-AP, time-bucketed posting lists.
+//!
+//! Fine-grained localization (paper §4.1) is dominated by *device affinity*
+//! computation: for every candidate neighbor pair the engine counts, over a
+//! history window, the events of each device for which the other device has an
+//! event on the **same access point** within the event's validity period. Run
+//! against raw timelines that is a per-event rescan of the neighbor's history
+//! around every event — the bottleneck the paper's caching section (§5) was
+//! written to amortize, and one that every *cold* edge still pays.
+//!
+//! The [`ColocationIndex`] removes the rescan. For every device it keeps one
+//! posting list per access point the device ever connected to
+//! ([`ApPostings`]), holding the sorted event timestamps as one flat array
+//! with a time-bucket offset table at the store's segment span
+//! ([`DeviceTimeline`] uses the same span, so index buckets and storage
+//! segments prune identically). With it, a pair affinity becomes a
+//! *bucket-intersection merge*:
+//!
+//! * APs only one of the devices ever touched contribute their window event
+//!   count through the device's all-APs multiset — no per-event work at all;
+//! * APs both devices touched are resolved by merging the two sorted
+//!   timestamp slices in place (no copies): covered stretches are counted
+//!   run-length-wise, disjoint stretches are skipped by binary search.
+//!
+//! The index is **part of the store, not a cache**: [`crate::EventStore`]
+//! updates it in the same mutation that appends the event to the timeline
+//! (O(1) amortized for in-order arrivals — an append to one posting list and
+//! its bucket table), so readers can never observe a stale index and the
+//! epoch table does not need to stamp it. Answers derived from the index are
+//! **bit-identical** to timeline scans by construction: the index holds
+//! exactly the multiset of `(t, ap)` pairs of the timeline, and the affinity
+//! engine counts the same events in a different order (sums are
+//! order-independent).
+//!
+//! Rebuilding from timelines is deterministic
+//! and yields the same structure as incremental maintenance, whatever the
+//! ingestion order — posting lists are sorted multisets of timestamps — so
+//! snapshot loads may either rebuild or decode an embedded copy (see
+//! [`crate::snapshot`]) and per-device store partitions ([`crate::EventStore::split`] /
+//! `rejoin`) round-trip the index alongside the timelines.
+
+use crate::segment::DeviceTimeline;
+use locater_events::{DeviceId, Interval, Timestamp};
+use locater_space::AccessPointId;
+
+/// One entry of the bucket offset table: the events of bucket `bucket`
+/// (timestamps in `[bucket·span, (bucket+1)·span)`) start at `start` in the
+/// flat timestamp array and run until the next entry's `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BucketRef {
+    pub(crate) bucket: i64,
+    pub(crate) start: usize,
+}
+
+/// A sorted multiset of event timestamps with a time-bucket offset table —
+/// the storage shared by the per-AP posting lists and each device's all-APs
+/// list.
+///
+/// Timestamps are one flat ascending array (duplicates allowed — one entry
+/// per event), so range queries are plain binary searches and merge code
+/// borrows sub-slices without copying. The bucket table records where each
+/// span-sized time bucket starts; it makes out-of-order splices local and is
+/// the unit the snapshot format and the operator-facing stats count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketedTimestamps {
+    span: Timestamp,
+    ts: Vec<Timestamp>,
+    buckets: Vec<BucketRef>,
+}
+
+impl BucketedTimestamps {
+    pub(crate) fn new(span: Timestamp) -> Self {
+        Self {
+            span: span.max(1),
+            ts: Vec::new(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Number of timestamps held.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// `true` if no timestamps are held.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Number of time buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The full sorted timestamp array.
+    pub fn timestamps(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// The `(bucket id, timestamps)` runs, oldest first — the snapshot
+    /// format's unit.
+    pub(crate) fn bucket_runs(&self) -> impl Iterator<Item = (i64, &[Timestamp])> + '_ {
+        self.buckets.iter().enumerate().map(|(idx, bucket)| {
+            let end = self
+                .buckets
+                .get(idx + 1)
+                .map(|next| next.start)
+                .unwrap_or(self.ts.len());
+            (bucket.bucket, &self.ts[bucket.start..end])
+        })
+    }
+
+    /// Records one timestamp (O(1) amortized for in-order arrivals;
+    /// out-of-order timestamps splice into place).
+    pub(crate) fn record(&mut self, t: Timestamp) {
+        let bucket = t.div_euclid(self.span);
+        match self.buckets.last() {
+            None => {
+                self.buckets.push(BucketRef { bucket, start: 0 });
+                self.ts.push(t);
+            }
+            Some(last) if bucket == last.bucket => match self.ts.last() {
+                Some(&max) if t < max => {
+                    // In-bucket out-of-order arrival: splice within the tail
+                    // bucket (the table is untouched — no later buckets).
+                    let start = last.start;
+                    let pos = start + self.ts[start..].partition_point(|&x| x <= t);
+                    self.ts.insert(pos, t);
+                }
+                _ => self.ts.push(t),
+            },
+            Some(last) if bucket > last.bucket => {
+                self.buckets.push(BucketRef {
+                    bucket,
+                    start: self.ts.len(),
+                });
+                self.ts.push(t);
+            }
+            Some(_) => {
+                // Out-of-order arrival into an earlier bucket.
+                let idx = self.buckets.partition_point(|b| b.bucket < bucket);
+                let pos = if idx < self.buckets.len() && self.buckets[idx].bucket == bucket {
+                    let start = self.buckets[idx].start;
+                    let end = self
+                        .buckets
+                        .get(idx + 1)
+                        .map(|next| next.start)
+                        .unwrap_or(self.ts.len());
+                    start + self.ts[start..end].partition_point(|&x| x <= t)
+                } else {
+                    let pos = self.buckets[idx].start;
+                    self.buckets.insert(idx, BucketRef { bucket, start: pos });
+                    pos
+                };
+                self.ts.insert(pos, t);
+                for bucket_ref in &mut self.buckets {
+                    if bucket_ref.start > pos
+                        || (bucket_ref.start == pos && bucket_ref.bucket > bucket)
+                    {
+                        bucket_ref.start += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sub-slice of timestamps in `[range.start, range.end)`, zero
+    /// copies. The coarse bounds come from the compact bucket table (cheap,
+    /// contiguous binary searches); only the two boundary buckets are probed
+    /// in the timestamp array itself.
+    pub fn slice_in(&self, range: Interval) -> &[Timestamp] {
+        if range.end <= range.start {
+            return &[];
+        }
+        let lo_bucket = range.start.div_euclid(self.span);
+        let hi_bucket = (range.end - 1).div_euclid(self.span);
+        let bi_lo = self.buckets.partition_point(|b| b.bucket < lo_bucket);
+        let bi_hi = self.buckets.partition_point(|b| b.bucket <= hi_bucket);
+        if bi_lo >= bi_hi {
+            return &[];
+        }
+        let coarse_lo = self.buckets[bi_lo].start;
+        let coarse_hi = self
+            .buckets
+            .get(bi_hi)
+            .map(|b| b.start)
+            .unwrap_or(self.ts.len());
+        // Precise bounds inside the two boundary buckets.
+        let first_end = self
+            .buckets
+            .get(bi_lo + 1)
+            .map(|b| b.start)
+            .unwrap_or(self.ts.len())
+            .min(coarse_hi);
+        let lo = coarse_lo + self.ts[coarse_lo..first_end].partition_point(|&t| t < range.start);
+        let last_start = self.buckets[bi_hi - 1].start.max(lo);
+        let hi = last_start + self.ts[last_start..coarse_hi].partition_point(|&t| t < range.end);
+        &self.ts[lo..hi]
+    }
+
+    /// Number of timestamps in `[range.start, range.end)`.
+    pub fn count_in(&self, range: Interval) -> usize {
+        self.slice_in(range).len()
+    }
+
+    /// `true` if any timestamp lies in `[range.start, range.end)`.
+    pub fn any_in(&self, range: Interval) -> bool {
+        let lo = self.ts.partition_point(|&t| t < range.start);
+        lo < self.ts.len() && self.ts[lo] < range.end
+    }
+
+    /// The timestamps in `[range.start, range.end)`, ascending.
+    pub fn timestamps_in(&self, range: Interval) -> impl Iterator<Item = Timestamp> + '_ {
+        self.slice_in(range).iter().copied()
+    }
+
+    /// A merge cursor for a sequence of *non-decreasing* lower bounds — the
+    /// shape of the device-affinity merge, where the probed validity windows
+    /// advance with the other device's event timestamps.
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        PostingCursor {
+            ts: &self.ts,
+            idx: 0,
+        }
+    }
+}
+
+/// Forward-only cursor over a sorted timestamp slice.
+///
+/// [`PostingCursor::advance_to`] must be called with non-decreasing bounds;
+/// the cursor then amortizes a whole probe sequence to one pass over the list
+/// (a two-pointer merge with binary-searched jumps) instead of one standalone
+/// binary search per probe.
+#[derive(Debug, Clone)]
+pub struct PostingCursor<'a> {
+    ts: &'a [Timestamp],
+    idx: usize,
+}
+
+impl PostingCursor<'_> {
+    /// The first timestamp `>= lo`, or `None` when the list is exhausted.
+    /// Successive `lo` values must be non-decreasing.
+    pub fn advance_to(&mut self, lo: Timestamp) -> Option<Timestamp> {
+        self.idx += self.ts[self.idx..].partition_point(|&t| t < lo);
+        self.ts.get(self.idx).copied()
+    }
+}
+
+/// Sorted event timestamps of one `(device, access point)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApPostings {
+    ap: AccessPointId,
+    ts: BucketedTimestamps,
+}
+
+impl ApPostings {
+    pub(crate) fn new(ap: AccessPointId, span: Timestamp) -> Self {
+        Self {
+            ap,
+            ts: BucketedTimestamps::new(span),
+        }
+    }
+
+    /// The access point this list indexes.
+    pub fn ap(&self) -> AccessPointId {
+        self.ap
+    }
+
+    /// The bucketed timestamps on this access point.
+    pub fn timestamps(&self) -> &BucketedTimestamps {
+        &self.ts
+    }
+
+    /// Number of events on this access point.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// `true` if the list holds no events (never the case inside an index).
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Number of time buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.ts.num_buckets()
+    }
+
+    pub(crate) fn record(&mut self, t: Timestamp) {
+        self.ts.record(t)
+    }
+
+    /// See [`BucketedTimestamps::slice_in`].
+    pub fn slice_in(&self, range: Interval) -> &[Timestamp] {
+        self.ts.slice_in(range)
+    }
+
+    /// See [`BucketedTimestamps::count_in`].
+    pub fn count_in(&self, range: Interval) -> usize {
+        self.ts.count_in(range)
+    }
+
+    /// See [`BucketedTimestamps::any_in`].
+    pub fn any_in(&self, range: Interval) -> bool {
+        self.ts.any_in(range)
+    }
+
+    /// See [`BucketedTimestamps::timestamps_in`].
+    pub fn timestamps_in(&self, range: Interval) -> impl Iterator<Item = Timestamp> + '_ {
+        self.ts.timestamps_in(range)
+    }
+
+    /// See [`BucketedTimestamps::cursor`].
+    pub fn cursor(&self) -> PostingCursor<'_> {
+        self.ts.cursor()
+    }
+}
+
+/// The co-location postings of one device: one [`ApPostings`] list per access
+/// point the device ever connected to (sorted by access-point id), plus the
+/// all-APs timestamp multiset so windowed event *totals* cost two binary
+/// searches instead of one per list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevicePostings {
+    lists: Vec<ApPostings>,
+    all: BucketedTimestamps,
+}
+
+impl DevicePostings {
+    pub(crate) fn new(span: Timestamp) -> Self {
+        Self {
+            lists: Vec::new(),
+            all: BucketedTimestamps::new(span),
+        }
+    }
+
+    /// Rebuilds a device's postings from decoded per-AP lists (the all-APs
+    /// multiset is derived — it is the sorted union of the lists).
+    pub(crate) fn from_lists(lists: Vec<ApPostings>, span: Timestamp) -> Self {
+        let mut ts: Vec<Timestamp> = lists
+            .iter()
+            .flat_map(|list| list.ts.timestamps().iter().copied())
+            .collect();
+        ts.sort_unstable();
+        let mut all = BucketedTimestamps::new(span);
+        for t in ts {
+            all.record(t);
+        }
+        Self { lists, all }
+    }
+
+    /// Total number of indexed events of the device.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// `true` if the device has no indexed events.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// The per-AP posting lists, sorted by access-point id.
+    pub fn ap_lists(&self) -> &[ApPostings] {
+        &self.lists
+    }
+
+    /// The posting list of one access point, if the device ever connected to it.
+    pub fn on_ap(&self, ap: AccessPointId) -> Option<&ApPostings> {
+        self.lists
+            .binary_search_by_key(&ap, |list| list.ap)
+            .ok()
+            .map(|idx| &self.lists[idx])
+    }
+
+    /// Number of events of the device with `t` in `[range.start, range.end)`
+    /// — answered from the all-APs multiset, not by iterating the lists.
+    pub fn count_in(&self, range: Interval) -> usize {
+        self.all.count_in(range)
+    }
+
+    fn record(&mut self, t: Timestamp, ap: AccessPointId, span: Timestamp) {
+        self.all.record(t);
+        let idx = match self.lists.binary_search_by_key(&ap, |list| list.ap) {
+            Ok(idx) => idx,
+            Err(idx) => {
+                self.lists.insert(idx, ApPostings::new(ap, span));
+                idx
+            }
+        };
+        self.lists[idx].record(t);
+    }
+}
+
+/// Size counters of a [`ColocationIndex`] (reported by `locater-cli stats` and
+/// the per-shard `serve` stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColocationIndexStats {
+    /// Devices with at least one indexed event.
+    pub devices: usize,
+    /// `(device, access point)` posting lists.
+    pub ap_lists: usize,
+    /// Time buckets across all posting lists.
+    pub buckets: usize,
+    /// Indexed events (equals the store's event count).
+    pub events: usize,
+}
+
+/// The per-store co-location index: one [`DevicePostings`] per interned
+/// device, bucketed at the store's segment span. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColocationIndex {
+    span: Timestamp,
+    devices: Vec<DevicePostings>,
+}
+
+impl ColocationIndex {
+    /// Creates an empty index with the given bucket span in seconds (clamped
+    /// to ≥ 1).
+    pub fn new(span: Timestamp) -> Self {
+        Self {
+            span: span.max(1),
+            devices: Vec::new(),
+        }
+    }
+
+    pub(crate) fn from_devices(span: Timestamp, devices: Vec<DevicePostings>) -> Self {
+        Self {
+            span: span.max(1),
+            devices,
+        }
+    }
+
+    /// Rebuilds the index from per-device timelines — deterministically equal
+    /// to the incrementally maintained index over the same events, whatever
+    /// order they were ingested in.
+    pub(crate) fn rebuild(span: Timestamp, timelines: &[DeviceTimeline]) -> Self {
+        let mut index = Self::new(span);
+        for timeline in timelines {
+            index.add_device();
+            let device = DeviceId::new((index.devices.len() - 1) as u32);
+            for event in timeline.iter() {
+                index.record(device, event.t, event.ap);
+            }
+        }
+        index
+    }
+
+    /// The bucket span in seconds.
+    pub fn span(&self) -> Timestamp {
+        self.span
+    }
+
+    /// Number of devices the index has slots for.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub(crate) fn add_device(&mut self) {
+        self.devices.push(DevicePostings::new(self.span));
+    }
+
+    pub(crate) fn record(&mut self, device: DeviceId, t: Timestamp, ap: AccessPointId) {
+        let span = self.span;
+        self.devices[device.index()].record(t, ap, span);
+    }
+
+    /// The postings of one device.
+    ///
+    /// # Panics
+    /// Panics if the device does not belong to this store.
+    pub fn device(&self, device: DeviceId) -> &DevicePostings {
+        &self.devices[device.index()]
+    }
+
+    pub(crate) fn devices(&self) -> &[DevicePostings] {
+        &self.devices
+    }
+
+    /// Aggregate size counters.
+    pub fn stats(&self) -> ColocationIndexStats {
+        let mut stats = ColocationIndexStats::default();
+        for postings in &self.devices {
+            if !postings.is_empty() {
+                stats.devices += 1;
+            }
+            stats.ap_lists += postings.lists.len();
+            stats.buckets += postings
+                .lists
+                .iter()
+                .map(ApPostings::num_buckets)
+                .sum::<usize>();
+            stats.events += postings.len();
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap(raw: u32) -> AccessPointId {
+        AccessPointId::new(raw)
+    }
+
+    /// An index over one device with a scripted event set.
+    fn index_with(events: &[(Timestamp, u32)], span: Timestamp) -> ColocationIndex {
+        let mut index = ColocationIndex::new(span);
+        index.add_device();
+        for &(t, a) in events {
+            index.record(DeviceId::new(0), t, ap(a));
+        }
+        index
+    }
+
+    #[test]
+    fn in_order_appends_bucket_by_span() {
+        let index = index_with(&[(10, 0), (20, 0), (150, 0), (420, 1)], 100);
+        let postings = index.device(DeviceId::new(0));
+        assert_eq!(postings.len(), 4);
+        let list0 = postings.on_ap(ap(0)).unwrap();
+        assert_eq!(list0.len(), 3);
+        assert_eq!(list0.num_buckets(), 2);
+        assert_eq!(postings.on_ap(ap(1)).unwrap().len(), 1);
+        assert!(postings.on_ap(ap(9)).is_none());
+        let stats = index.stats();
+        assert_eq!(stats.devices, 1);
+        assert_eq!(stats.ap_lists, 2);
+        assert_eq!(stats.buckets, 3);
+        assert_eq!(stats.events, 4);
+        // Bucket runs expose the wire-format grouping.
+        let runs: Vec<(i64, Vec<Timestamp>)> = list0
+            .timestamps()
+            .bucket_runs()
+            .map(|(b, ts)| (b, ts.to_vec()))
+            .collect();
+        assert_eq!(runs, vec![(0, vec![10, 20]), (1, vec![150])]);
+    }
+
+    #[test]
+    fn out_of_order_and_tied_timestamps_stay_sorted() {
+        let index = index_with(
+            &[(500, 0), (10, 0), (10, 0), (320, 0), (10, 0), (4, 0)],
+            250,
+        );
+        let list = index.device(DeviceId::new(0)).on_ap(ap(0)).unwrap();
+        assert_eq!(list.timestamps().timestamps(), &[4, 10, 10, 10, 320, 500]);
+        // Ties count once per event.
+        assert_eq!(list.count_in(Interval::new(10, 11)), 3);
+        // Bucket table stays consistent after splices.
+        let runs: Vec<(i64, Vec<Timestamp>)> = list
+            .timestamps()
+            .bucket_runs()
+            .map(|(b, ts)| (b, ts.to_vec()))
+            .collect();
+        assert_eq!(
+            runs,
+            vec![(0, vec![4, 10, 10, 10]), (1, vec![320]), (2, vec![500])]
+        );
+    }
+
+    #[test]
+    fn range_queries_match_naive_filters() {
+        let events: Vec<(Timestamp, u32)> = vec![
+            (10, 0),
+            (20, 1),
+            (150, 0),
+            (150, 0),
+            (420, 0),
+            (421, 1),
+            (999, 0),
+            (-50, 0),
+        ];
+        let index = index_with(&events, 100);
+        let postings = index.device(DeviceId::new(0));
+        for window in [
+            Interval::new(15, 421),
+            Interval::new(-100, 0),
+            Interval::new(150, 151),
+            Interval::new(2_000, 3_000),
+            Interval::new(-500, 10_000),
+        ] {
+            for a in [0u32, 1, 2] {
+                let expected: Vec<Timestamp> = {
+                    let mut ts: Vec<Timestamp> = events
+                        .iter()
+                        .filter(|&&(t, e_ap)| e_ap == a && window.contains(t))
+                        .map(|&(t, _)| t)
+                        .collect();
+                    ts.sort_unstable();
+                    ts
+                };
+                match postings.on_ap(ap(a)) {
+                    Some(list) => {
+                        let got: Vec<Timestamp> = list.timestamps_in(window).collect();
+                        assert_eq!(got, expected, "window {window:?} ap {a}");
+                        assert_eq!(list.slice_in(window), expected.as_slice());
+                        assert_eq!(list.count_in(window), expected.len());
+                        assert_eq!(list.any_in(window), !expected.is_empty());
+                    }
+                    None => assert!(expected.is_empty()),
+                }
+            }
+            let total_expected = events.iter().filter(|&&(t, _)| window.contains(t)).count();
+            assert_eq!(postings.count_in(window), total_expected);
+        }
+    }
+
+    #[test]
+    fn rebuild_equals_incremental_for_any_order() {
+        let events = [
+            (500i64, 1u32),
+            (10, 0),
+            (700, 1),
+            (10, 1),
+            (320, 0),
+            (9_000, 0),
+            (4, 1),
+        ];
+        let incremental = index_with(&events, 250);
+
+        let mut timeline = DeviceTimeline::new(250);
+        for (i, &(t, a)) in events.iter().enumerate() {
+            timeline.push(locater_events::StoredEvent::new(
+                locater_events::EventId::new(i as u64),
+                t,
+                ap(a),
+            ));
+        }
+        let rebuilt = ColocationIndex::rebuild(250, &[timeline]);
+        assert_eq!(rebuilt, incremental);
+    }
+
+    #[test]
+    fn empty_index_answers_are_empty() {
+        let index = ColocationIndex::new(0); // span clamps to 1
+        assert_eq!(index.span(), 1);
+        assert_eq!(index.num_devices(), 0);
+        assert_eq!(index.stats(), ColocationIndexStats::default());
+        let postings = DevicePostings::new(100);
+        assert!(postings.is_empty());
+        assert_eq!(postings.count_in(Interval::new(0, 100)), 0);
+        assert!(postings.on_ap(ap(0)).is_none());
+        let list = ApPostings::new(ap(0), 100);
+        assert!(list.is_empty());
+        assert!(!list.any_in(Interval::new(0, 100)));
+        assert_eq!(list.timestamps_in(Interval::new(0, 100)).count(), 0);
+        assert!(list.slice_in(Interval::new(0, 100)).is_empty());
+    }
+}

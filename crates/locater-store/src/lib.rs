@@ -97,6 +97,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod colocation;
 mod csv;
 mod error;
 mod ndjson;
@@ -108,13 +109,16 @@ mod stats;
 mod store;
 mod timeline;
 
+pub use colocation::{
+    ApPostings, ColocationIndex, ColocationIndexStats, DevicePostings, PostingCursor,
+};
 pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
 pub use error::{IngestError, StoreError};
 pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
-pub use read::EventRead;
+pub use read::{EventRead, ScanRead};
 pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
 pub use shard::{shard_of_device, ShardedRead};
-pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotIndexMode, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::DatasetStatistics;
 pub use store::EventStore;
 pub use timeline::{NearbyDevice, Timeline};

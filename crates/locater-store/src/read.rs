@@ -13,6 +13,7 @@
 //! definitions the store itself uses, so every implementation answers
 //! identically by construction.
 
+use crate::colocation::DevicePostings;
 use crate::segment::{DeviceTimeline, EventsInRange};
 use crate::timeline::NearbyDevice;
 use locater_events::{Device, DeviceId, Gap, Interval, StoredEvent, Timestamp};
@@ -54,6 +55,17 @@ pub trait EventRead: Sync {
         slack: Timestamp,
         exclude: Option<DeviceId>,
     ) -> Vec<NearbyDevice>;
+
+    /// The co-location postings of a device (per-AP, time-bucketed event
+    /// timestamps; see [`crate::colocation`]), when the implementation
+    /// maintains the index. `None` makes affinity computations fall back to
+    /// raw timeline scans — answers are bit-identical either way, only the
+    /// cost differs. The default is `None`, so index-less views (e.g.
+    /// [`ScanRead`]) are the reference semantics.
+    fn postings_of(&self, device: DeviceId) -> Option<&DevicePostings> {
+        let _ = device;
+        None
+    }
 
     // ------------------------------------------------------------------
     // Provided accessors (definitionally identical for every implementation)
@@ -123,6 +135,15 @@ pub trait EventRead: Sync {
         self.devices_near(t, slack, exclude)
             .into_iter()
             .filter_map(|near| {
+                // A validity interval spans at most [e.t − δ, e.t + δ), so a
+                // device whose *closest* event is more than δ away cannot be
+                // covered — skip the covering-event lookup outright (the
+                // closed left bound means distance exactly δ can still
+                // cover). `devices_near` probes with the global max δ, so
+                // most candidates of a busy window fail this cheap test.
+                if (near.t - t).abs() > self.delta(near.device) {
+                    return None;
+                }
                 self.covering_region(near.device, t)
                     .map(|region| (near.device, region))
             })
@@ -163,4 +184,81 @@ impl EventRead for crate::EventStore {
     ) -> Vec<NearbyDevice> {
         crate::EventStore::devices_near(self, t, slack, exclude)
     }
+
+    fn postings_of(&self, device: DeviceId) -> Option<&DevicePostings> {
+        Some(crate::EventStore::device_postings(self, device))
+    }
+
+    fn devices_online_at(
+        &self,
+        t: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<(DeviceId, RegionId)> {
+        // One-scan fast path over the global timeline window; identical to
+        // the provided reference definition (property-tested).
+        crate::EventStore::devices_online_at(self, t, exclude)
+    }
+}
+
+/// A view over a store with its co-location index masked: [`EventRead::postings_of`]
+/// always answers `None`, so every affinity computation falls back to raw
+/// timeline scans. This is the *reference semantics* the indexed fast path
+/// must reproduce bit for bit — equivalence tests and the `affinity_index`
+/// bench compare a store against `ScanRead` of the same store.
+#[derive(Clone, Copy)]
+pub struct ScanRead<'a>(&'a dyn EventRead);
+
+impl<'a> ScanRead<'a> {
+    /// Wraps a store (or any other read view), hiding its index.
+    pub fn new(inner: &'a dyn EventRead) -> Self {
+        Self(inner)
+    }
+}
+
+impl EventRead for ScanRead<'_> {
+    fn space(&self) -> &Arc<Space> {
+        self.0.space()
+    }
+
+    fn devices(&self) -> &[Device] {
+        self.0.devices()
+    }
+
+    fn device_id(&self, mac: &str) -> Option<DeviceId> {
+        self.0.device_id(mac)
+    }
+
+    fn num_events(&self) -> usize {
+        self.0.num_events()
+    }
+
+    fn max_delta(&self) -> Timestamp {
+        self.0.max_delta()
+    }
+
+    fn timeline_of(&self, device: DeviceId) -> &DeviceTimeline {
+        self.0.timeline_of(device)
+    }
+
+    fn devices_near(
+        &self,
+        t: Timestamp,
+        slack: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<NearbyDevice> {
+        self.0.devices_near(t, slack, exclude)
+    }
+
+    fn devices_online_at(
+        &self,
+        t: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<(DeviceId, RegionId)> {
+        // Neighbor discovery is not part of the index; delegate so the
+        // wrapper isolates exactly the affinity fast path.
+        self.0.devices_online_at(t, exclude)
+    }
+
+    // `postings_of` intentionally keeps the trait default (`None`): that is
+    // the whole point of the wrapper.
 }

@@ -131,6 +131,31 @@ impl DeviceTimeline {
         t.div_euclid(self.span)
     }
 
+    /// Index of the first segment with an event after `at` — i.e.
+    /// `partition_point(|s| s.max_t() <= at)` — found by bucket-id arithmetic:
+    /// the binary search only reads the inline bucket ids (no dereference into
+    /// the event vectors), and at most the one segment sharing `at`'s bucket
+    /// is inspected.
+    fn seg_after(&self, at: Timestamp) -> usize {
+        let target = self.bucket_of(at);
+        let idx = self.segments.partition_point(|s| s.bucket < target);
+        match self.segments.get(idx) {
+            Some(s) if s.bucket == target && s.max_t() <= at => idx + 1,
+            _ => idx,
+        }
+    }
+
+    /// Like [`DeviceTimeline::seg_after`] for the strict bound:
+    /// `partition_point(|s| s.max_t() < at)`.
+    fn seg_from(&self, at: Timestamp) -> usize {
+        let target = self.bucket_of(at);
+        let idx = self.segments.partition_point(|s| s.bucket < target);
+        match self.segments.get(idx) {
+            Some(s) if s.bucket == target && s.max_t() < at => idx + 1,
+            _ => idx,
+        }
+    }
+
     /// Appends an event. Events arriving in timestamp order go to the head
     /// segment in O(1); an event for a later bucket seals the head and opens a
     /// new one; rare out-of-order events are spliced into their owning bucket.
@@ -184,7 +209,7 @@ impl DeviceTimeline {
 
     /// Number of events with `t <= at` (a global partition point).
     pub fn partition_le(&self, at: Timestamp) -> usize {
-        let seg = self.segments.partition_point(|s| s.max_t() <= at);
+        let seg = self.seg_after(at);
         if seg == self.segments.len() {
             return self.len;
         }
@@ -193,7 +218,7 @@ impl DeviceTimeline {
 
     /// Number of events with `t < at`.
     pub fn partition_lt(&self, at: Timestamp) -> usize {
-        let seg = self.segments.partition_point(|s| s.max_t() < at);
+        let seg = self.seg_from(at);
         if seg == self.segments.len() {
             return self.len;
         }
@@ -244,7 +269,7 @@ impl DeviceTimeline {
     /// Events with `t` in `[range.start, range.end)` — segments that do not
     /// overlap the range are pruned before any per-event work happens.
     pub fn in_range(&self, range: Interval) -> EventsInRange<'_> {
-        let first = self.segments.partition_point(|s| s.max_t() < range.start);
+        let first = self.seg_from(range.start);
         EventsInRange {
             range,
             current: [].iter(),
@@ -252,35 +277,58 @@ impl DeviceTimeline {
         }
     }
 
-    /// The validity interval of the event at global index `idx` (see
-    /// [`EventSeq::validity_interval`]): `(t − δ, t + δ)` truncated at the next
-    /// event of the device.
-    fn validity_interval(&self, idx: usize, delta: Timestamp) -> Interval {
-        let event = self.get(idx).expect("index in range");
-        let end = match self.get(idx + 1) {
-            Some(next) => next.t.min(event.t + delta),
-            None => event.t + delta,
-        };
-        Interval::new(event.t - delta, end)
-    }
-
     /// The event whose validity interval covers `at` (with its global index),
     /// mirroring [`EventSeq::covering_event`] — only the segments around `at`
     /// are consulted.
+    ///
+    /// Only the three events around the partition point can be involved, so
+    /// they are fetched with **one** segment lookup (plus at most one step
+    /// into each adjacent segment) instead of repeated global-index searches
+    /// — this runs once per nearby device on every neighbor scan.
     pub fn covering_event(&self, at: Timestamp, delta: Timestamp) -> Option<(usize, StoredEvent)> {
         if self.len == 0 {
             return None;
         }
-        let pos = self.partition_le(at);
-        if pos < self.len
-            && self.validity_interval(pos, delta).contains(at)
-            && (pos == 0 || !self.validity_interval(pos - 1, delta).contains(at))
-        {
-            return Some((pos, *self.get(pos).expect("pos < len")));
+        // The partition point `pos` (count of events with `t <= at`) and the
+        // events at pos − 1, pos and pos + 1, located with one segment search.
+        let seg = self.seg_after(at);
+        let (pos, curr, next, prev) = if seg == self.segments.len() {
+            (self.len, None, None, self.last())
+        } else {
+            let events = self.segments[seg].events();
+            let off = events.partition_point(|e| e.t <= at);
+            debug_assert!(off < events.len(), "segment chosen to contain t > at");
+            let next = events
+                .get(off + 1)
+                .or_else(|| self.segments.get(seg + 1).and_then(|s| s.events().first()));
+            let prev = if off > 0 {
+                Some(&events[off - 1])
+            } else if seg > 0 {
+                self.segments[seg - 1].events().last()
+            } else {
+                None
+            };
+            (self.starts[seg] + off, Some(&events[off]), next, prev)
+        };
+        // Validity of an event given its successor: `[t − δ, t + δ)` truncated
+        // at the successor (identical to [`DeviceTimeline::validity_interval`]).
+        let validity = |event: &StoredEvent, succ: Option<&StoredEvent>| {
+            let end = match succ {
+                Some(next) => next.t.min(event.t + delta),
+                None => event.t + delta,
+            };
+            Interval::new(event.t - delta, end)
+        };
+        if let Some(curr) = curr {
+            if validity(curr, next).contains(at)
+                && prev.is_none_or(|prev| !validity(prev, Some(curr)).contains(at))
+            {
+                return Some((pos, *curr));
+            }
         }
-        let idx = pos.checked_sub(1)?;
-        if self.validity_interval(idx, delta).contains(at) {
-            Some((idx, *self.get(idx).expect("idx < len")))
+        let prev = prev?;
+        if validity(prev, curr).contains(at) {
+            Some((pos - 1, *prev))
         } else {
             None
         }

@@ -23,13 +23,14 @@
 //! [`crate::Timeline`]) makes the merged neighbor scan of [`ShardedRead`]
 //! reproduce the single-store scan exactly.
 
+use crate::colocation::{ColocationIndex, DevicePostings};
 use crate::read::EventRead;
 use crate::segment::DeviceTimeline;
 use crate::store::EventStore;
-use crate::timeline::{devices_near_in, NearbyDevice, TimelineEntry};
+use crate::timeline::{devices_near_in, devices_online_in, NearbyDevice, TimelineEntry};
 use crate::StoreError;
 use locater_events::{Device, DeviceId, Timestamp};
-use locater_space::Space;
+use locater_space::{RegionId, Space};
 use std::sync::Arc;
 
 /// The deterministic `DeviceId → shard` assignment shared by every layer of a
@@ -73,6 +74,21 @@ impl EventStore {
                         }
                     })
                     .collect();
+                // The co-location index partitions with the timelines: a shard
+                // carries the postings of its owned devices, empty slots for
+                // the rest (identical to what a rebuild would produce).
+                let postings: Vec<DevicePostings> = devices
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, _)| {
+                        let device = DeviceId::new(idx as u32);
+                        if shard_of_device(device, shards) == shard {
+                            self.device_postings(device).clone()
+                        } else {
+                            DevicePostings::new(span)
+                        }
+                    })
+                    .collect();
                 EventStore::from_snapshot_parts(
                     space.clone(),
                     *validity,
@@ -80,6 +96,7 @@ impl EventStore {
                     next_event_id,
                     devices.to_vec(),
                     masked,
+                    Some(ColocationIndex::from_devices(span, postings)),
                 )
                 .expect("splitting a valid store yields valid shards")
             })
@@ -125,6 +142,15 @@ impl EventStore {
                 shards[owner].timeline_of(DeviceId::new(idx as u32)).clone()
             })
             .collect();
+        let postings: Vec<DevicePostings> = devices
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| {
+                let device = DeviceId::new(idx as u32);
+                let owner = shard_of_device(device, shards.len());
+                shards[owner].device_postings(device).clone()
+            })
+            .collect();
         // The replicated device tables make the consistency check above pass
         // even for shards supplied in the wrong order — but then timelines
         // would be read from non-owner (empty) slots. Catch that as an error
@@ -144,6 +170,7 @@ impl EventStore {
             next_event_id,
             devices.to_vec(),
             timelines,
+            Some(ColocationIndex::from_devices(span, postings)),
         )
     }
 }
@@ -189,6 +216,42 @@ impl<'a> ShardedRead<'a> {
     pub fn shard(&self, shard: usize) -> &'a EventStore {
         self.shards[shard]
     }
+
+    /// K-way merge of the shards' `(t, device)`-sorted windows in `[from, to)`
+    /// — restores the canonical global scan order, so the shared scan helpers
+    /// run exactly as they would on the combined index.
+    fn merged_window(&self, from: Timestamp, to: Timestamp) -> Vec<&'a TimelineEntry> {
+        let windows: Vec<&[TimelineEntry]> = self
+            .shards
+            .iter()
+            .map(|s| s.timeline().range(from, to))
+            .collect();
+        let mut cursors = vec![0usize; windows.len()];
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        let mut merged: Vec<&TimelineEntry> = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<(usize, &TimelineEntry)> = None;
+            for (shard, window) in windows.iter().enumerate() {
+                if let Some(entry) = window.get(cursors[shard]) {
+                    let better = match best {
+                        None => true,
+                        Some((_, current)) => (entry.t, entry.device) < (current.t, current.device),
+                    };
+                    if better {
+                        best = Some((shard, entry));
+                    }
+                }
+            }
+            match best {
+                Some((shard, entry)) => {
+                    cursors[shard] += 1;
+                    merged.push(entry);
+                }
+                None => break,
+            }
+        }
+        merged
+    }
 }
 
 impl EventRead for ShardedRead<'_> {
@@ -217,6 +280,12 @@ impl EventRead for ShardedRead<'_> {
         self.shards[self.owner_of(device)].timeline_of(device)
     }
 
+    fn postings_of(&self, device: DeviceId) -> Option<&DevicePostings> {
+        // Like the timeline, a device's co-location postings live on its
+        // owner shard (non-owners hold empty slots).
+        Some(self.shards[self.owner_of(device)].device_postings(device))
+    }
+
     fn devices_near(
         &self,
         t: Timestamp,
@@ -226,39 +295,26 @@ impl EventRead for ShardedRead<'_> {
         if self.shards.len() == 1 {
             return self.shards[0].devices_near(t, slack, exclude);
         }
-        // k-way merge of the shards' (t, device)-sorted windows restores the
-        // canonical global scan order, then the shared dedup/closest pass runs
-        // exactly as it would on the combined index.
-        let windows: Vec<&[TimelineEntry]> = self
-            .shards
-            .iter()
-            .map(|s| s.timeline().range(t - slack, t + slack + 1))
-            .collect();
-        let mut cursors = vec![0usize; windows.len()];
-        let total: usize = windows.iter().map(|w| w.len()).sum();
-        let mut merged: Vec<&TimelineEntry> = Vec::with_capacity(total);
-        loop {
-            let mut best: Option<(usize, &TimelineEntry)> = None;
-            for (shard, window) in windows.iter().enumerate() {
-                if let Some(entry) = window.get(cursors[shard]) {
-                    let better = match best {
-                        None => true,
-                        Some((_, current)) => (entry.t, entry.device) < (current.t, current.device),
-                    };
-                    if better {
-                        best = Some((shard, entry));
-                    }
-                }
-            }
-            match best {
-                Some((shard, entry)) => {
-                    cursors[shard] += 1;
-                    merged.push(entry);
-                }
-                None => break,
-            }
+        devices_near_in(self.merged_window(t - slack, t + slack + 1), t, exclude)
+    }
+
+    fn devices_online_at(
+        &self,
+        t: Timestamp,
+        exclude: Option<DeviceId>,
+    ) -> Vec<(DeviceId, RegionId)> {
+        // Same one-scan fast path as the combined store, over the merged
+        // canonical window (the device table, δs included, is replicated).
+        if self.shards.len() == 1 {
+            return self.shards[0].devices_online_at(t, exclude);
         }
-        devices_near_in(merged, t, exclude)
+        let slack = self.max_delta();
+        devices_online_in(
+            self.merged_window(t - slack, t + slack + 1),
+            t,
+            exclude,
+            self.devices(),
+        )
     }
 }
 

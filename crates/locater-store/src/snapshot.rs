@@ -4,11 +4,11 @@
 //! per-device segment runs, validity configuration and event-id counter — in a
 //! compact binary layout, so a service restart costs one sequential file read
 //! instead of replaying (re-parsing, re-interning, re-sorting) the whole CSV
-//! log. The wire layout of version 1:
+//! log. The wire layout of version 2:
 //!
 //! ```text
 //! magic      8 B   "LOCATRSN"
-//! version    u32   1
+//! version    u32   2
 //! checksum   u64   FNV-1a 64 over the payload bytes
 //! length     u64   payload byte count
 //! payload:
@@ -19,21 +19,35 @@
 //!   devices   u32 count, then per device: mac (u16 len + UTF-8), δ (i64)
 //!   runs      per device: u32 segment count, then per segment:
 //!             bucket (i64), u32 event count, events as (id u64, t i64, ap u32)
+//!   index     u8 mode (0 = rebuild on load, 1 = embedded), then when 1,
+//!             per device: u32 posting-list count, per list: ap (u32),
+//!             u32 bucket count, per bucket: bucket (i64), u32 timestamp
+//!             count, timestamps (i64 ×count)
 //! ```
 //!
 //! All integers are little-endian. Events inside a segment are stored in the
 //! segment's own (time-sorted, tie-stable) order, so replaying them through
 //! [`DeviceTimeline::push`] reproduces the exact in-memory structure — the
 //! round-trip is bit-identical, event ids and epoch-relevant ordering included.
+//!
+//! The co-location index (see [`crate::colocation`]) is a deterministic
+//! function of the event runs, so it need not be persisted: the default
+//! [`SnapshotIndexMode::Rebuild`] writes one flag byte and reconstructs the
+//! index on load. [`SnapshotIndexMode::Embedded`] trades snapshot size for
+//! cold-start time by persisting the posting lists verbatim (the decoded
+//! index is validated against the runs). Version-1 snapshots (no index
+//! section) are still read and rebuild on load.
+//!
 //! Decoding failures surface as typed [`StoreError`]s ([`StoreError::NotASnapshot`],
 //! [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
 //! [`StoreError::ChecksumMismatch`], [`StoreError::Corrupt`]) — never panics.
 
+use crate::colocation::{ApPostings, ColocationIndex, DevicePostings};
 use crate::error::StoreError;
 use crate::segment::DeviceTimeline;
 use crate::store::EventStore;
 use locater_events::validity::ValidityConfig;
-use locater_events::{Device, DeviceId, EventId, MacAddress, StoredEvent};
+use locater_events::{Device, DeviceId, EventId, MacAddress, StoredEvent, Timestamp};
 use locater_space::{AccessPointId, SpaceMetadata};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -41,7 +55,21 @@ use std::path::Path;
 /// Magic bytes every snapshot starts with.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"LOCATRSN";
 /// Newest snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// Oldest snapshot format version this build still reads.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
+
+/// How a snapshot treats the co-location index (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotIndexMode {
+    /// Write only the event runs; the index is rebuilt on load (smallest
+    /// file, deterministic bytes — the default).
+    #[default]
+    Rebuild,
+    /// Persist the posting lists alongside the runs so a cold start skips the
+    /// index rebuild (larger file).
+    Embedded,
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -72,7 +100,7 @@ fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn encode_payload(store: &EventStore) -> Result<Vec<u8>, StoreError> {
+fn encode_payload(store: &EventStore, mode: SnapshotIndexMode) -> Result<Vec<u8>, StoreError> {
     let (space, validity, span, next_event_id, devices, timelines) = store.snapshot_parts();
     let mut out = Vec::with_capacity(64 + store.num_events() * 20);
 
@@ -120,7 +148,98 @@ fn encode_payload(store: &EventStore) -> Result<Vec<u8>, StoreError> {
             }
         }
     }
+
+    match mode {
+        SnapshotIndexMode::Rebuild => out.push(0),
+        SnapshotIndexMode::Embedded => {
+            out.push(1);
+            for postings in store.colocation_index().devices() {
+                put_u32(&mut out, postings.ap_lists().len() as u32);
+                for list in postings.ap_lists() {
+                    put_u32(&mut out, list.ap().raw());
+                    put_u32(&mut out, list.num_buckets() as u32);
+                    for (bucket, ts) in list.timestamps().bucket_runs() {
+                        put_i64(&mut out, bucket);
+                        put_u32(&mut out, ts.len() as u32);
+                        for &t in ts {
+                            put_i64(&mut out, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
     Ok(out)
+}
+
+/// Decodes the embedded co-location index section (mode byte already read).
+fn decode_index(
+    d: &mut Decoder<'_>,
+    span: Timestamp,
+    device_count: usize,
+    num_access_points: usize,
+) -> Result<ColocationIndex, StoreError> {
+    let mut devices = Vec::with_capacity(device_count.min(1 << 20));
+    for idx in 0..device_count {
+        let list_count = d.u32()? as usize;
+        let mut lists = Vec::with_capacity(list_count.min(1 << 16));
+        let mut prev_ap: Option<u32> = None;
+        for _ in 0..list_count {
+            let ap = d.u32()?;
+            if prev_ap.is_some_and(|prev| ap <= prev) {
+                return Err(StoreError::Corrupt(format!(
+                    "device {idx}: index posting lists out of AP order"
+                )));
+            }
+            prev_ap = Some(ap);
+            if ap as usize >= num_access_points {
+                return Err(StoreError::Corrupt(format!(
+                    "device {idx}: index references unknown access point wap#{ap}"
+                )));
+            }
+            let bucket_count = d.u32()? as usize;
+            if bucket_count == 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "device {idx}: empty index posting list for wap#{ap}"
+                )));
+            }
+            // Validated timestamps arrive globally ascending (buckets
+            // ascending, timestamps ascending inside each), so replaying them
+            // through `record` is all O(1) appends and reproduces the exact
+            // in-memory structure.
+            let mut list = ApPostings::new(AccessPointId::new(ap), span);
+            let mut prev_bucket = i64::MIN;
+            for _ in 0..bucket_count {
+                let bucket = d.i64()?;
+                if bucket <= prev_bucket {
+                    return Err(StoreError::Corrupt(format!(
+                        "device {idx}: index buckets out of order"
+                    )));
+                }
+                prev_bucket = bucket;
+                let ts_count = d.u32()? as usize;
+                if ts_count == 0 {
+                    return Err(StoreError::Corrupt(format!(
+                        "device {idx}: empty index bucket {bucket}"
+                    )));
+                }
+                let mut prev_t = i64::MIN;
+                for _ in 0..ts_count {
+                    let t = d.i64()?;
+                    if t < prev_t || t.div_euclid(span) != bucket {
+                        return Err(StoreError::Corrupt(format!(
+                            "device {idx}: index timestamps out of order or outside bucket {bucket}"
+                        )));
+                    }
+                    prev_t = t;
+                    list.record(t);
+                }
+            }
+            lists.push(list);
+        }
+        devices.push(DevicePostings::from_lists(lists, span));
+    }
+    Ok(ColocationIndex::from_devices(span, devices))
 }
 
 // ---------------------------------------------------------------------------
@@ -174,7 +293,7 @@ impl<'a> Decoder<'a> {
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Result<EventStore, StoreError> {
+fn decode_payload(payload: &[u8], version: u32) -> Result<EventStore, StoreError> {
     let mut d = Decoder::new(payload);
 
     let space_len = d.u32()? as usize;
@@ -247,13 +366,40 @@ fn decode_payload(payload: &[u8]) -> Result<EventStore, StoreError> {
         }
         timelines.push(timeline);
     }
+    // Version 1 predates the co-location index section; it rebuilds on load.
+    let index = if version >= 2 {
+        match d.take(1)?[0] {
+            0 => None,
+            1 => Some(decode_index(
+                &mut d,
+                span,
+                device_count,
+                space.num_access_points(),
+            )?),
+            mode => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown index mode byte {mode}"
+                )));
+            }
+        }
+    } else {
+        None
+    };
     if !d.done() {
         return Err(StoreError::Corrupt(format!(
             "{} trailing bytes after payload",
             payload.len() - d.pos
         )));
     }
-    EventStore::from_snapshot_parts(space, validity, span, next_event_id, devices, timelines)
+    EventStore::from_snapshot_parts(
+        space,
+        validity,
+        span,
+        next_event_id,
+        devices,
+        timelines,
+        index,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -261,9 +407,16 @@ fn decode_payload(payload: &[u8]) -> Result<EventStore, StoreError> {
 // ---------------------------------------------------------------------------
 
 impl EventStore {
-    /// Encodes the store as a snapshot byte buffer (header + checksummed payload).
+    /// Encodes the store as a snapshot byte buffer (header + checksummed
+    /// payload), with the default rebuild-on-load index mode.
     pub fn to_snapshot_bytes(&self) -> Result<Vec<u8>, StoreError> {
-        let payload = encode_payload(self)?;
+        self.to_snapshot_bytes_with(SnapshotIndexMode::default())
+    }
+
+    /// [`EventStore::to_snapshot_bytes`] with an explicit co-location index
+    /// mode (see [`SnapshotIndexMode`]).
+    pub fn to_snapshot_bytes_with(&self, mode: SnapshotIndexMode) -> Result<Vec<u8>, StoreError> {
+        let payload = encode_payload(self, mode)?;
         let mut out = Vec::with_capacity(payload.len() + 28);
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
@@ -273,7 +426,8 @@ impl EventStore {
         Ok(out)
     }
 
-    /// Decodes a snapshot produced by [`EventStore::to_snapshot_bytes`].
+    /// Decodes a snapshot produced by [`EventStore::to_snapshot_bytes`] (any
+    /// version from [`MIN_SNAPSHOT_VERSION`] to [`SNAPSHOT_VERSION`]).
     pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
         let mut d = Decoder::new(bytes);
         let magic = d.take(8).map_err(|_| StoreError::NotASnapshot)?;
@@ -281,7 +435,7 @@ impl EventStore {
             return Err(StoreError::NotASnapshot);
         }
         let version = d.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: SNAPSHOT_VERSION,
@@ -294,7 +448,7 @@ impl EventStore {
         if actual != expected {
             return Err(StoreError::ChecksumMismatch { expected, actual });
         }
-        decode_payload(payload)
+        decode_payload(payload, version)
     }
 
     /// Writes the snapshot to a writer.
@@ -312,9 +466,18 @@ impl EventStore {
         Self::from_snapshot_bytes(&bytes)
     }
 
-    /// Saves the store as a snapshot file.
+    /// Saves the store as a snapshot file (rebuild-on-load index mode).
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
-        let bytes = self.to_snapshot_bytes()?;
+        self.save_snapshot_with(path, SnapshotIndexMode::default())
+    }
+
+    /// Saves the store as a snapshot file with an explicit index mode.
+    pub fn save_snapshot_with(
+        &self,
+        path: impl AsRef<Path>,
+        mode: SnapshotIndexMode,
+    ) -> Result<(), StoreError> {
+        let bytes = self.to_snapshot_bytes_with(mode)?;
         std::fs::write(path, bytes)?;
         Ok(())
     }
@@ -371,6 +534,70 @@ mod tests {
         let back = EventStore::load_snapshot(&path).unwrap();
         assert_eq!(back, store);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn embedded_index_roundtrip_is_bit_identical() {
+        let store = sample_store();
+        let bytes = store
+            .to_snapshot_bytes_with(SnapshotIndexMode::Embedded)
+            .unwrap();
+        assert!(
+            bytes.len() > store.to_snapshot_bytes().unwrap().len(),
+            "the embedded index section must actually be written"
+        );
+        let back = EventStore::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(back, store);
+        // Re-encoding in the same mode is deterministic.
+        assert_eq!(
+            back.to_snapshot_bytes_with(SnapshotIndexMode::Embedded)
+                .unwrap(),
+            bytes
+        );
+        // A structurally invalid index section is caught even when the
+        // checksum is "right": blow up the last posting timestamp (it lands
+        // outside its bucket) and re-checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 4;
+        corrupt[last] ^= 0x01;
+        let checksum = super::fnv1a(&corrupt[28..]);
+        corrupt[12..20].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&corrupt),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_1_snapshots_without_index_section_still_load() {
+        // A v1 snapshot is exactly the v2 rebuild-mode payload minus the
+        // trailing mode byte. Craft one and check it decodes identically.
+        let store = sample_store();
+        let v2 = store.to_snapshot_bytes().unwrap();
+        let payload = &v2[28..v2.len() - 1]; // strip header and mode byte
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&super::fnv1a(payload).to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(payload);
+        let back = EventStore::from_snapshot_bytes(&v1).unwrap();
+        assert_eq!(back, store, "v1 snapshots rebuild the index on load");
+    }
+
+    #[test]
+    fn unknown_index_mode_byte_is_corrupt() {
+        let store = sample_store();
+        let mut bytes = store.to_snapshot_bytes().unwrap();
+        // The mode byte is the last payload byte; patch it and re-checksum.
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        let checksum = super::fnv1a(&bytes[28..]);
+        bytes[12..20].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            EventStore::from_snapshot_bytes(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The time-partitioned, segmented event store.
 
+use crate::colocation::{ColocationIndex, ColocationIndexStats, DevicePostings};
 use crate::csv::{format_csv, is_csv_header, parse_csv_line, RawEvent};
 use crate::error::{IngestError, StoreError};
 use crate::ndjson::parse_ndjson_line;
@@ -41,6 +42,7 @@ pub struct EventStore {
     mac_index: HashMap<MacAddress, DeviceId>,
     timelines: Vec<DeviceTimeline>,
     timeline: Timeline,
+    colocation: ColocationIndex,
     next_event_id: u64,
     validity: ValidityConfig,
     segment_span: Timestamp,
@@ -61,6 +63,7 @@ impl EventStore {
             mac_index: HashMap::new(),
             timelines: Vec::new(),
             timeline: Timeline::new(),
+            colocation: ColocationIndex::new(DEFAULT_SEGMENT_SPAN),
             next_event_id: 0,
             validity,
             segment_span: DEFAULT_SEGMENT_SPAN,
@@ -81,6 +84,7 @@ impl EventStore {
                 }
                 *timeline = rebucketed;
             }
+            self.colocation = ColocationIndex::rebuild(span, &self.timelines);
         }
         self
     }
@@ -138,6 +142,7 @@ impl EventStore {
         self.devices
             .push(Device::new(id, mac.clone(), self.validity.default_delta));
         self.timelines.push(DeviceTimeline::new(self.segment_span));
+        self.colocation.add_device();
         self.mac_index.insert(mac, id);
         Ok(id)
     }
@@ -222,6 +227,7 @@ impl EventStore {
         self.next_event_id += 1;
         self.timelines[device.index()].push(StoredEvent::new(id, t, ap));
         self.timeline.record(t, device, ap);
+        self.colocation.record(device, t, ap);
         Ok(id)
     }
 
@@ -317,19 +323,23 @@ impl EventStore {
 
     /// Devices *online* at time `t`: devices with a covering event at `t`, reported
     /// with the region that event places them in. `exclude` is omitted from the result.
+    ///
+    /// Answered with **one scan** over the global timeline window instead of
+    /// a per-device covering-event lookup; results are identical to the
+    /// reference `devices_near` + `covering_region` composition of
+    /// [`crate::EventRead::devices_online_at`] (property-tested).
     pub fn devices_online_at(
         &self,
         t: Timestamp,
         exclude: Option<DeviceId>,
     ) -> Vec<(DeviceId, RegionId)> {
         let slack = self.max_delta();
-        self.devices_near(t, slack, exclude)
-            .into_iter()
-            .filter_map(|near| {
-                self.covering_region(near.device, t)
-                    .map(|region| (near.device, region))
-            })
-            .collect()
+        crate::timeline::devices_online_in(
+            self.timeline.range(t - slack, t + slack + 1),
+            t,
+            exclude,
+            &self.devices,
+        )
     }
 
     /// Overall time span `[first event, last event]` of the dataset, if non-empty.
@@ -342,6 +352,26 @@ impl EventStore {
     /// The global timeline index.
     pub fn timeline(&self) -> &Timeline {
         &self.timeline
+    }
+
+    /// The incremental co-location index (per-AP, time-bucketed posting lists
+    /// per device; see [`crate::colocation`]). Maintained in the same mutation
+    /// that appends an event, so it is never stale.
+    pub fn colocation_index(&self) -> &ColocationIndex {
+        &self.colocation
+    }
+
+    /// The co-location postings of one device.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this store.
+    pub fn device_postings(&self, device: DeviceId) -> &DevicePostings {
+        self.colocation.device(device)
+    }
+
+    /// Size counters of the co-location index (reported by `locater-cli stats`).
+    pub fn colocation_stats(&self) -> ColocationIndexStats {
+        self.colocation.stats()
     }
 
     // ------------------------------------------------------------------
@@ -470,6 +500,12 @@ impl EventStore {
     /// Reassembles a store from decoded snapshot parts: rebuilds the MAC index
     /// and the global timeline (events sorted by `(t, device, event id)`, which
     /// is exactly the canonical order incremental ingestion keeps the index in).
+    ///
+    /// `colocation` is an already-decoded (or partition-sliced) co-location
+    /// index to adopt instead of rebuilding one from the timelines; it must
+    /// describe exactly the same events (validated per device by count and
+    /// span, the cheap invariants — content equality is the encoder's job and
+    /// covered by the snapshot checksum).
     pub(crate) fn from_snapshot_parts(
         space: Space,
         validity: ValidityConfig,
@@ -477,6 +513,7 @@ impl EventStore {
         next_event_id: u64,
         devices: Vec<Device>,
         timelines: Vec<DeviceTimeline>,
+        colocation: Option<ColocationIndex>,
     ) -> Result<Self, StoreError> {
         if devices.len() != timelines.len() {
             return Err(StoreError::Corrupt(format!(
@@ -517,15 +554,35 @@ impl EventStore {
         for (t, _, device, ap) in entries {
             timeline.record(t, device, ap);
         }
+        let segment_span = segment_span.max(1);
+        let colocation = match colocation {
+            Some(index) => {
+                if index.span() != segment_span || index.num_devices() != timelines.len() {
+                    return Err(StoreError::Corrupt(
+                        "co-location index does not match the event runs".to_string(),
+                    ));
+                }
+                for (idx, timeline) in timelines.iter().enumerate() {
+                    if index.device(DeviceId::new(idx as u32)).len() != timeline.len() {
+                        return Err(StoreError::Corrupt(format!(
+                            "co-location index of device {idx} does not match its timeline"
+                        )));
+                    }
+                }
+                index
+            }
+            None => ColocationIndex::rebuild(segment_span, &timelines),
+        };
         Ok(Self {
             space: Arc::new(space),
             devices,
             mac_index,
             timelines,
             timeline,
+            colocation,
             next_event_id,
             validity,
-            segment_span: segment_span.max(1),
+            segment_span,
         })
     }
 }

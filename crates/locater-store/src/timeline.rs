@@ -6,8 +6,8 @@
 //! connected in `[t_q − slack, t_q + slack]`, and to which AP?" with one binary search
 //! plus a short range scan.
 
-use locater_events::{DeviceId, Timestamp};
-use locater_space::AccessPointId;
+use locater_events::{Device, DeviceId, Timestamp};
+use locater_space::{AccessPointId, RegionId};
 use serde::{Deserialize, Serialize};
 
 /// One entry of the global timeline: a device connected to an AP at a time.
@@ -63,25 +63,129 @@ pub(crate) fn devices_near_in<'a>(
     exclude: Option<DeviceId>,
 ) -> Vec<NearbyDevice> {
     let mut best: Vec<NearbyDevice> = Vec::new();
+    // Slot of each device in `best` (dense device ids index directly), so the
+    // dedup/closest pass stays O(1) per entry instead of rescanning `best` —
+    // the window of a busy building holds thousands of entries, and the old
+    // linear probe made this scan quadratic. Insertion order — the canonical
+    // first-event order — is unchanged.
+    const NO_SLOT: u32 = u32::MAX;
+    let mut slot_of: Vec<u32> = Vec::new();
     for entry in window {
         if Some(entry.device) == exclude {
             continue;
         }
-        match best.iter_mut().find(|d| d.device == entry.device) {
-            Some(existing) => {
+        let idx = entry.device.index();
+        if idx >= slot_of.len() {
+            slot_of.resize(idx + 1, NO_SLOT);
+        }
+        match slot_of[idx] {
+            NO_SLOT => {
+                slot_of[idx] = best.len() as u32;
+                best.push(NearbyDevice {
+                    device: entry.device,
+                    ap: entry.ap,
+                    t: entry.t,
+                });
+            }
+            slot => {
+                let existing = &mut best[slot as usize];
                 if (entry.t - around).abs() < (existing.t - around).abs() {
                     existing.ap = entry.ap;
                     existing.t = entry.t;
                 }
             }
-            None => best.push(NearbyDevice {
-                device: entry.device,
-                ap: entry.ap,
-                t: entry.t,
-            }),
         }
     }
     best
+}
+
+/// Scans canonically ordered timeline entries (a window of `[at − slack,
+/// at + slack]` with `slack` the global max δ) and reports every device with a
+/// *covering* event at `at`, paired with that event's region — the shared fast
+/// path behind [`crate::EventRead::devices_online_at`] for the store and the
+/// multi-shard view.
+///
+/// Correctness relies on two facts, both property-tested against the
+/// reference `devices_near` + `covering_event` composition:
+///
+/// * a covering event lies within δ ≤ slack of `at`, so only the device's
+///   nearest past and nearest future events **inside the window** can cover;
+/// * validity truncation by a successor event can never exclude `at` itself:
+///   the successor of the nearest past event is the nearest future event (or
+///   lies beyond the window), and both are strictly after `at`.
+///
+/// The covering event is the nearest past event when it covers (`at − t < δ`),
+/// else the nearest future event when that covers (`t − at ≤ δ` — the validity
+/// interval is closed on the left) — exactly the preference order of
+/// [`crate::DeviceTimeline::covering_event`]. Devices are reported in the
+/// canonical first-event order of the window, matching the reference.
+pub(crate) fn devices_online_in<'a>(
+    window: impl IntoIterator<Item = &'a TimelineEntry>,
+    at: Timestamp,
+    exclude: Option<DeviceId>,
+    devices: &[Device],
+) -> Vec<(DeviceId, RegionId)> {
+    struct Candidate {
+        device: DeviceId,
+        /// Last window entry with `t <= at` (timestamp, AP).
+        past: Option<(Timestamp, AccessPointId)>,
+        /// First window entry with `t > at`.
+        future: Option<(Timestamp, AccessPointId)>,
+    }
+    let mut candidates: Vec<Candidate> = Vec::with_capacity(64);
+    const NO_SLOT: u32 = u32::MAX;
+    // Sized once up front: the entries' device ids are dense indices into the
+    // replicated device table.
+    let mut slot_of: Vec<u32> = vec![NO_SLOT; devices.len()];
+    for entry in window {
+        if Some(entry.device) == exclude {
+            continue;
+        }
+        let idx = entry.device.index();
+        if idx >= slot_of.len() {
+            slot_of.resize(idx + 1, NO_SLOT);
+        }
+        let slot = match slot_of[idx] {
+            NO_SLOT => {
+                slot_of[idx] = candidates.len() as u32;
+                candidates.push(Candidate {
+                    device: entry.device,
+                    past: None,
+                    future: None,
+                });
+                candidates.len() - 1
+            }
+            slot => slot as usize,
+        };
+        let candidate = &mut candidates[slot];
+        if entry.t <= at {
+            // Scan order is canonical, so the last such entry wins — the
+            // event `partition_le` would find.
+            candidate.past = Some((entry.t, entry.ap));
+        } else if candidate.future.is_none() {
+            candidate.future = Some((entry.t, entry.ap));
+        }
+    }
+    candidates
+        .into_iter()
+        .filter_map(|candidate| {
+            let delta = devices[candidate.device.index()].delta;
+            if let Some((t, ap)) = candidate.past {
+                // Covers iff `at < min(successor.t, t + δ)`; the successor is
+                // after `at`, so only `t + δ` can exclude it.
+                if at - t < delta {
+                    return Some((candidate.device, ap.region()));
+                }
+            }
+            if let Some((t, ap)) = candidate.future {
+                // Validity starts at `t − δ` inclusive.
+                if t - at <= delta {
+                    return Some((candidate.device, ap.region()));
+                }
+            }
+            None
+        })
+        .collect()
 }
 
 impl Timeline {

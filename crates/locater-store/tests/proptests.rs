@@ -205,4 +205,42 @@ proptest! {
             );
         }
     }
+
+    /// The co-location index holds exactly the timeline's `(t, ap)` multiset:
+    /// per-AP window slices, counts and existence probes agree with naive
+    /// timeline filters for arbitrary ingest orders and windows, and totals
+    /// sum up across the posting lists.
+    #[test]
+    fn colocation_index_matches_timeline_filters(
+        events in arb_events(),
+        span in 1_000i64..100_000,
+        start in 0i64..500_000,
+        width in 1i64..200_000,
+    ) {
+        let store = build_store(&events, span);
+        let window = Interval::new(start, start + width);
+        for device in store.devices() {
+            let postings = store.device_postings(device.id);
+            prop_assert_eq!(postings.len(), store.timeline_of(device.id).len());
+            prop_assert_eq!(
+                postings.count_in(window),
+                store.events_of_in(device.id, window).count()
+            );
+            let mut per_ap: std::collections::BTreeMap<u32, Vec<i64>> =
+                std::collections::BTreeMap::new();
+            for event in store.events_of_in(device.id, window) {
+                per_ap.entry(event.ap.raw()).or_default().push(event.t);
+            }
+            for list in postings.ap_lists() {
+                let expected = per_ap.remove(&list.ap().raw()).unwrap_or_default();
+                let got: Vec<i64> = list.timestamps_in(window).collect();
+                prop_assert_eq!(&got, &expected);
+                prop_assert_eq!(list.slice_in(window), expected.as_slice());
+                prop_assert_eq!(list.count_in(window), expected.len());
+                prop_assert_eq!(list.any_in(window), !expected.is_empty());
+            }
+            // Every windowed AP group was accounted for by some posting list.
+            prop_assert!(per_ap.is_empty());
+        }
+    }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the affinity_index bench at full metro_campus scale (override with
+# LOCATER_METRO_SCALE / LOCATER_METRO_WEEKS) and refreshes BENCH_5.json — the
+# machine-readable perf-trajectory record for this PR series. With
+# LOCATER_BENCH_GUARD=1 (the default here, and what CI sets) the bench fails
+# if the index-backed path is not faster than the scan path it replaces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Resolve the output override to an absolute path: the bench binary runs with
+# its package directory as cwd, so a relative override would land there.
+out="$(pwd)/${LOCATER_BENCH_JSON:-BENCH_5.json}"
+case "${LOCATER_BENCH_JSON:-}" in
+  /*) out="${LOCATER_BENCH_JSON}" ;;
+esac
+
+export LOCATER_BENCH_GUARD="${LOCATER_BENCH_GUARD:-1}"
+LOCATER_BENCH_JSON="${out}" cargo bench --bench affinity_index
+echo
+echo "== ${out} =="
+cat "${out}"

@@ -10,7 +10,7 @@
 //! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]
 //! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]
 //! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]
-//! locater-cli snapshot save <space.json> <events.csv> <out.snap>
+//! locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]
 //! locater-cli snapshot load <store.snap>
 //! locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
 //! ```
@@ -46,6 +46,7 @@
 use locater::core::system::Location;
 use locater::prelude::*;
 use locater::space::SpaceMetadata;
+use locater::store::SnapshotIndexMode;
 use std::fmt::Write as _;
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -67,7 +68,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap>\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -177,6 +178,12 @@ fn stats(space_path: &str, events_path: &str) -> Result<String, String> {
         out,
         "gaps to clean across all devices: {device_gaps} (δ estimated per device, mean {:.0}s)",
         stats.mean_delta_seconds
+    );
+    let index = store.colocation_stats();
+    let _ = writeln!(
+        out,
+        "co-location index: {} AP posting lists, {} time buckets over {} events ({} devices indexed)",
+        index.ap_lists, index.buckets, index.events, index.devices
     );
     Ok(out)
 }
@@ -388,21 +395,25 @@ fn serve_loop(
                 let samples: usize = per_shard.iter().map(|s| s.samples).sum();
                 let live_edges: usize = per_shard.iter().map(|s| s.live_edges).sum();
                 let live_samples: usize = per_shard.iter().map(|s| s.live_samples).sum();
+                let index_lists: usize = per_shard.iter().map(|s| s.index_ap_lists).sum();
+                let index_buckets: usize = per_shard.iter().map(|s| s.index_buckets).sum();
                 let mut report = format!(
-                    "{events} events, {devices} devices across {} shard(s); affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live",
+                    "{events} events, {devices} devices across {} shard(s); affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live; co-location index: {index_lists} AP lists, {index_buckets} buckets",
                     service.num_shards()
                 );
                 for stats in per_shard {
                     let _ = write!(
                         report,
-                        "\nshard {}: {} events, {} devices; cache: {}/{} edges live, {}/{} samples live",
+                        "\nshard {}: {} events, {} devices; cache: {}/{} edges live, {}/{} samples live; index: {} AP lists, {} buckets",
                         stats.shard,
                         stats.events,
                         stats.owned_devices,
                         stats.live_edges,
                         stats.edges,
                         stats.live_samples,
-                        stats.samples
+                        stats.samples,
+                        stats.index_ap_lists,
+                        stats.index_buckets
                     );
                 }
                 respond(report)?;
@@ -422,16 +433,28 @@ fn snapshot(args: &[String]) -> Result<String, String> {
             let space_path = args.get(2).ok_or("missing space.json")?;
             let events_path = args.get(3).ok_or("missing events.csv")?;
             let out_path = args.get(4).ok_or("missing output snapshot path")?;
+            // `--embed-index` persists the co-location posting lists so a cold
+            // start skips the index rebuild (larger file); the default
+            // rebuilds the index on load.
+            let mode = if args.iter().any(|a| a == "--embed-index") {
+                SnapshotIndexMode::Embedded
+            } else {
+                SnapshotIndexMode::Rebuild
+            };
             let store = load_store(space_path, events_path)?;
             store
-                .save_snapshot(out_path)
+                .save_snapshot_with(out_path, mode)
                 .map_err(|e| format!("cannot write {out_path}: {e}"))?;
             let size = std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0);
             Ok(format!(
-                "saved {out_path}: {} events, {} devices, {} segments ({size} bytes)\n",
+                "saved {out_path}: {} events, {} devices, {} segments ({size} bytes, index {})\n",
                 store.num_events(),
                 store.num_devices(),
-                store.num_segments()
+                store.num_segments(),
+                match mode {
+                    SnapshotIndexMode::Embedded => "embedded",
+                    SnapshotIndexMode::Rebuild => "rebuilt on load",
+                }
             ))
         }
         "load" => {
@@ -446,6 +469,12 @@ fn snapshot(args: &[String]) -> Result<String, String> {
                 store.num_segments(),
                 store.num_devices(),
                 store.segment_span()
+            );
+            let index = store.colocation_stats();
+            let _ = writeln!(
+                out,
+                "co-location index: {} AP posting lists, {} time buckets",
+                index.ap_lists, index.buckets
             );
             Ok(out)
         }
@@ -569,6 +598,7 @@ mod tests {
         let stats_out = run(&["stats".into(), space.clone(), events.clone()]).expect("stats");
         assert!(stats_out.contains("devices"));
         assert!(stats_out.contains("gaps to clean"));
+        assert!(stats_out.contains("co-location index:"));
 
         // Locate the first device found in the events file at its first event time:
         // always answerable.
@@ -674,6 +704,28 @@ mod tests {
             run(&["snapshot".into(), "load".into(), snap.clone()]).expect("snapshot load succeeds");
         assert!(loaded.contains("events"));
         assert!(loaded.contains("segments:"));
+        assert!(loaded.contains("co-location index:"));
+
+        // `--embed-index` persists the posting lists: bigger file, identical
+        // store on load.
+        let embedded_snap = format!("{prefix}.embedded.snap");
+        let saved_embedded = run(&[
+            "snapshot".into(),
+            "save".into(),
+            format!("{prefix}.space.json"),
+            events.clone(),
+            embedded_snap.clone(),
+            "--embed-index".into(),
+        ])
+        .expect("embedded snapshot save succeeds");
+        assert!(saved_embedded.contains("index embedded"));
+        let plain = std::fs::metadata(&snap).unwrap().len();
+        let embedded = std::fs::metadata(&embedded_snap).unwrap().len();
+        assert!(embedded > plain, "embedded index must grow the snapshot");
+        assert_eq!(
+            EventStore::load_snapshot(&embedded_snap).unwrap(),
+            EventStore::load_snapshot(&snap).unwrap(),
+        );
 
         // Serving straight from the snapshot answers queries without the CSV.
         let csv = std::fs::read_to_string(&events).unwrap();
@@ -745,8 +797,10 @@ stats
         assert_eq!(commands, 9);
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("0 events, 0 devices across 2 shard(s)"));
+        assert!(out.contains("co-location index: 0 AP lists, 0 buckets"));
         assert!(out.contains("shard 0: 0 events"));
         assert!(out.contains("shard 1: 0 events"));
+        assert!(out.contains("index: 0 AP lists, 0 buckets"));
         assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
         assert!(out.contains("(device epoch 2)"));
         assert!(out.contains("room") || out.contains("outside"));
