@@ -1,0 +1,741 @@
+//! `locater-load` — closed- and open-loop load generator for the LOCATER
+//! NDJSON server.
+//!
+//! Three ways to run it:
+//!
+//! ```text
+//! # Self-hosted benchmark: spin an in-process server per (shard count, mode)
+//! # over the metro_campus dataset and write BENCH_6.json.
+//! locater-load --self-host [--shards 1,4] [--clients K] [--requests N]
+//!              [--qps Q] [--duration SECS] [--mix PCT] [--out PATH]
+//!
+//! # Smoke test against a running server: ping/stats mix, exits non-zero on
+//! # any protocol error or zero throughput. Used by CI.
+//! locater-load --smoke --addr HOST:PORT [--clients K] [--requests N]
+//!
+//! # Ping-latency probe against a running server (no dataset knowledge).
+//! locater-load --addr HOST:PORT [--clients K] [--requests N]
+//! ```
+//!
+//! The open-loop mode is coordinated-omission safe: each request has a fixed
+//! schedule slot `tᵢ = start + i / qps` and its latency is measured from the
+//! *scheduled* send time, so a stalled server inflates the tail instead of
+//! silently thinning the arrival rate. The closed-loop mode measures classic
+//! synchronous round-trip time. The workload mixes ingest (`--mix` percent)
+//! into a locate-dominated stream, replaying held-out metro_campus traffic:
+//! 70% of simulated events are preloaded into the store, the remaining 30%
+//! form the ingest stream, and locate targets are sampled from the preload.
+//!
+//! Backpressure (`overloaded`) and drain (`shutting_down`) rejections are
+//! counted separately from protocol errors; only successful operations enter
+//! the latency percentiles.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use locater_core::system::{LocaterConfig, ShardedLocaterService};
+use locater_proto::{
+    decode_response, encode_request, WireError, WireRequest, WireResponse, PROTOCOL_VERSION,
+};
+use locater_server::{Server, ServerConfig, ServerState};
+use locater_sim::campus::CampusConfig;
+use locater_sim::Simulator;
+use locater_store::{EventStore, RawEvent};
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Options {
+    addr: Option<String>,
+    self_host: bool,
+    smoke: bool,
+    shards: Vec<usize>,
+    clients: usize,
+    /// Closed-loop requests per client.
+    requests: usize,
+    /// Open-loop aggregate target rate (requests/s across all clients).
+    qps: f64,
+    /// Open-loop run length in seconds.
+    duration: f64,
+    /// Percentage of requests that are ingests (the rest are locates).
+    mix_pct: u32,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            self_host: false,
+            smoke: false,
+            shards: vec![1, 4],
+            clients: 4,
+            requests: 300,
+            qps: 150.0,
+            duration: 4.0,
+            mix_pct: 20,
+            out: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr", &mut it)?),
+            "--self-host" => opts.self_host = true,
+            "--smoke" => opts.smoke = true,
+            "--shards" => {
+                opts.shards = value("--shards", &mut it)?
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("--shards: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if opts.shards.is_empty() || opts.shards.contains(&0) {
+                    return Err("--shards wants a comma list of positive counts".into());
+                }
+            }
+            "--clients" => {
+                opts.clients = value("--clients", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+                if opts.clients == 0 {
+                    return Err("--clients must be positive".into());
+                }
+            }
+            "--requests" => {
+                opts.requests = value("--requests", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--qps" => {
+                opts.qps = value("--qps", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--qps: {e}"))?;
+                if opts.qps.is_nan() || opts.qps <= 0.0 {
+                    return Err("--qps must be positive".into());
+                }
+            }
+            "--duration" => {
+                opts.duration = value("--duration", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+            }
+            "--mix" => {
+                opts.mix_pct = value("--mix", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--mix: {e}"))?;
+                if opts.mix_pct > 100 {
+                    return Err("--mix is a percentage (0-100)".into());
+                }
+            }
+            "--out" => opts.out = Some(value("--out", &mut it)?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.smoke && opts.addr.is_none() {
+        return Err("--smoke needs --addr HOST:PORT".into());
+    }
+    if !opts.self_host && opts.addr.is_none() {
+        return Err(format!("pick --self-host or --addr HOST:PORT\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "\
+usage: locater-load --self-host [--shards 1,4] [--clients K] [--requests N]
+                    [--qps Q] [--duration SECS] [--mix PCT] [--out PATH]
+       locater-load --smoke --addr HOST:PORT [--clients K] [--requests N]
+       locater-load --addr HOST:PORT [--clients K] [--requests N]
+";
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Ingest,
+    Locate,
+    Ping,
+    Stats,
+}
+
+/// One pre-encoded request: the frame already carries its trailing newline so
+/// the hot loop is a single `write_all`.
+struct Op {
+    kind: OpKind,
+    frame: String,
+}
+
+fn op(kind: OpKind, request: &WireRequest) -> Op {
+    let mut frame = encode_request(request);
+    frame.push('\n');
+    Op { kind, frame }
+}
+
+/// Deterministic splitmix-style generator so runs are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// The shared metro_campus-derived traffic: a preloaded history, a held-out
+/// ingest stream, and locate targets drawn from the preload.
+struct Workload {
+    space: locater_space::Space,
+    preload: Vec<RawEvent>,
+    stream: Vec<RawEvent>,
+    locate_pool: Vec<(String, i64)>,
+}
+
+fn build_workload() -> Workload {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(0xBE7C).run_campus(&config);
+    let split = output.events.len() * 7 / 10;
+    let mut events = output.events;
+    let stream = events.split_off(split);
+    let preload = events;
+
+    let mut lcg = Lcg(0x10AD_6E4E);
+    let pool = preload.len().min(4096);
+    let locate_pool = (0..pool)
+        .map(|_| {
+            let e = &preload[(lcg.next() as usize) % preload.len()];
+            // Jitter into the surrounding gap so queries exercise coarse +
+            // fine localization rather than hitting events exactly.
+            let jitter = (lcg.next() % 3600) as i64 - 1800;
+            (e.mac.clone(), e.t + jitter)
+        })
+        .collect();
+    Workload {
+        space: output.space,
+        preload,
+        stream,
+        locate_pool,
+    }
+}
+
+/// Builds client `k`'s request script: `count` requests, `mix_pct` percent
+/// ingests replaying this client's slice of the held-out stream (wrapping if
+/// exhausted), the rest locates over preloaded devices.
+fn client_script(w: &Workload, k: usize, clients: usize, count: usize, mix_pct: u32) -> Vec<Op> {
+    let mine: Vec<&RawEvent> = w.stream.iter().skip(k).step_by(clients.max(1)).collect();
+    let mut lcg = Lcg(0x5EED ^ (k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut next_ingest = 0usize;
+    (0..count)
+        .map(|_| {
+            if !mine.is_empty() && (lcg.next() % 100) < u64::from(mix_pct) {
+                let e = mine[next_ingest % mine.len()];
+                next_ingest += 1;
+                op(
+                    OpKind::Ingest,
+                    &WireRequest::Ingest {
+                        mac: e.mac.clone(),
+                        t: e.t,
+                        ap: e.ap.clone(),
+                    },
+                )
+            } else {
+                let (mac, t) = &w.locate_pool[(lcg.next() as usize) % w.locate_pool.len()];
+                op(
+                    OpKind::Locate,
+                    &WireRequest::Locate {
+                        mac: Some(mac.clone()),
+                        device: None,
+                        t: *t,
+                        fine_mode: None,
+                        cache: None,
+                    },
+                )
+            }
+        })
+        .collect()
+}
+
+/// A dataset-free script (ping + stats) for probing arbitrary servers.
+fn probe_script(count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|i| {
+            if i % 5 == 4 {
+                op(OpKind::Stats, &WireRequest::Stats)
+            } else {
+                op(OpKind::Ping, &WireRequest::Ping)
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ClientStats {
+    ingest_lat_us: Vec<u64>,
+    locate_lat_us: Vec<u64>,
+    other_lat_us: Vec<u64>,
+    rejected_overloaded: u64,
+    rejected_shutting_down: u64,
+    app_errors: u64,
+    protocol_errors: u64,
+    transport_errors: u64,
+}
+
+impl ClientStats {
+    fn absorb(&mut self, other: ClientStats) {
+        self.ingest_lat_us.extend(other.ingest_lat_us);
+        self.locate_lat_us.extend(other.locate_lat_us);
+        self.other_lat_us.extend(other.other_lat_us);
+        self.rejected_overloaded += other.rejected_overloaded;
+        self.rejected_shutting_down += other.rejected_shutting_down;
+        self.app_errors += other.app_errors;
+        self.protocol_errors += other.protocol_errors;
+        self.transport_errors += other.transport_errors;
+    }
+
+    fn record(&mut self, kind: OpKind, line: &str, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        match decode_response(line.trim_end_matches(['\r', '\n'])) {
+            Ok(WireResponse::Error(WireError::Overloaded { .. })) => self.rejected_overloaded += 1,
+            Ok(WireResponse::Error(WireError::ShuttingDown)) => self.rejected_shutting_down += 1,
+            Ok(WireResponse::Error(WireError::Parse { .. })) => self.protocol_errors += 1,
+            Ok(WireResponse::Error(_)) => self.app_errors += 1,
+            Ok(_) => match kind {
+                OpKind::Ingest => self.ingest_lat_us.push(us),
+                OpKind::Locate => self.locate_lat_us.push(us),
+                OpKind::Ping | OpKind::Stats => self.other_lat_us.push(us),
+            },
+            Err(_) => self.protocol_errors += 1,
+        }
+    }
+
+    fn completed_ok(&self) -> u64 {
+        (self.ingest_lat_us.len() + self.locate_lat_us.len() + self.other_lat_us.len()) as u64
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+struct OpSummary {
+    count: usize,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+fn summarize(mut lat_us: Vec<u64>) -> OpSummary {
+    lat_us.sort_unstable();
+    OpSummary {
+        count: lat_us.len(),
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+        p999_us: percentile(&lat_us, 0.999),
+    }
+}
+
+struct RunResult {
+    shards: usize,
+    mode: &'static str,
+    wall_s: f64,
+    throughput_rps: f64,
+    ingest: OpSummary,
+    locate: OpSummary,
+    stats: ClientStats,
+    server_requests_served: u64,
+    server_events: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------------
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    Ok(stream)
+}
+
+/// Synchronous request/response loop: latency is the classic round-trip time.
+fn closed_loop_client(addr: &str, ops: &[Op]) -> Result<ClientStats, String> {
+    let mut writer = connect(addr)?;
+    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+    let mut stats = ClientStats::default();
+    let mut line = String::new();
+    for op in ops {
+        let sent = Instant::now();
+        if writer.write_all(op.frame.as_bytes()).is_err() {
+            stats.transport_errors += 1;
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                stats.transport_errors += 1;
+                break;
+            }
+            Ok(_) => stats.record(op.kind, &line, sent.elapsed()),
+        }
+    }
+    Ok(stats)
+}
+
+/// Fixed-schedule sender plus a paired receiver thread. Latency for request
+/// `i` is measured from its schedule slot, not from the (possibly late)
+/// actual send — the coordinated-omission correction.
+fn open_loop_client(
+    addr: &str,
+    ops: &[Op],
+    start: Instant,
+    offset: Duration,
+    interval: Duration,
+) -> Result<ClientStats, String> {
+    let mut writer = connect(addr)?;
+    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+    let (tx, rx) = mpsc::channel::<(OpKind, Instant)>();
+
+    let receiver = std::thread::spawn(move || {
+        let mut stats = ClientStats::default();
+        let mut line = String::new();
+        while let Ok((kind, scheduled)) = rx.recv() {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    stats.transport_errors += 1;
+                    break;
+                }
+                Ok(_) => stats.record(kind, &line, Instant::now() - scheduled),
+            }
+        }
+        stats
+    });
+
+    for (i, op) in ops.iter().enumerate() {
+        let scheduled = start + offset + interval * i as u32;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        if tx.send((op.kind, scheduled)).is_err() {
+            break;
+        }
+        if writer.write_all(op.frame.as_bytes()).is_err() {
+            break;
+        }
+    }
+    drop(tx); // receiver drains remaining in-flight responses, then exits
+    receiver
+        .join()
+        .map_err(|_| "open-loop receiver panicked".to_string())
+}
+
+/// Runs one script per client against `addr` and merges the results.
+fn drive(
+    addr: &str,
+    scripts: Vec<Vec<Op>>,
+    open_loop: Option<f64>,
+) -> Result<(ClientStats, f64), String> {
+    let failures = AtomicUsize::new(0);
+    let started = Instant::now();
+    let merged = std::thread::scope(|scope| {
+        let clients = scripts.len();
+        let handles: Vec<_> = scripts
+            .iter()
+            .enumerate()
+            .map(|(k, ops)| {
+                let failures = &failures;
+                scope.spawn(move || {
+                    let run = match open_loop {
+                        None => closed_loop_client(addr, ops),
+                        Some(qps) => {
+                            let interval = Duration::from_secs_f64(clients as f64 / qps);
+                            let offset = interval.mul_f64(k as f64 / clients as f64);
+                            // Small settle delay so every thread shares one epoch.
+                            open_loop_client(
+                                addr,
+                                ops,
+                                started + Duration::from_millis(20),
+                                offset,
+                                interval,
+                            )
+                        }
+                    };
+                    run.unwrap_or_else(|e| {
+                        eprintln!("client {k}: {e}");
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        ClientStats::default()
+                    })
+                })
+            })
+            .collect();
+        let mut merged = ClientStats::default();
+        for handle in handles {
+            merged.absorb(handle.join().expect("client thread panicked"));
+        }
+        merged
+    });
+    let wall = started.elapsed().as_secs_f64();
+    if failures.load(Ordering::Relaxed) == scripts.len() {
+        return Err("every client failed to connect".into());
+    }
+    Ok((merged, wall))
+}
+
+// ---------------------------------------------------------------------------
+// Self-hosted benchmark
+// ---------------------------------------------------------------------------
+
+fn run_self_hosted(
+    w: &Workload,
+    shards: usize,
+    mode: &'static str,
+    opts: &Options,
+) -> Result<RunResult, String> {
+    let mut store = EventStore::new(w.space.clone());
+    store
+        .ingest_batch(w.preload.iter())
+        .map_err(|e| format!("preload: {e}"))?;
+    let service = ShardedLocaterService::new(store, LocaterConfig::default(), shards);
+    let state = Arc::new(ServerState::new(service, None));
+    let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    let per_client = match mode {
+        "open" => ((opts.qps / opts.clients as f64) * opts.duration).ceil() as usize,
+        _ => opts.requests,
+    };
+    let scripts: Vec<Vec<Op>> = (0..opts.clients)
+        .map(|k| client_script(w, k, opts.clients, per_client, opts.mix_pct))
+        .collect();
+    let open = (mode == "open").then_some(opts.qps);
+    let (stats, wall_s) = drive(&addr, scripts, open)?;
+
+    let server_stats = server.state().stats();
+
+    // Graceful teardown: a shutdown frame, then drain.
+    let mut ctl = connect(&addr)?;
+    let mut frame = encode_request(&WireRequest::Shutdown);
+    frame.push('\n');
+    ctl.write_all(frame.as_bytes()).map_err(|e| e.to_string())?;
+    let mut ack = String::new();
+    BufReader::new(&ctl)
+        .read_line(&mut ack)
+        .map_err(|e| e.to_string())?;
+    server.join().map_err(|e| format!("drain: {e}"))?;
+
+    let ok = stats.completed_ok();
+    Ok(RunResult {
+        shards,
+        mode,
+        wall_s,
+        throughput_rps: ok as f64 / wall_s.max(1e-9),
+        ingest: summarize(stats.ingest_lat_us.clone()),
+        locate: summarize(stats.locate_lat_us.clone()),
+        stats,
+        server_requests_served: server_stats.requests_served,
+        server_events: server_stats.events as u64,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+fn op_json(s: &OpSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
+        s.count, s.p50_us, s.p99_us, s.p999_us
+    )
+}
+
+fn run_json(r: &RunResult) -> String {
+    format!(
+        "    {{\"shards\": {}, \"mode\": \"{}\", \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
+         \"ingest\": {}, \"locate\": {}, \
+         \"rejected_overloaded\": {}, \"rejected_shutting_down\": {}, \
+         \"protocol_errors\": {}, \"app_errors\": {}, \"transport_errors\": {}, \
+         \"server\": {{\"requests_served\": {}, \"events\": {}}}}}",
+        r.shards,
+        r.mode,
+        r.wall_s,
+        r.throughput_rps,
+        op_json(&r.ingest),
+        op_json(&r.locate),
+        r.stats.rejected_overloaded,
+        r.stats.rejected_shutting_down,
+        r.stats.protocol_errors,
+        r.stats.app_errors,
+        r.stats.transport_errors,
+        r.server_requests_served,
+        r.server_events,
+    )
+}
+
+fn print_run(r: &RunResult) {
+    println!(
+        "shards={} mode={:<6} {:>8.1} req/s  ingest p50/p99/p999 = {}/{}/{} µs ({} ops)  \
+         locate p50/p99/p999 = {}/{}/{} µs ({} ops)  rejected={} proto_err={}",
+        r.shards,
+        r.mode,
+        r.throughput_rps,
+        r.ingest.p50_us,
+        r.ingest.p99_us,
+        r.ingest.p999_us,
+        r.ingest.count,
+        r.locate.p50_us,
+        r.locate.p99_us,
+        r.locate.p999_us,
+        r.locate.count,
+        r.stats.rejected_overloaded + r.stats.rejected_shutting_down,
+        r.stats.protocol_errors,
+    );
+}
+
+fn artifact_path(opts: &Options) -> String {
+    opts.out.clone().unwrap_or_else(|| {
+        std::env::var("LOCATER_BENCH_JSON")
+            .unwrap_or_else(|_| format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR")))
+    })
+}
+
+fn write_artifact(opts: &Options, w: &Workload, runs: &[RunResult]) -> Result<String, String> {
+    let path = artifact_path(opts);
+    let run_lines: Vec<String> = runs.iter().map(run_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"dataset\": \"metro_campus\",\n  \
+         \"protocol_version\": {},\n  \"config\": {{\"clients\": {}, \"requests_per_client\": {}, \
+         \"qps\": {:.1}, \"duration_s\": {:.1}, \"ingest_mix_pct\": {}, \
+         \"preload_events\": {}, \"stream_events\": {}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        PROTOCOL_VERSION,
+        opts.clients,
+        opts.requests,
+        opts.qps,
+        opts.duration,
+        opts.mix_pct,
+        w.preload.len(),
+        w.stream.len(),
+        run_lines.join(",\n"),
+    );
+    std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn smoke(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_deref().expect("--smoke implies --addr");
+    let clients = opts.clients.clamp(1, 2);
+    let per_client = opts.requests.clamp(1, 200);
+    let scripts: Vec<Vec<Op>> = (0..clients).map(|_| probe_script(per_client)).collect();
+    let (stats, wall_s) = drive(addr, scripts, None)?;
+    let ok = stats.completed_ok();
+    let throughput = ok as f64 / wall_s.max(1e-9);
+    println!(
+        "smoke: {ok} responses in {wall_s:.3}s ({throughput:.1} req/s), \
+         protocol_errors={}, app_errors={}, transport_errors={}",
+        stats.protocol_errors, stats.app_errors, stats.transport_errors
+    );
+    if stats.protocol_errors > 0 || stats.app_errors > 0 || stats.transport_errors > 0 {
+        return Err("smoke failed: errors on the wire".into());
+    }
+    if ok == 0 {
+        return Err("smoke failed: zero throughput".into());
+    }
+    println!("smoke ok");
+    Ok(())
+}
+
+fn probe(opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.as_deref().expect("probe implies --addr");
+    let scripts: Vec<Vec<Op>> = (0..opts.clients)
+        .map(|_| probe_script(opts.requests))
+        .collect();
+    let (stats, wall_s) = drive(addr, scripts, None)?;
+    let summary = summarize(stats.other_lat_us.clone());
+    println!(
+        "probe: {} responses in {wall_s:.3}s ({:.1} req/s), \
+         ping/stats p50/p99/p999 = {}/{}/{} µs, protocol_errors={}",
+        stats.completed_ok(),
+        stats.completed_ok() as f64 / wall_s.max(1e-9),
+        summary.p50_us,
+        summary.p99_us,
+        summary.p999_us,
+        stats.protocol_errors
+    );
+    Ok(())
+}
+
+fn self_host(opts: &Options) -> Result<(), String> {
+    eprintln!("generating metro_campus workload (LOCATER_METRO_SCALE to resize)...");
+    let w = build_workload();
+    eprintln!(
+        "workload: {} preloaded events, {} stream events, {} locate targets",
+        w.preload.len(),
+        w.stream.len(),
+        w.locate_pool.len()
+    );
+    let mut runs = Vec::new();
+    // BTreeSet dedups and orders user-supplied shard counts.
+    let shard_counts: BTreeSet<usize> = opts.shards.iter().copied().collect();
+    for &shards in &shard_counts {
+        for mode in ["closed", "open"] {
+            let run = run_self_hosted(&w, shards, mode, opts)?;
+            print_run(&run);
+            runs.push(run);
+        }
+    }
+    let path = write_artifact(opts, &w, &runs)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let result = match parse_args(&args) {
+        Ok(opts) if opts.smoke => smoke(&opts),
+        Ok(opts) if opts.self_host => self_host(&opts),
+        Ok(opts) => probe(&opts),
+        Err(message) => Err(message),
+    };
+    if let Err(message) = result {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+}

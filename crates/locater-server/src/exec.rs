@@ -1,0 +1,454 @@
+//! The request executor: one [`ServerState::execute`] path shared by every
+//! protocol front end (TCP workers, the stdin REPL, one-shot CLI requests).
+//!
+//! The executor owns the [`ShardedLocaterService`] plus the serving-layer
+//! counters ([`WireStats`] uptime, in-flight/queued gauges, rejection
+//! counters), so `stats` reports the same numbers no matter which transport
+//! asked.
+
+use locater_core::system::{Location, ShardedLocaterService};
+use locater_proto::{WireError, WireRequest, WireResponse, WireStats, PROTOCOL_VERSION};
+use locater_space::Space;
+use locater_store::StoreError;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A live service plus the serving-layer bookkeeping around it.
+///
+/// Front ends funnel every request through [`execute`](Self::execute); the
+/// TCP server additionally drives the admission counters
+/// ([`try_admit`](Self::try_admit), [`begin_execution`](Self::begin_execution),
+/// [`finish_execution`](Self::finish_execution)) so `stats` can report
+/// in-flight/queued gauges and the load harness can assert that backpressure
+/// engaged.
+#[derive(Debug)]
+pub struct ServerState {
+    service: ShardedLocaterService,
+    started: Instant,
+    requests_served: AtomicU64,
+    in_flight: AtomicUsize,
+    queued: AtomicUsize,
+    rejected_overloaded: AtomicU64,
+    rejected_shutting_down: AtomicU64,
+    draining: AtomicBool,
+    drain_snapshot: Option<String>,
+}
+
+impl ServerState {
+    /// Wraps a live service. `drain_snapshot` is the path the store is
+    /// persisted to when a graceful drain completes (`None` to skip).
+    pub fn new(service: ShardedLocaterService, drain_snapshot: Option<String>) -> Self {
+        ServerState {
+            service,
+            started: Instant::now(),
+            requests_served: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_shutting_down: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            drain_snapshot,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &ShardedLocaterService {
+        &self.service
+    }
+
+    /// `true` once a graceful drain has been requested (by a `shutdown`
+    /// request or SIGTERM); new requests are rejected from then on.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain (idempotent).
+    pub fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Executes one request against the service. Every failure is a
+    /// structured [`WireResponse::Error`]; this never panics on user input.
+    pub fn execute(&self, request: &WireRequest) -> WireResponse {
+        let response = self.execute_inner(request);
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        response
+    }
+
+    fn execute_inner(&self, request: &WireRequest) -> WireResponse {
+        match request {
+            WireRequest::Ping => WireResponse::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            WireRequest::Ingest { mac, t, ap } => match self.service.ingest(mac, *t, ap) {
+                Ok(_) => {
+                    let device = self
+                        .service
+                        .device_id(mac)
+                        .expect("ingest interned the device");
+                    WireResponse::Ingested {
+                        mac: mac.clone(),
+                        t: *t,
+                        ap: ap.clone(),
+                        device_epoch: self.service.device_epoch(device),
+                    }
+                }
+                Err(e) => WireResponse::Error(e.into()),
+            },
+            WireRequest::IngestBatch { events } => match self.service.ingest_batch(events.iter()) {
+                Ok(appended) => WireResponse::IngestedBatch { appended },
+                Err(e) => WireResponse::Error(e.into()),
+            },
+            WireRequest::Locate { .. } => {
+                let locate = request.to_locate().expect("Locate variant");
+                match self.service.locate(&locate) {
+                    Ok(response) => WireResponse::located(&response),
+                    Err(e) => WireResponse::Error(e.into()),
+                }
+            }
+            WireRequest::Stats => WireResponse::Stats(self.stats()),
+            WireRequest::Snapshot { path } => match self.service.save_snapshot(path) {
+                Ok(()) => WireResponse::SnapshotSaved {
+                    path: path.clone(),
+                    bytes: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+                },
+                Err(e) => WireResponse::Error(WireError::Internal {
+                    message: e.to_string(),
+                }),
+            },
+            WireRequest::Shutdown => {
+                self.request_drain();
+                WireResponse::ShuttingDown
+            }
+        }
+    }
+
+    /// One consistent statistics sweep: store totals are sums of the
+    /// per-shard counters (the header can never disagree with the lines),
+    /// plus the serving-layer gauges.
+    pub fn stats(&self) -> WireStats {
+        let per_shard: Vec<_> = self
+            .service
+            .shard_stats()
+            .into_iter()
+            .map(Into::into)
+            .collect();
+        WireStats {
+            version: PROTOCOL_VERSION,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            events: per_shard
+                .iter()
+                .map(|s: &locater_proto::WireShardStats| s.events)
+                .sum(),
+            devices: self.service.num_devices(),
+            shards: self.service.num_shards(),
+            edges: per_shard.iter().map(|s| s.edges).sum(),
+            live_edges: per_shard.iter().map(|s| s.live_edges).sum(),
+            samples: per_shard.iter().map(|s| s.samples).sum(),
+            live_samples: per_shard.iter().map(|s| s.live_samples).sum(),
+            index_ap_lists: per_shard.iter().map(|s| s.index_ap_lists).sum(),
+            index_buckets: per_shard.iter().map(|s| s.index_buckets).sum(),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            per_shard,
+        }
+    }
+
+    /// Admission control: admits the request (incrementing the queued gauge)
+    /// unless `queued + in_flight` has reached `limit`, in which case the
+    /// caller must answer with the returned [`WireError::Overloaded`] —
+    /// explicit backpressure, never a silent drop. The check is approximate
+    /// under concurrent readers (it may overshoot by at most the number of
+    /// connections), which is fine for a load-shedding bound.
+    pub fn try_admit(&self, limit: usize) -> Result<(), WireError> {
+        let queued = self.queued.load(Ordering::Relaxed);
+        let in_flight = self.in_flight.load(Ordering::Relaxed);
+        if queued + in_flight >= limit {
+            self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            Err(WireError::Overloaded {
+                in_flight,
+                queued,
+                limit,
+            })
+        } else {
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    /// Counts one request turned away because the service is draining.
+    pub fn reject_shutting_down(&self) -> WireError {
+        self.rejected_shutting_down.fetch_add(1, Ordering::Relaxed);
+        WireError::ShuttingDown
+    }
+
+    /// Moves one admitted request from the queued gauge to the in-flight
+    /// gauge (called by a worker as it picks the request up).
+    pub fn begin_execution(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops the in-flight gauge after [`begin_execution`](Self::begin_execution).
+    pub fn finish_execution(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests admitted but not yet executing.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Requests executing right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Writes the configured drain snapshot (if any), returning its path and
+    /// size. Called once by the server after the drain completes; the REPL
+    /// front end calls it on `shutdown` too.
+    pub fn finish_drain(&self) -> Result<Option<(String, u64)>, StoreError> {
+        let Some(path) = &self.drain_snapshot else {
+            return Ok(None);
+        };
+        self.service.save_snapshot(path)?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        Ok(Some((path.clone(), bytes)))
+    }
+}
+
+/// Human-readable description of a semantic location (shared by the REPL and
+/// the one-shot `locate` command).
+pub fn describe_location(space: &Space, location: &Location) -> String {
+    match location {
+        Location::Outside => "outside the building".to_string(),
+        Location::Region(region) => format!(
+            "inside, region {region} (AP {}), room undetermined",
+            space.access_point(space.ap_of_region(*region)).name
+        ),
+        Location::Room { room, region } => format!(
+            "room {} (region {region}, AP {})",
+            space.room(*room).name,
+            space.access_point(space.ap_of_region(*region)).name
+        ),
+    }
+}
+
+/// Renders a response as the legacy human-readable REPL text. The request is
+/// needed for context (e.g. `locate` echoes the queried MAC); the output for
+/// ingest/locate/stats/error lines is byte-compatible with the pre-protocol
+/// REPL, with `stats` gaining one trailing `server:` line.
+pub fn render_response(space: &Space, request: &WireRequest, response: &WireResponse) -> String {
+    use std::fmt::Write as _;
+    match response {
+        WireResponse::Pong { version } => format!("pong (protocol v{version})"),
+        WireResponse::Ingested {
+            mac,
+            t,
+            ap,
+            device_epoch,
+        } => format!("ingested {mac} @ {t} via {ap} (device epoch {device_epoch})"),
+        WireResponse::IngestedBatch { appended } => format!("ingested {appended} events"),
+        WireResponse::Located {
+            answer,
+            device_epoch,
+            events_seen,
+        } => {
+            let who = match request {
+                WireRequest::Locate { mac: Some(mac), .. } => mac.clone(),
+                _ => format!("device {}", answer.device.0),
+            };
+            format!(
+                "{who} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {device_epoch}, {events_seen} events)",
+                locater_events::clock::format_timestamp(answer.t),
+                describe_location(space, &answer.location),
+                answer.coarse_method,
+                answer.confidence
+            )
+        }
+        WireResponse::Stats(stats) => {
+            let mut report = format!(
+                "{} events, {} devices across {} shard(s); affinity cache: {}/{} edges live, {}/{} samples live; co-location index: {} AP lists, {} buckets",
+                stats.events,
+                stats.devices,
+                stats.shards,
+                stats.live_edges,
+                stats.edges,
+                stats.live_samples,
+                stats.samples,
+                stats.index_ap_lists,
+                stats.index_buckets
+            );
+            for shard in &stats.per_shard {
+                let _ = write!(
+                    report,
+                    "\nshard {}: {} events, {} devices; cache: {}/{} edges live, {}/{} samples live; index: {} AP lists, {} buckets",
+                    shard.shard,
+                    shard.events,
+                    shard.owned_devices,
+                    shard.live_edges,
+                    shard.edges,
+                    shard.live_samples,
+                    shard.samples,
+                    shard.index_ap_lists,
+                    shard.index_buckets
+                );
+            }
+            let _ = write!(
+                report,
+                "\nserver: protocol v{}, up {}ms; {} in flight, {} queued, {} served; rejected: {} overloaded, {} shutting-down",
+                stats.version,
+                stats.uptime_ms,
+                stats.in_flight,
+                stats.queued,
+                stats.requests_served,
+                stats.rejected_overloaded,
+                stats.rejected_shutting_down
+            );
+            report
+        }
+        WireResponse::SnapshotSaved { path, bytes } => format!("saved {path} ({bytes} bytes)"),
+        WireResponse::ShuttingDown => "shutting down: draining in-flight requests".to_string(),
+        WireResponse::Error(e) => format!("error: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_core::system::LocaterConfig;
+    use locater_proto::PROTOCOL_VERSION;
+    use locater_space::SpaceBuilder;
+    use locater_store::EventStore;
+
+    fn state() -> ServerState {
+        let space = SpaceBuilder::new("exec-test")
+            .add_access_point("wap1", &["101", "102"])
+            .build()
+            .unwrap();
+        ServerState::new(
+            locater_core::system::ShardedLocaterService::new(
+                EventStore::new(space),
+                LocaterConfig::default(),
+                2,
+            ),
+            None,
+        )
+    }
+
+    #[test]
+    fn execute_covers_every_request_variant() {
+        let state = state();
+        assert_eq!(
+            state.execute(&WireRequest::Ping),
+            WireResponse::Pong {
+                version: PROTOCOL_VERSION
+            }
+        );
+        let ingest = WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+        };
+        assert!(matches!(
+            state.execute(&ingest),
+            WireResponse::Ingested {
+                device_epoch: 1,
+                ..
+            }
+        ));
+        let locate = WireRequest::Locate {
+            mac: Some("aa".into()),
+            device: None,
+            t: 1_000,
+            fine_mode: None,
+            cache: None,
+        };
+        assert!(matches!(
+            state.execute(&locate),
+            WireResponse::Located { .. }
+        ));
+        let ghost = WireRequest::Locate {
+            mac: Some("ghost".into()),
+            device: None,
+            t: 1_000,
+            fine_mode: None,
+            cache: None,
+        };
+        assert_eq!(
+            state.execute(&ghost),
+            WireResponse::Error(WireError::UnknownDevice {
+                mac: "ghost".into()
+            })
+        );
+        let WireResponse::Stats(stats) = state.execute(&WireRequest::Stats) else {
+            panic!("stats request answers with stats");
+        };
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.requests_served, 4);
+        assert!(!state.is_draining());
+        assert_eq!(
+            state.execute(&WireRequest::Shutdown),
+            WireResponse::ShuttingDown
+        );
+        assert!(state.is_draining());
+    }
+
+    #[test]
+    fn admission_control_rejects_at_the_limit() {
+        let state = state();
+        assert!(state.try_admit(2).is_ok());
+        assert!(state.try_admit(2).is_ok());
+        let err = state.try_admit(2).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Overloaded {
+                queued: 2,
+                limit: 2,
+                ..
+            }
+        ));
+        state.begin_execution();
+        assert_eq!((state.queued(), state.in_flight()), (1, 1));
+        // Still at the limit: queued + in-flight counts.
+        assert!(state.try_admit(2).is_err());
+        state.finish_execution();
+        assert!(state.try_admit(2).is_ok());
+        let stats = state.stats();
+        assert_eq!(stats.rejected_overloaded, 2);
+    }
+
+    #[test]
+    fn renders_legacy_repl_text() {
+        let state = state();
+        state.execute(&WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+        });
+        let space = state.service().space();
+        let request = WireRequest::Locate {
+            mac: Some("aa".into()),
+            device: None,
+            t: 1_000,
+            fine_mode: None,
+            cache: None,
+        };
+        let rendered = render_response(&space, &request, &state.execute(&request));
+        assert!(rendered.starts_with("aa @ "), "rendered: {rendered}");
+        assert!(rendered.contains("confidence"));
+        let stats = render_response(
+            &space,
+            &WireRequest::Stats,
+            &state.execute(&WireRequest::Stats),
+        );
+        assert!(stats.contains("1 events, 1 devices across 2 shard(s)"));
+        assert!(stats.contains("shard 0:"));
+        assert!(stats.contains("server: protocol v1"));
+        assert!(stats.contains("rejected: 0 overloaded, 0 shutting-down"));
+    }
+}

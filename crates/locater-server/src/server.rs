@@ -1,0 +1,420 @@
+//! The std-net TCP front door.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! accept thread ──► one reader thread per connection
+//!                        │  decode + admission control
+//!                        ▼
+//!                per-connection FIFO of jobs (Exec | Ready)
+//!                        │  connection enters the global ready queue
+//!                        ▼
+//!                worker pool (thread per core by default)
+//!                        │  one job per pickup, per-connection serial
+//!                        ▼
+//!                response line written back on the same socket
+//! ```
+//!
+//! * **Pipelining with strict ordering** — a client may write many request
+//!   lines before reading; responses come back in request order because each
+//!   connection's jobs form a FIFO and rejections (`overloaded`,
+//!   `shutting_down`, parse errors) are enqueued as pre-computed `Ready`
+//!   responses occupying their slot in the same FIFO.
+//! * **Per-connection serial execution** — a connection is in the ready queue
+//!   at most once and a worker takes one job per pickup, so one connection's
+//!   requests execute in order (ingest-then-locate over one socket behaves
+//!   exactly like the same calls on an in-process service) while different
+//!   connections execute concurrently.
+//! * **Admission control** — `queued + in_flight` is bounded by
+//!   [`ServerConfig::admission_limit`]; excess requests get an explicit
+//!   [`WireError::Overloaded`] response, never a silent drop.
+//! * **Graceful drain** — a `shutdown` request (or SIGTERM via
+//!   [`install_sigterm_drain`]) stops admission, lets in-flight requests
+//!   finish, flushes their responses, closes connections, writes the
+//!   configured drain snapshot, and returns a [`ServerReport`].
+
+use crate::exec::ServerState;
+use locater_proto::{decode_request, encode_response, WireRequest, WireResponse};
+use locater_store::StoreError;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests; `0` means one per core (minimum 2).
+    pub workers: usize,
+    /// Bound on `queued + in_flight` requests; beyond it new requests are
+    /// rejected with [`locater_proto::WireError::Overloaded`].
+    pub admission_limit: usize,
+    /// A connection idle (no request line) for this long is closed; also the
+    /// per-response write timeout guarding against stuck clients.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            admission_limit: 1024,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What happened over the server's lifetime, returned by [`Server::join`]
+/// after a graceful drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Requests executed to completion (successes and error responses).
+    pub requests_served: u64,
+    /// Requests rejected by admission control.
+    pub rejected_overloaded: u64,
+    /// Requests rejected because the drain had started.
+    pub rejected_shutting_down: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// The drain snapshot written on shutdown, as `(path, bytes)`.
+    pub drain_snapshot: Option<(String, u64)>,
+}
+
+/// One pending unit of work on a connection: either a request to execute or a
+/// pre-computed response (rejections, parse errors) holding its ordered slot.
+enum Pending {
+    Exec(WireRequest),
+    Ready(WireResponse),
+}
+
+#[derive(Default)]
+struct ConnQueue {
+    jobs: VecDeque<Pending>,
+    /// Whether the connection currently sits in the ready queue or is held by
+    /// a worker — at most one of either, guaranteeing serial execution.
+    scheduled: bool,
+    /// Set on write failure: remaining responses are dropped (the peer is
+    /// gone) but admitted work still executes so the gauges stay balanced.
+    dead: bool,
+}
+
+struct Conn {
+    stream: TcpStream,
+    queue: Mutex<ConnQueue>,
+}
+
+struct Shared {
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    ready: Mutex<VecDeque<Arc<Conn>>>,
+    ready_cv: Condvar,
+    stop_workers: AtomicBool,
+    busy_workers: AtomicUsize,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    connections: AtomicU64,
+}
+
+/// A running TCP server. Construct with [`Server::bind`]; [`Server::join`]
+/// blocks until a graceful drain completes.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7474`, or port `0` for an ephemeral
+    /// port) and starts the accept thread plus the worker pool.
+    pub fn bind(
+        state: Arc<ServerState>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let worker_count = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            state,
+            config,
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            stop_workers: AtomicBool::new(false),
+            busy_workers: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            connections: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("locater-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("locater-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Server {
+            shared,
+            local_addr,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared executor (e.g. to read [`ServerState::stats`] in-process).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.shared.state
+    }
+
+    /// Blocks until a graceful drain is requested (`shutdown` request or
+    /// [`install_sigterm_drain`]), finishes all admitted work, flushes
+    /// responses, closes connections, writes the drain snapshot, and reports.
+    pub fn join(self) -> Result<ServerReport, StoreError> {
+        // The accept thread exits once the drain flag is up.
+        let _ = self.accept.join();
+        let state = &self.shared.state;
+        // Phase 1: every admitted request finishes executing. Readers are
+        // already rejecting new work with `shutting_down`.
+        while state.queued() > 0 || state.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Phase 2: stop the readers (EOF on the read half) so no further
+        // rejection responses are enqueued, then let the workers flush what
+        // is already queued.
+        for conn in self.shared.conns.lock().expect("conn registry").iter() {
+            if let Some(conn) = conn.upgrade() {
+                let _ = conn.stream.shutdown(Shutdown::Read);
+            }
+        }
+        loop {
+            let ready_empty = self.shared.ready.lock().expect("ready queue").is_empty();
+            if ready_empty && self.shared.busy_workers.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Phase 3: stop the workers and persist the drain snapshot.
+        self.shared.stop_workers.store(true, Ordering::SeqCst);
+        self.shared.ready_cv.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let stats = state.stats();
+        let drain_snapshot = state.finish_drain()?;
+        Ok(ServerReport {
+            requests_served: stats.requests_served,
+            rejected_overloaded: stats.rejected_overloaded,
+            rejected_shutting_down: stats.rejected_shutting_down,
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            drain_snapshot,
+        })
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener supports nonblocking accept");
+    loop {
+        if shared.state.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(shared.config.idle_timeout));
+                let conn = Arc::new(Conn {
+                    stream,
+                    queue: Mutex::new(ConnQueue::default()),
+                });
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut conns = shared.conns.lock().expect("conn registry");
+                    conns.retain(|weak| weak.strong_count() > 0);
+                    conns.push(Arc::downgrade(&conn));
+                }
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("locater-conn".into())
+                    .spawn(move || reader_loop(&shared, &conn));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads request lines off one socket, turning each into a job on the
+/// connection's FIFO: decode + admission control happen here so rejections
+/// occupy their response slot in order.
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
+    let Ok(read_half) = conn.stream.try_clone() else {
+        return;
+    };
+    // An idle connection (no complete line within the timeout) is closed.
+    let _ = read_half.set_read_timeout(Some(shared.config.idle_timeout));
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        line_no += 1;
+        let state = &shared.state;
+        let job = if state.is_draining() {
+            Pending::Ready(WireResponse::Error(state.reject_shutting_down()))
+        } else {
+            match decode_request(&line) {
+                Err(e) => Pending::Ready(WireResponse::Error(e.at_line(line_no))),
+                Ok(request) => match state.try_admit(shared.config.admission_limit) {
+                    Ok(()) => Pending::Exec(request),
+                    Err(e) => Pending::Ready(WireResponse::Error(e)),
+                },
+            }
+        };
+        submit(shared, conn, job);
+    }
+}
+
+/// Appends a job to the connection FIFO and schedules the connection if it is
+/// not already in the ready queue or held by a worker.
+fn submit(shared: &Shared, conn: &Arc<Conn>, job: Pending) {
+    let schedule = {
+        let mut queue = conn.queue.lock().expect("conn queue");
+        queue.jobs.push_back(job);
+        !std::mem::replace(&mut queue.scheduled, true)
+    };
+    if schedule {
+        shared
+            .ready
+            .lock()
+            .expect("ready queue")
+            .push_back(Arc::clone(conn));
+        shared.ready_cv.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let conn = {
+            let mut ready = shared.ready.lock().expect("ready queue");
+            loop {
+                if let Some(conn) = ready.pop_front() {
+                    break conn;
+                }
+                if shared.stop_workers.load(Ordering::SeqCst) {
+                    return;
+                }
+                ready = shared
+                    .ready_cv
+                    .wait_timeout(ready, Duration::from_millis(100))
+                    .expect("ready queue")
+                    .0;
+            }
+        };
+        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        // One job per pickup: keeps scheduling fair across connections while
+        // preserving per-connection execution order.
+        let job = conn.queue.lock().expect("conn queue").jobs.pop_front();
+        let response = match job {
+            None => None,
+            Some(Pending::Ready(response)) => Some(response),
+            Some(Pending::Exec(request)) => {
+                let state = &shared.state;
+                state.begin_execution();
+                let response = state.execute(&request);
+                state.finish_execution();
+                Some(response)
+            }
+        };
+        if let Some(response) = response {
+            let dead = conn.queue.lock().expect("conn queue").dead;
+            if !dead {
+                let mut frame = encode_response(&response);
+                frame.push('\n');
+                let mut write_half = &conn.stream;
+                if write_half.write_all(frame.as_bytes()).is_err() {
+                    conn.queue.lock().expect("conn queue").dead = true;
+                }
+            }
+        }
+        let reschedule = {
+            let mut queue = conn.queue.lock().expect("conn queue");
+            if queue.jobs.is_empty() {
+                queue.scheduled = false;
+                false
+            } else {
+                true
+            }
+        };
+        if reschedule {
+            shared
+                .ready
+                .lock()
+                .expect("ready queue")
+                .push_back(Arc::clone(&conn));
+            shared.ready_cv.notify_one();
+        }
+        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Installs a SIGTERM handler that starts a graceful drain of `state`, so
+/// `kill <pid>` behaves exactly like a `shutdown` request. Unix only; safe to
+/// call once per process (later calls re-arm the same flag).
+#[cfg(unix)]
+pub fn install_sigterm_drain(state: &Arc<ServerState>) {
+    use std::ffi::c_int;
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_sig: c_int) {
+        // Only async-signal-safe work here: flip the flag, nothing else.
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // `std` links libc; SIGTERM is 15 on every supported Unix.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+    let _ = unsafe { signal(15, on_term) };
+    let state = Arc::clone(state);
+    let _ = std::thread::Builder::new()
+        .name("locater-sigterm".into())
+        .spawn(move || loop {
+            if TERM.load(Ordering::SeqCst) {
+                state.request_drain();
+                return;
+            }
+            if state.is_draining() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+}

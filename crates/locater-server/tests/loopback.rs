@@ -1,0 +1,354 @@
+//! Loopback integration tests: a real `Server` on `127.0.0.1:0`, driven over
+//! TCP with pipelined NDJSON frames, checked against a direct in-process
+//! [`ShardedLocaterService`] fed the same interleaving.
+
+use locater_core::system::{LocaterConfig, ShardedLocaterService};
+use locater_proto::{
+    decode_request, decode_response, encode_request, encode_response, WireError, WireRequest,
+    WireResponse,
+};
+use locater_server::{Server, ServerConfig, ServerState};
+use locater_space::{Space, SpaceBuilder};
+use locater_store::{EventStore, RawEvent};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn space() -> Space {
+    SpaceBuilder::new("net-test")
+        .add_access_point("wap1", &["101", "102"])
+        .add_access_point("wap2", &["103", "104"])
+        .build()
+        .unwrap()
+}
+
+fn service(shards: usize) -> ShardedLocaterService {
+    ShardedLocaterService::new(EventStore::new(space()), LocaterConfig::default(), shards)
+}
+
+fn start(shards: usize, config: ServerConfig, drain_snapshot: Option<String>) -> Server {
+    let state = Arc::new(ServerState::new(service(shards), drain_snapshot));
+    Server::bind(state, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("write frame");
+    }
+
+    fn send(&mut self, request: &WireRequest) {
+        self.send_line(&encode_request(request));
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read frame");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end().to_string()
+    }
+
+    fn recv(&mut self) -> WireResponse {
+        let line = self.recv_line();
+        decode_response(&line).unwrap_or_else(|e| panic!("bad response frame {line:?}: {e}"))
+    }
+}
+
+fn ingest(mac: &str, t: i64, ap: &str) -> WireRequest {
+    WireRequest::Ingest {
+        mac: mac.into(),
+        t,
+        ap: ap.into(),
+    }
+}
+
+fn locate(mac: &str, t: i64) -> WireRequest {
+    WireRequest::Locate {
+        mac: Some(mac.into()),
+        device: None,
+        t,
+        fine_mode: None,
+        cache: None,
+    }
+}
+
+/// Mirrors the executor's request→response mapping with *direct* service
+/// calls, so the served answers are checked against the in-process API, not
+/// against the executor checking itself.
+fn direct_expected(service: &ShardedLocaterService, request: &WireRequest) -> WireResponse {
+    match request {
+        WireRequest::Ingest { mac, t, ap } => match service.ingest(mac, *t, ap) {
+            Ok(_) => WireResponse::Ingested {
+                mac: mac.clone(),
+                t: *t,
+                ap: ap.clone(),
+                device_epoch: service.device_epoch(service.device_id(mac).unwrap()),
+            },
+            Err(e) => WireResponse::Error(e.into()),
+        },
+        WireRequest::Locate { .. } => {
+            match service.locate(&request.to_locate().expect("locate frame")) {
+                Ok(response) => WireResponse::located(&response),
+                Err(e) => WireResponse::Error(e.into()),
+            }
+        }
+        other => panic!("script only uses ingest/locate, got {other:?}"),
+    }
+}
+
+/// The tentpole equivalence check: a pipelined interleaving of ingests and
+/// locates over one socket produces responses byte-identical to the frames a
+/// direct `ShardedLocaterService` yields for the same interleaving.
+#[test]
+fn served_answers_are_byte_identical_to_direct_service() {
+    let server = start(3, ServerConfig::default(), None);
+    let direct = service(3);
+    let mut client = Client::connect(&server);
+
+    let script = vec![
+        locate("aa:bb:cc:dd:ee:01", 500), // unknown device at first
+        ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1"),
+        ingest("aa:bb:cc:dd:ee:02", 1_100, "wap2"),
+        locate("aa:bb:cc:dd:ee:01", 1_000),
+        ingest("aa:bb:cc:dd:ee:01", 4_000, "wap1"),
+        locate("aa:bb:cc:dd:ee:01", 2_500), // inside the gap
+        locate("aa:bb:cc:dd:ee:02", 1_100),
+        ingest("aa:bb:cc:dd:ee:01", 4_100, "wap9"), // unknown AP
+        locate("ghost", 2_500),
+    ];
+    // Pipelined: write every request before reading any response.
+    for request in &script {
+        client.send(request);
+    }
+    for request in &script {
+        let served = client.recv_line();
+        let expected = encode_response(&direct_expected(&direct, request));
+        assert_eq!(served, expected, "request: {request:?}");
+    }
+    assert_eq!(server.state().service().num_events(), direct.num_events());
+}
+
+#[test]
+fn concurrent_clients_see_their_own_writes() {
+    let server = Arc::new(start(4, ServerConfig::default(), None));
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mac = format!("aa:bb:cc:dd:ee:{i:02}");
+                let mut client = Client::connect(&server);
+                for round in 0..10 {
+                    let t = 1_000 + round * 300;
+                    client.send(&ingest(&mac, t, "wap1"));
+                    match client.recv() {
+                        WireResponse::Ingested { device_epoch, .. } => {
+                            assert_eq!(device_epoch, round as u64 + 1)
+                        }
+                        other => panic!("expected ingest ack, got {other:?}"),
+                    }
+                    client.send(&locate(&mac, t));
+                    match client.recv() {
+                        WireResponse::Located { answer, .. } => assert!(!answer.is_outside()),
+                        other => panic!("expected answer, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let stats = server.state().stats();
+    assert_eq!(stats.events, 40);
+    assert_eq!(stats.devices, 4);
+    assert_eq!(stats.requests_served, 80);
+    assert_eq!(stats.rejected_overloaded, 0);
+}
+
+#[test]
+fn malformed_frames_get_line_stamped_parse_errors_and_the_connection_survives() {
+    let server = start(1, ServerConfig::default(), None);
+    let mut client = Client::connect(&server);
+
+    client.send_line("this is not a frame");
+    match client.recv() {
+        WireResponse::Error(WireError::Parse { line, .. }) => assert_eq!(line, 1),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    client.send(&WireRequest::Ping);
+    assert!(matches!(client.recv(), WireResponse::Pong { .. }));
+    client.send_line("{\"Ingest\":{\"mac\": nope}}");
+    match client.recv() {
+        WireResponse::Error(WireError::Parse { line, column, .. }) => {
+            assert_eq!(line, 3, "non-empty lines are numbered");
+            assert!(column > 0, "JSON errors carry a byte column");
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    // Blank lines are keepalives, not frames: no response, numbering unchanged.
+    client.send_line("");
+    client.send(&WireRequest::Ping);
+    assert!(matches!(client.recv(), WireResponse::Pong { .. }));
+}
+
+#[test]
+fn overload_yields_explicit_backpressure_not_silent_drops() {
+    // One worker and an admission limit of 1: while a slow batch executes,
+    // pipelined pings must be rejected with explicit `overloaded` frames.
+    let config = ServerConfig {
+        workers: 1,
+        admission_limit: 1,
+        idle_timeout: Duration::from_secs(60),
+    };
+    let pings = 300usize;
+    let mut saw_overload = false;
+    for _attempt in 0..5 {
+        let server = start(2, config.clone(), None);
+        let mut client = Client::connect(&server);
+        let events: Vec<RawEvent> = (0..5_000)
+            .map(|i| {
+                RawEvent::new(
+                    format!("aa:bb:cc:00:{:02x}:{:02x}", i / 256 % 256, i % 256),
+                    1_000 + i,
+                    "wap1",
+                )
+            })
+            .collect();
+        client.send(&WireRequest::IngestBatch { events });
+        for _ in 0..pings {
+            client.send(&WireRequest::Ping);
+        }
+        // Responses come back in request order: the batch ack first, then one
+        // frame per ping — nothing is dropped.
+        assert_eq!(
+            client.recv(),
+            WireResponse::IngestedBatch { appended: 5_000 }
+        );
+        let mut pongs = 0usize;
+        let mut overloaded = 0usize;
+        for _ in 0..pings {
+            match client.recv() {
+                WireResponse::Pong { .. } => pongs += 1,
+                WireResponse::Error(WireError::Overloaded { limit, .. }) => {
+                    assert_eq!(limit, 1);
+                    overloaded += 1;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(pongs + overloaded, pings);
+        let stats = server.state().stats();
+        assert_eq!(stats.rejected_overloaded as usize, overloaded);
+        if overloaded > 0 {
+            saw_overload = true;
+            break;
+        }
+    }
+    assert!(
+        saw_overload,
+        "admission control never engaged across 5 attempts"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_and_snapshot_equals_direct_save() {
+    let dir = std::env::temp_dir().join(format!("locater-server-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let drained = dir.join("drained.snap").to_string_lossy().to_string();
+    let direct_path = dir.join("direct.snap").to_string_lossy().to_string();
+
+    let server = start(2, ServerConfig::default(), Some(drained.clone()));
+    let direct = service(2);
+    let mut client = Client::connect(&server);
+
+    let events = [
+        ("aa:bb:cc:dd:ee:01", 1_000, "wap1"),
+        ("aa:bb:cc:dd:ee:02", 1_050, "wap2"),
+        ("aa:bb:cc:dd:ee:01", 4_000, "wap1"),
+    ];
+    for (mac, t, ap) in events {
+        client.send(&ingest(mac, t, ap));
+        assert!(matches!(client.recv(), WireResponse::Ingested { .. }));
+        direct.ingest(mac, t, ap).unwrap();
+    }
+    client.send(&WireRequest::Shutdown);
+    assert_eq!(client.recv(), WireResponse::ShuttingDown);
+    // Post-drain requests are rejected, not dropped: the slot is answered.
+    client.send(&WireRequest::Ping);
+    assert_eq!(client.recv(), WireResponse::Error(WireError::ShuttingDown));
+    drop(client);
+
+    let report = server.join().expect("drain completes");
+    assert_eq!(report.requests_served, 4, "3 ingests + shutdown");
+    assert_eq!(report.rejected_shutting_down, 1);
+    assert_eq!(report.connections, 1);
+    let (path, bytes) = report.drain_snapshot.expect("drain snapshot written");
+    assert_eq!(path, drained);
+    assert!(bytes > 0);
+
+    // The drain snapshot is byte-identical to an uncrashed `snapshot save`
+    // from a direct service fed the same events.
+    direct.save_snapshot(&direct_path).unwrap();
+    assert_eq!(
+        std::fs::read(&drained).unwrap(),
+        std::fs::read(&direct_path).unwrap()
+    );
+    // And it restores into a service with the same history.
+    let restored =
+        ShardedLocaterService::from_snapshot(&drained, LocaterConfig::default(), 2).unwrap();
+    assert_eq!(restored.num_events(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn idle_connections_are_closed() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    let server = start(1, config, None);
+    let mut client = Client::connect(&server);
+    client.send(&WireRequest::Ping);
+    assert!(matches!(client.recv(), WireResponse::Pong { .. }));
+    // No traffic: the server closes the socket after the idle timeout.
+    let mut line = String::new();
+    let n = client.reader.read_line(&mut line).expect("clean EOF");
+    assert_eq!(n, 0, "expected EOF after idle timeout, got {line:?}");
+}
+
+#[test]
+fn raw_json_frames_match_typed_constructors() {
+    // A hand-written frame (what a non-Rust client would send) decodes to the
+    // same request the typed constructor builds.
+    let hand_written = r#"{"Locate":{"mac":"aa","t":2500,"cache":"Disabled"}}"#;
+    let typed = WireRequest::Locate {
+        mac: Some("aa".into()),
+        device: None,
+        t: 2_500,
+        fine_mode: None,
+        cache: Some(locater_core::system::CacheMode::Disabled),
+    };
+    assert_eq!(decode_request(hand_written).unwrap(), typed);
+
+    let server = start(1, ServerConfig::default(), None);
+    let mut client = Client::connect(&server);
+    client.send_line(r#""Ping""#);
+    assert!(matches!(client.recv(), WireResponse::Pong { .. }));
+}

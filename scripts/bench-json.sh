@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Runs the affinity_index bench at full metro_campus scale (override with
-# LOCATER_METRO_SCALE / LOCATER_METRO_WEEKS) and refreshes BENCH_5.json — the
-# machine-readable perf-trajectory record for this PR series. With
-# LOCATER_BENCH_GUARD=1 (the default here, and what CI sets) the bench fails
-# if the index-backed path is not faster than the scan path it replaces.
+# Refreshes the machine-readable perf-trajectory records for this PR series:
+#
+#   BENCH_5.json — affinity_index bench at full metro_campus scale (override
+#     with LOCATER_METRO_SCALE / LOCATER_METRO_WEEKS). With
+#     LOCATER_BENCH_GUARD=1 (the default here, and what CI sets) the bench
+#     fails if the index-backed path is not faster than the scan it replaces.
+#   BENCH_6.json — locater-load serving benchmark: closed- and open-loop
+#     clients over TCP against an in-process server at shard counts {1, 4},
+#     reporting p50/p99/p999 latency and throughput for ingest and locate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,3 +23,14 @@ LOCATER_BENCH_JSON="${out}" cargo bench --bench affinity_index
 echo
 echo "== ${out} =="
 cat "${out}"
+
+out6="$(pwd)/${LOCATER_LOAD_JSON:-BENCH_6.json}"
+case "${LOCATER_LOAD_JSON:-}" in
+  /*) out6="${LOCATER_LOAD_JSON}" ;;
+esac
+
+cargo run --release -p locater-bench --bin locater-load -- \
+  --self-host --shards 1,4 --out "${out6}"
+echo
+echo "== ${out6} =="
+cat "${out6}"

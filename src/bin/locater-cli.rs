@@ -10,6 +10,8 @@
 //! locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]
 //! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]
 //! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]
+//! locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]
+//! locater-cli request  <addr> <verb line or raw JSON frame>
 //! locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]
 //! locater-cli snapshot load <store.snap>
 //! locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
@@ -33,23 +35,35 @@
 //!   by one, progressively warming the cache, so row-level confidences could
 //!   differ from today's output).
 //! * `serve` starts a live [`ShardedLocaterService`] (`--shards N`, default 1 —
-//!   the plain `LocaterService` regime) and reads commands from stdin —
-//!   `ingest <mac,timestamp,ap>`, `locate <mac> <timestamp>`, `stats`, `quit` —
-//!   so events can be appended while queries are answered, exercising the
-//!   online ingestion + epoch-invalidation path end to end. `stats` reports
-//!   totals plus one line per shard (see `docs/OPERATIONS.md`); answers are
-//!   byte-identical for every `--shards` value.
+//!   the plain `LocaterService` regime). Without `--listen` it reads commands
+//!   from stdin — the legacy verb syntax (`ingest <mac,timestamp,ap>`,
+//!   `locate <mac> <timestamp>`, `stats`, `ping`, `snapshot <path>`,
+//!   `shutdown`, `quit`) or raw NDJSON [`WireRequest`]
+//!   frames; the REPL is the
+//!   wire protocol over stdio (`locater_proto::parse_repl_line`). With
+//!   `--listen <addr>` it serves the same protocol over TCP
+//!   ([`locater::server::Server`]): pipelined NDJSON frames, bounded admission
+//!   (`--queue`, explicit `overloaded` responses), idle timeouts, and graceful
+//!   drain + `--drain-snapshot` on SIGTERM or a `shutdown` request. `stats`
+//!   reports totals plus one line per shard and the serving-layer counters
+//!   (see `docs/OPERATIONS.md`); answers are byte-identical for every
+//!   `--shards` value.
+//! * `request` sends one request (verb syntax or raw JSON) to a running
+//!   `serve --listen` server and prints the raw NDJSON response frame.
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
 //!   `<out-prefix>.truth.csv` so the other commands (and external tools) can consume
 //!   a fully synthetic deployment.
 
-use locater::core::system::Location;
 use locater::prelude::*;
+use locater::proto::{encode_request, parse_repl_line, ReplCommand, WireResponse};
+use locater::server::{describe_location, render_response, ServerConfig, ServerState};
 use locater::space::SpaceMetadata;
 use locater::store::SnapshotIndexMode;
 use std::fmt::Write as _;
-use std::io::BufRead;
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,7 +82,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]\n  locater-cli request  <addr> <verb line or raw JSON frame>\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -82,6 +96,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "locate" => locate(args),
         "batch" => batch(args),
         "serve" => serve(args),
+        "request" => request(args),
         "snapshot" => snapshot(args),
         "simulate" => simulate(args),
         other => Err(format!("unknown command {other:?}")),
@@ -140,21 +155,6 @@ fn shards_from_flags(args: &[String]) -> Result<usize, String> {
     }
 }
 
-fn describe(space: &Space, location: &Location) -> String {
-    match location {
-        Location::Outside => "outside the building".to_string(),
-        Location::Region(region) => format!(
-            "inside, region {region} (AP {}), room undetermined",
-            space.access_point(space.ap_of_region(*region)).name
-        ),
-        Location::Room { room, region } => format!(
-            "room {} (region {region}, AP {})",
-            space.room(*room).name,
-            space.access_point(space.ap_of_region(*region)).name
-        ),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Commands
 // ---------------------------------------------------------------------------
@@ -205,7 +205,7 @@ fn locate(args: &[String]) -> Result<String, String> {
     Ok(format!(
         "{mac} @ {}: {} (decided by {:?}, confidence {:.2})\n",
         locater::events::clock::format_timestamp(t),
-        describe(locater.store().space(), &answer.location),
+        describe_location(locater.store().space(), &answer.location),
         answer.coarse_method,
         answer.confidence
     ))
@@ -299,131 +299,168 @@ fn serve(args: &[String]) -> Result<String, String> {
     };
     let service =
         ShardedLocaterService::new(store, config_from_flags(args), shards_from_flags(args)?);
+    let state = Arc::new(ServerState::new(
+        service,
+        flag_value(args, "--drain-snapshot"),
+    ));
+    if let Some(listen) = flag_value(args, "--listen") {
+        return serve_tcp(state, &listen, args);
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
-    let commands = serve_loop(&service, stdin.lock(), &mut stdout)?;
-    Ok(format!("# served {commands} commands\n"))
+    let commands = serve_loop(&state, stdin.lock(), &mut stdout)?;
+    let mut out = format!("# served {commands} commands\n");
+    if state.is_draining() {
+        // `shutdown` over stdio behaves like the TCP drain: the configured
+        // drain snapshot is written before the process exits.
+        match state.finish_drain() {
+            Ok(Some((path, bytes))) => {
+                let _ = writeln!(out, "# drained: saved {path} ({bytes} bytes)");
+            }
+            Ok(None) => {}
+            Err(e) => return Err(format!("cannot write drain snapshot: {e}")),
+        }
+    }
+    Ok(out)
 }
 
-/// The `serve` REPL: one command per input line, responses written (and
-/// flushed) to `out` as they are produced.
+/// The `serve --listen` path: the wire protocol over TCP. Prints the bound
+/// address immediately (port `0` resolves to an ephemeral port), then blocks
+/// until a graceful drain (`shutdown` request or SIGTERM).
+fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<String, String> {
+    let mut config = ServerConfig::default();
+    if let Some(v) = flag_value(args, "--workers") {
+        config.workers = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--workers must be a positive integer".to_string())?;
+    }
+    if let Some(v) = flag_value(args, "--queue") {
+        config.admission_limit = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--queue must be a positive integer".to_string())?;
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout") {
+        let secs = v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--idle-timeout must be a positive number of seconds".to_string())?;
+        config.idle_timeout = Duration::from_secs(secs);
+    }
+    #[cfg(unix)]
+    locater::server::install_sigterm_drain(&state);
+    let server = locater::server::Server::bind(state, listen, config)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    println!(
+        "listening on {} ({} shard(s); protocol v{})",
+        server.local_addr(),
+        server.state().service().num_shards(),
+        locater::proto::PROTOCOL_VERSION
+    );
+    std::io::stdout().flush().ok();
+    let report = server.join().map_err(|e| format!("drain failed: {e}"))?;
+    let mut out = format!(
+        "# served {} requests over {} connections ({} rejected overloaded, {} rejected while draining)\n",
+        report.requests_served,
+        report.connections,
+        report.rejected_overloaded,
+        report.rejected_shutting_down
+    );
+    if let Some((path, bytes)) = report.drain_snapshot {
+        let _ = writeln!(out, "# drained: saved {path} ({bytes} bytes)");
+    }
+    Ok(out)
+}
+
+/// The `serve` stdin REPL: the wire protocol over stdio. Each line is parsed
+/// by [`parse_repl_line`] (legacy verb syntax or a raw NDJSON frame), executed
+/// by the shared [`ServerState`] executor, and rendered as the legacy
+/// human-readable text — responses are written (and flushed) as they are
+/// produced.
 ///
 /// ```text
 /// ingest <mac,timestamp,ap>   append one live event (CSV, same as events.csv rows)
 /// locate <mac> <timestamp>    answer a query over the current store
-/// stats                       totals plus per-shard event/device/cache counts
-/// quit                        stop reading
+/// stats                       totals, per-shard counts, serving-layer gauges
+/// ping | snapshot <path> | shutdown
+/// quit                        stop reading (without draining)
 /// ```
 fn serve_loop(
-    service: &ShardedLocaterService,
+    state: &ServerState,
     input: impl BufRead,
     out: &mut impl std::io::Write,
 ) -> Result<usize, String> {
+    let space = state.service().space();
     let mut commands = 0usize;
-    let mut respond = |message: String| -> Result<(), String> {
-        writeln!(out, "{message}").map_err(|e| format!("cannot write response: {e}"))?;
-        out.flush()
-            .map_err(|e| format!("cannot write response: {e}"))
-    };
     for line in input.lines() {
         let line = line.map_err(|e| format!("cannot read command: {e}"))?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        commands += 1;
-        let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        match verb {
-            "quit" | "exit" => break,
-            "ingest" => {
-                let csv = format!("mac,timestamp,ap\n{}\n", rest.trim());
-                match locater::store::parse_csv(&csv) {
-                    Ok(rows) if rows.len() == 1 => match service.ingest_batch(rows.iter()) {
-                        Ok(_) => {
-                            let device = service
-                                .device_id(&rows[0].mac)
-                                .expect("ingest interned the device");
-                            respond(format!(
-                                "ingested {} @ {} via {} (device epoch {})",
-                                rows[0].mac,
-                                rows[0].t,
-                                rows[0].ap,
-                                service.device_epoch(device)
-                            ))?;
-                        }
-                        Err(e) => respond(format!("error: {e}"))?,
-                    },
-                    Ok(_) => {
-                        respond("error: ingest takes exactly one mac,timestamp,ap line".into())?
-                    }
-                    Err(e) => respond(format!("error: {e}"))?,
-                }
+        let request = match parse_repl_line(&line) {
+            Ok(ReplCommand::Empty) => continue,
+            Ok(ReplCommand::Quit) => {
+                commands += 1;
+                break;
             }
-            "locate" => {
-                let mut parts = rest.split_whitespace();
-                let (Some(mac), Some(t)) = (parts.next(), parts.next()) else {
-                    respond("error: usage: locate <mac> <timestamp>".into())?;
-                    continue;
-                };
-                let Ok(t) = t.parse::<Timestamp>() else {
-                    respond("error: timestamp must be an integer number of seconds".into())?;
-                    continue;
-                };
-                match service.locate(&LocateRequest::by_mac(mac, t)) {
-                    Ok(response) => {
-                        let described = describe(&service.space(), &response.answer.location);
-                        respond(format!(
-                            "{mac} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {}, {} events)",
-                            locater::events::clock::format_timestamp(t),
-                            described,
-                            response.answer.coarse_method,
-                            response.answer.confidence,
-                            response.device_epoch,
-                            response.events_seen
-                        ))?;
-                    }
-                    Err(e) => respond(format!("error: {e}"))?,
-                }
+            Ok(ReplCommand::Request(request)) => {
+                commands += 1;
+                request
             }
-            "stats" => {
-                // One consistent sweep: totals are sums of the per-shard
-                // counters, so the header can never disagree with the lines.
-                let per_shard = service.shard_stats();
-                let devices = service.num_devices();
-                let events: usize = per_shard.iter().map(|s| s.events).sum();
-                let edges: usize = per_shard.iter().map(|s| s.edges).sum();
-                let samples: usize = per_shard.iter().map(|s| s.samples).sum();
-                let live_edges: usize = per_shard.iter().map(|s| s.live_edges).sum();
-                let live_samples: usize = per_shard.iter().map(|s| s.live_samples).sum();
-                let index_lists: usize = per_shard.iter().map(|s| s.index_ap_lists).sum();
-                let index_buckets: usize = per_shard.iter().map(|s| s.index_buckets).sum();
-                let mut report = format!(
-                    "{events} events, {devices} devices across {} shard(s); affinity cache: {live_edges}/{edges} edges live, {live_samples}/{samples} samples live; co-location index: {index_lists} AP lists, {index_buckets} buckets",
-                    service.num_shards()
-                );
-                for stats in per_shard {
-                    let _ = write!(
-                        report,
-                        "\nshard {}: {} events, {} devices; cache: {}/{} edges live, {}/{} samples live; index: {} AP lists, {} buckets",
-                        stats.shard,
-                        stats.events,
-                        stats.owned_devices,
-                        stats.live_edges,
-                        stats.edges,
-                        stats.live_samples,
-                        stats.samples,
-                        stats.index_ap_lists,
-                        stats.index_buckets
-                    );
-                }
-                respond(report)?;
+            Err(e) => {
+                commands += 1;
+                writeln!(out, "error: {e}").map_err(|e| format!("cannot write response: {e}"))?;
+                out.flush()
+                    .map_err(|e| format!("cannot write response: {e}"))?;
+                continue;
             }
-            other => respond(format!(
-                "error: unknown command {other:?} (ingest / locate / stats / quit)"
-            ))?,
+        };
+        let response = state.execute(&request);
+        writeln!(out, "{}", render_response(&space, &request, &response))
+            .map_err(|e| format!("cannot write response: {e}"))?;
+        out.flush()
+            .map_err(|e| format!("cannot write response: {e}"))?;
+        if matches!(response, WireResponse::ShuttingDown) {
+            break;
         }
     }
     Ok(commands)
+}
+
+/// The `request` command: send one NDJSON request to a running
+/// `serve --listen` server and print the raw response frame.
+fn request(args: &[String]) -> Result<String, String> {
+    let addr = args.get(1).ok_or("missing server address")?;
+    let line = args[2..].join(" ");
+    let request = match parse_repl_line(&line) {
+        Ok(ReplCommand::Request(request)) => request,
+        Ok(ReplCommand::Empty) => {
+            return Err("missing request (verb syntax or a raw JSON frame)".to_string())
+        }
+        Ok(ReplCommand::Quit) => {
+            return Err("quit is not a wire request (did you mean shutdown?)".to_string())
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let stream = std::net::TcpStream::connect(addr.as_str())
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{}", encode_request(&request))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader
+        .read_line(&mut response)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection without a response".to_string());
+    }
+    Ok(response)
 }
 
 fn snapshot(args: &[String]) -> Result<String, String> {
@@ -732,10 +769,13 @@ mod tests {
         let first = parse_csv(&csv).unwrap().into_iter().next().unwrap();
         let store = EventStore::load_snapshot(&snap).expect("snapshot loads");
         // Serve from the snapshot with two shards: the store splits on load.
-        let service = ShardedLocaterService::new(store, LocaterConfig::default(), 2);
+        let state = ServerState::new(
+            ShardedLocaterService::new(store, LocaterConfig::default(), 2),
+            None,
+        );
         let mut out: Vec<u8> = Vec::new();
         let input = format!("locate {} {}\nquit\n", first.mac, first.t);
-        serve_loop(&service, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+        serve_loop(&state, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains(&first.mac));
         assert!(out.contains("room") || out.contains("outside"));
@@ -774,8 +814,10 @@ mod tests {
             .add_access_point("wap1", &["101", "102"])
             .build()
             .unwrap();
-        let service =
-            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2);
+        let state = ServerState::new(
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2),
+            None,
+        );
         let input = "\
 # comment lines and blanks are skipped
 
@@ -792,7 +834,7 @@ stats
 ";
         let mut out: Vec<u8> = Vec::new();
         let commands =
-            serve_loop(&service, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+            serve_loop(&state, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
         // `quit` stops the loop before the trailing stats line.
         assert_eq!(commands, 9);
         let out = String::from_utf8(out).unwrap();
@@ -808,7 +850,7 @@ stats
         assert!(out.contains("error: unknown device: ghost"));
         assert!(out.contains("error: usage: locate <mac> <timestamp>"));
         assert!(out.contains("error: unknown command \"frobnicate\""));
-        assert_eq!(service.num_events(), 2);
+        assert_eq!(state.service().num_events(), 2);
     }
 
     #[test]
@@ -817,15 +859,103 @@ stats
             .add_access_point("wap1", &["101"])
             .build()
             .unwrap();
-        let service =
-            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 1);
+        let state = ServerState::new(
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 1),
+            None,
+        );
         let input = "ingest aa,100,wap9\nlocate aa 1x0\n";
         let mut out: Vec<u8> = Vec::new();
-        serve_loop(&service, std::io::Cursor::new(input), &mut out).unwrap();
+        serve_loop(&state, std::io::Cursor::new(input), &mut out).unwrap();
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("error:"));
         assert!(out.contains("timestamp must be an integer"));
-        assert_eq!(service.num_events(), 0);
+        assert_eq!(state.service().num_events(), 0);
+    }
+
+    #[test]
+    fn serve_loop_shutdown_drains_and_accepts_raw_frames() {
+        let dir = std::env::temp_dir().join(format!("locater-cli-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let drain = dir.join("repl-drain.snap").to_string_lossy().to_string();
+        let space = locater::space::SpaceBuilder::new("serve-test")
+            .add_access_point("wap1", &["101"])
+            .build()
+            .unwrap();
+        let state = ServerState::new(
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 1),
+            Some(drain.clone()),
+        );
+        // Raw NDJSON frames and verbs mix freely: the REPL is the protocol
+        // over stdio. `shutdown` stops the loop with the drain flag up.
+        let input = "\
+{\"Ingest\":{\"mac\":\"aa:bb:cc:dd:ee:01\",\"t\":1000,\"ap\":\"wap1\"}}
+\"Ping\"
+shutdown
+locate aa:bb:cc:dd:ee:01 1000
+";
+        let mut out: Vec<u8> = Vec::new();
+        let commands =
+            serve_loop(&state, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+        assert_eq!(commands, 3, "shutdown stops the loop");
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
+        assert!(out.contains("pong (protocol v1)"));
+        assert!(out.contains("shutting down"));
+        assert!(state.is_draining());
+        let (path, bytes) = state.finish_drain().unwrap().expect("drain snapshot");
+        assert_eq!(path, drain);
+        assert!(bytes > 0);
+        assert!(EventStore::load_snapshot(&drain).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_command_round_trips_against_a_live_server() {
+        let space = locater::space::SpaceBuilder::new("request-test")
+            .add_access_point("wap1", &["101"])
+            .build()
+            .unwrap();
+        let state = Arc::new(ServerState::new(
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2),
+            None,
+        ));
+        let server = locater::server::Server::bind(
+            Arc::clone(&state),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().to_string();
+
+        let pong = run(&["request".into(), addr.clone(), "ping".into()]).expect("ping");
+        assert!(pong.contains("Pong"), "response frame: {pong}");
+        let ingested = run(&[
+            "request".into(),
+            addr.clone(),
+            "ingest".into(),
+            "aa:bb:cc:dd:ee:01,1000,wap1".into(),
+        ])
+        .expect("ingest");
+        assert!(ingested.contains("Ingested"), "response frame: {ingested}");
+        // Raw JSON frames pass through unchanged.
+        let located = run(&[
+            "request".into(),
+            addr.clone(),
+            "{\"Locate\":{\"mac\":\"aa:bb:cc:dd:ee:01\",\"t\":1000}}".into(),
+        ])
+        .expect("locate");
+        assert!(located.contains("Located"), "response frame: {located}");
+        assert_eq!(state.service().num_events(), 1);
+
+        assert!(run(&["request".into()]).is_err(), "address is required");
+        assert!(
+            run(&["request".into(), addr.clone()]).is_err(),
+            "a request line is required"
+        );
+        assert!(
+            run(&["request".into(), addr, "quit".into()]).is_err(),
+            "quit is not a wire request"
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! | [`locater_learn`] | logistic regression + semi-supervised self-training (Algorithm 1) |
 //! | [`locater_core`] | coarse & fine localization, caching, baselines, metrics, the `Locater` system |
 //! | [`locater_sim`] | SmartBench-style scenario simulator + DBH-like campus dataset generator |
+//! | [`locater_proto`] | versioned NDJSON wire protocol: `WireRequest`/`WireResponse` frames, codec, REPL syntax |
+//! | [`locater_server`] | std-net TCP server: worker pool, pipelining, admission control, graceful drain |
 //!
 //! ## Quickstart
 //!
@@ -97,6 +99,8 @@
 pub use locater_core as core;
 pub use locater_events as events;
 pub use locater_learn as learn;
+pub use locater_proto as proto;
+pub use locater_server as server;
 pub use locater_sim as sim;
 pub use locater_space as space;
 pub use locater_store as store;
@@ -110,6 +114,8 @@ pub mod prelude {
         LocaterService, Query, ShardStats, ShardedLocaterService,
     };
     pub use locater_events::{ConnectivityEvent, Device, DeviceId, EventId, Gap, Timestamp};
+    pub use locater_proto::{WireError, WireRequest, WireResponse, WireStats, PROTOCOL_VERSION};
+    pub use locater_server::{Server, ServerConfig, ServerReport, ServerState};
     pub use locater_sim::{
         campus::CampusConfig, scenario::ScenarioKind, GroundTruth, SimOutput, Simulator,
     };

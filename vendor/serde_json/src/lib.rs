@@ -11,13 +11,29 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     message: String,
+    offset: Option<usize>,
 }
 
 impl Error {
     fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
+            offset: None,
         }
+    }
+
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// The 0-based byte offset in the input at which parsing failed, when the
+    /// error came from the JSON parser (semantic deserialization errors carry
+    /// no position).
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
     }
 }
 
@@ -157,10 +173,10 @@ fn parse_value(json: &str) -> Result<Value, Error> {
     let value = parser.value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            parser.pos
-        )));
+        return Err(Error::at(
+            format!("trailing characters at byte {}", parser.pos),
+            parser.pos,
+        ));
     }
     Ok(value)
 }
@@ -185,10 +201,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected {:?} at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::at(
+                format!("expected {:?} at byte {}", b as char, self.pos),
+                self.pos,
+            ))
         }
     }
 
@@ -197,7 +213,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::at(
+                format!("invalid literal at byte {}", self.pos),
+                self.pos,
+            ))
         }
     }
 
@@ -210,7 +229,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.seq(),
             Some(b'{') => self.map(),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+            _ => Err(Error::at(
+                format!("unexpected input at byte {}", self.pos),
+                self.pos,
+            )),
         }
     }
 
@@ -220,14 +242,14 @@ impl<'a> Parser<'a> {
         loop {
             let b = self
                 .peek()
-                .ok_or_else(|| Error::new("unterminated string"))?;
+                .ok_or_else(|| Error::at("unterminated string", self.pos))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let esc = self
                         .peek()
-                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -295,11 +317,11 @@ impl<'a> Parser<'a> {
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
-                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+                .map_err(|_| Error::at(format!("invalid number {text:?}"), start))
         } else {
             text.parse::<i128>()
                 .map(Value::Int)
-                .map_err(|_| Error::new(format!("invalid number {text:?}")))
+                .map_err(|_| Error::at(format!("invalid number {text:?}"), start))
         }
     }
 
@@ -322,10 +344,10 @@ impl<'a> Parser<'a> {
                     return Ok(Value::Seq(items));
                 }
                 _ => {
-                    return Err(Error::new(format!(
-                        "expected ',' or ']' at byte {}",
-                        self.pos
-                    )))
+                    return Err(Error::at(
+                        format!("expected ',' or ']' at byte {}", self.pos),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -355,10 +377,10 @@ impl<'a> Parser<'a> {
                     return Ok(Value::Map(entries));
                 }
                 _ => {
-                    return Err(Error::new(format!(
-                        "expected ',' or '}}' at byte {}",
-                        self.pos
-                    )))
+                    return Err(Error::at(
+                        format!("expected ',' or '}}' at byte {}", self.pos),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -416,5 +438,16 @@ mod tests {
         assert!(from_str::<u32>("4x").is_err());
         assert!(from_str::<Vec<u32>>("[1,").is_err());
         assert!(from_str::<String>("\"open").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let err = from_str::<Vec<u32>>("[1, x]").unwrap_err();
+        assert_eq!(err.offset(), Some(4));
+        let err = from_str::<u32>("12 34").unwrap_err();
+        assert_eq!(err.offset(), Some(3));
+        // Semantic (post-parse) deserialization errors carry no position.
+        let err = from_str::<u32>("\"nope\"").unwrap_err();
+        assert_eq!(err.offset(), None);
     }
 }
