@@ -1,0 +1,219 @@
+//! Crash-recovery benchmark: checkpoint + WAL-tail replay vs cold CSV replay
+//! on the `metro_campus` scenario.
+//!
+//! A durable restart must rebuild its [`locater_store::EventStore`] before it
+//! can answer a single query. The regimes compared here:
+//!
+//! * **cold_csv_replay** — parse the `mac,timestamp,ap` log, re-intern
+//!   devices, re-sort every timeline and re-estimate validity periods (the
+//!   restart cost without any durability subsystem);
+//! * **recovery_checkpoint_tail** — [`locater_store::recover_store`]: one
+//!   sequential checkpoint-snapshot load (device table and estimated δs
+//!   included) plus a replay of the WAL tail — the crash-recovery path, with
+//!   ~5% of the corpus in the tail;
+//! * **recovery_checkpoint_only** — the same path against a drained log
+//!   (empty tail): what a clean restart pays.
+//!
+//! Recovery is asserted byte-identical to direct ingestion before anything is
+//! timed. Besides the Criterion output, the bench writes a machine-readable
+//! `BENCH_7.json` (override with `LOCATER_WAL_BENCH_JSON`) recording corpus
+//! size, tail length and measured means, and with `LOCATER_BENCH_GUARD=1`
+//! (set in CI) it **fails** if checkpoint+tail recovery is not faster than
+//! the cold CSV replay it replaces.
+//!
+//! Size the corpus with `LOCATER_METRO_SCALE` / `LOCATER_METRO_WEEKS` (CI
+//! runs a reduced scale).
+
+mod common;
+
+use criterion::{black_box, criterion_main, Criterion};
+use locater_sim::{CampusConfig, Simulator};
+use locater_store::{recover_store, Durability, DurableEventStore, EventStore, FsyncPolicy};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Mean nanoseconds per execution of `f`: the best (minimum) mean across
+/// several batches, which rejects scheduler/thermal noise spikes — every
+/// regime is measured the same way, so the comparison stays fair.
+fn mean_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up pass.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(started.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("locater-bench-wal-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let config = CampusConfig::metro_from_env();
+    let output = Simulator::new(7).run_campus(&config);
+    let space = output.space.clone();
+    let events = &output.events;
+    // ~5% of the corpus lands in the WAL tail; the rest is checkpointed.
+    let tail_len = (events.len() / 20).max(1).min(events.len());
+    let (base, tail) = events.split_at(events.len() - tail_len);
+
+    // The checkpointed base: ingested, with validity periods estimated (the
+    // checkpoint carries the δs, so recovery never re-estimates).
+    let mut base_store = EventStore::new(space.clone());
+    for event in base {
+        base_store
+            .ingest_raw(&event.mac, event.t, &event.ap)
+            .expect("base ingest");
+    }
+    base_store.estimate_deltas();
+
+    // The uncrashed reference: base (with δs) plus the tail, ingested
+    // directly.
+    let mut direct = base_store.clone();
+    for event in tail {
+        direct
+            .ingest_raw(&event.mac, event.t, &event.ap)
+            .expect("tail ingest");
+    }
+    let expected = direct.to_snapshot_bytes().expect("reference snapshot");
+    let csv = direct.to_csv();
+
+    // Crash with a tail: checkpoint the base, append the tail to the log,
+    // drop without checkpointing.
+    let tail_dir = wal_dir("tail");
+    {
+        let durability = Durability::new(&tail_dir).with_fsync(FsyncPolicy::EveryN(1024));
+        let (mut durable, _) =
+            DurableEventStore::open(durability, base_store.clone()).expect("durable open");
+        for event in tail {
+            durable
+                .ingest_raw(&event.mac, event.t, &event.ap)
+                .expect("wal ingest");
+        }
+        durable.sync().expect("wal sync");
+    }
+    // Clean shutdown: full checkpoint, empty tail.
+    let drained_dir = wal_dir("drained");
+    {
+        let durability = Durability::new(&drained_dir).with_fsync(FsyncPolicy::EveryN(1024));
+        let (mut durable, _) =
+            DurableEventStore::open(durability, direct.clone()).expect("durable open");
+        durable.checkpoint().expect("drain checkpoint");
+    }
+
+    // Correctness first: both recovery regimes reproduce the reference store
+    // bit for bit before anything is timed.
+    let (recovered, report) =
+        recover_store(&tail_dir, EventStore::new(space.clone())).expect("tail recovery");
+    assert_eq!(report.replayed, tail.len() as u64);
+    assert_eq!(
+        recovered.to_snapshot_bytes().expect("recovered snapshot"),
+        expected,
+        "checkpoint+tail recovery diverged from direct ingestion"
+    );
+    let (drained, report) =
+        recover_store(&drained_dir, EventStore::new(space.clone())).expect("drained recovery");
+    assert_eq!(report.replayed, 0);
+    assert_eq!(
+        drained.to_snapshot_bytes().expect("drained snapshot"),
+        expected
+    );
+    println!(
+        "metro_campus: {} events, {} devices; wal tail {} frame(s), csv {} B, checkpoint {} B",
+        direct.num_events(),
+        direct.num_devices(),
+        tail.len(),
+        csv.len(),
+        expected.len()
+    );
+
+    // JSON means (measured outside Criterion so the report does not depend on
+    // the shim's internals).
+    let recovery_tail_ns = mean_ns(2, || {
+        black_box(recover_store(&tail_dir, EventStore::new(space.clone())).expect("recovers"));
+    });
+    let recovery_only_ns = mean_ns(2, || {
+        black_box(recover_store(&drained_dir, EventStore::new(space.clone())).expect("recovers"));
+    });
+    let csv_replay_ns = mean_ns(1, || {
+        let mut replayed = EventStore::from_csv(space.clone(), black_box(&csv)).expect("replays");
+        replayed.estimate_deltas();
+        black_box(replayed.num_events());
+    });
+    let speedup = csv_replay_ns / recovery_tail_ns.max(1.0);
+    println!(
+        "restart: checkpoint+tail {:.2} ms, checkpoint-only {:.2} ms, cold csv replay {:.2} ms ({speedup:.1}x)",
+        recovery_tail_ns / 1e6,
+        recovery_only_ns / 1e6,
+        csv_replay_ns / 1e6
+    );
+
+    // Machine-readable trajectory record (workspace root by default — cargo
+    // runs benches with the package directory as cwd).
+    let json_path = std::env::var("LOCATER_WAL_BENCH_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_7.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"wal_replay\",\n  \"corpus\": \"metro_campus\",\n  \"events\": {},\n  \"devices\": {},\n  \"tail_frames\": {},\n  \"csv_bytes\": {},\n  \"checkpoint_bytes\": {},\n  \"results\": {{\n    \"recovery_checkpoint_tail_mean_ns\": {:.0},\n    \"recovery_checkpoint_only_mean_ns\": {:.0},\n    \"cold_csv_replay_mean_ns\": {:.0}\n  }},\n  \"speedup\": {{\n    \"recovery_vs_csv_replay\": {:.2}\n  }}\n}}\n",
+        direct.num_events(),
+        direct.num_devices(),
+        tail.len(),
+        csv.len(),
+        expected.len(),
+        recovery_tail_ns,
+        recovery_only_ns,
+        csv_replay_ns,
+        speedup,
+    );
+    std::fs::write(&json_path, &json).expect("write bench JSON");
+    println!("wrote {json_path}");
+
+    // Regression guard (CI sets LOCATER_BENCH_GUARD=1): recovery must beat
+    // the cold replay it replaces.
+    if std::env::var("LOCATER_BENCH_GUARD").is_ok_and(|v| v == "1") {
+        assert!(
+            recovery_tail_ns < csv_replay_ns,
+            "regression: checkpoint+tail recovery ({recovery_tail_ns:.0} ns) is not faster than cold CSV replay ({csv_replay_ns:.0} ns)"
+        );
+    }
+
+    // Criterion numbers for the human-readable bench log.
+    let mut group = c.benchmark_group("wal_replay");
+    group.bench_function("recovery/checkpoint_tail", |b| {
+        b.iter(|| {
+            black_box(recover_store(&tail_dir, EventStore::new(space.clone())).expect("recovers"))
+        })
+    });
+    group.bench_function("recovery/checkpoint_only", |b| {
+        b.iter(|| {
+            black_box(
+                recover_store(&drained_dir, EventStore::new(space.clone())).expect("recovers"),
+            )
+        })
+    });
+    group.bench_function("cold_start/csv_replay", |b| {
+        b.iter(|| {
+            let mut replayed =
+                EventStore::from_csv(space.clone(), black_box(&csv)).expect("replays");
+            replayed.estimate_deltas();
+            black_box(replayed.num_events())
+        })
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&tail_dir).ok();
+    std::fs::remove_dir_all(&drained_dir).ok();
+}
+
+fn benches() {
+    let mut criterion = common::criterion();
+    bench(&mut criterion);
+}
+
+criterion_main!(benches);

@@ -552,7 +552,10 @@ fn run_self_hosted(
     BufReader::new(&ctl)
         .read_line(&mut ack)
         .map_err(|e| e.to_string())?;
-    server.join().map_err(|e| format!("drain: {e}"))?;
+    let report = server.join();
+    if let Some(message) = report.drain.failure_message() {
+        return Err(format!("drain: {message}"));
+    }
 
     let ok = stats.completed_ok();
     Ok(RunResult {

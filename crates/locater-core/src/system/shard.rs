@@ -44,23 +44,28 @@ use locater_events::clock::Timestamp;
 use locater_events::validity::estimate_delta_events;
 use locater_events::{DeviceId, EventId};
 use locater_space::Space;
+use locater_store::recovery::{initialize_wal, recover_store, write_checkpoint, RecoveryReport};
 use locater_store::{
-    shard_of_device, EventRead, EventStore, IngestError, RawEvent, ShardedRead, StoreError,
+    shard_of_device, Durability, EventRead, EventStore, IngestError, RawEvent, ShardWal,
+    ShardedRead, StoreError, WalError, WalRecord, WalShardStats,
 };
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// The mutable half of one shard: its partition of the event store and the
-/// epoch table authoritative for its owned devices, updated together under one
-/// lock so a query always sees a consistent `(store, epochs)` pair.
+/// The mutable half of one shard: its partition of the event store, the epoch
+/// table authoritative for its owned devices, and (when durability is
+/// configured) the shard's write-ahead log — all updated together under one
+/// lock, so a query always sees a consistent `(store, epochs)` pair and the
+/// WAL append is part of the same mutation as the in-memory append.
 #[derive(Debug)]
 struct ShardLive {
     store: EventStore,
     epochs: EpochTable,
+    wal: Option<ShardWal>,
 }
 
 /// One shard: its mutable `(store, epochs)` pair plus its own engines (config,
@@ -95,6 +100,31 @@ pub struct ShardStats {
     pub index_ap_lists: usize,
     /// Co-location-index time buckets across those posting lists.
     pub index_buckets: usize,
+}
+
+/// Service-wide write-ahead-log gauges reported by
+/// [`ShardedLocaterService::wal_status`] (and surfaced through the server's
+/// `stats` response) when durability is configured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalStatus {
+    /// The WAL directory.
+    pub dir: String,
+    /// The configured fsync policy, rendered (`always` / `every=N` /
+    /// `interval=MS`).
+    pub fsync: String,
+    /// Live segment files across all shards.
+    pub segments: u64,
+    /// Frames (logged events) across all shards — the replay cost of a crash
+    /// right now.
+    pub frames: u64,
+    /// Bytes across all shard logs (segment headers included).
+    pub bytes: u64,
+    /// Milliseconds since the last checkpoint (boot counts as one).
+    pub last_checkpoint_age_ms: u64,
+    /// Checkpoints taken since boot (the boot checkpoint included).
+    pub checkpoints: u64,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<WalShardStats>,
 }
 
 /// Epoch view over the per-shard tables: the table of a device's home shard is
@@ -148,6 +178,14 @@ pub struct ShardedLocaterService {
     /// (each append aligns the owning shard's counter from here), so the
     /// rejoined store is bit-identical to a single-shard deployment's.
     next_event_id: AtomicU64,
+    /// Durability configuration when a WAL is attached
+    /// ([`ShardedLocaterService::with_durability`]); `None` for the default
+    /// in-memory-only service.
+    durability: Option<Durability>,
+    /// When the last checkpoint was written (boot counts as one).
+    last_checkpoint: Mutex<Option<Instant>>,
+    /// Checkpoints taken since boot.
+    checkpoints: AtomicU64,
 }
 
 impl ShardedLocaterService {
@@ -162,6 +200,7 @@ impl ShardedLocaterService {
                 live: RwLock::new(ShardLive {
                     store: piece,
                     epochs: EpochTable::new(),
+                    wal: None,
                 }),
                 engines: Engines::new(config),
             })
@@ -169,7 +208,39 @@ impl ShardedLocaterService {
         Self {
             shards,
             next_event_id,
+            durability: None,
+            last_checkpoint: Mutex::new(None),
+            checkpoints: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a durable service: recovers whatever state the WAL directory
+    /// holds (checkpoint snapshot + log tails — `store` is the fallback base
+    /// when no checkpoint exists yet, e.g. a CSV preload on first boot),
+    /// writes a fresh boot checkpoint, and attaches one write-ahead log per
+    /// shard so every subsequent ingest is logged inside the same per-shard
+    /// mutation that applies it. Returns the service and the
+    /// [`RecoveryReport`] describing what was recovered.
+    ///
+    /// The boot checkpoint makes shard-count changes safe: the recovered
+    /// state is captured in one combined snapshot and the logs restart empty,
+    /// so the on-disk layout never mixes records from different shardings.
+    pub fn with_durability(
+        store: EventStore,
+        config: LocaterConfig,
+        shards: usize,
+        durability: Durability,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let (store, report) = recover_store(&durability.dir, store)?;
+        let writers = initialize_wal(&durability, &store, shards.max(1))?.0;
+        let mut service = Self::new(store, config, shards);
+        for (shard, wal) in service.shards.iter().zip(writers) {
+            shard.live.write().wal = Some(wal);
+        }
+        *service.last_checkpoint.lock() = Some(Instant::now());
+        service.checkpoints.store(1, Ordering::Relaxed);
+        service.durability = Some(durability);
+        Ok((service, report))
     }
 
     /// Cold-starts a sharded service from a binary snapshot (the same file
@@ -193,10 +264,14 @@ impl ShardedLocaterService {
                 live: RwLock::new(ShardLive {
                     store,
                     epochs: EpochTable::new(),
+                    wal: None,
                 }),
                 engines,
             }],
             next_event_id,
+            durability: None,
+            last_checkpoint: Mutex::new(None),
+            checkpoints: AtomicU64::new(0),
         }
     }
 
@@ -244,7 +319,7 @@ impl ShardedLocaterService {
             let home = self.home_shard(device);
             let mut live = self.shards[home].live.write();
             live.store.validate_raw(t, ap_name)?;
-            let id = self.sequenced_ingest(&mut live.store, mac, t, ap_name)?;
+            let id = self.sequenced_ingest(&mut live, mac, t, ap_name)?;
             live.epochs.bump(device);
             return Ok(id);
         }
@@ -253,22 +328,40 @@ impl ShardedLocaterService {
         let mut guards = self.write_all();
         let device = Self::intern_everywhere(&mut guards, mac, t, ap_name)?;
         let home = shard_of_device(device, guards.len());
-        let id = self.sequenced_ingest(&mut guards[home].store, mac, t, ap_name)?;
+        let id = self.sequenced_ingest(&mut guards[home], mac, t, ap_name)?;
         guards[home].epochs.bump(device);
         Ok(id)
     }
 
     /// Appends one pre-validated event, drawing its id from the service-wide
-    /// sequence so ids stay globally sequential across shards.
+    /// sequence so ids stay globally sequential across shards. When the shard
+    /// carries a write-ahead log, the record is appended to the log *before*
+    /// the in-memory apply, under the same shard write lock (log-then-apply):
+    /// the event is pre-validated and its device already interned, so an
+    /// event that reached the log always applies — the store never runs ahead
+    /// of what recovery can reproduce. A failed log append rejects the event
+    /// ([`IngestError::Wal`]) without mutating the store; the drawn id is
+    /// skipped, which recovery tolerates (ids are merged, not assumed dense).
     fn sequenced_ingest(
         &self,
-        store: &mut EventStore,
+        live: &mut ShardLive,
         mac: &str,
         t: Timestamp,
         ap_name: &str,
     ) -> Result<EventId, IngestError> {
-        store.set_next_event_id(self.next_event_id.fetch_add(1, Ordering::Relaxed));
-        store.ingest_raw(mac, t, ap_name)
+        let id = self.next_event_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = live.wal.as_mut() {
+            let ap = live.store.validate_raw(t, ap_name)?;
+            wal.append(&WalRecord {
+                id,
+                t,
+                ap: ap.raw(),
+                mac: mac.to_string(),
+            })
+            .map_err(|e| IngestError::Wal(e.to_string()))?;
+        }
+        live.store.set_next_event_id(id);
+        live.store.ingest_raw(mac, t, ap_name)
     }
 
     /// Appends a batch of raw events under one all-shard write lock (the batch
@@ -288,7 +381,7 @@ impl ShardedLocaterService {
             };
             guards[0].store.validate_raw(event.t, &event.ap)?;
             let home = shard_of_device(device, guards.len());
-            self.sequenced_ingest(&mut guards[home].store, &event.mac, event.t, &event.ap)?;
+            self.sequenced_ingest(&mut guards[home], &event.mac, event.t, &event.ap)?;
             guards[home].epochs.bump(device);
             count += 1;
         }
@@ -697,6 +790,79 @@ impl ShardedLocaterService {
     /// ([`ShardedLocaterService::from_snapshot`]).
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
         self.store_snapshot().save_snapshot(path)
+    }
+
+    /// The durability configuration, when a WAL is attached.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Checkpoints the durable service: writes one consistent combined
+    /// snapshot (atomically, under the all-shard write lock so no ingest can
+    /// land between a shard's log and the snapshot) and trims every shard's
+    /// log. After this, recovery loads the snapshot and replays nothing — a
+    /// clean shutdown that checkpoints leaves an empty tail. Returns the
+    /// checkpoint size in bytes, or `None` when the service has no WAL.
+    pub fn checkpoint(&self) -> Result<Option<u64>, WalError> {
+        let Some(durability) = self.durability.as_ref() else {
+            return Ok(None);
+        };
+        let mut guards = self.write_all();
+        let combined = if guards.len() == 1 {
+            guards[0].store.clone()
+        } else {
+            EventStore::rejoin(guards.iter().map(|guard| &guard.store))
+                .expect("shards of one service always rejoin")
+        };
+        let bytes = write_checkpoint(&durability.dir, &combined)?;
+        for guard in guards.iter_mut() {
+            if let Some(wal) = guard.wal.as_mut() {
+                wal.reset()?;
+            }
+        }
+        *self.last_checkpoint.lock() = Some(Instant::now());
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(bytes))
+    }
+
+    /// Takes a *delta snapshot*: seals every shard's active segment (fsync +
+    /// rotate), making everything ingested so far durable and immutable
+    /// without rewriting the (much larger) checkpoint snapshot. No-op without
+    /// a WAL.
+    pub fn seal_wal(&self) -> Result<(), WalError> {
+        let mut guards = self.write_all();
+        for guard in guards.iter_mut() {
+            if let Some(wal) = guard.wal.as_mut() {
+                wal.seal()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Current WAL gauges (`None` when the service has no WAL): per-shard and
+    /// summed segment/frame/byte counts, fsync policy, checkpoint age.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        let durability = self.durability.as_ref()?;
+        let guards = self.read_all();
+        let per_shard: Vec<WalShardStats> = guards
+            .iter()
+            .filter_map(|guard| guard.wal.as_ref().map(|wal| wal.stats()))
+            .collect();
+        let age = self
+            .last_checkpoint
+            .lock()
+            .map(|at| at.elapsed().as_millis() as u64)
+            .unwrap_or(0);
+        Some(WalStatus {
+            dir: durability.dir.display().to_string(),
+            fsync: durability.fsync.to_string(),
+            segments: per_shard.iter().map(|s| s.segments).sum(),
+            frames: per_shard.iter().map(|s| s.frames).sum(),
+            bytes: per_shard.iter().map(|s| s.bytes).sum(),
+            last_checkpoint_age_ms: age,
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            per_shard,
+        })
     }
 
     /// Total number of events currently stored across all shards.

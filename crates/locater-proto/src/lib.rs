@@ -371,6 +371,33 @@ pub struct WireStats {
     pub rejected_shutting_down: u64,
     /// Per-shard breakdown.
     pub per_shard: Vec<WireShardStats>,
+    /// Write-ahead-log gauges — present only when the server runs with
+    /// `--wal-dir`. Absent on the wire (or `null`) for non-durable servers
+    /// and for responses from older servers, which also keeps new clients
+    /// compatible with them.
+    #[serde(default)]
+    pub wal: Option<WireWalStats>,
+}
+
+/// The wire form of the server's write-ahead-log gauges (see
+/// `ShardedLocaterService::wal_status` in `locater-core`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireWalStats {
+    /// The WAL directory the server logs to.
+    pub dir: String,
+    /// The fsync policy, rendered (`always` / `every=N` / `interval=MS`).
+    pub fsync: String,
+    /// Live segment files across all shards.
+    pub segments: u64,
+    /// Frames (logged events) across all shards — the replay cost of a crash
+    /// right now.
+    pub frames: u64,
+    /// Bytes across all shard logs.
+    pub bytes: u64,
+    /// Milliseconds since the last checkpoint.
+    pub last_checkpoint_age_ms: u64,
+    /// Checkpoints taken since boot.
+    pub checkpoints: u64,
 }
 
 /// The wire form of one shard's counters (see

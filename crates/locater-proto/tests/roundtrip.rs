@@ -7,7 +7,7 @@ use locater_core::system::{Answer, CacheMode, FineMode, Location};
 use locater_events::DeviceId;
 use locater_proto::{
     decode_request, decode_response, encode_request, encode_response, WireError, WireRequest,
-    WireResponse, WireShardStats, WireStats, PROTOCOL_VERSION,
+    WireResponse, WireShardStats, WireStats, WireWalStats, PROTOCOL_VERSION,
 };
 use locater_space::{RegionId, RoomId};
 use locater_store::RawEvent;
@@ -54,6 +54,15 @@ fn sample_stats() -> WireStats {
                 index_buckets: 2,
             },
         ],
+        wal: Some(WireWalStats {
+            dir: "/var/lib/locater/wal".into(),
+            fsync: "every=32".into(),
+            segments: 3,
+            frames: 128,
+            bytes: 4_096,
+            last_checkpoint_age_ms: 60_000,
+            checkpoints: 2,
+        }),
     }
 }
 
@@ -196,6 +205,19 @@ fn every_response_variant_roundtrips() {
         assert_eq!(back, response);
         assert_eq!(encode_response(&back), line);
     }
+}
+
+/// A `stats` frame from a server predating the WAL gauges (no `wal` key at
+/// all) still decodes — the field is optional on the wire.
+#[test]
+fn stats_without_wal_field_still_decodes() {
+    let mut stats = sample_stats();
+    stats.wal = None;
+    let line = encode_response(&WireResponse::Stats(stats.clone()));
+    let stripped = line.replace(",\"wal\":null", "");
+    assert_ne!(stripped, line, "the null wal field was present to strip");
+    let back = decode_response(&stripped).unwrap();
+    assert_eq!(back, WireResponse::Stats(stats));
 }
 
 /// A deterministic LCG-driven fuzz pass: random structured requests round-trip,

@@ -7,9 +7,10 @@
 //! asked.
 
 use locater_core::system::{Location, ShardedLocaterService};
-use locater_proto::{WireError, WireRequest, WireResponse, WireStats, PROTOCOL_VERSION};
+use locater_proto::{
+    WireError, WireRequest, WireResponse, WireStats, WireWalStats, PROTOCOL_VERSION,
+};
 use locater_space::Space;
-use locater_store::StoreError;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -154,6 +155,15 @@ impl ServerState {
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
             per_shard,
+            wal: self.service.wal_status().map(|wal| WireWalStats {
+                dir: wal.dir,
+                fsync: wal.fsync,
+                segments: wal.segments,
+                frames: wal.frames,
+                bytes: wal.bytes,
+                last_checkpoint_age_ms: wal.last_checkpoint_age_ms,
+                checkpoints: wal.checkpoints,
+            }),
         }
     }
 
@@ -207,16 +217,64 @@ impl ServerState {
         self.in_flight.load(Ordering::Relaxed)
     }
 
-    /// Writes the configured drain snapshot (if any), returning its path and
-    /// size. Called once by the server after the drain completes; the REPL
-    /// front end calls it on `shutdown` too.
-    pub fn finish_drain(&self) -> Result<Option<(String, u64)>, StoreError> {
-        let Some(path) = &self.drain_snapshot else {
-            return Ok(None);
+    /// Runs the graceful-drain epilogue: checkpoints the WAL (when the
+    /// service has one — a clean shutdown leaves an empty tail, so the next
+    /// boot replays nothing) and writes the configured drain snapshot (if
+    /// any). Failures are *recorded* in the summary, never swallowed and
+    /// never aborting the other step — a failed drain snapshot must stay
+    /// visible to the operator. Called once by the server after the drain
+    /// completes; the REPL front end calls it on `shutdown` too.
+    pub fn finish_drain(&self) -> DrainSummary {
+        let checkpoint = match self.service.checkpoint() {
+            Ok(None) => None,
+            Ok(Some(bytes)) => Some(Ok(bytes)),
+            Err(e) => Some(Err(e.to_string())),
         };
-        self.service.save_snapshot(path)?;
-        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        Ok(Some((path.clone(), bytes)))
+        let snapshot = self.drain_snapshot.as_ref().map(|path| {
+            self.service
+                .save_snapshot(path)
+                .map(|()| {
+                    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    (path.clone(), bytes)
+                })
+                .map_err(|e| format!("{path}: {e}"))
+        });
+        DrainSummary {
+            checkpoint,
+            snapshot,
+        }
+    }
+}
+
+/// What the graceful-drain epilogue did: the WAL checkpoint and the drain
+/// snapshot, each `None` when not configured, `Err` with the rendered cause
+/// when attempted and failed. The server surfaces failures in its final
+/// report so the process can exit non-zero.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DrainSummary {
+    /// WAL checkpoint outcome: `Ok(bytes)` on success.
+    pub checkpoint: Option<Result<u64, String>>,
+    /// Drain snapshot outcome: `Ok((path, bytes))` on success.
+    pub snapshot: Option<Result<(String, u64), String>>,
+}
+
+impl DrainSummary {
+    /// `true` when any attempted drain step failed.
+    pub fn has_failure(&self) -> bool {
+        matches!(self.checkpoint, Some(Err(_))) || matches!(self.snapshot, Some(Err(_)))
+    }
+
+    /// All failure causes joined into one line, `None` when the drain was
+    /// clean — the short form for front ends that exit with a single message.
+    pub fn failure_message(&self) -> Option<String> {
+        let mut causes: Vec<String> = Vec::new();
+        if let Some(Err(e)) = &self.checkpoint {
+            causes.push(format!("wal checkpoint failed: {e}"));
+        }
+        if let Some(Err(e)) = &self.snapshot {
+            causes.push(format!("drain snapshot failed: {e}"));
+        }
+        (!causes.is_empty()).then(|| causes.join("; "))
     }
 }
 
@@ -308,6 +366,19 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
                 stats.rejected_overloaded,
                 stats.rejected_shutting_down
             );
+            if let Some(wal) = &stats.wal {
+                let _ = write!(
+                    report,
+                    "\nwal: {} (fsync={}); {} frames in {} segment(s), {} bytes; last checkpoint {}ms ago ({} since boot)",
+                    wal.dir,
+                    wal.fsync,
+                    wal.frames,
+                    wal.segments,
+                    wal.bytes,
+                    wal.last_checkpoint_age_ms,
+                    wal.checkpoints
+                );
+            }
             report
         }
         WireResponse::SnapshotSaved { path, bytes } => format!("saved {path} ({bytes} bytes)"),

@@ -38,14 +38,14 @@
 //! let state = Arc::new(ServerState::new(service, None));
 //! let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //! println!("listening on {}", server.local_addr());
-//! let report = server.join().unwrap(); // blocks until a graceful drain
+//! let report = server.join(); // blocks until a graceful drain
 //! println!("served {} requests", report.requests_served);
 //! ```
 
 mod exec;
 mod server;
 
-pub use exec::{describe_location, render_response, ServerState};
+pub use exec::{describe_location, render_response, DrainSummary, ServerState};
 #[cfg(unix)]
 pub use server::install_sigterm_drain;
 pub use server::{Server, ServerConfig, ServerReport};

@@ -33,9 +33,8 @@
 //!   finish, flushes their responses, closes connections, writes the
 //!   configured drain snapshot, and returns a [`ServerReport`].
 
-use crate::exec::ServerState;
+use crate::exec::{DrainSummary, ServerState};
 use locater_proto::{decode_request, encode_response, WireRequest, WireResponse};
-use locater_store::StoreError;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -79,8 +78,10 @@ pub struct ServerReport {
     pub rejected_shutting_down: u64,
     /// Connections accepted.
     pub connections: u64,
-    /// The drain snapshot written on shutdown, as `(path, bytes)`.
-    pub drain_snapshot: Option<(String, u64)>,
+    /// What the drain epilogue did (WAL checkpoint, drain snapshot) —
+    /// including any failure, which the front end must surface with a
+    /// non-zero exit instead of losing the rest of the report.
+    pub drain: DrainSummary,
 }
 
 /// One pending unit of work on a connection: either a request to execute or a
@@ -188,8 +189,11 @@ impl Server {
 
     /// Blocks until a graceful drain is requested (`shutdown` request or
     /// [`install_sigterm_drain`]), finishes all admitted work, flushes
-    /// responses, closes connections, writes the drain snapshot, and reports.
-    pub fn join(self) -> Result<ServerReport, StoreError> {
+    /// responses, closes connections, runs the drain epilogue (WAL
+    /// checkpoint + drain snapshot), and reports. Epilogue failures are
+    /// carried inside [`ServerReport::drain`] rather than replacing the
+    /// report — the serving counters survive a failed snapshot write.
+    pub fn join(self) -> ServerReport {
         // The accept thread exits once the drain flag is up.
         let _ = self.accept.join();
         let state = &self.shared.state;
@@ -220,14 +224,14 @@ impl Server {
             let _ = worker.join();
         }
         let stats = state.stats();
-        let drain_snapshot = state.finish_drain()?;
-        Ok(ServerReport {
+        let drain = state.finish_drain();
+        ServerReport {
             requests_served: stats.requests_served,
             rejected_overloaded: stats.rejected_overloaded,
             rejected_shutting_down: stats.rejected_shutting_down,
             connections: self.shared.connections.load(Ordering::Relaxed),
-            drain_snapshot,
-        })
+            drain,
+        }
     }
 }
 

@@ -295,11 +295,16 @@ fn graceful_shutdown_drains_and_snapshot_equals_direct_save() {
     assert_eq!(client.recv(), WireResponse::Error(WireError::ShuttingDown));
     drop(client);
 
-    let report = server.join().expect("drain completes");
+    let report = server.join();
     assert_eq!(report.requests_served, 4, "3 ingests + shutdown");
     assert_eq!(report.rejected_shutting_down, 1);
     assert_eq!(report.connections, 1);
-    let (path, bytes) = report.drain_snapshot.expect("drain snapshot written");
+    assert!(!report.drain.has_failure(), "drain: {:?}", report.drain);
+    let (path, bytes) = report
+        .drain
+        .snapshot
+        .expect("drain snapshot attempted")
+        .expect("drain snapshot written");
     assert_eq!(path, drained);
     assert!(bytes > 0);
 

@@ -56,22 +56,32 @@ impl SpaceMetadata {
     }
 
     /// Extracts metadata back out of a [`Space`] (inverse of [`SpaceMetadata::build`]).
+    ///
+    /// Room-name lists are emitted in lexicographic order, not intern order:
+    /// [`RoomId`](crate::ids::RoomId) assignment depends on the order rooms
+    /// were first mentioned during construction, which a
+    /// metadata-build-metadata round trip does not preserve (APs rebuild in
+    /// `BTreeMap` name order). Sorting by name makes the serialized form
+    /// canonical, so two semantically equal spaces — e.g. an original and its
+    /// snapshot-recovered copy — always produce byte-identical metadata.
     pub fn from_space(space: &Space) -> Self {
         let mut coverage = BTreeMap::new();
         for ap in space.access_points() {
-            let rooms = space
+            let mut rooms: Vec<String> = space
                 .rooms_in_region(ap.region())
                 .iter()
                 .map(|&r| space.room(r).name.clone())
                 .collect();
+            rooms.sort_unstable();
             coverage.insert(ap.name.clone(), rooms);
         }
-        let public_rooms = space
+        let mut public_rooms: Vec<String> = space
             .rooms()
             .iter()
             .filter(|r| r.is_public())
             .map(|r| r.name.clone())
             .collect();
+        public_rooms.sort_unstable();
         let mut owners = BTreeMap::new();
         for room in space.rooms() {
             if !room.owners.is_empty() {
@@ -80,7 +90,7 @@ impl SpaceMetadata {
         }
         let mut preferred = BTreeMap::new();
         for (mac, rooms) in space.preferred_map() {
-            let names: Vec<String> = rooms
+            let mut names: Vec<String> = rooms
                 .iter()
                 .map(|&r| space.room(r).name.clone())
                 .filter(|name| {
@@ -91,6 +101,7 @@ impl SpaceMetadata {
                         .unwrap_or(false)
                 })
                 .collect();
+            names.sort_unstable();
             if !names.is_empty() {
                 preferred.insert(mac.clone(), names);
             }
@@ -200,6 +211,27 @@ mod tests {
         let json = meta.to_json().unwrap();
         let back = SpaceMetadata::from_json(&json).unwrap();
         assert_eq!(back, meta);
+    }
+
+    /// `RoomId` assignment depends on first-mention order, and rebuilding from
+    /// metadata visits APs in `BTreeMap` name order — with ten or more APs,
+    /// "wap10" rebuilds before "wap2", so intern order shifts. The canonical
+    /// (name-sorted) serialization must hide that: a round-tripped space has
+    /// to produce byte-identical metadata even though its ids were reassigned.
+    #[test]
+    fn metadata_is_canonical_across_id_reassignment() {
+        let mut builder = SpaceBuilder::new("b");
+        for ap in 0..12 {
+            let rooms: Vec<String> = (0..3).map(|r| format!("{}", 2000 + ap * 3 + r)).collect();
+            let refs: Vec<&str> = rooms.iter().map(String::as_str).collect();
+            builder = builder.add_access_point(&format!("wap{ap}"), &refs);
+        }
+        let space = builder.build().unwrap();
+        let meta = SpaceMetadata::from_space(&space);
+        let rebuilt = meta.build().unwrap();
+        let again = SpaceMetadata::from_space(&rebuilt);
+        assert_eq!(again, meta);
+        assert_eq!(again.to_json().unwrap(), meta.to_json().unwrap());
     }
 
     #[test]

@@ -126,6 +126,23 @@ impl Space {
         &self.name
     }
 
+    /// Serializes the full space — interned ids and all — to JSON.
+    ///
+    /// Unlike [`crate::SpaceMetadata`] (the human-editable, name-canonical
+    /// form), this round-trips bit-for-bit: [`Space::from_json`] preserves
+    /// every [`RoomId`]/[`AccessPointId`] assignment verbatim instead of
+    /// re-interning names. Snapshots use it so stored per-event AP ids keep
+    /// pointing at the same access points after a load.
+    pub fn to_json(&self) -> Result<String, SpaceError> {
+        serde_json::to_string(self).map_err(|e| SpaceError::Metadata(e.to_string()))
+    }
+
+    /// Parses a space serialized by [`Space::to_json`], preserving ids
+    /// verbatim and recomputing only the derived indexes.
+    pub fn from_json(json: &str) -> Result<Self, SpaceError> {
+        serde_json::from_str(json).map_err(|e| SpaceError::Metadata(e.to_string()))
+    }
+
     // ------------------------------------------------------------------
     // Rooms
     // ------------------------------------------------------------------

@@ -30,6 +30,11 @@ pub enum IngestError {
         /// The underlying error.
         source: Box<IngestError>,
     },
+    /// The write-ahead log append failed, so the event was rejected *before*
+    /// mutating the in-memory store (durable ingest never applies an event it
+    /// could not log). Carries the rendered [`crate::wal::WalError`] — this
+    /// variant stays `Clone`/`Eq` like the rest of the enum.
+    Wal(String),
 }
 
 impl IngestError {
@@ -73,6 +78,7 @@ impl fmt::Display for IngestError {
                 )
             }
             IngestError::AtLine { line, source } => write!(f, "line {line}: {source}"),
+            IngestError::Wal(reason) => write!(f, "write-ahead log append failed: {reason}"),
         }
     }
 }

@@ -26,6 +26,12 @@
 //!   ([`EventStore::load_ndjson_reader`]) sources are ingested one line at a time in
 //!   bounded memory, with parse *and* semantic errors annotated with their input
 //!   line (and column, for CSV field errors);
+//! * **durability** ([`wal`] + [`recovery`]) — a per-shard append-only
+//!   write-ahead log of checksummed frames makes every acknowledged ingest
+//!   crash-safe; recovery loads the last checkpoint snapshot and replays the
+//!   log tail (truncating a torn final frame), reproducing the pre-crash
+//!   store bit-identically. [`DurableEventStore`] is the single-store
+//!   embedding;
 //! * **per-device sharding** — [`EventStore::split`] / [`EventStore::rejoin`]
 //!   partition a store into per-device shards and reassemble them
 //!   bit-identically ([`shard_of_device`] is the assignment), and the
@@ -102,12 +108,14 @@ mod csv;
 mod error;
 mod ndjson;
 mod read;
+pub mod recovery;
 mod segment;
 mod shard;
 pub mod snapshot;
 mod stats;
 mod store;
 mod timeline;
+pub mod wal;
 
 pub use colocation::{
     ApPostings, ColocationIndex, ColocationIndexStats, DevicePostings, PostingCursor,
@@ -116,9 +124,16 @@ pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
 pub use error::{IngestError, StoreError};
 pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
 pub use read::{EventRead, ScanRead};
+pub use recovery::{
+    initialize_wal, recover_store, write_checkpoint, DurableEventStore, RecoveryReport,
+};
 pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
 pub use shard::{shard_of_device, ShardedRead};
 pub use snapshot::{SnapshotIndexMode, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::DatasetStatistics;
 pub use store::EventStore;
 pub use timeline::{NearbyDevice, Timeline};
+pub use wal::{
+    checkpoint_path, inspect_wal, truncate_wal, Durability, FsyncPolicy, ShardWal, WalError,
+    WalInspection, WalRecord, WalShardStats,
+};

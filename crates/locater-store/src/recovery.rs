@@ -1,0 +1,436 @@
+//! Crash recovery: checkpoint snapshot + WAL-tail replay, and the
+//! single-store durable ingest wrapper.
+//!
+//! Recovery reconstructs the exact pre-crash store from what is durable on
+//! disk:
+//!
+//! 1. load `<wal-dir>/checkpoint.snap` if present (a regular
+//!    [`crate::snapshot`] file — bit-identical round-trip, event ids
+//!    included), otherwise start from the caller-provided fallback store;
+//! 2. scan every shard's segments and collect the valid records — strict for
+//!    all but the last segment of each shard (damage there needs an explicit
+//!    `wal truncate`), lenient on the last (a torn tail is the expected
+//!    signature of a crash mid-append and is cut at the last whole frame);
+//! 3. merge the per-shard tails by global event id and replay each record
+//!    with its original id pinned.
+//!
+//! Because event ids are drawn from one global sequence and every record
+//! carries its id, the merged replay reproduces the exact ingest order the
+//! pre-crash process executed, across any shard count — recovering a log
+//! written by a 4-shard service into a single store (or vice versa) yields
+//! byte-identical snapshots. Replay is idempotent: records whose id precedes
+//! the checkpoint's event-id counter are already inside the checkpoint and
+//! are skipped, so a crash *between* writing a checkpoint and trimming the
+//! segments loses nothing and duplicates nothing.
+
+use crate::error::IngestError;
+use crate::snapshot::write_atomic;
+use crate::store::EventStore;
+use crate::wal::{
+    checkpoint_path, list_segments, list_shard_dirs, scan_segment, Durability, ShardWal, WalError,
+    WalRecord, WalShardStats,
+};
+use locater_events::MacAddress;
+use locater_space::AccessPointId;
+use std::path::{Path, PathBuf};
+
+/// What [`recover_store`] did: where the base came from and how much of the
+/// WAL was replayed on top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` when `checkpoint.snap` existed and loaded; `false` when the
+    /// fallback store was used as the base.
+    pub checkpoint_loaded: bool,
+    /// Events already inside the base before replay.
+    pub base_events: usize,
+    /// WAL records applied on top of the base.
+    pub replayed: u64,
+    /// WAL records skipped because the base already contained them (replay
+    /// idempotence across a checkpoint/trim crash window).
+    pub skipped: u64,
+    /// Shard directories found.
+    pub shards: u64,
+    /// Segment files scanned.
+    pub segments: u64,
+    /// Torn tails encountered (and ignored past the tear), as
+    /// `(segment, offset of the first invalid byte)`.
+    pub torn: Vec<(PathBuf, u64)>,
+}
+
+/// Reads the durable tail of every shard under `dir`: strict scans for all
+/// but each shard's last segment, lenient for the last. Purely read-only —
+/// physical truncation of torn tails happens when a writer re-attaches
+/// ([`ShardWal::open`]) or via [`crate::wal::truncate_wal`].
+fn read_tails(dir: &Path, report: &mut RecoveryReport) -> Result<Vec<WalRecord>, WalError> {
+    let mut records = Vec::new();
+    for (_shard, shard_path) in list_shard_dirs(dir)? {
+        report.shards += 1;
+        let segments = list_segments(&shard_path)?;
+        let Some(((_, last_path), earlier)) = segments.split_last() else {
+            continue;
+        };
+        for (_, path) in earlier {
+            let scan = scan_segment(path, false)?;
+            report.segments += 1;
+            records.extend(scan.records);
+        }
+        let scan = scan_segment(last_path, true)?;
+        report.segments += 1;
+        if let Some(torn) = &scan.torn {
+            report.torn.push((last_path.clone(), torn.offset));
+        }
+        records.extend(scan.records);
+    }
+    Ok(records)
+}
+
+/// Recovers a store from the WAL directory `dir`: checkpoint (or `fallback`
+/// when no checkpoint exists yet) + merged WAL-tail replay. Returns the
+/// recovered store and a [`RecoveryReport`]. The directory is not modified.
+pub fn recover_store(
+    dir: &Path,
+    fallback: EventStore,
+) -> Result<(EventStore, RecoveryReport), WalError> {
+    let checkpoint = checkpoint_path(dir);
+    let (mut store, checkpoint_loaded) = if checkpoint.exists() {
+        (EventStore::load_snapshot(&checkpoint)?, true)
+    } else {
+        (fallback, false)
+    };
+    let mut report = RecoveryReport {
+        checkpoint_loaded,
+        base_events: store.num_events(),
+        replayed: 0,
+        skipped: 0,
+        shards: 0,
+        segments: 0,
+        torn: Vec::new(),
+    };
+    if !dir.exists() {
+        return Ok((store, report));
+    }
+    let mut records = read_tails(dir, &mut report)?;
+    records.sort_by_key(|r| r.id);
+    for pair in records.windows(2) {
+        if pair[0].id == pair[1].id {
+            return Err(WalError::InvalidLog(format!(
+                "two WAL records claim event id {} (devices {:?} and {:?})",
+                pair[0].id, pair[0].mac, pair[1].mac
+            )));
+        }
+    }
+    let resume_at = store.next_event_id();
+    for record in records {
+        if record.id < resume_at {
+            report.skipped += 1;
+            continue;
+        }
+        store.set_next_event_id(record.id);
+        store
+            .ingest(&record.mac, record.t, AccessPointId::new(record.ap))
+            .map_err(WalError::Replay)?;
+        report.replayed += 1;
+    }
+    Ok((store, report))
+}
+
+/// Writes (atomically) the checkpoint snapshot for `store` under `dir`,
+/// creating the directory if needed. Returns the snapshot size in bytes.
+pub fn write_checkpoint(dir: &Path, store: &EventStore) -> Result<u64, WalError> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = store.to_snapshot_bytes()?;
+    write_atomic(&checkpoint_path(dir), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Brings a WAL directory to a clean post-recovery state for `store` and
+/// opens fresh per-shard writers: writes the checkpoint snapshot (so the
+/// replayed prefix is captured durably), removes every existing shard
+/// directory (their records are now inside the checkpoint — and the previous
+/// process may have run with a different shard count), and creates `shards`
+/// empty logs. Returns the writers (index = shard) and the checkpoint size.
+pub fn initialize_wal(
+    config: &Durability,
+    store: &EventStore,
+    shards: usize,
+) -> Result<(Vec<ShardWal>, u64), WalError> {
+    let checkpoint_bytes = write_checkpoint(&config.dir, store)?;
+    for (_, shard_path) in list_shard_dirs(&config.dir)? {
+        std::fs::remove_dir_all(&shard_path)?;
+    }
+    crate::wal::fsync_dir(&config.dir);
+    let mut writers = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (wal, existing) = ShardWal::open(config, shard as u32)?;
+        debug_assert!(existing.is_empty(), "freshly created shard log is empty");
+        writers.push(wal);
+    }
+    Ok((writers, checkpoint_bytes))
+}
+
+/// An [`EventStore`] with a write-ahead log attached: every accepted ingest
+/// is framed and appended to the log *before* mutating the store, so the
+/// in-memory state never runs ahead of what recovery can reproduce. This is
+/// the single-store embedding of the durability subsystem (the sharded
+/// service wires the same primitives per shard).
+#[derive(Debug)]
+pub struct DurableEventStore {
+    store: EventStore,
+    wal: ShardWal,
+    config: Durability,
+}
+
+impl DurableEventStore {
+    /// Opens the WAL at `config.dir`, recovering any durable state found
+    /// there (checkpoint + tails); `fallback` seeds the store when the
+    /// directory holds no checkpoint yet. On success the directory is
+    /// checkpointed and trimmed, so the returned store starts with an empty
+    /// tail.
+    pub fn open(
+        config: Durability,
+        fallback: EventStore,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let (store, report) = recover_store(&config.dir, fallback)?;
+        let (mut writers, _bytes) = initialize_wal(&config, &store, 1)?;
+        let wal = writers.pop().expect("initialize_wal returns one writer");
+        Ok((DurableEventStore { store, wal, config }, report))
+    }
+
+    /// Durable ingest: validates the event fully (access point, timestamp,
+    /// device identifier), appends it to the WAL, then applies it to the
+    /// store. Validation precedes the id draw and the append, so an event
+    /// that reached the log always applies cleanly — the store and the log
+    /// cannot diverge.
+    pub fn ingest_raw(&mut self, mac: &str, t: i64, ap_name: &str) -> Result<u64, IngestError> {
+        let ap = self.store.validate_raw(t, ap_name)?;
+        if self.store.device_id(mac).is_none() {
+            MacAddress::parse(mac).map_err(IngestError::InvalidDevice)?;
+        }
+        let id = self.store.next_event_id();
+        self.wal
+            .append(&WalRecord {
+                id,
+                t,
+                ap: ap.raw(),
+                mac: mac.to_string(),
+            })
+            .map_err(|e| IngestError::Wal(e.to_string()))?;
+        self.store
+            .ingest(mac, t, ap)
+            .map(|event_id| event_id.0)
+            .map_err(|err| {
+                debug_assert!(false, "pre-validated ingest failed after WAL append: {err}");
+                err
+            })
+    }
+
+    /// Checkpoints: writes a fresh snapshot of the store and trims the log.
+    /// After this, recovery loads the snapshot and replays nothing. Returns
+    /// the checkpoint size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, WalError> {
+        let bytes = write_checkpoint(&self.config.dir, &self.store)?;
+        self.wal.reset()?;
+        Ok(bytes)
+    }
+
+    /// Delta snapshot: seals the active segment (see [`ShardWal::seal`]), so
+    /// everything ingested so far is durable without rewriting the
+    /// checkpoint.
+    pub fn seal(&mut self) -> Result<(), WalError> {
+        self.wal.seal()
+    }
+
+    /// Forces buffered WAL frames to disk now, regardless of fsync policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync()
+    }
+
+    /// The underlying store (read-only; mutations must go through the
+    /// durable ingest path).
+    pub fn store(&self) -> &EventStore {
+        &self.store
+    }
+
+    /// The durability configuration this store was opened with.
+    pub fn config(&self) -> &Durability {
+        &self.config
+    }
+
+    /// Live WAL counters.
+    pub fn wal_stats(&self) -> WalShardStats {
+        self.wal.stats()
+    }
+
+    /// Consumes the wrapper, returning the in-memory store (the log keeps
+    /// whatever tail it had; reopening replays it idempotently).
+    pub fn into_store(self) -> EventStore {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locater_space::SpaceBuilder;
+    use std::path::PathBuf;
+
+    fn space() -> locater_space::Space {
+        SpaceBuilder::new("recovery-test")
+            .add_access_point("wap0", &["r0", "r1"])
+            .add_access_point("wap1", &["r1", "r2"])
+            .add_access_point("wap2", &["r2", "r3"])
+            .build()
+            .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "locater-recovery-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_store_recovers_bit_identically_after_drop() {
+        let dir = temp_dir("bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let mut reference = EventStore::new(space());
+        {
+            let (mut durable, report) =
+                DurableEventStore::open(config.clone(), EventStore::new(space())).unwrap();
+            assert!(!report.checkpoint_loaded);
+            for i in 0..40u64 {
+                let mac = format!("aa:bb:cc:dd:ee:{:02x}", i % 5);
+                let t = 1_000 + (i as i64) * 7;
+                let ap = format!("wap{}", i % 3);
+                durable.ingest_raw(&mac, t, &ap).unwrap();
+                reference.ingest_raw(&mac, t, &ap).unwrap();
+            }
+            // Dropped without checkpoint: simulates a crash (fsync=always,
+            // so every frame is durable).
+        }
+        let (recovered, report) =
+            DurableEventStore::open(config, EventStore::new(space())).unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed, 40);
+        assert_eq!(recovered.store(), &reference);
+        assert_eq!(
+            recovered.store().to_snapshot_bytes().unwrap(),
+            reference.to_snapshot_bytes().unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_trims_the_tail_and_skips_replay() {
+        let dir = temp_dir("checkpoint-trim");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let (mut durable, _) =
+            DurableEventStore::open(config.clone(), EventStore::new(space())).unwrap();
+        for i in 0..10u64 {
+            durable
+                .ingest_raw("aa:bb:cc:dd:ee:01", 100 + i as i64, "wap0")
+                .unwrap();
+        }
+        durable.checkpoint().unwrap();
+        assert_eq!(durable.wal_stats().frames, 0);
+        let snapshot = durable.store().to_snapshot_bytes().unwrap();
+        drop(durable);
+        let (recovered, report) =
+            DurableEventStore::open(config, EventStore::new(space())).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.base_events, 10);
+        assert_eq!(recovered.store().to_snapshot_bytes().unwrap(), snapshot);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_is_idempotent_when_checkpoint_already_covers_the_tail() {
+        // Simulates a crash between checkpoint write and segment trim: the
+        // checkpoint contains everything and the stale tail must be skipped.
+        let dir = temp_dir("idempotent");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let (mut durable, _) =
+            DurableEventStore::open(config.clone(), EventStore::new(space())).unwrap();
+        for i in 0..8u64 {
+            durable
+                .ingest_raw("aa:bb:cc:dd:ee:02", 500 + i as i64, "wap1")
+                .unwrap();
+        }
+        // Write the checkpoint WITHOUT trimming (crash window).
+        write_checkpoint(&config.dir, durable.store()).unwrap();
+        let snapshot = durable.store().to_snapshot_bytes().unwrap();
+        drop(durable);
+        let (recovered, report) = recover_store(&config.dir, EventStore::new(space())).unwrap();
+        assert!(report.checkpoint_loaded);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.skipped, 8);
+        assert_eq!(recovered.to_snapshot_bytes().unwrap(), snapshot);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_event_ids_across_shards_are_a_typed_error() {
+        let dir = temp_dir("duplicate-ids");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        for shard in 0..2 {
+            let (mut wal, _) = ShardWal::open(&config, shard).unwrap();
+            wal.append(&WalRecord {
+                id: 7,
+                t: 100,
+                ap: 0,
+                mac: format!("aa:bb:cc:dd:ee:{shard:02x}"),
+            })
+            .unwrap();
+        }
+        let err = recover_store(&dir, EventStore::new(space())).unwrap_err();
+        assert!(matches!(err, WalError::InvalidLog(_)), "got: {err}");
+        assert!(err.to_string().contains("event id 7"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaying_into_a_mismatched_space_is_a_typed_error() {
+        let dir = temp_dir("bad-space");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        wal.append(&WalRecord {
+            id: 0,
+            t: 100,
+            ap: 99, // no such access point in the fallback space
+            mac: "aa:bb:cc:dd:ee:01".into(),
+        })
+        .unwrap();
+        drop(wal);
+        let err = recover_store(&dir, EventStore::new(space())).unwrap_err();
+        assert!(matches!(err, WalError::Replay(_)), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_append_failure_leaves_the_store_unchanged() {
+        let dir = temp_dir("append-fail");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let (mut durable, _) = DurableEventStore::open(config, EventStore::new(space())).unwrap();
+        durable
+            .ingest_raw("aa:bb:cc:dd:ee:01", 100, "wap0")
+            .unwrap();
+        // Unknown AP fails validation before the id draw and the append.
+        let err = durable
+            .ingest_raw("aa:bb:cc:dd:ee:01", 200, "wap9")
+            .unwrap_err();
+        assert!(matches!(err, IngestError::UnknownAccessPoint(_)));
+        assert_eq!(durable.store().num_events(), 1);
+        assert_eq!(durable.wal_stats().frames, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -4,15 +4,15 @@
 //! per-device segment runs, validity configuration and event-id counter — in a
 //! compact binary layout, so a service restart costs one sequential file read
 //! instead of replaying (re-parsing, re-interning, re-sorting) the whole CSV
-//! log. The wire layout of version 2:
+//! log. The wire layout of version 3:
 //!
 //! ```text
 //! magic      8 B   "LOCATRSN"
-//! version    u32   2
+//! version    u32   3
 //! checksum   u64   FNV-1a 64 over the payload bytes
 //! length     u64   payload byte count
 //! payload:
-//!   space     u32 len + SpaceMetadata JSON (UTF-8)
+//!   space     u32 len + Space JSON (UTF-8; full id-preserving form)
 //!   validity  default/min/max δ (i64 ×3), percentile (f64 bits), min_samples (u64)
 //!   span      i64   segment span in seconds
 //!   next id   u64   event-id counter
@@ -38,6 +38,17 @@
 //! index is validated against the runs). Version-1 snapshots (no index
 //! section) are still read and rebuild on load.
 //!
+//! Versions 1 and 2 stored the space as name-canonical
+//! [`SpaceMetadata`] JSON and re-interned names on load, which could
+//! reassign [`locater_space::RoomId`]/[`AccessPointId`] values relative to
+//! the saved store (metadata iterates access points in name order, not
+//! first-mention order) — while the event records keep raw AP *ids*.
+//! Version 3 stores the full [`Space`] form instead, which round-trips
+//! every id verbatim, so `load(save(store))` equals the original store
+//! bit-for-bit for any space. Old snapshots still load through the
+//! metadata path (correct whenever name order and first-mention order
+//! agree).
+//!
 //! Decoding failures surface as typed [`StoreError`]s ([`StoreError::NotASnapshot`],
 //! [`StoreError::UnsupportedVersion`], [`StoreError::Truncated`],
 //! [`StoreError::ChecksumMismatch`], [`StoreError::Corrupt`]) — never panics.
@@ -48,14 +59,14 @@ use crate::segment::DeviceTimeline;
 use crate::store::EventStore;
 use locater_events::validity::ValidityConfig;
 use locater_events::{Device, DeviceId, EventId, MacAddress, StoredEvent, Timestamp};
-use locater_space::{AccessPointId, SpaceMetadata};
+use locater_space::{AccessPointId, Space, SpaceMetadata};
 use std::io::{Read, Write};
 use std::path::Path;
 
 /// Magic bytes every snapshot starts with.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"LOCATRSN";
 /// Newest snapshot format version this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// Oldest snapshot format version this build still reads.
 pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
@@ -74,7 +85,7 @@ pub enum SnapshotIndexMode {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash ^= b as u64;
@@ -104,7 +115,10 @@ fn encode_payload(store: &EventStore, mode: SnapshotIndexMode) -> Result<Vec<u8>
     let (space, validity, span, next_event_id, devices, timelines) = store.snapshot_parts();
     let mut out = Vec::with_capacity(64 + store.num_events() * 20);
 
-    let space_json = SpaceMetadata::from_space(space)
+    // The full id-preserving form, not `SpaceMetadata`: event records below
+    // reference access points by raw id, so the space section must restore
+    // the exact same id assignment on load.
+    let space_json = space
         .to_json()
         .map_err(|e| StoreError::Space(e.to_string()))?;
     put_u32(&mut out, space_json.len() as u32);
@@ -298,10 +312,18 @@ fn decode_payload(payload: &[u8], version: u32) -> Result<EventStore, StoreError
 
     let space_len = d.u32()? as usize;
     let space_json = d.str(space_len)?;
-    let space = SpaceMetadata::from_json(space_json)
-        .map_err(|e| StoreError::Space(e.to_string()))?
-        .build()
-        .map_err(|e| StoreError::Space(e.to_string()))?;
+    let space = if version >= 3 {
+        // v3+: the full id-preserving form.
+        Space::from_json(space_json).map_err(|e| StoreError::Space(e.to_string()))?
+    } else {
+        // v1/v2 stored name-canonical metadata; rebuilding re-interns names,
+        // which matches the saved ids whenever name order and first-mention
+        // order agree (true for the spaces that era's tooling produced).
+        SpaceMetadata::from_json(space_json)
+            .map_err(|e| StoreError::Space(e.to_string()))?
+            .build()
+            .map_err(|e| StoreError::Space(e.to_string()))?
+    };
 
     let validity = ValidityConfig {
         default_delta: d.i64()?,
@@ -472,14 +494,17 @@ impl EventStore {
     }
 
     /// Saves the store as a snapshot file with an explicit index mode.
+    ///
+    /// The write is atomic: the bytes go to a temporary file in the same
+    /// directory which is renamed over `path` only after a successful
+    /// `fsync`, so a crash mid-save never destroys an existing good snapshot.
     pub fn save_snapshot_with(
         &self,
         path: impl AsRef<Path>,
         mode: SnapshotIndexMode,
     ) -> Result<(), StoreError> {
         let bytes = self.to_snapshot_bytes_with(mode)?;
-        std::fs::write(path, bytes)?;
-        Ok(())
+        write_atomic(path.as_ref(), &bytes)
     }
 
     /// Loads a store from a snapshot file.
@@ -487,6 +512,42 @@ impl EventStore {
         let bytes = std::fs::read(path)?;
         Self::from_snapshot_bytes(&bytes)
     }
+}
+
+/// Atomically replaces `path` with `bytes`: writes a temporary file in the
+/// same directory, fsyncs it, and renames it into place — so a crash at any
+/// point leaves either the old file or the new one, never a truncated mix.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| StoreError::Corrupt(format!("invalid snapshot path {}", path.display())))?;
+    let tmp = match dir {
+        Some(dir) => dir.join(format!(".{file_name}.tmp-{}", std::process::id())),
+        None => std::path::PathBuf::from(format!(".{file_name}.tmp-{}", std::process::id())),
+    };
+    let write = (|| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(err) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(StoreError::Io(err));
+    }
+    if let Err(err) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(StoreError::Io(err));
+    }
+    // Persist the rename itself where the filesystem requires it.
+    if let Some(dir) = dir {
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -568,21 +629,50 @@ mod tests {
         ));
     }
 
+    /// The current payload with the space section swapped back to the
+    /// v1/v2-era `SpaceMetadata` blob (everything after it is unchanged).
+    fn legacy_payload(store: &EventStore) -> Vec<u8> {
+        let current = store.to_snapshot_bytes().unwrap();
+        let payload = &current[28..];
+        let space_len = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+        let meta_json = SpaceMetadata::from_space(store.space()).to_json().unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(meta_json.len() as u32).to_le_bytes());
+        out.extend_from_slice(meta_json.as_bytes());
+        out.extend_from_slice(&payload[4 + space_len..]);
+        out
+    }
+
+    fn frame(version: u32, payload: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.extend_from_slice(&super::fnv1a(payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
     #[test]
     fn version_1_snapshots_without_index_section_still_load() {
-        // A v1 snapshot is exactly the v2 rebuild-mode payload minus the
-        // trailing mode byte. Craft one and check it decodes identically.
+        // A v1 snapshot is the legacy (metadata-space) rebuild-mode payload
+        // minus the trailing mode byte. Craft one and check it decodes
+        // identically.
         let store = sample_store();
-        let v2 = store.to_snapshot_bytes().unwrap();
-        let payload = &v2[28..v2.len() - 1]; // strip header and mode byte
-        let mut v1 = Vec::new();
-        v1.extend_from_slice(SNAPSHOT_MAGIC);
-        v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&super::fnv1a(payload).to_le_bytes());
-        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        v1.extend_from_slice(payload);
-        let back = EventStore::from_snapshot_bytes(&v1).unwrap();
+        let mut payload = legacy_payload(&store);
+        payload.pop(); // strip mode byte
+        let back = EventStore::from_snapshot_bytes(&frame(1, &payload)).unwrap();
         assert_eq!(back, store, "v1 snapshots rebuild the index on load");
+    }
+
+    #[test]
+    fn version_2_snapshots_with_metadata_space_still_load() {
+        // v2 kept the mode byte but stored the space as name-canonical
+        // metadata rather than the id-preserving v3 form.
+        let store = sample_store();
+        let payload = legacy_payload(&store);
+        let back = EventStore::from_snapshot_bytes(&frame(2, &payload)).unwrap();
+        assert_eq!(back, store, "v2 snapshots rebuild the space from metadata");
     }
 
     #[test]

@@ -1,0 +1,1245 @@
+//! Per-shard append-only write-ahead log: checksummed frames, segment
+//! rotation, configurable fsync policy.
+//!
+//! The WAL is the durability half of the store (the other half is the binary
+//! snapshot of [`crate::snapshot`]): every ingested event is framed and
+//! appended to the owning shard's active segment *in the same mutation* as the
+//! in-memory append, so a crash loses at most the frames the fsync policy had
+//! not yet forced to disk. Recovery (see [`crate::recovery`]) loads the last
+//! checkpoint snapshot and replays the per-shard tails.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <wal-dir>/
+//!   checkpoint.snap            full store snapshot (crate::snapshot format)
+//!   shard-0000/
+//!     seg-0000000000000000.wal
+//!     seg-0000000000000001.wal   ← active (append) segment
+//!   shard-0001/
+//!     ...
+//! ```
+//!
+//! Each segment file starts with a 24-byte header:
+//!
+//! ```text
+//! magic     8 B   "LOCATRWL"
+//! version   u32   1
+//! shard     u32   owning shard index
+//! segment   u64   segment index (monotonic per shard, never reused)
+//! ```
+//!
+//! followed by frames, each carrying one [`WalRecord`] (the snapshot event
+//! encoding plus the device identifier, so a record replays without any other
+//! context):
+//!
+//! ```text
+//! length    u32   payload byte count
+//! checksum  u64   FNV-1a 64 over the payload bytes (same hash as snapshots)
+//! payload:  id (u64), t (i64), ap (u32), mac (u16 len + UTF-8 bytes)
+//! ```
+//!
+//! All integers are little-endian. A frame is valid only if it is complete
+//! *and* its checksum matches; scanning stops at the first invalid frame. On
+//! the **last** segment of a shard that is expected (a torn tail from a crash
+//! mid-write) and the tail is truncated away; anywhere else it is a typed
+//! [`WalError`] — never a panic, the same standard as [`crate::snapshot`].
+//!
+//! ## Durability levers
+//!
+//! * [`FsyncPolicy`] decides when appends reach the platters: `always` (one
+//!   `fdatasync` per append), `every=N` (amortized), `interval=MS`
+//!   (time-bounded loss window).
+//! * [`ShardWal::seal`] is the *delta snapshot* primitive: it fsyncs and
+//!   closes the active segment, so exactly the events since the last
+//!   checkpoint are durable regardless of policy — without rewriting the
+//!   (much larger) checkpoint snapshot.
+//! * A checkpoint (snapshot write + [`ShardWal::reset`]) trims the replayed
+//!   prefix: segment indices keep growing so a pre-checkpoint segment can
+//!   never be mistaken for a post-checkpoint one.
+
+use crate::error::{IngestError, StoreError};
+use crate::snapshot::fnv1a;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Magic bytes every WAL segment starts with.
+pub const WAL_MAGIC: &[u8; 8] = b"LOCATRWL";
+/// Newest WAL segment format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+/// Segment header length: magic + version + shard + segment index.
+pub const WAL_HEADER_LEN: usize = 8 + 4 + 4 + 8;
+/// Frame header length: payload length + checksum.
+pub const WAL_FRAME_HEADER_LEN: usize = 4 + 8;
+
+/// File name of the checkpoint snapshot inside a WAL directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.snap";
+
+/// The checkpoint snapshot path inside `dir`.
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join(CHECKPOINT_FILE)
+}
+
+/// The directory holding one shard's segments inside `dir`.
+pub fn shard_dir(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard:04}"))
+}
+
+fn segment_path(shard_dir: &Path, index: u64) -> PathBuf {
+    shard_dir.join(format!("seg-{index:016x}.wal"))
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// When appended frames are forced to disk (`fdatasync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every append: an acknowledged ingest is always durable.
+    Always,
+    /// Sync once every N appends: bounded-count loss window, amortized cost.
+    EveryN(u64),
+    /// Sync when at least this much time passed since the last sync:
+    /// bounded-time loss window.
+    Interval(Duration),
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI syntax: `always`, `every=N`, or `interval=MS`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "always" {
+            return Ok(FsyncPolicy::Always);
+        }
+        if let Some(n) = s.strip_prefix("every=") {
+            return n
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(FsyncPolicy::EveryN)
+                .ok_or_else(|| {
+                    format!("invalid fsync policy {s:?}: N must be a positive integer")
+                });
+        }
+        if let Some(ms) = s.strip_prefix("interval=") {
+            return ms
+                .parse::<u64>()
+                .ok()
+                .filter(|&ms| ms >= 1)
+                .map(|ms| FsyncPolicy::Interval(Duration::from_millis(ms)))
+                .ok_or_else(|| {
+                    format!("invalid fsync policy {s:?}: MS must be a positive integer")
+                });
+        }
+        Err(format!(
+            "invalid fsync policy {s:?} (always | every=N | interval=MS)"
+        ))
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => f.write_str("always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every={n}"),
+            FsyncPolicy::Interval(d) => write!(f, "interval={}", d.as_millis()),
+        }
+    }
+}
+
+/// Durability configuration: where the WAL lives and how eagerly it syncs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Durability {
+    /// The WAL directory (created if missing); holds the checkpoint snapshot
+    /// and one sub-directory of segments per shard.
+    pub dir: PathBuf,
+    /// When appended frames are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Rotate the active segment once it exceeds this size (bytes). Sealed
+    /// segments are immutable, so rotation bounds the cost of a torn-tail
+    /// scan and makes deltas (segments sealed since the last checkpoint)
+    /// explicit files.
+    pub segment_max_bytes: u64,
+}
+
+impl Durability {
+    /// Durability at `dir` with the safe defaults: `fsync=always`, 8 MiB
+    /// segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Durability {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Replaces the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Replaces the segment rotation threshold (clamped to at least the
+    /// header size plus one minimal frame).
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max((WAL_HEADER_LEN + WAL_FRAME_HEADER_LEN) as u64);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors produced by the WAL and recovery layer. Corruption and torn writes
+/// are typed, positioned errors — never panics.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the WAL segment magic.
+    NotAWalSegment(PathBuf),
+    /// The segment was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the segment header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// A record cannot be represented in the frame format (e.g. an oversized
+    /// device identifier). Reported at *append* time.
+    Unencodable(String),
+    /// A segment that recovery is not allowed to truncate (any segment but
+    /// the last of its shard) contains an invalid frame, or a header
+    /// disagrees with its file name. `locater-cli wal truncate` repairs this
+    /// by discarding everything from the damage onward.
+    Corrupt {
+        /// The damaged segment file.
+        segment: PathBuf,
+        /// Byte offset of the first invalid frame (or header field).
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The per-shard logs are individually valid but mutually inconsistent
+    /// (e.g. two shards claim the same event id).
+    InvalidLog(String),
+    /// Loading or writing the checkpoint snapshot failed.
+    Snapshot(StoreError),
+    /// Replaying a durable record into the store failed (the log references
+    /// an access point or device the checkpointed space does not know).
+    Replay(IngestError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(err) => write!(f, "WAL I/O error: {err}"),
+            WalError::NotAWalSegment(path) => {
+                write!(f, "{} is not a LOCATER WAL segment (bad magic)", path.display())
+            }
+            WalError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported WAL segment version {found} (this build reads up to {supported})"
+            ),
+            WalError::Unencodable(reason) => write!(f, "cannot encode WAL record: {reason}"),
+            WalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt WAL segment {} at byte {offset}: {reason} (run `locater-cli wal truncate` to repair)",
+                segment.display()
+            ),
+            WalError::InvalidLog(reason) => write!(f, "invalid WAL: {reason}"),
+            WalError::Snapshot(err) => write!(f, "WAL checkpoint snapshot: {err}"),
+            WalError::Replay(err) => write!(f, "WAL replay: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(err) => Some(err),
+            WalError::Snapshot(err) => Some(err),
+            WalError::Replay(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(err: std::io::Error) -> Self {
+        WalError::Io(err)
+    }
+}
+
+impl From<StoreError> for WalError {
+    fn from(err: StoreError) -> Self {
+        WalError::Snapshot(err)
+    }
+}
+
+impl From<IngestError> for WalError {
+    fn from(err: IngestError) -> Self {
+        WalError::Replay(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records and frames
+// ---------------------------------------------------------------------------
+
+/// One durable ingest: everything needed to replay the event into a
+/// checkpointed store, with the globally sequential event id pinned so the
+/// recovered store is bit-identical to the uncrashed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The global event id the append drew.
+    pub id: u64,
+    /// Event timestamp (seconds since the deployment epoch).
+    pub t: i64,
+    /// Resolved access point id ([`locater_space::AccessPointId::raw`]).
+    pub ap: u32,
+    /// Device MAC address / log identifier.
+    pub mac: String,
+}
+
+/// Encodes a record payload: the snapshot event encoding (`id u64, t i64,
+/// ap u32`) plus the device identifier (`u16` length + UTF-8 bytes).
+pub fn encode_record(record: &WalRecord) -> Result<Vec<u8>, WalError> {
+    let mac = record.mac.as_bytes();
+    let mac_len = u16::try_from(mac.len()).map_err(|_| {
+        WalError::Unencodable(format!(
+            "device identifier is {} bytes (format limit {})",
+            mac.len(),
+            u16::MAX
+        ))
+    })?;
+    let mut out = Vec::with_capacity(8 + 8 + 4 + 2 + mac.len());
+    out.extend_from_slice(&record.id.to_le_bytes());
+    out.extend_from_slice(&record.t.to_le_bytes());
+    out.extend_from_slice(&record.ap.to_le_bytes());
+    out.extend_from_slice(&mac_len.to_le_bytes());
+    out.extend_from_slice(mac);
+    Ok(out)
+}
+
+/// Decodes a frame payload back into a [`WalRecord`]. Errors are descriptive
+/// strings; the caller positions them (segment + offset).
+fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    if payload.len() < 8 + 8 + 4 + 2 {
+        return Err(format!(
+            "record payload too short ({} bytes)",
+            payload.len()
+        ));
+    }
+    let id = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let t = i64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    let ap = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes"));
+    let mac_len = u16::from_le_bytes(payload[20..22].try_into().expect("2 bytes")) as usize;
+    let rest = &payload[22..];
+    if rest.len() != mac_len {
+        return Err(format!(
+            "record declares a {mac_len}-byte identifier but carries {} bytes",
+            rest.len()
+        ));
+    }
+    let mac = std::str::from_utf8(rest)
+        .map_err(|_| "non-UTF-8 device identifier".to_string())?
+        .to_string();
+    Ok(WalRecord { id, t, ap, mac })
+}
+
+fn encode_frame(record: &WalRecord) -> Result<Vec<u8>, WalError> {
+    let payload = encode_record(record)?;
+    let mut frame = Vec::with_capacity(WAL_FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+fn encode_segment_header(shard: u32, index: u64) -> [u8; WAL_HEADER_LEN] {
+    let mut header = [0u8; WAL_HEADER_LEN];
+    header[0..8].copy_from_slice(WAL_MAGIC);
+    header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&shard.to_le_bytes());
+    header[16..24].copy_from_slice(&index.to_le_bytes());
+    header
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+/// Where and why a lenient scan stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first invalid frame: the valid prefix ends here.
+    pub offset: u64,
+    /// What was wrong with the frame (incomplete, checksum mismatch, …).
+    pub reason: String,
+}
+
+/// The result of scanning one segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// The scanned file.
+    pub path: PathBuf,
+    /// `(shard, segment index)` from the header — `None` when the header
+    /// itself was torn (lenient scans only).
+    pub header: Option<(u32, u64)>,
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Length in bytes of the valid prefix (header + valid frames).
+    pub valid_bytes: u64,
+    /// Actual file length.
+    pub file_len: u64,
+    /// Set when the scan stopped before `file_len`.
+    pub torn: Option<TornTail>,
+}
+
+impl SegmentScan {
+    /// `true` when every byte of the file was a valid header or frame.
+    pub fn is_clean(&self) -> bool {
+        self.torn.is_none()
+    }
+}
+
+/// Scans one segment file. `lenient` mode treats any invalid frame (and a
+/// torn header) as the end of the valid prefix and reports it in
+/// [`SegmentScan::torn`]; strict mode turns the same condition into a typed
+/// [`WalError::Corrupt`]. A wrong magic or an unsupported version is an error
+/// in both modes — foreign files are never silently truncated.
+pub fn scan_segment(path: &Path, lenient: bool) -> Result<SegmentScan, WalError> {
+    let bytes = std::fs::read(path)?;
+    let file_len = bytes.len() as u64;
+    let torn_or_err = |offset: u64, reason: String| -> Result<Option<TornTail>, WalError> {
+        if lenient {
+            Ok(Some(TornTail { offset, reason }))
+        } else {
+            Err(WalError::Corrupt {
+                segment: path.to_path_buf(),
+                offset,
+                reason,
+            })
+        }
+    };
+
+    if bytes.len() < WAL_HEADER_LEN {
+        // A crash can tear the header of a freshly created segment; a full
+        // header with the wrong magic is a different file kind, not a tear.
+        if bytes.len() >= WAL_MAGIC.len() && &bytes[0..8] != WAL_MAGIC {
+            return Err(WalError::NotAWalSegment(path.to_path_buf()));
+        }
+        let torn = torn_or_err(
+            0,
+            format!("incomplete segment header ({} bytes)", bytes.len()),
+        )?;
+        return Ok(SegmentScan {
+            path: path.to_path_buf(),
+            header: None,
+            records: Vec::new(),
+            valid_bytes: 0,
+            file_len,
+            torn,
+        });
+    }
+    if &bytes[0..8] != WAL_MAGIC {
+        return Err(WalError::NotAWalSegment(path.to_path_buf()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(WalError::UnsupportedVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let shard = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let index = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+
+    let mut records = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    let mut torn = None;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < WAL_FRAME_HEADER_LEN {
+            torn = torn_or_err(
+                pos as u64,
+                format!("incomplete frame header ({remaining} bytes)"),
+            )?;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let expected = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        if remaining - WAL_FRAME_HEADER_LEN < len {
+            torn = torn_or_err(
+                pos as u64,
+                format!(
+                    "frame declares {len} payload bytes but only {} remain",
+                    remaining - WAL_FRAME_HEADER_LEN
+                ),
+            )?;
+            break;
+        }
+        let payload = &bytes[pos + WAL_FRAME_HEADER_LEN..pos + WAL_FRAME_HEADER_LEN + len];
+        let actual = fnv1a(payload);
+        if actual != expected {
+            torn = torn_or_err(
+                pos as u64,
+                format!(
+                    "frame checksum mismatch (header says {expected:#018x}, payload hashes to {actual:#018x})"
+                ),
+            )?;
+            break;
+        }
+        match decode_record(payload) {
+            Ok(record) => records.push(record),
+            Err(reason) => {
+                torn = torn_or_err(pos as u64, reason)?;
+                break;
+            }
+        }
+        pos += WAL_FRAME_HEADER_LEN + len;
+    }
+    let valid_bytes = match &torn {
+        Some(t) => t.offset,
+        None => pos as u64,
+    };
+    Ok(SegmentScan {
+        path: path.to_path_buf(),
+        header: Some((shard, index)),
+        records,
+        valid_bytes,
+        file_len,
+        torn,
+    })
+}
+
+/// Lists a shard directory's segment files as `(index, path)`, sorted by
+/// index. Files not matching the `seg-*.wal` pattern are ignored.
+pub fn list_segments(shard_dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(shard_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(index) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        else {
+            continue;
+        };
+        segments.push((index, entry.path()));
+    }
+    segments.sort_unstable_by_key(|(index, _)| *index);
+    Ok(segments)
+}
+
+/// Lists the shard sub-directories of a WAL directory as `(shard, path)`,
+/// sorted by shard index.
+pub fn list_shard_dirs(dir: &Path) -> Result<Vec<(u32, PathBuf)>, WalError> {
+    let mut shards = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(shard) = name
+            .to_str()
+            .and_then(|name| name.strip_prefix("shard-"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        shards.push((shard, entry.path()));
+    }
+    shards.sort_unstable_by_key(|(shard, _)| *shard);
+    Ok(shards)
+}
+
+// ---------------------------------------------------------------------------
+// The writer
+// ---------------------------------------------------------------------------
+
+/// Live WAL counters for one shard (reported through `stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Live segment files (sealed + the active one).
+    pub segments: u64,
+    /// Frames across live segments.
+    pub frames: u64,
+    /// Bytes across live segments (headers included).
+    pub bytes: u64,
+    /// Frames in the active (not yet sealed) segment — the tail a crash with
+    /// `fsync=always` could at most tear mid-frame.
+    pub tail_frames: u64,
+}
+
+/// The append side of one shard's WAL: owns the active segment file and the
+/// fsync bookkeeping. All methods take `&mut self` — in the sharded service
+/// the writer lives under the shard's write lock, so the WAL append and the
+/// store append are one mutation.
+#[derive(Debug)]
+pub struct ShardWal {
+    dir: PathBuf,
+    shard: u32,
+    fsync: FsyncPolicy,
+    segment_max_bytes: u64,
+    file: File,
+    active_index: u64,
+    active_bytes: u64,
+    active_frames: u64,
+    sealed_bytes: u64,
+    sealed_frames: u64,
+    sealed_segments: u64,
+    unsynced: u64,
+    last_sync: Instant,
+}
+
+impl ShardWal {
+    /// Opens (or creates) shard `shard`'s log under `config.dir`. An existing
+    /// log is scanned first: all segments must be valid except that the last
+    /// may have a torn tail, which is **physically truncated** here so the
+    /// file ends on a frame boundary before any append. Returns the writer
+    /// and the valid records found (in append order) — the durable tail a
+    /// caller may want to replay.
+    pub fn open(config: &Durability, shard: u32) -> Result<(Self, Vec<WalRecord>), WalError> {
+        let dir = shard_dir(&config.dir, shard);
+        std::fs::create_dir_all(&dir)?;
+        let segments = list_segments(&dir)?;
+        let mut records = Vec::new();
+        let mut sealed_bytes = 0u64;
+        let mut sealed_frames = 0u64;
+        let mut wal = if let Some((&(last_index, ref last_path), earlier)) = segments.split_last() {
+            for (index, path) in earlier {
+                let scan = scan_segment(path, false)?;
+                check_header(&scan, shard, *index)?;
+                sealed_bytes += scan.valid_bytes;
+                sealed_frames += scan.records.len() as u64;
+                records.extend(scan.records);
+            }
+            let scan = scan_segment(last_path, true)?;
+            if let Some((header_shard, header_index)) = scan.header {
+                check_header(&scan, shard, last_index)?;
+                let _ = (header_shard, header_index);
+            }
+            let file = OpenOptions::new().append(true).open(last_path)?;
+            if scan.valid_bytes < scan.file_len || scan.header.is_none() {
+                // Torn tail: truncate to the last complete frame (or rewrite
+                // a torn header from scratch) so appends extend a valid file.
+                file.set_len(scan.valid_bytes.max(if scan.header.is_some() {
+                    WAL_HEADER_LEN as u64
+                } else {
+                    0
+                }))?;
+                file.sync_data()?;
+            }
+            let mut wal = ShardWal {
+                dir,
+                shard,
+                fsync: config.fsync,
+                segment_max_bytes: config.segment_max_bytes,
+                file,
+                active_index: last_index,
+                active_bytes: scan.valid_bytes.max(WAL_HEADER_LEN as u64),
+                active_frames: scan.records.len() as u64,
+                sealed_bytes,
+                sealed_frames,
+                sealed_segments: segments.len() as u64 - 1,
+                unsynced: 0,
+                last_sync: Instant::now(),
+            };
+            if scan.header.is_none() {
+                // The file was truncated to zero above; give it a header.
+                wal.file
+                    .write_all(&encode_segment_header(shard, last_index))?;
+                wal.file.sync_data()?;
+                wal.active_bytes = WAL_HEADER_LEN as u64;
+                wal.active_frames = 0;
+            }
+            records.extend(scan.records);
+            wal
+        } else {
+            let (file, path) = create_segment(&dir, shard, 0)?;
+            let _ = path;
+            ShardWal {
+                dir,
+                shard,
+                fsync: config.fsync,
+                segment_max_bytes: config.segment_max_bytes,
+                file,
+                active_index: 0,
+                active_bytes: WAL_HEADER_LEN as u64,
+                active_frames: 0,
+                sealed_bytes: 0,
+                sealed_frames: 0,
+                sealed_segments: 0,
+                unsynced: 0,
+                last_sync: Instant::now(),
+            }
+        };
+        wal.last_sync = Instant::now();
+        Ok((wal, records))
+    }
+
+    /// The shard this writer logs for.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Appends one record as a checksummed frame, rotating the segment first
+    /// if it is full, then applies the fsync policy. The frame is written
+    /// with one `write_all`; durability is governed by the policy.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let frame = encode_frame(record)?;
+        if self.active_frames > 0 && self.active_bytes + frame.len() as u64 > self.segment_max_bytes
+        {
+            self.seal()?;
+        }
+        self.file.write_all(&frame)?;
+        self.active_bytes += frame.len() as u64;
+        self.active_frames += 1;
+        self.unsynced += 1;
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Interval(window) => {
+                if self.last_sync.elapsed() >= window {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces every appended frame to disk now, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+        }
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// The *delta snapshot* primitive: syncs and seals the active segment and
+    /// opens the next one. Everything appended so far — exactly the events
+    /// since the last checkpoint not yet in a sealed segment — is now durable
+    /// and immutable, without rewriting the checkpoint snapshot.
+    pub fn seal(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        self.sealed_bytes += self.active_bytes;
+        self.sealed_frames += self.active_frames;
+        self.sealed_segments += 1;
+        let next = self.active_index + 1;
+        let (file, _path) = create_segment(&self.dir, self.shard, next)?;
+        self.file = file;
+        self.active_index = next;
+        self.active_bytes = WAL_HEADER_LEN as u64;
+        self.active_frames = 0;
+        Ok(())
+    }
+
+    /// Checkpoint trim: deletes every segment (their events are now covered
+    /// by the checkpoint snapshot) and starts a fresh active segment. The new
+    /// segment keeps the monotonic index sequence, so a stale pre-checkpoint
+    /// segment can never alias a live one.
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        let next = self.active_index + 1;
+        let (file, _path) = create_segment(&self.dir, self.shard, next)?;
+        for (index, path) in list_segments(&self.dir)? {
+            if index != next {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        fsync_dir(&self.dir);
+        self.file = file;
+        self.active_index = next;
+        self.active_bytes = WAL_HEADER_LEN as u64;
+        self.active_frames = 0;
+        self.sealed_bytes = 0;
+        self.sealed_frames = 0;
+        self.sealed_segments = 0;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Live counters for `stats`.
+    pub fn stats(&self) -> WalShardStats {
+        WalShardStats {
+            shard: self.shard,
+            segments: self.sealed_segments + 1,
+            frames: self.sealed_frames + self.active_frames,
+            bytes: self.sealed_bytes + self.active_bytes,
+            tail_frames: self.active_frames,
+        }
+    }
+}
+
+fn check_header(scan: &SegmentScan, shard: u32, index: u64) -> Result<(), WalError> {
+    if let Some((header_shard, header_index)) = scan.header {
+        if header_shard != shard || header_index != index {
+            return Err(WalError::Corrupt {
+                segment: scan.path.clone(),
+                offset: 12,
+                reason: format!(
+                    "header claims shard {header_shard} segment {header_index}, \
+                     expected shard {shard} segment {index}"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn create_segment(dir: &Path, shard: u32, index: u64) -> Result<(File, PathBuf), WalError> {
+    let path = segment_path(dir, index);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&path)?;
+    file.write_all(&encode_segment_header(shard, index))?;
+    file.sync_data()?;
+    fsync_dir(dir);
+    Ok((file, path))
+}
+
+/// Best-effort directory fsync so renames/creates survive a power loss on
+/// filesystems that need it; ignored where unsupported.
+pub(crate) fn fsync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: inspect / truncate
+// ---------------------------------------------------------------------------
+
+/// What `wal inspect` reports for one segment file (always scanned
+/// leniently: inspection describes damage, it never fails on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInspection {
+    /// The segment file.
+    pub path: PathBuf,
+    /// Segment index from the file name.
+    pub index: u64,
+    /// Valid frames.
+    pub frames: u64,
+    /// Bytes of valid prefix.
+    pub valid_bytes: u64,
+    /// Actual file length.
+    pub file_len: u64,
+    /// Event-id range of the valid frames, as `(first, last)`.
+    pub id_range: Option<(u64, u64)>,
+    /// Damage description when the file has an invalid tail.
+    pub damage: Option<String>,
+}
+
+/// What `wal inspect` reports for one shard directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardInspection {
+    /// Shard index (from the directory name).
+    pub shard: u32,
+    /// The shard directory.
+    pub dir: PathBuf,
+    /// Its segments, in index order.
+    pub segments: Vec<SegmentInspection>,
+}
+
+/// What `wal inspect` reports for a whole WAL directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalInspection {
+    /// The inspected directory.
+    pub dir: PathBuf,
+    /// The checkpoint snapshot: `Ok((bytes, events, next_event_id))` when it
+    /// loads, `Err(message)` when present but unreadable, `None` when absent.
+    pub checkpoint: Option<Result<(u64, usize, u64), String>>,
+    /// Per-shard segment listings.
+    pub shards: Vec<ShardInspection>,
+}
+
+/// Scans a WAL directory without modifying it: checkpoint, shards, segments,
+/// frame counts, id ranges, and any damage (torn tails, corrupt frames).
+pub fn inspect_wal(dir: &Path) -> Result<WalInspection, WalError> {
+    let checkpoint = {
+        let path = checkpoint_path(dir);
+        if path.exists() {
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            Some(
+                crate::EventStore::load_snapshot(&path)
+                    .map(|store| (bytes, store.num_events(), store.next_event_id()))
+                    .map_err(|e| e.to_string()),
+            )
+        } else {
+            None
+        }
+    };
+    let mut shards = Vec::new();
+    for (shard, shard_path) in list_shard_dirs(dir)? {
+        let mut segments = Vec::new();
+        for (index, path) in list_segments(&shard_path)? {
+            let segment = match scan_segment(&path, true) {
+                Ok(scan) => SegmentInspection {
+                    path: path.clone(),
+                    index,
+                    frames: scan.records.len() as u64,
+                    valid_bytes: scan.valid_bytes,
+                    file_len: scan.file_len,
+                    id_range: match (scan.records.first(), scan.records.last()) {
+                        (Some(first), Some(last)) => Some((first.id, last.id)),
+                        _ => None,
+                    },
+                    damage: scan
+                        .torn
+                        .map(|torn| format!("at byte {}: {}", torn.offset, torn.reason)),
+                },
+                // Foreign files / unsupported versions: report, don't fail.
+                Err(e) => SegmentInspection {
+                    path: path.clone(),
+                    index,
+                    frames: 0,
+                    valid_bytes: 0,
+                    file_len: std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                    id_range: None,
+                    damage: Some(e.to_string()),
+                },
+            };
+            segments.push(segment);
+        }
+        shards.push(ShardInspection {
+            shard,
+            dir: shard_path,
+            segments,
+        });
+    }
+    Ok(WalInspection {
+        dir: dir.to_path_buf(),
+        checkpoint,
+        shards,
+    })
+}
+
+/// What `wal truncate` did to one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTruncation {
+    /// Shard index.
+    pub shard: u32,
+    /// The first damaged segment, truncated in place to its valid prefix
+    /// (`None` when the shard was clean).
+    pub truncated: Option<PathBuf>,
+    /// Bytes cut from the truncated segment.
+    pub bytes_cut: u64,
+    /// Later segments deleted outright (everything after the damage).
+    pub segments_removed: u64,
+    /// Valid frames lost inside the removed segments (frames after the
+    /// damage point are unrecoverable by definition).
+    pub frames_removed: u64,
+}
+
+/// Repairs a damaged WAL in place: for each shard, everything from the first
+/// invalid frame onward is discarded — the damaged segment is truncated to
+/// its valid prefix and all later segments are deleted. This is the manual
+/// counterpart of the automatic torn-tail handling recovery applies to the
+/// *last* segment only; use it when an earlier segment is damaged and
+/// recovery refuses with [`WalError::Corrupt`].
+pub fn truncate_wal(dir: &Path) -> Result<Vec<ShardTruncation>, WalError> {
+    let mut report = Vec::new();
+    for (shard, shard_path) in list_shard_dirs(dir)? {
+        let mut truncation = ShardTruncation {
+            shard,
+            truncated: None,
+            bytes_cut: 0,
+            segments_removed: 0,
+            frames_removed: 0,
+        };
+        let mut damaged = false;
+        for (_index, path) in list_segments(&shard_path)? {
+            if damaged {
+                let scan = scan_segment(&path, true);
+                if let Ok(scan) = scan {
+                    truncation.frames_removed += scan.records.len() as u64;
+                }
+                std::fs::remove_file(&path)?;
+                truncation.segments_removed += 1;
+                continue;
+            }
+            let scan = match scan_segment(&path, true) {
+                Ok(scan) => scan,
+                Err(_) => {
+                    // Foreign / unreadable file in the sequence: cut here.
+                    damaged = true;
+                    truncation.truncated = Some(path.clone());
+                    truncation.bytes_cut += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    std::fs::remove_file(&path)?;
+                    truncation.segments_removed += 1;
+                    continue;
+                }
+            };
+            if !scan.is_clean() {
+                damaged = true;
+                truncation.truncated = Some(path.clone());
+                truncation.bytes_cut += scan.file_len - scan.valid_bytes;
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(scan.valid_bytes)?;
+                file.sync_data()?;
+            }
+        }
+        fsync_dir(&shard_path);
+        report.push(truncation);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "locater-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn record(id: u64) -> WalRecord {
+        WalRecord {
+            id,
+            t: 1_000 + id as i64,
+            ap: (id % 3) as u32,
+            mac: format!("aa:bb:cc:dd:ee:{id:02x}"),
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(
+            FsyncPolicy::parse("every=8").unwrap(),
+            FsyncPolicy::EveryN(8)
+        );
+        assert_eq!(
+            FsyncPolicy::parse("interval=200").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(200))
+        );
+        for bad in ["", "sometimes", "every=", "every=0", "interval=-1"] {
+            assert!(FsyncPolicy::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+        assert_eq!(FsyncPolicy::Always.to_string(), "always");
+        assert_eq!(FsyncPolicy::EveryN(4).to_string(), "every=4");
+        assert_eq!(
+            FsyncPolicy::Interval(Duration::from_millis(50)).to_string(),
+            "interval=50"
+        );
+    }
+
+    #[test]
+    fn append_and_rescan_roundtrips() {
+        let dir = temp_dir("roundtrip");
+        let config = Durability::new(&dir);
+        let (mut wal, existing) = ShardWal::open(&config, 0).unwrap();
+        assert!(existing.is_empty());
+        let records: Vec<WalRecord> = (0..10).map(record).collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.frames, 10);
+        assert_eq!(stats.segments, 1);
+        drop(wal);
+        // Reopen: the same records come back, in order.
+        let (wal, recovered) = ShardWal::open(&config, 0).unwrap();
+        assert_eq!(recovered, records);
+        assert_eq!(wal.stats().frames, 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_survives_reopen() {
+        let dir = temp_dir("rotation");
+        // Tiny segments: every frame rotates.
+        let config = Durability::new(&dir).with_segment_max_bytes(64);
+        let (mut wal, _) = ShardWal::open(&config, 2).unwrap();
+        let records: Vec<WalRecord> = (0..5).map(record).collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        assert!(wal.stats().segments > 1, "rotation must have happened");
+        let total = wal.stats().frames;
+        drop(wal);
+        let (wal, recovered) = ShardWal::open(&config, 2).unwrap();
+        assert_eq!(recovered, records);
+        assert_eq!(wal.stats().frames, total);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_at_every_byte_boundary() {
+        let dir = temp_dir("torn");
+        let config = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        for i in 0..3 {
+            wal.append(&record(i)).unwrap();
+        }
+        let before_last = {
+            let path = segment_path(&shard_dir(&dir, 0), 0);
+            std::fs::metadata(&path).unwrap().len()
+        };
+        wal.append(&record(3)).unwrap();
+        drop(wal);
+        let path = segment_path(&shard_dir(&dir, 0), 0);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file at every byte boundary inside the last frame: the
+        // first three records always survive, the fourth only when complete.
+        for cut in before_last..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let (wal, recovered) = ShardWal::open(&config, 0).unwrap();
+            assert_eq!(recovered.len(), 3, "cut at {cut}");
+            assert_eq!(recovered, (0..3).map(record).collect::<Vec<_>>());
+            // The writer truncated the file back to a frame boundary.
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                before_last,
+                "cut at {cut}"
+            );
+            drop(wal);
+            std::fs::write(&path, &full).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_a_typed_error() {
+        let dir = temp_dir("corrupt-middle");
+        let config = Durability::new(&dir).with_segment_max_bytes(64);
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        for i in 0..5 {
+            wal.append(&record(i)).unwrap();
+        }
+        assert!(wal.stats().segments >= 3);
+        drop(wal);
+        // Flip one payload byte in the FIRST segment: not the tail, so the
+        // open must refuse with a positioned Corrupt error, not truncate.
+        let first = list_segments(&shard_dir(&dir, 0)).unwrap()[0].1.clone();
+        let mut bytes = std::fs::read(&first).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&first, &bytes).unwrap();
+        let err = ShardWal::open(&config, 0).unwrap_err();
+        assert!(
+            matches!(err, WalError::Corrupt { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("wal truncate"));
+        // wal truncate repairs it: damage point onward is discarded.
+        let report = truncate_wal(&dir).unwrap();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].truncated.is_some());
+        assert!(report[0].segments_removed > 0);
+        let (_, recovered) = ShardWal::open(&config, 0).unwrap();
+        assert!(recovered.len() < 5, "frames after the damage are gone");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_and_versions_are_typed_errors() {
+        let dir = temp_dir("foreign");
+        let seg = dir.join("seg-0000000000000000.wal");
+        std::fs::write(&seg, b"definitely not a wal segment").unwrap();
+        assert!(matches!(
+            scan_segment(&seg, true),
+            Err(WalError::NotAWalSegment(_))
+        ));
+        let mut header = encode_segment_header(0, 0).to_vec();
+        header[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&seg, &header).unwrap();
+        assert!(matches!(
+            scan_segment(&seg, true),
+            Err(WalError::UnsupportedVersion { found: 9, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seal_and_reset_manage_segments() {
+        let dir = temp_dir("seal-reset");
+        let config = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&config, 1).unwrap();
+        wal.append(&record(0)).unwrap();
+        wal.seal().unwrap();
+        wal.append(&record(1)).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.tail_frames, 1);
+        wal.reset().unwrap();
+        let stats = wal.stats();
+        assert_eq!((stats.segments, stats.frames), (1, 0));
+        // Indices stay monotonic across the reset.
+        let segments = list_segments(&shard_dir(&dir, 1)).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert!(segments[0].0 >= 2);
+        drop(wal);
+        let (_, recovered) = ShardWal::open(&config, 1).unwrap();
+        assert!(recovered.is_empty(), "reset discarded all records");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_identifiers_fail_at_append_time() {
+        let err = encode_record(&WalRecord {
+            id: 0,
+            t: 0,
+            ap: 0,
+            mac: "x".repeat(70_000),
+        })
+        .unwrap_err();
+        assert!(matches!(err, WalError::Unencodable(_)));
+    }
+
+    #[test]
+    fn inspect_reports_shards_segments_and_damage() {
+        let dir = temp_dir("inspect");
+        let config = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        for i in 0..4 {
+            wal.append(&record(i)).unwrap();
+        }
+        drop(wal);
+        // Tear the tail by cutting three bytes off.
+        let seg = list_segments(&shard_dir(&dir, 0)).unwrap()[0].1.clone();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let inspection = inspect_wal(&dir).unwrap();
+        assert!(inspection.checkpoint.is_none());
+        assert_eq!(inspection.shards.len(), 1);
+        let segment = &inspection.shards[0].segments[0];
+        assert_eq!(segment.frames, 3);
+        assert_eq!(segment.id_range, Some((0, 2)));
+        assert!(segment.damage.is_some());
+        assert!(segment.valid_bytes < segment.file_len);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

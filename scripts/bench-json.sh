@@ -8,6 +8,10 @@
 #   BENCH_6.json — locater-load serving benchmark: closed- and open-loop
 #     clients over TCP against an in-process server at shard counts {1, 4},
 #     reporting p50/p99/p999 latency and throughput for ingest and locate.
+#   BENCH_7.json — wal_replay recovery benchmark: checkpoint + WAL-tail
+#     replay vs cold CSV replay on the same corpus. With
+#     LOCATER_BENCH_GUARD=1 the bench fails if recovery is not faster than
+#     the cold replay it replaces.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,3 +38,13 @@ cargo run --release -p locater-bench --bin locater-load -- \
 echo
 echo "== ${out6} =="
 cat "${out6}"
+
+out7="$(pwd)/${LOCATER_WAL_BENCH_JSON:-BENCH_7.json}"
+case "${LOCATER_WAL_BENCH_JSON:-}" in
+  /*) out7="${LOCATER_WAL_BENCH_JSON}" ;;
+esac
+
+LOCATER_WAL_BENCH_JSON="${out7}" cargo bench --bench wal_replay
+echo
+echo "== ${out7} =="
+cat "${out7}"

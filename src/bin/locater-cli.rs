@@ -11,9 +11,12 @@
 //! locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]
 //! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]
 //! locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]
+//! locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]
 //! locater-cli request  <addr> <verb line or raw JSON frame>
 //! locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]
 //! locater-cli snapshot load <store.snap>
+//! locater-cli wal inspect  <wal-dir>
+//! locater-cli wal truncate <wal-dir>
 //! locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]
 //! ```
 //!
@@ -48,6 +51,18 @@
 //!   reports totals plus one line per shard and the serving-layer counters
 //!   (see `docs/OPERATIONS.md`); answers are byte-identical for every
 //!   `--shards` value.
+//! * `serve --wal-dir` makes ingests durable: every accepted event is framed
+//!   into a per-shard write-ahead log before it mutates the store, a crash is
+//!   recovered on the next boot (checkpoint snapshot + WAL tail replay, torn
+//!   final frames truncated), and a graceful drain checkpoints so a clean
+//!   shutdown leaves an empty tail. `--fsync` picks the durability/throughput
+//!   trade-off (`always` per record, `every=N` records, `interval=MS`);
+//!   `--wal-segment-bytes` bounds segment files before rotation.
+//! * `wal inspect` reports a WAL directory read-only — checkpoint, segments,
+//!   frame counts, id ranges, damage; `wal truncate` repairs a damaged log by
+//!   discarding everything from the first invalid frame onward (the manual
+//!   counterpart of the torn-tail truncation recovery applies automatically
+//!   to the final segment).
 //! * `request` sends one request (verb syntax or raw JSON) to a running
 //!   `serve --listen` server and prints the raw NDJSON response frame.
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
@@ -56,14 +71,51 @@
 
 use locater::prelude::*;
 use locater::proto::{encode_request, parse_repl_line, ReplCommand, WireResponse};
-use locater::server::{describe_location, render_response, ServerConfig, ServerState};
+use locater::server::{
+    describe_location, render_response, DrainSummary, ServerConfig, ServerState,
+};
 use locater::space::SpaceMetadata;
-use locater::store::SnapshotIndexMode;
+use locater::store::{
+    inspect_wal, truncate_wal, Durability, FsyncPolicy, RecoveryReport, SnapshotIndexMode,
+    WalInspection,
+};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Why the CLI failed: `Usage` errors (bad arguments) reprint the usage text;
+/// `Runtime` errors (I/O, corrupt files, failed drains) only print the
+/// message — a failed drain snapshot should not scroll the help screen past
+/// the diagnostic. Both exit non-zero.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(message) | CliError::Runtime(message) => f.write_str(message),
+        }
+    }
+}
+
+/// Formatted messages come from operations that already ran — runtime errors.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Runtime(message)
+    }
+}
+
+/// Static messages describe missing or malformed arguments — usage errors.
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::Usage(message.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,21 +124,23 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{}", usage());
+        Err(error) => {
+            eprintln!("error: {error}");
+            if matches!(error, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             ExitCode::FAILURE
         }
     }
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]\n  locater-cli request  <addr> <verb line or raw JSON frame>\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]\n  locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]\n  locater-cli request  <addr> <verb line or raw JSON frame>\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli wal inspect  <wal-dir>\n  locater-cli wal truncate <wal-dir>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let command = args.first().ok_or("missing command")?;
     match command.as_str() {
         "stats" => stats(
@@ -98,8 +152,9 @@ fn run(args: &[String]) -> Result<String, String> {
         "serve" => serve(args),
         "request" => request(args),
         "snapshot" => snapshot(args),
+        "wal" => wal(args),
         "simulate" => simulate(args),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -141,25 +196,56 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Parses `--shards N` (default 1 — the single-shard `LocaterService` regime).
-fn shards_from_flags(args: &[String]) -> Result<usize, String> {
+fn shards_from_flags(args: &[String]) -> Result<usize, CliError> {
     match flag_value(args, "--shards") {
         Some(v) => v
             .parse::<usize>()
             .ok()
             .filter(|&shards| shards >= 1)
-            .ok_or_else(|| "--shards must be a positive integer".to_string()),
-        None if args.iter().any(|a| a == "--shards") => {
-            Err("--shards requires a value".to_string())
-        }
+            .ok_or("--shards must be a positive integer".into()),
+        None if args.iter().any(|a| a == "--shards") => Err("--shards requires a value".into()),
         None => Ok(1),
     }
+}
+
+/// Parses the durability flags: `--wal-dir DIR` switches the WAL on,
+/// `--fsync` and `--wal-segment-bytes` tune it (and are rejected without it).
+fn durability_from_flags(args: &[String]) -> Result<Option<Durability>, CliError> {
+    let Some(dir) = flag_value(args, "--wal-dir") else {
+        if args.iter().any(|a| a == "--wal-dir") {
+            return Err("--wal-dir requires a directory".into());
+        }
+        for flag in ["--fsync", "--wal-segment-bytes"] {
+            if args.iter().any(|a| a == flag) {
+                return Err(CliError::Usage(format!("{flag} requires --wal-dir")));
+            }
+        }
+        return Ok(None);
+    };
+    let mut durability = Durability::new(dir);
+    if let Some(v) = flag_value(args, "--fsync") {
+        durability = durability.with_fsync(FsyncPolicy::parse(&v).map_err(CliError::Usage)?);
+    } else if args.iter().any(|a| a == "--fsync") {
+        return Err("--fsync requires a policy (always|every=N|interval=MS)".into());
+    }
+    if let Some(v) = flag_value(args, "--wal-segment-bytes") {
+        let bytes = v
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--wal-segment-bytes must be a positive integer")?;
+        durability = durability.with_segment_max_bytes(bytes);
+    } else if args.iter().any(|a| a == "--wal-segment-bytes") {
+        return Err("--wal-segment-bytes requires a value".into());
+    }
+    Ok(Some(durability))
 }
 
 // ---------------------------------------------------------------------------
 // Commands
 // ---------------------------------------------------------------------------
 
-fn stats(space_path: &str, events_path: &str) -> Result<String, String> {
+fn stats(space_path: &str, events_path: &str) -> Result<String, CliError> {
     let store = load_store(space_path, events_path)?;
     let stats = store.stats();
     let mut out = String::new();
@@ -188,7 +274,7 @@ fn stats(space_path: &str, events_path: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn locate(args: &[String]) -> Result<String, String> {
+fn locate(args: &[String]) -> Result<String, CliError> {
     let space_path = args.get(1).ok_or("missing space.json")?;
     let events_path = args.get(2).ok_or("missing events.csv")?;
     let mac = args.get(3).ok_or("missing mac")?;
@@ -196,7 +282,7 @@ fn locate(args: &[String]) -> Result<String, String> {
         .get(4)
         .ok_or("missing timestamp")?
         .parse()
-        .map_err(|_| "timestamp must be an integer number of seconds".to_string())?;
+        .map_err(|_| "timestamp must be an integer number of seconds")?;
     let store = load_store(space_path, events_path)?;
     let locater = Locater::new(store, config_from_flags(args));
     let answer = locater
@@ -211,7 +297,7 @@ fn locate(args: &[String]) -> Result<String, String> {
     ))
 }
 
-fn batch(args: &[String]) -> Result<String, String> {
+fn batch(args: &[String]) -> Result<String, CliError> {
     let space_path = args.get(1).ok_or("missing space.json")?;
     let events_path = args.get(2).ok_or("missing events.csv")?;
     let queries_path = args.get(3).ok_or("missing queries.csv")?;
@@ -220,9 +306,9 @@ fn batch(args: &[String]) -> Result<String, String> {
             .parse::<usize>()
             .ok()
             .filter(|&jobs| jobs >= 1)
-            .ok_or_else(|| "--jobs must be a positive integer".to_string())?,
+            .ok_or("--jobs must be a positive integer")?,
         None if args.iter().any(|a| a == "--jobs") => {
-            return Err("--jobs requires a value".to_string());
+            return Err("--jobs requires a value".into());
         }
         None => std::thread::available_parallelism()
             .map(|n| n.get())
@@ -283,7 +369,7 @@ fn batch(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn serve(args: &[String]) -> Result<String, String> {
+fn serve(args: &[String]) -> Result<String, CliError> {
     let store = if let Some(snapshot_path) = flag_value(args, "--snapshot") {
         // Cold start from the binary snapshot: no CSV replay, validity periods
         // already estimated, segments restored verbatim.
@@ -297,8 +383,21 @@ fn serve(args: &[String]) -> Result<String, String> {
             None => EventStore::new(load_space(space_path)?),
         }
     };
-    let service =
-        ShardedLocaterService::new(store, config_from_flags(args), shards_from_flags(args)?);
+    let config = config_from_flags(args);
+    let shards = shards_from_flags(args)?;
+    let service = match durability_from_flags(args)? {
+        Some(durability) => {
+            // Recovery happens here: last checkpoint + WAL tail replay, then a
+            // fresh checkpoint and empty per-shard logs before serving starts.
+            let wal_dir = durability.dir.display().to_string();
+            let (service, recovery) =
+                ShardedLocaterService::with_durability(store, config, shards, durability)
+                    .map_err(|e| CliError::Runtime(format!("cannot open wal {wal_dir}: {e}")))?;
+            println!("{}", render_recovery(&recovery));
+            service
+        }
+        None => ShardedLocaterService::new(store, config, shards),
+    };
     let state = Arc::new(ServerState::new(
         service,
         flag_value(args, "--drain-snapshot"),
@@ -311,44 +410,88 @@ fn serve(args: &[String]) -> Result<String, String> {
     let commands = serve_loop(&state, stdin.lock(), &mut stdout)?;
     let mut out = format!("# served {commands} commands\n");
     if state.is_draining() {
-        // `shutdown` over stdio behaves like the TCP drain: the configured
-        // drain snapshot is written before the process exits.
-        match state.finish_drain() {
-            Ok(Some((path, bytes))) => {
-                let _ = writeln!(out, "# drained: saved {path} ({bytes} bytes)");
-            }
-            Ok(None) => {}
-            Err(e) => return Err(format!("cannot write drain snapshot: {e}")),
-        }
+        // `shutdown` over stdio behaves like the TCP drain: the WAL is
+        // checkpointed (clean shutdown leaves an empty tail) and the
+        // configured drain snapshot is written before the process exits.
+        append_drain_summary(&mut out, &state.finish_drain())?;
     }
     Ok(out)
+}
+
+/// One boot line summarizing what crash recovery found in the WAL directory,
+/// plus one warning line per truncated torn tail.
+fn render_recovery(recovery: &RecoveryReport) -> String {
+    let mut out = format!(
+        "# wal: recovered {} event(s) from {} segment(s) across {} shard(s) ({}; {} base event(s), {} already covered)",
+        recovery.replayed,
+        recovery.segments,
+        recovery.shards,
+        if recovery.checkpoint_loaded {
+            "checkpoint loaded"
+        } else {
+            "no checkpoint"
+        },
+        recovery.base_events,
+        recovery.skipped,
+    );
+    for (path, offset) in &recovery.torn {
+        let _ = write!(
+            out,
+            "\n# wal: torn tail in {} truncated at byte {offset}",
+            path.display()
+        );
+    }
+    out
+}
+
+/// Appends the drain epilogue (WAL checkpoint, drain snapshot) to the served
+/// summary. Epilogue I/O failures become a non-zero exit: the summary printed
+/// so far still reaches stdout, then the failure is reported as the error.
+fn append_drain_summary(out: &mut String, drain: &DrainSummary) -> Result<(), CliError> {
+    if let Some(Ok(bytes)) = &drain.checkpoint {
+        let _ = writeln!(
+            out,
+            "# drained: checkpointed wal ({bytes} byte snapshot, logs trimmed)"
+        );
+    }
+    if let Some(Ok((path, bytes))) = &drain.snapshot {
+        let _ = writeln!(out, "# drained: saved {path} ({bytes} bytes)");
+    }
+    match drain.failure_message() {
+        None => Ok(()),
+        Some(message) => {
+            print!("{out}");
+            std::io::stdout().flush().ok();
+            Err(CliError::Runtime(message))
+        }
+    }
 }
 
 /// The `serve --listen` path: the wire protocol over TCP. Prints the bound
 /// address immediately (port `0` resolves to an ephemeral port), then blocks
 /// until a graceful drain (`shutdown` request or SIGTERM).
-fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<String, String> {
+fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<String, CliError> {
     let mut config = ServerConfig::default();
     if let Some(v) = flag_value(args, "--workers") {
         config.workers = v
             .parse::<usize>()
             .ok()
             .filter(|&n| n >= 1)
-            .ok_or_else(|| "--workers must be a positive integer".to_string())?;
+            .ok_or("--workers must be a positive integer")?;
     }
     if let Some(v) = flag_value(args, "--queue") {
         config.admission_limit = v
             .parse::<usize>()
             .ok()
             .filter(|&n| n >= 1)
-            .ok_or_else(|| "--queue must be a positive integer".to_string())?;
+            .ok_or("--queue must be a positive integer")?;
     }
     if let Some(v) = flag_value(args, "--idle-timeout") {
         let secs = v
             .parse::<u64>()
             .ok()
             .filter(|&n| n >= 1)
-            .ok_or_else(|| "--idle-timeout must be a positive number of seconds".to_string())?;
+            .ok_or("--idle-timeout must be a positive number of seconds")?;
         config.idle_timeout = Duration::from_secs(secs);
     }
     #[cfg(unix)]
@@ -362,7 +505,7 @@ fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<S
         locater::proto::PROTOCOL_VERSION
     );
     std::io::stdout().flush().ok();
-    let report = server.join().map_err(|e| format!("drain failed: {e}"))?;
+    let report = server.join();
     let mut out = format!(
         "# served {} requests over {} connections ({} rejected overloaded, {} rejected while draining)\n",
         report.requests_served,
@@ -370,9 +513,7 @@ fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<S
         report.rejected_overloaded,
         report.rejected_shutting_down
     );
-    if let Some((path, bytes)) = report.drain_snapshot {
-        let _ = writeln!(out, "# drained: saved {path} ({bytes} bytes)");
-    }
+    append_drain_summary(&mut out, &report.drain)?;
     Ok(out)
 }
 
@@ -430,18 +571,18 @@ fn serve_loop(
 
 /// The `request` command: send one NDJSON request to a running
 /// `serve --listen` server and print the raw response frame.
-fn request(args: &[String]) -> Result<String, String> {
+fn request(args: &[String]) -> Result<String, CliError> {
     let addr = args.get(1).ok_or("missing server address")?;
     let line = args[2..].join(" ");
     let request = match parse_repl_line(&line) {
         Ok(ReplCommand::Request(request)) => request,
         Ok(ReplCommand::Empty) => {
-            return Err("missing request (verb syntax or a raw JSON frame)".to_string())
+            return Err("missing request (verb syntax or a raw JSON frame)".into())
         }
         Ok(ReplCommand::Quit) => {
-            return Err("quit is not a wire request (did you mean shutdown?)".to_string())
+            return Err("quit is not a wire request (did you mean shutdown?)".into())
         }
-        Err(e) => return Err(e.to_string()),
+        Err(e) => return Err(CliError::Runtime(e.to_string())),
     };
     let stream = std::net::TcpStream::connect(addr.as_str())
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -458,12 +599,14 @@ fn request(args: &[String]) -> Result<String, String> {
         .read_line(&mut response)
         .map_err(|e| format!("cannot read response: {e}"))?;
     if n == 0 {
-        return Err("server closed the connection without a response".to_string());
+        return Err(CliError::Runtime(
+            "server closed the connection without a response".to_string(),
+        ));
     }
     Ok(response)
 }
 
-fn snapshot(args: &[String]) -> Result<String, String> {
+fn snapshot(args: &[String]) -> Result<String, CliError> {
     let action = args.get(1).ok_or("missing snapshot action (save|load)")?;
     match action.as_str() {
         "save" => {
@@ -515,25 +658,125 @@ fn snapshot(args: &[String]) -> Result<String, String> {
             );
             Ok(out)
         }
-        other => Err(format!("unknown snapshot action {other:?} (save|load)")),
+        other => Err(CliError::Usage(format!(
+            "unknown snapshot action {other:?} (save|load)"
+        ))),
     }
 }
 
-fn simulate(args: &[String]) -> Result<String, String> {
+/// The `wal` command: operator tooling over a WAL directory. `inspect` is
+/// read-only; `truncate` repairs damage by discarding everything from the
+/// first invalid frame onward.
+fn wal(args: &[String]) -> Result<String, CliError> {
+    let action = args.get(1).ok_or("missing wal action (inspect|truncate)")?;
+    let dir = args.get(2).ok_or("missing wal directory")?;
+    let path = std::path::Path::new(dir.as_str());
+    match action.as_str() {
+        "inspect" => {
+            let inspection = inspect_wal(path)
+                .map_err(|e| CliError::Runtime(format!("cannot inspect {dir}: {e}")))?;
+            Ok(render_inspection(&inspection))
+        }
+        "truncate" => {
+            let truncations = truncate_wal(path)
+                .map_err(|e| CliError::Runtime(format!("cannot truncate {dir}: {e}")))?;
+            let mut out = String::new();
+            let mut repaired = 0usize;
+            for t in &truncations {
+                if t.truncated.is_none() && t.segments_removed == 0 {
+                    continue;
+                }
+                repaired += 1;
+                let _ = writeln!(
+                    out,
+                    "shard {:04}: cut {} byte(s), removed {} later segment(s) ({} valid frame(s) lost){}",
+                    t.shard,
+                    t.bytes_cut,
+                    t.segments_removed,
+                    t.frames_removed,
+                    t.truncated
+                        .as_ref()
+                        .map(|p| format!("; truncated {}", p.display()))
+                        .unwrap_or_default()
+                );
+            }
+            if repaired == 0 {
+                let _ = writeln!(out, "wal is clean: nothing to truncate");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "repaired {repaired} shard(s); recovery will now replay the remaining prefix"
+                );
+            }
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown wal action {other:?} (inspect|truncate)"
+        ))),
+    }
+}
+
+/// Renders `wal inspect`: the checkpoint line, one line per segment with
+/// frame counts / byte counts / id ranges, and damage markers.
+fn render_inspection(inspection: &WalInspection) -> String {
+    let mut out = format!("wal {}\n", inspection.dir.display());
+    match &inspection.checkpoint {
+        Some(Ok((bytes, events, next_id))) => {
+            let _ = writeln!(
+                out,
+                "checkpoint: {bytes} bytes, {events} event(s), next event id {next_id}"
+            );
+        }
+        Some(Err(e)) => {
+            let _ = writeln!(out, "checkpoint: UNREADABLE ({e})");
+        }
+        None => {
+            let _ = writeln!(out, "checkpoint: none");
+        }
+    }
+    let mut damaged = 0usize;
+    for shard in &inspection.shards {
+        let _ = writeln!(
+            out,
+            "shard {:04}: {} segment(s)",
+            shard.shard,
+            shard.segments.len()
+        );
+        for segment in &shard.segments {
+            let ids = segment
+                .id_range
+                .map(|(first, last)| format!("ids {first}..={last}"))
+                .unwrap_or_else(|| "empty".to_string());
+            let _ = write!(
+                out,
+                "  seg-{:016x}: {} frame(s), {}/{} bytes valid, {}",
+                segment.index, segment.frames, segment.valid_bytes, segment.file_len, ids
+            );
+            if let Some(damage) = &segment.damage {
+                damaged += 1;
+                let _ = write!(out, " [DAMAGED {damage}]");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    if damaged > 0 {
+        let _ = writeln!(
+            out,
+            "{damaged} damaged segment(s) — `locater-cli wal truncate` discards everything from the first invalid frame"
+        );
+    }
+    out
+}
+
+fn simulate(args: &[String]) -> Result<String, CliError> {
     let kind = args.get(1).ok_or("missing scenario kind")?;
     let prefix = args.get(2).ok_or("missing output prefix")?;
     let days: i64 = flag_value(args, "--days")
-        .map(|v| {
-            v.parse()
-                .map_err(|_| "--days must be an integer".to_string())
-        })
+        .map(|v| v.parse().map_err(|_| "--days must be an integer"))
         .transpose()?
         .unwrap_or(14);
     let seed: u64 = flag_value(args, "--seed")
-        .map(|v| {
-            v.parse()
-                .map_err(|_| "--seed must be an integer".to_string())
-        })
+        .map(|v| v.parse().map_err(|_| "--seed must be an integer"))
         .transpose()?
         .unwrap_or(7);
 
@@ -563,7 +806,7 @@ fn simulate(args: &[String]) -> Result<String, String> {
                     .with_seed(seed),
             )
         }
-        other => return Err(format!("unknown scenario {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown scenario {other:?}"))),
     };
 
     // Space metadata.
@@ -786,7 +1029,14 @@ mod tests {
         bytes[last] ^= 0xFF;
         std::fs::write(&snap, bytes).unwrap();
         let err = run(&["snapshot".into(), "load".into(), snap]).unwrap_err();
-        assert!(err.contains("checksum"), "unexpected error: {err}");
+        assert!(
+            err.to_string().contains("checksum"),
+            "unexpected error: {err}"
+        );
+        assert!(
+            matches!(err, CliError::Runtime(_)),
+            "corrupt files are runtime errors, not usage errors"
+        );
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -902,11 +1152,162 @@ locate aa:bb:cc:dd:ee:01 1000
         assert!(out.contains("pong (protocol v1)"));
         assert!(out.contains("shutting down"));
         assert!(state.is_draining());
-        let (path, bytes) = state.finish_drain().unwrap().expect("drain snapshot");
+        let summary = state.finish_drain();
+        assert!(!summary.has_failure());
+        assert_eq!(summary.checkpoint, None, "no WAL attached, no checkpoint");
+        let (path, bytes) = summary.snapshot.expect("drain snapshot attempted").unwrap();
         assert_eq!(path, drain);
         assert!(bytes > 0);
         assert!(EventStore::load_snapshot(&drain).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_snapshot_failure_is_a_runtime_error_with_summary() {
+        let space = locater::space::SpaceBuilder::new("drain-fail")
+            .add_access_point("wap1", &["101"])
+            .build()
+            .unwrap();
+        let state = ServerState::new(
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 1),
+            Some("/no/such/dir/drain.snap".to_string()),
+        );
+        state.execute(&locater::proto::WireRequest::Shutdown);
+        let summary = state.finish_drain();
+        assert!(summary.has_failure());
+        let mut out = String::from("# served 1 commands\n");
+        let err = append_drain_summary(&mut out, &summary).unwrap_err();
+        assert!(
+            err.to_string().contains("drain snapshot failed"),
+            "unexpected error: {err}"
+        );
+        assert!(matches!(err, CliError::Runtime(_)));
+    }
+
+    #[test]
+    fn serve_with_wal_recovers_after_a_simulated_crash() {
+        let dir = std::env::temp_dir().join(format!("locater-cli-wal-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_dir = dir.join("wal");
+        let space = || {
+            locater::space::SpaceBuilder::new("wal-test")
+                .add_access_point("wap1", &["101", "102"])
+                .build()
+                .unwrap()
+        };
+        let durability = durability_from_flags(&[
+            "--wal-dir".into(),
+            wal_dir.to_string_lossy().to_string(),
+            "--fsync".into(),
+            "always".into(),
+        ])
+        .unwrap()
+        .expect("wal flags parsed");
+
+        // Boot a durable service, ingest through the REPL executor, then drop
+        // it without checkpointing — a crash, as far as the log is concerned.
+        {
+            let (service, recovery) = ShardedLocaterService::with_durability(
+                EventStore::new(space()),
+                LocaterConfig::default(),
+                2,
+                durability.clone(),
+            )
+            .expect("durable boot");
+            assert_eq!(recovery.replayed, 0);
+            let state = ServerState::new(service, None);
+            let input = "\
+ingest aa:bb:cc:dd:ee:01,1000,wap1
+ingest aa:bb:cc:dd:ee:02,2000,wap1
+ingest aa:bb:cc:dd:ee:01,4000,wap1
+";
+            let mut out: Vec<u8> = Vec::new();
+            serve_loop(&state, std::io::Cursor::new(input), &mut out).expect("serve loop runs");
+            assert_eq!(state.service().num_events(), 3);
+        }
+
+        // `wal inspect` sees the three framed events.
+        let inspected = run(&[
+            "wal".into(),
+            "inspect".into(),
+            wal_dir.to_string_lossy().to_string(),
+        ])
+        .expect("wal inspect succeeds");
+        assert!(inspected.contains("checkpoint:"), "report: {inspected}");
+        assert!(inspected.contains("shard 0000:"), "report: {inspected}");
+        assert!(inspected.contains("shard 0001:"), "report: {inspected}");
+        assert!(!inspected.contains("DAMAGED"), "report: {inspected}");
+
+        // Reboot: recovery replays the tail and the events are back.
+        let (service, recovery) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            2,
+            durability,
+        )
+        .expect("recovery boot");
+        assert_eq!(recovery.replayed, 3, "report: {recovery:?}");
+        assert_eq!(service.num_events(), 3);
+        let rendered = render_recovery(&recovery);
+        assert!(
+            rendered.contains("recovered 3 event(s)"),
+            "boot line: {rendered}"
+        );
+
+        // A clean truncate pass is a no-op and says so.
+        let truncated = run(&[
+            "wal".into(),
+            "truncate".into(),
+            wal_dir.to_string_lossy().to_string(),
+        ])
+        .expect("wal truncate succeeds");
+        assert!(
+            truncated.contains("wal is clean"),
+            "truncate report: {truncated}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_and_durability_flags_reject_bad_usage() {
+        assert!(run(&["wal".into()]).is_err());
+        assert!(run(&["wal".into(), "frob".into(), "/tmp".into()]).is_err());
+        assert!(run(&["wal".into(), "inspect".into()]).is_err());
+        assert!(durability_from_flags(&[]).unwrap().is_none());
+        assert!(durability_from_flags(&["--wal-dir".into()]).is_err());
+        assert!(durability_from_flags(&["--fsync".into(), "always".into()]).is_err());
+        assert!(
+            durability_from_flags(&["--wal-dir".into(), "/tmp/w".into(), "--fsync".into()])
+                .is_err()
+        );
+        assert!(durability_from_flags(&[
+            "--wal-dir".into(),
+            "/tmp/w".into(),
+            "--fsync".into(),
+            "sometimes".into()
+        ])
+        .is_err());
+        assert!(durability_from_flags(&[
+            "--wal-dir".into(),
+            "/tmp/w".into(),
+            "--wal-segment-bytes".into(),
+            "zero".into()
+        ])
+        .is_err());
+        let durability = durability_from_flags(&[
+            "--wal-dir".into(),
+            "/tmp/w".into(),
+            "--fsync".into(),
+            "every=64".into(),
+            "--wal-segment-bytes".into(),
+            "65536".into(),
+        ])
+        .unwrap()
+        .expect("flags parse");
+        assert_eq!(durability.fsync.to_string(), "every=64");
+        assert_eq!(durability.segment_max_bytes, 65_536);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! The correctness cornerstone of the durability subsystem: **kill-and-recover
+//! equivalence**. A durable `ShardedLocaterService` killed at an arbitrary
+//! point of an LCG-seeded ingest interleaving, then recovered from its WAL,
+//! must be *byte-identical* — snapshot bytes included — to an uncrashed
+//! service that ingested exactly the durable prefix. With `fsync=always`
+//! every acknowledged ingest is durable, so the durable prefix is simply
+//! everything acknowledged before the kill.
+//!
+//! "Killed" here means the service is dropped without a checkpoint: nothing
+//! runs between the last acknowledged append and the reboot, exactly like a
+//! `SIGKILL` after the last `fdatasync` returned. On top of the clean kills,
+//! the suite simulates *torn* final writes by truncating the last segment at
+//! **every byte boundary** of its final frame, proves that a corrupt middle
+//! segment is a typed error (never a panic, never silent data loss) repaired
+//! by `truncate_wal`, and that a graceful drain checkpoints so a clean
+//! shutdown leaves an empty tail.
+
+use locater::prelude::*;
+use locater::proto::WireRequest;
+use locater::server::ServerState;
+use locater::store::{inspect_wal, truncate_wal, Durability, FsyncPolicy, WalError};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn space() -> Space {
+    SpaceBuilder::new("wal-recovery")
+        .add_access_point("wap0", &["office-a", "office-b", "lounge"])
+        .add_access_point("wap1", &["lounge", "lab"])
+        .room_type("lounge", RoomType::Public)
+        .room_owner("office-a", "alice")
+        .room_owner("office-b", "bob")
+        .build()
+        .unwrap()
+}
+
+const MACS: [&str; 4] = [
+    "aa:00:00:00:00:01",
+    "aa:00:00:00:00:02",
+    "aa:00:00:00:00:03",
+    "aa:00:00:00:00:04",
+];
+
+/// A tiny deterministic LCG so every interleaving is reproducible from its
+/// seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One LCG-seeded ingest trace: timestamps deliberately include exact
+/// cross-device ties and *out-of-order splices* (a third of the events land
+/// earlier than the device's current tail), so replay exercises the same
+/// splice paths the live ingest did.
+fn trace(seed: u64, len: usize) -> Vec<(String, i64, String)> {
+    let mut rng = Lcg(seed);
+    let mut ops = Vec::with_capacity(len);
+    for i in 0..len {
+        let mac = MACS[rng.below(MACS.len() as u64) as usize].to_string();
+        let ap = if rng.below(2) == 0 { "wap0" } else { "wap1" };
+        let t = if rng.below(3) == 0 {
+            // Splice: strictly earlier than the trace frontier.
+            1_000 + rng.below(200) as i64
+        } else {
+            // Frontier with ties: several devices share the same slot.
+            2_000 + (i as i64 / 4) * 60
+        };
+        ops.push((mac, t, ap.to_string()));
+    }
+    ops
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory per call (parallel test threads included).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "locater-walrec-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durability(dir: &Path) -> Durability {
+    Durability::new(dir).with_fsync(FsyncPolicy::Always)
+}
+
+/// The uncrashed reference: a plain (non-durable) service that ingested the
+/// prefix, rendered as snapshot bytes.
+fn reference_bytes(shards: usize, prefix: &[(String, i64, String)]) -> Vec<u8> {
+    let service =
+        ShardedLocaterService::new(EventStore::new(space()), LocaterConfig::default(), shards);
+    for (mac, t, ap) in prefix {
+        service.ingest(mac, *t, ap).expect("reference ingest");
+    }
+    service
+        .store_snapshot()
+        .to_snapshot_bytes()
+        .expect("reference snapshot")
+}
+
+/// Boots a durable service on `dir`, ingests `prefix`, and drops it without a
+/// checkpoint — a crash, as far as the log is concerned.
+fn crash_after(dir: &Path, shards: usize, prefix: &[(String, i64, String)]) {
+    let (service, _) = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        shards,
+        durability(dir),
+    )
+    .expect("durable boot");
+    for (mac, t, ap) in prefix {
+        service.ingest(mac, *t, ap).expect("durable ingest");
+    }
+}
+
+#[test]
+fn kill_and_recover_is_byte_identical_to_the_uncrashed_prefix() {
+    let ops = trace(17, 96);
+    for shards in [1usize, 4] {
+        for seed in [3u64, 29] {
+            // Kill points chosen by the LCG: boundaries (0, 1, all) plus
+            // arbitrary interior cuts.
+            let mut rng = Lcg(seed);
+            let mut kills = vec![0usize, 1, ops.len()];
+            for _ in 0..3 {
+                kills.push(1 + rng.below(ops.len() as u64 - 1) as usize);
+            }
+            for kill in kills {
+                let dir = scratch("kill");
+                crash_after(&dir, shards, &ops[..kill]);
+
+                let (recovered, report) = ShardedLocaterService::with_durability(
+                    EventStore::new(space()),
+                    LocaterConfig::default(),
+                    shards,
+                    durability(&dir),
+                )
+                .expect("recovery boot");
+                assert_eq!(
+                    report.replayed, kill as u64,
+                    "every acknowledged ingest is durable (shards={shards}, kill={kill})"
+                );
+                assert!(report.torn.is_empty(), "clean kill has no torn tail");
+                assert_eq!(recovered.num_events(), kill);
+                assert_eq!(
+                    recovered
+                        .store_snapshot()
+                        .to_snapshot_bytes()
+                        .expect("recovered snapshot"),
+                    reference_bytes(shards, &ops[..kill]),
+                    "recovered store must be byte-identical (shards={shards}, kill={kill})"
+                );
+                std::fs::remove_dir_all(&dir).ok();
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_survives_a_reboot_of_a_reboot() {
+    // Crash, recover, ingest more, crash again, recover again: the second
+    // recovery sees the first recovery's checkpoint plus the new tail.
+    let ops = trace(41, 60);
+    let (first, second) = ops.split_at(35);
+    let dir = scratch("rere");
+    crash_after(&dir, 4, first);
+    {
+        let (service, report) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            4,
+            durability(&dir),
+        )
+        .expect("first recovery");
+        assert_eq!(report.replayed, first.len() as u64);
+        for (mac, t, ap) in second {
+            service.ingest(mac, *t, ap).unwrap();
+        }
+        // Dropped without checkpoint: second crash.
+    }
+    let (recovered, report) = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        4,
+        durability(&dir),
+    )
+    .expect("second recovery");
+    assert!(report.checkpoint_loaded);
+    assert_eq!(report.base_events, first.len(), "checkpointed at reboot");
+    assert_eq!(report.replayed, second.len() as u64);
+    assert_eq!(
+        recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+        reference_bytes(4, &ops),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Copies a WAL directory tree (checkpoint + shard dirs) into `dst`.
+fn copy_wal(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_wal(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn torn_final_frame_is_truncated_at_every_byte_boundary() {
+    // Single shard, fsync always: ingest N events, recording the segment
+    // length after each append, then simulate a torn final write by cutting
+    // the file at every byte boundary inside the last frame.
+    let ops = trace(7, 8);
+    let (last, durable) = ops.split_last().unwrap();
+    let dir = scratch("torn");
+    let seg = {
+        let (service, _) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            1,
+            durability(&dir),
+        )
+        .unwrap();
+        for (mac, t, ap) in durable {
+            service.ingest(mac, *t, ap).unwrap();
+        }
+        let shard_dir = dir.join("shard-0000");
+        let seg = std::fs::read_dir(&shard_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .max()
+            .expect("one active segment");
+        let len_before = std::fs::metadata(&seg).unwrap().len();
+        let (mac, t, ap) = last;
+        service.ingest(mac, *t, ap).unwrap();
+        let len_after = std::fs::metadata(&seg).unwrap().len();
+        assert!(len_after > len_before, "the last frame grew the segment");
+        (seg, len_before, len_after)
+    };
+    let (seg_path, len_before, len_after) = seg;
+    let seg_name = seg_path.file_name().unwrap().to_owned();
+    let expect_durable = reference_bytes(1, durable);
+    let expect_full = reference_bytes(1, &ops);
+
+    for cut in len_before..=len_after {
+        let case = scratch("torncase");
+        copy_wal(&dir, &case);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(case.join("shard-0000").join(&seg_name))
+            .unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let (recovered, report) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            1,
+            durability(&case),
+        )
+        .unwrap_or_else(|e| panic!("torn tail at byte {cut} must recover, got {e}"));
+        if cut == len_after {
+            // Nothing torn: the full trace survives.
+            assert!(report.torn.is_empty());
+            assert_eq!(
+                recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+                expect_full
+            );
+        } else {
+            // The torn frame is discarded, the durable prefix survives
+            // bit-for-bit — even when the cut slices the frame header. A cut
+            // exactly at the previous frame boundary is simply a clean
+            // (shorter) log, not a tear.
+            if cut == len_before {
+                assert!(report.torn.is_empty(), "byte {cut} is a frame boundary");
+            } else {
+                assert_eq!(report.torn.len(), 1, "cut at byte {cut} reports the tear");
+            }
+            assert_eq!(report.replayed, durable.len() as u64);
+            assert_eq!(
+                recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+                expect_durable,
+                "durable prefix diverged after a cut at byte {cut}"
+            );
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&case).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_middle_segment_is_a_typed_error_and_truncate_repairs_it() {
+    // Tiny segments force a rotation per append, so the log has several
+    // sealed middles. Damage in a *middle* segment is not a torn tail — it
+    // must refuse recovery with a typed error pointing at the repair tool.
+    let ops = trace(23, 6);
+    let dir = scratch("corrupt");
+    let config = Durability::new(&dir)
+        .with_fsync(FsyncPolicy::Always)
+        .with_segment_max_bytes(1);
+    {
+        let (service, _) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            1,
+            config.clone(),
+        )
+        .unwrap();
+        for (mac, t, ap) in &ops {
+            service.ingest(mac, *t, ap).unwrap();
+        }
+    }
+    let shard_dir = dir.join("shard-0000");
+    let mut segments: Vec<_> = std::fs::read_dir(&shard_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    assert!(segments.len() >= 4, "rotation produced sealed middles");
+
+    // Flip one payload byte in the second segment.
+    let victim = &segments[1];
+    let mut bytes = std::fs::read(victim).unwrap();
+    let idx = bytes.len() - 1;
+    bytes[idx] ^= 0xFF;
+    std::fs::write(victim, bytes).unwrap();
+
+    let err = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        1,
+        config.clone(),
+    )
+    .expect_err("corrupt middle segment must refuse recovery");
+    assert!(
+        matches!(err, WalError::Corrupt { .. }),
+        "expected WalError::Corrupt, got {err:?}"
+    );
+    assert!(
+        err.to_string().contains("wal truncate"),
+        "the error must point at the repair tool: {err}"
+    );
+
+    // Repair: everything from the first invalid frame onward is discarded,
+    // and the next boot replays exactly the frames that survived.
+    let report = truncate_wal(&dir).expect("truncate repairs");
+    assert_eq!(report.len(), 1);
+    assert!(report[0].truncated.is_some());
+    assert!(report[0].segments_removed >= 1);
+    let surviving: u64 = inspect_wal(&dir)
+        .unwrap()
+        .shards
+        .iter()
+        .flat_map(|s| s.segments.iter())
+        .map(|s| s.frames)
+        .sum();
+    assert_eq!(surviving, 1, "only the first segment's frame survives");
+
+    let (recovered, recovery) = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        1,
+        config,
+    )
+    .expect("repaired log recovers");
+    assert_eq!(recovery.replayed, surviving);
+    assert_eq!(
+        recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+        reference_bytes(1, &ops[..surviving as usize]),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_drain_checkpoints_and_leaves_an_empty_tail() {
+    let ops = trace(11, 24);
+    let dir = scratch("drain");
+    {
+        let (service, _) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            4,
+            durability(&dir),
+        )
+        .unwrap();
+        let state = ServerState::new(service, None);
+        for (mac, t, ap) in &ops {
+            state.execute(&WireRequest::Ingest {
+                mac: mac.clone(),
+                t: *t,
+                ap: ap.clone(),
+            });
+        }
+        let status = state.service().wal_status().expect("durable service");
+        assert_eq!(status.frames, ops.len() as u64, "every ingest was framed");
+        assert_eq!(status.checkpoints, 1, "the boot checkpoint");
+        assert_eq!(status.fsync, "always");
+
+        state.execute(&WireRequest::Shutdown);
+        let summary = state.finish_drain();
+        assert!(!summary.has_failure(), "drain: {summary:?}");
+        let bytes = summary.checkpoint.expect("wal attached").unwrap();
+        assert!(bytes > 0);
+        let status = state.service().wal_status().unwrap();
+        assert_eq!(status.frames, 0, "clean shutdown leaves an empty tail");
+        assert_eq!(status.checkpoints, 2, "boot + drain");
+    }
+
+    // The empty tail is visible on disk and on reboot: nothing to replay.
+    let inspection = inspect_wal(&dir).unwrap();
+    let frames: u64 = inspection
+        .shards
+        .iter()
+        .flat_map(|s| s.segments.iter())
+        .map(|s| s.frames)
+        .sum();
+    assert_eq!(frames, 0);
+    let (recovered, report) = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        4,
+        durability(&dir),
+    )
+    .unwrap();
+    assert!(report.checkpoint_loaded);
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.base_events, ops.len());
+    assert_eq!(
+        recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+        reference_bytes(4, &ops),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_across_a_shard_count_change_is_byte_identical() {
+    // The WAL layout is per-shard, but recovery merges by global event id —
+    // crash with 4 shards, recover with 1 (and vice versa), same bytes.
+    let ops = trace(53, 48);
+    for (crash_shards, boot_shards) in [(4usize, 1usize), (1, 4)] {
+        let dir = scratch("reshard");
+        crash_after(&dir, crash_shards, &ops);
+        let (recovered, report) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            boot_shards,
+            durability(&dir),
+        )
+        .expect("recovery boot");
+        assert_eq!(report.replayed, ops.len() as u64);
+        assert_eq!(
+            recovered.store_snapshot().to_snapshot_bytes().unwrap(),
+            reference_bytes(boot_shards, &ops),
+            "{crash_shards} shards crashed, {boot_shards} recovered"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
