@@ -15,6 +15,15 @@
 //!
 //! # Ping-latency probe against a running server (no dataset knowledge).
 //! locater-load --addr HOST:PORT [--clients K] [--requests N]
+//!
+//! # Bounded-memory soak: replay a multi-simulated-week campus trace through
+//! # an in-process compacted service and an uncompacted control, compacting
+//! # the former once per simulated day. Samples resident bytes per day,
+//! # byte-compares in-window locate answers between the two, and writes
+//! # BENCH_8.json. With LOCATER_BENCH_GUARD=1 it exits non-zero unless the
+//! # compacted RSS plateaus (final within 10% of the 25%-mark) while the
+//! # control grows, with zero answer drift.
+//! locater-load --soak [--weeks N] [--retain SECS] [--shards N] [--out PATH]
 //! ```
 //!
 //! The open-loop mode is coordinated-omission safe: each request has a fixed
@@ -37,9 +46,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use locater_core::system::{LocaterConfig, ShardedLocaterService};
+use locater_core::system::{CacheMode, LocateRequest, LocaterConfig, ShardedLocaterService};
 use locater_proto::{
-    decode_response, encode_request, WireError, WireRequest, WireResponse, PROTOCOL_VERSION,
+    decode_response, encode_request, encode_response, WireError, WireRequest, WireResponse,
+    PROTOCOL_VERSION,
 };
 use locater_server::{Server, ServerConfig, ServerState};
 use locater_sim::campus::CampusConfig;
@@ -66,6 +76,11 @@ struct Options {
     /// Percentage of requests that are ingests (the rest are locates).
     mix_pct: u32,
     out: Option<String>,
+    soak: bool,
+    /// Simulated campus weeks replayed by `--soak`.
+    weeks: i64,
+    /// Event-time retention (seconds) for the soak's compacted service.
+    retain: i64,
 }
 
 impl Default for Options {
@@ -81,6 +96,9 @@ impl Default for Options {
             duration: 4.0,
             mix_pct: 20,
             out: None,
+            soak: false,
+            weeks: 4,
+            retain: 4 * 86_400,
         }
     }
 }
@@ -146,14 +164,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--out" => opts.out = Some(value("--out", &mut it)?),
+            "--soak" => opts.soak = true,
+            "--weeks" => {
+                opts.weeks = value("--weeks", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--weeks: {e}"))?;
+                if opts.weeks < 1 {
+                    return Err("--weeks must be at least 1".into());
+                }
+            }
+            "--retain" => {
+                opts.retain = value("--retain", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--retain: {e}"))?;
+                if opts.retain < 1 {
+                    return Err("--retain must be a positive number of seconds".into());
+                }
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
     if opts.smoke && opts.addr.is_none() {
         return Err("--smoke needs --addr HOST:PORT".into());
     }
-    if !opts.self_host && opts.addr.is_none() {
-        return Err(format!("pick --self-host or --addr HOST:PORT\n{USAGE}"));
+    if !opts.self_host && !opts.soak && opts.addr.is_none() {
+        return Err(format!(
+            "pick --self-host, --soak or --addr HOST:PORT\n{USAGE}"
+        ));
     }
     Ok(opts)
 }
@@ -163,6 +200,7 @@ usage: locater-load --self-host [--shards 1,4] [--clients K] [--requests N]
                     [--qps Q] [--duration SECS] [--mix PCT] [--out PATH]
        locater-load --smoke --addr HOST:PORT [--clients K] [--requests N]
        locater-load --addr HOST:PORT [--clients K] [--requests N]
+       locater-load --soak [--weeks N] [--retain SECS] [--shards N] [--out PATH]
 ";
 
 // ---------------------------------------------------------------------------
@@ -655,6 +693,282 @@ fn write_artifact(opts: &Options, w: &Workload, runs: &[RunResult]) -> Result<St
 }
 
 // ---------------------------------------------------------------------------
+// Bounded-memory soak
+// ---------------------------------------------------------------------------
+
+/// One simulated day of the soak: resident-byte gauges after that day's
+/// ingest (and, on the compacted side, after that day's compaction run).
+struct SoakSample {
+    day: i64,
+    watermark: i64,
+    compacted_bytes: usize,
+    control_bytes: usize,
+}
+
+struct SoakReport {
+    events: usize,
+    days: usize,
+    shards: usize,
+    probes: usize,
+    drift: usize,
+    compaction_runs: u64,
+    evicted_events: u64,
+    summary_rows: usize,
+    series: Vec<SoakSample>,
+}
+
+impl SoakReport {
+    /// Gauge at the 25%-of-run mark — the plateau baseline. By then the
+    /// compacted service has been through several retention cycles, so any
+    /// further growth is a leak rather than warm-up.
+    fn quarter(&self, f: impl Fn(&SoakSample) -> usize) -> usize {
+        let idx = self.series.len() / 4;
+        self.series.get(idx).map(&f).max(Some(1)).unwrap()
+    }
+
+    fn plateau_ratio(&self) -> f64 {
+        let last = self.series.last().map(|s| s.compacted_bytes).unwrap_or(0);
+        last as f64 / self.quarter(|s| s.compacted_bytes) as f64
+    }
+
+    fn control_growth(&self) -> f64 {
+        let last = self.series.last().map(|s| s.control_bytes).unwrap_or(0);
+        last as f64 / self.quarter(|s| s.control_bytes) as f64
+    }
+}
+
+/// The soak's locate config: a two-day consulted window (coarse history and
+/// fine affinity) so a few days of retention cover every probe, and no
+/// affinity cache so each answer depends only on the store contents — the
+/// drift comparison then checks exactly what compaction promises to preserve.
+fn soak_config() -> LocaterConfig {
+    let mut config = LocaterConfig::default();
+    config.coarse.history = 2 * 86_400;
+    config.fine.affinity_window = 2 * 86_400;
+    config.cache = CacheMode::Disabled;
+    config
+}
+
+/// Normalizes a locate answer to wire bytes. `events_seen` is zeroed: the
+/// compacted store holds fewer raw events by design, and the equivalence
+/// claim covers the *answer* (location, method, confidence) and the device
+/// epoch, not the global event counter.
+fn answer_bytes(service: &ShardedLocaterService, request: &LocateRequest) -> String {
+    match service.locate(request) {
+        Ok(mut response) => {
+            response.events_seen = 0;
+            encode_response(&WireResponse::located(&response))
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn run_soak(opts: &Options) -> Result<SoakReport, String> {
+    const DAY: i64 = 86_400;
+    let shards = opts.shards.iter().copied().max().unwrap_or(4);
+    let config = locater_sim::campus::CampusConfig::small().with_weeks(opts.weeks);
+    let output = Simulator::new(0x50A1).run_campus(&config);
+    let mut events = output.events;
+    events.sort_by(|a, b| (a.t, &a.mac, &a.ap).cmp(&(b.t, &b.mac, &b.ap)));
+    eprintln!(
+        "soak: {} events over {} simulated days, {} shard(s), retain {}s",
+        events.len(),
+        config.days(),
+        shards,
+        opts.retain
+    );
+
+    let locate_config = soak_config();
+    let fresh = || {
+        let store = EventStore::new(output.space.clone()).with_segment_span(DAY);
+        ShardedLocaterService::new(store, locate_config, shards)
+    };
+    let compacted = fresh();
+    let control = fresh();
+    // Per-device event times, for scoping probes to the equivalence window.
+    let mut per_mac: std::collections::HashMap<&str, Vec<i64>> = std::collections::HashMap::new();
+
+    let mut lcg = Lcg(0x50AB_BED5);
+    let mut report = SoakReport {
+        events: events.len(),
+        days: 0,
+        shards,
+        probes: 0,
+        drift: 0,
+        compaction_runs: 0,
+        evicted_events: 0,
+        summary_rows: 0,
+        series: Vec::new(),
+    };
+
+    let mut start = 0usize;
+    while start < events.len() {
+        let day = events[start].t.div_euclid(DAY);
+        let end = start + events[start..].partition_point(|e| e.t.div_euclid(DAY) == day);
+        let chunk = &events[start..end];
+        compacted
+            .ingest_batch(chunk.iter())
+            .map_err(|e| format!("soak ingest (compacted): {e}"))?;
+        control
+            .ingest_batch(chunk.iter())
+            .map_err(|e| format!("soak ingest (control): {e}"))?;
+        compacted
+            .compact_all(opts.retain, None)
+            .map_err(|e| format!("soak compaction: {e}"))?;
+
+        for e in chunk {
+            per_mac.entry(e.mac.as_str()).or_default().push(e.t);
+        }
+
+        // Probe the freshest day: recent query times keep the whole consulted
+        // window (history + validity slack both sides) inside the retained
+        // region, which is the regime where answers must match byte-for-byte.
+        // Two scope rules, mirroring the equivalence contract:
+        //  * jitter forward from an event, so the gap containing the query
+        //    time is left-bounded by a retained event;
+        //  * skip devices returning from an absence that reaches below the
+        //    cut — the coarse gap scan consults one event *before* the
+        //    history window, and for them that event has been evicted.
+        let cut = compacted.compaction_status().last_cut.unwrap_or(i64::MIN);
+        const DELTA_MAX: i64 = 1_800; // ValidityConfig's default upper clamp on δ
+        let mut probes = 0;
+        for _ in 0..64 {
+            if probes == 16 {
+                break;
+            }
+            let e = &chunk[(lcg.next() as usize) % chunk.len()];
+            let t = e.t + (lcg.next() % 3600) as i64;
+            let window_start = t - locate_config.coarse.history + DELTA_MAX;
+            let times = &per_mac[e.mac.as_str()];
+            let preceding = times.partition_point(|&x| x <= window_start);
+            if preceding > 0 && times[preceding - 1] < cut {
+                continue; // consulted gap would span the cut: out of scope
+            }
+            probes += 1;
+            let request = LocateRequest {
+                mac: Some(e.mac.clone()),
+                device: None,
+                t,
+                fine_mode: None,
+                cache: None,
+                diagnostics: false,
+            };
+            report.probes += 1;
+            if answer_bytes(&compacted, &request) != answer_bytes(&control, &request) {
+                report.drift += 1;
+                eprintln!("soak: answer drift for {} @ {t}", e.mac);
+            }
+        }
+
+        report.series.push(SoakSample {
+            day,
+            watermark: compacted.watermark().unwrap_or(0),
+            compacted_bytes: compacted.approx_resident_bytes(),
+            control_bytes: control.approx_resident_bytes(),
+        });
+        report.days += 1;
+        start = end;
+    }
+
+    let status = compacted.compaction_status();
+    report.compaction_runs = status.runs;
+    report.evicted_events = status.evicted_events;
+    report.summary_rows = status.summary_rows;
+    Ok(report)
+}
+
+fn soak_json(opts: &Options, r: &SoakReport) -> String {
+    let series: Vec<String> = r
+        .series
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"day\": {}, \"watermark\": {}, \"compacted_bytes\": {}, \"control_bytes\": {}}}",
+                s.day, s.watermark, s.compacted_bytes, s.control_bytes
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"soak_bounded_memory\",\n  \"dataset\": \"campus_small\",\n  \
+         \"config\": {{\"weeks\": {}, \"retain_s\": {}, \"shards\": {}, \"segment_span_s\": 86400, \
+         \"events\": {}, \"days\": {}}},\n  \
+         \"compacted\": {{\"final_resident_bytes\": {}, \"bytes_per_event\": {:.1}, \
+         \"plateau_ratio\": {:.3}, \"compaction_runs\": {}, \"evicted_events\": {}, \
+         \"summary_rows\": {}}},\n  \
+         \"control\": {{\"final_resident_bytes\": {}, \"growth_ratio\": {:.3}}},\n  \
+         \"probes\": {{\"total\": {}, \"drift\": {}}},\n  \"series\": [\n{}\n  ]\n}}\n",
+        opts.weeks,
+        opts.retain,
+        r.shards,
+        r.events,
+        r.days,
+        r.series.last().map(|s| s.compacted_bytes).unwrap_or(0),
+        r.series.last().map(|s| s.compacted_bytes).unwrap_or(0) as f64 / r.events.max(1) as f64,
+        r.plateau_ratio(),
+        r.compaction_runs,
+        r.evicted_events,
+        r.summary_rows,
+        r.series.last().map(|s| s.control_bytes).unwrap_or(0),
+        r.control_growth(),
+        r.probes,
+        r.drift,
+        series.join(",\n"),
+    )
+}
+
+fn soak(opts: &Options) -> Result<(), String> {
+    let r = run_soak(opts)?;
+    let path = opts.out.clone().unwrap_or_else(|| {
+        std::env::var("LOCATER_BENCH_JSON")
+            .unwrap_or_else(|_| format!("{}/../../BENCH_8.json", env!("CARGO_MANIFEST_DIR")))
+    });
+    std::fs::write(&path, soak_json(opts, &r)).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "soak: {} days, {} events; compacted plateau ratio {:.3} (control grew {:.3}x); \
+         {} compaction run(s) evicted {} event(s) into {} summary row(s); \
+         {} probe(s), {} drift",
+        r.days,
+        r.events,
+        r.plateau_ratio(),
+        r.control_growth(),
+        r.compaction_runs,
+        r.evicted_events,
+        r.summary_rows,
+        r.probes,
+        r.drift
+    );
+    println!("wrote {path}");
+
+    if std::env::var("LOCATER_BENCH_GUARD").as_deref() == Ok("1") {
+        if r.compaction_runs == 0 || r.evicted_events == 0 {
+            return Err("soak guard: compaction never evicted anything".into());
+        }
+        if r.plateau_ratio() > 1.10 {
+            return Err(format!(
+                "soak guard: compacted RSS grew {:.3}x past the 25% mark (limit 1.10) — \
+                 retention is not holding memory flat",
+                r.plateau_ratio()
+            ));
+        }
+        if r.control_growth() < 1.05 {
+            return Err(format!(
+                "soak guard: control RSS grew only {:.3}x — the run is too short to \
+                 distinguish a plateau from natural growth",
+                r.control_growth()
+            ));
+        }
+        if r.drift > 0 {
+            return Err(format!(
+                "soak guard: {} in-window answer(s) drifted between compacted and control",
+                r.drift
+            ));
+        }
+        println!("soak guard ok");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Entry points
 // ---------------------------------------------------------------------------
 
@@ -733,6 +1047,7 @@ fn main() {
     }
     let result = match parse_args(&args) {
         Ok(opts) if opts.smoke => smoke(&opts),
+        Ok(opts) if opts.soak => soak(&opts),
         Ok(opts) if opts.self_host => self_host(&opts),
         Ok(opts) => probe(&opts),
         Err(message) => Err(message),

@@ -37,7 +37,7 @@ pub mod shard;
 pub use epoch::{EpochCache, EpochRead, EpochTable, ModelEntry};
 pub use request::{LocateRequest, LocateResponse};
 pub use service::LocaterService;
-pub use shard::{ShardStats, ShardedLocaterService, WalStatus};
+pub use shard::{CompactionStatus, ShardStats, ShardedLocaterService, WalStatus};
 
 use crate::coarse::{CoarseConfig, CoarseMethod, CoarseOutcome};
 use crate::error::LocaterError;

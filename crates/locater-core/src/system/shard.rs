@@ -46,8 +46,8 @@ use locater_events::{DeviceId, EventId};
 use locater_space::Space;
 use locater_store::recovery::{initialize_wal, recover_store, write_checkpoint, RecoveryReport};
 use locater_store::{
-    shard_of_device, Durability, EventRead, EventStore, IngestError, RawEvent, ShardWal,
-    ShardedRead, StoreError, WalError, WalRecord, WalShardStats,
+    compaction, shard_of_device, CompactionReport, Durability, DwellSummary, EventRead, EventStore,
+    IngestError, RawEvent, ShardWal, ShardedRead, StoreError, WalError, WalRecord, WalShardStats,
 };
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -100,6 +100,39 @@ pub struct ShardStats {
     pub index_ap_lists: usize,
     /// Co-location-index time buckets across those posting lists.
     pub index_buckets: usize,
+    /// Mutable head segments in this shard's partition (one per owned device
+    /// with retained history).
+    pub head_segments: usize,
+    /// Sealed (immutable) segments in this shard's partition.
+    pub sealed_segments: usize,
+    /// Approximate resident heap bytes of this shard's store partition.
+    pub resident_bytes: usize,
+}
+
+/// Service-wide compaction gauges reported by
+/// [`ShardedLocaterService::compaction_status`] (and surfaced through the
+/// server's `stats` response and `locater-cli stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStatus {
+    /// Compaction runs since boot that evicted at least one event.
+    pub runs: u64,
+    /// Events evicted from the hot tier since boot.
+    pub evicted_events: u64,
+    /// Sealed segments evicted since boot.
+    pub evicted_segments: u64,
+    /// The bucket-aligned cut of the most recent effective run, if any:
+    /// every event with `t <` this is out of the hot tier.
+    pub last_cut: Option<Timestamp>,
+    /// Dwell-summary rows currently accumulated in the summary tier.
+    pub summary_rows: usize,
+}
+
+/// In-memory compaction state: cumulative gauges plus the accumulated
+/// summary tier (also persisted to the spill directory when one is given).
+#[derive(Debug, Default)]
+struct CompactionState {
+    status: CompactionStatus,
+    summaries: Vec<DwellSummary>,
 }
 
 /// Service-wide write-ahead-log gauges reported by
@@ -186,6 +219,10 @@ pub struct ShardedLocaterService {
     last_checkpoint: Mutex<Option<Instant>>,
     /// Checkpoints taken since boot.
     checkpoints: AtomicU64,
+    /// Compaction gauges and the in-memory summary tier. Held briefly by
+    /// compaction runs and `stats` reads — never while a shard lock is held
+    /// for ingest or query work.
+    compaction: Mutex<CompactionState>,
 }
 
 impl ShardedLocaterService {
@@ -211,6 +248,7 @@ impl ShardedLocaterService {
             durability: None,
             last_checkpoint: Mutex::new(None),
             checkpoints: AtomicU64::new(0),
+            compaction: Mutex::new(CompactionState::default()),
         }
     }
 
@@ -272,6 +310,7 @@ impl ShardedLocaterService {
             durability: None,
             last_checkpoint: Mutex::new(None),
             checkpoints: AtomicU64::new(0),
+            compaction: Mutex::new(CompactionState::default()),
         }
     }
 
@@ -839,6 +878,137 @@ impl ShardedLocaterService {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Compaction / tiered ageing
+    // ------------------------------------------------------------------
+
+    /// The service's event-time watermark: the timestamp of the newest stored
+    /// event, or `None` while empty. [`Self::compact_all`] retains relative to
+    /// this, so retention follows event time (deterministic under replay and
+    /// in simulations), never the wall clock.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.read_all()
+            .iter()
+            .filter_map(|guard| guard.store.time_span().map(|span| span.end - 1))
+            .max()
+    }
+
+    /// Compacts every shard to `horizon`: sealed segment buckets entirely
+    /// below the bucket-aligned cut leave the hot tier, are distilled into
+    /// dwell summaries (accumulated in memory and reported by
+    /// [`Self::compaction_status`]), and — when `spill_dir` is given — are
+    /// persisted as a `spill-<cut>.snap` snapshot plus the merged
+    /// `summaries.json`.
+    ///
+    /// Scheduling properties, in the order they matter operationally:
+    ///
+    /// * **off the ingest path** — shards are compacted sequentially, one
+    ///   shard write lock at a time, so ingest and queries on every other
+    ///   shard proceed throughout the run;
+    /// * **epoch-safe** — no device epoch is bumped: answers whose consulted
+    ///   window lies inside the retained history are byte-identical before
+    ///   and after, so every cached affinity and model stays valid;
+    /// * **WAL-coherent** — on a durable service an effective run is followed
+    ///   by a [`Self::checkpoint`], so recovery restarts from the compacted
+    ///   state instead of resurrecting evicted history from an old snapshot
+    ///   (either way answers in the retained window are unchanged).
+    ///
+    /// Returns the updated cumulative [`CompactionStatus`]. A run that evicts
+    /// nothing is a cheap no-op (no summary merge, no spill file, no
+    /// checkpoint).
+    pub fn compact_to(
+        &self,
+        horizon: Timestamp,
+        spill_dir: Option<&Path>,
+    ) -> Result<CompactionStatus, WalError> {
+        let mut evicted_events = 0usize;
+        let mut evicted_segments = 0usize;
+        let mut cut = horizon;
+        let mut summaries: Vec<DwellSummary> = Vec::new();
+        let mut spills: Vec<EventStore> = Vec::new();
+        for shard in &self.shards {
+            let report = shard.live.write().store.compact(horizon);
+            cut = report.cut;
+            if report.evicted_events == 0 {
+                continue;
+            }
+            evicted_events += report.evicted_events;
+            evicted_segments += report.evicted_segments;
+            compaction::merge_dwell_summaries(&mut summaries, &report.summaries);
+            spills.extend(report.spill);
+        }
+
+        let status = {
+            let mut state = self.compaction.lock();
+            if evicted_events > 0 {
+                state.status.runs += 1;
+                state.status.evicted_events += evicted_events as u64;
+                state.status.evicted_segments += evicted_segments as u64;
+                state.status.last_cut = Some(cut);
+                compaction::merge_dwell_summaries(&mut state.summaries, &summaries);
+                state.status.summary_rows = state.summaries.len();
+            }
+            state.status
+        };
+        if evicted_events == 0 {
+            return Ok(status);
+        }
+
+        if let Some(dir) = spill_dir {
+            let combined = CompactionReport {
+                horizon,
+                cut,
+                evicted_events,
+                evicted_segments,
+                summaries,
+                spill: compaction::merge_spills(spills),
+            };
+            compaction::persist_tiers(dir, &combined)?;
+        }
+        if self.durability.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(status)
+    }
+
+    /// Compacts relative to the event-time watermark: keeps the most recent
+    /// `retain` seconds of history (rounded down to a whole segment bucket)
+    /// and ages out everything older — the periodic maintenance call a
+    /// long-running server makes. A no-op on an empty service.
+    pub fn compact_all(
+        &self,
+        retain: Timestamp,
+        spill_dir: Option<&Path>,
+    ) -> Result<CompactionStatus, WalError> {
+        match self.watermark() {
+            Some(watermark) => self.compact_to(watermark.saturating_sub(retain), spill_dir),
+            None => Ok(self.compaction_status()),
+        }
+    }
+
+    /// The cumulative compaction gauges (runs, evictions, last cut, summary
+    /// rows) since boot.
+    pub fn compaction_status(&self) -> CompactionStatus {
+        self.compaction.lock().status
+    }
+
+    /// The accumulated summary-tier rows (per-device per-AP dwell statistics
+    /// of all evicted history) — the training input that outlives the raw
+    /// events.
+    pub fn dwell_summaries(&self) -> Vec<DwellSummary> {
+        self.compaction.lock().summaries.clone()
+    }
+
+    /// Approximate resident heap bytes across all shard stores (allocated
+    /// capacity of timelines, global index and posting lists) — the gauge the
+    /// soak harness asserts stays flat under compaction.
+    pub fn approx_resident_bytes(&self) -> usize {
+        self.read_all()
+            .iter()
+            .map(|guard| guard.store.approx_resident_bytes())
+            .sum()
+    }
+
     /// Current WAL gauges (`None` when the service has no WAL): per-shard and
     /// summed segment/frame/byte counts, fsync policy, checkpoint age.
     pub fn wal_status(&self) -> Option<WalStatus> {
@@ -929,6 +1099,7 @@ impl ShardedLocaterService {
                 let (edges, samples) = cache.stats();
                 let (live_edges, live_samples) = cache.live_stats(&epochs);
                 let colocation = store.colocation_stats();
+                let tiers = store.tier_stats();
                 ShardStats {
                     shard: index,
                     events: store.num_events(),
@@ -939,6 +1110,9 @@ impl ShardedLocaterService {
                     live_samples,
                     index_ap_lists: colocation.ap_lists,
                     index_buckets: colocation.buckets,
+                    head_segments: tiers.head_segments,
+                    sealed_segments: tiers.sealed_segments,
+                    resident_bytes: tiers.resident_bytes,
                 }
             })
             .collect()

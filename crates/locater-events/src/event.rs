@@ -106,12 +106,17 @@ impl EventSeq {
         Self { events }
     }
 
-    /// Appends an event, keeping the sequence sorted. Appending in timestamp order is
-    /// O(1); out-of-order events are inserted at the right position.
+    /// Appends an event, keeping the sequence sorted by `(t, id)`. Appending in
+    /// timestamp order is O(1); out-of-order events are inserted at the right
+    /// position. The event id breaks timestamp ties, so the sequence is a pure
+    /// function of the event *set* — any backfill/splice order yields the same
+    /// bytes (normal ingestion assigns monotone ids, for which `(t, id)` order
+    /// coincides with the old insertion order).
     pub fn push(&mut self, event: StoredEvent) {
+        let key = (event.t, event.id);
         match self.events.last() {
-            Some(last) if last.t > event.t => {
-                let pos = self.events.partition_point(|e| e.t <= event.t);
+            Some(last) if (last.t, last.id) > key => {
+                let pos = self.events.partition_point(|e| (e.t, e.id) <= key);
                 self.events.insert(pos, event);
             }
             _ => self.events.push(event),
@@ -211,6 +216,12 @@ impl EventSeq {
             (Some(f), Some(l)) => Some(Interval::new(f.t, l.t + 1)),
             _ => None,
         }
+    }
+
+    /// Approximate heap footprint of the sequence in bytes (allocated
+    /// capacity, not just live length — the operator-facing residency gauge).
+    pub fn approx_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<StoredEvent>()
     }
 }
 

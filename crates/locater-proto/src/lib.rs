@@ -49,7 +49,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The wire-protocol version this crate speaks (reported by `ping`/`stats`).
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 added [`WireRequest::Compact`] / [`WireResponse::Compacted`] and the
+/// tiering gauges on [`WireStats`] / [`WireShardStats`] (all `#[serde(default)]`,
+/// so v1 responses still decode).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -97,6 +101,21 @@ pub enum WireRequest {
     Snapshot {
         /// Server-side filesystem path to write.
         path: String,
+    },
+    /// Compact the store: age history out of the hot tier (see
+    /// `ShardedLocaterService::compact_to` in `locater-core`). Spill-file
+    /// placement is server configuration (`--spill-dir`), not part of the
+    /// request.
+    Compact {
+        /// Seconds of history to retain behind the event-time watermark.
+        /// `None` falls back to the server's configured `--retain`; a request
+        /// with neither is rejected with [`WireError::BadRequest`].
+        #[serde(default)]
+        retain: Option<Timestamp>,
+        /// Absolute horizon timestamp instead of a relative retention
+        /// (mutually exclusive with `retain`; `retain` wins if both appear).
+        #[serde(default)]
+        horizon: Option<Timestamp>,
     },
     /// Gracefully drain the service: in-flight requests finish, new ones are
     /// rejected with [`WireError::ShuttingDown`], and the configured drain
@@ -146,6 +165,10 @@ impl WireRequest {
 
 /// One response frame: a single NDJSON line written back for each request, in
 /// request order.
+// `Stats` dominates the enum size, but stats frames are rare and encoded
+// immediately — boxing would complicate every construction site for no
+// meaningful saving on the hot (Ingested/Located) variants.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireResponse {
     /// Answer to [`WireRequest::Ping`].
@@ -188,6 +211,10 @@ pub enum WireResponse {
         /// Snapshot size in bytes.
         bytes: u64,
     },
+    /// Answer to [`WireRequest::Compact`]: the cumulative compaction gauges
+    /// after the run (a run that evicted nothing still answers, with the
+    /// counters unchanged).
+    Compacted(WireCompactionStats),
     /// Acknowledgement of [`WireRequest::Shutdown`]: the drain has begun.
     ShuttingDown,
     /// The request failed; the frame slot is preserved so pipelined responses
@@ -369,6 +396,22 @@ pub struct WireStats {
     pub rejected_overloaded: u64,
     /// Requests rejected because the service was draining.
     pub rejected_shutting_down: u64,
+    /// Approximate resident heap bytes across all shard stores (allocated
+    /// capacity of timelines, global index and posting lists). Defaulted for
+    /// v1 responses.
+    #[serde(default)]
+    pub resident_bytes: usize,
+    /// Mutable head segments across all shards. Defaulted for v1 responses.
+    #[serde(default)]
+    pub head_segments: usize,
+    /// Sealed (immutable) segments across all shards. Defaulted for v1
+    /// responses.
+    #[serde(default)]
+    pub sealed_segments: usize,
+    /// Cumulative compaction gauges since boot. Defaulted (all zero) for v1
+    /// responses.
+    #[serde(default)]
+    pub compaction: WireCompactionStats,
     /// Per-shard breakdown.
     pub per_shard: Vec<WireShardStats>,
     /// Write-ahead-log gauges — present only when the server runs with
@@ -400,6 +443,24 @@ pub struct WireWalStats {
     pub checkpoints: u64,
 }
 
+/// The wire form of the service's cumulative compaction gauges (see
+/// `ShardedLocaterService::compaction_status` in `locater-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct WireCompactionStats {
+    /// Compaction runs since boot that evicted at least one event.
+    pub runs: u64,
+    /// Events evicted from the hot tier since boot.
+    pub evicted_events: u64,
+    /// Sealed segments evicted since boot.
+    pub evicted_segments: u64,
+    /// Bucket-aligned cut of the most recent effective run (`None` before the
+    /// first eviction): every event with `t <` this is out of the hot tier.
+    #[serde(default)]
+    pub last_cut: Option<Timestamp>,
+    /// Dwell-summary rows accumulated in the summary tier.
+    pub summary_rows: usize,
+}
+
 /// The wire form of one shard's counters (see
 /// [`ShardStats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -422,6 +483,17 @@ pub struct WireShardStats {
     pub index_ap_lists: usize,
     /// Co-location-index time buckets held by this shard.
     pub index_buckets: usize,
+    /// Mutable head segments in this shard's partition. Defaulted for v1
+    /// responses.
+    #[serde(default)]
+    pub head_segments: usize,
+    /// Sealed segments in this shard's partition. Defaulted for v1 responses.
+    #[serde(default)]
+    pub sealed_segments: usize,
+    /// Approximate resident heap bytes of this shard's store partition.
+    /// Defaulted for v1 responses.
+    #[serde(default)]
+    pub resident_bytes: usize,
 }
 
 impl From<ShardStats> for WireShardStats {
@@ -436,6 +508,9 @@ impl From<ShardStats> for WireShardStats {
             live_samples: s.live_samples,
             index_ap_lists: s.index_ap_lists,
             index_buckets: s.index_buckets,
+            head_segments: s.head_segments,
+            sealed_segments: s.sealed_segments,
+            resident_bytes: s.resident_bytes,
         }
     }
 }
@@ -502,7 +577,8 @@ pub enum ReplCommand {
 
 /// Parses one stdin line of the `locater-cli serve` REPL: the legacy verb
 /// syntax (`ingest <mac,timestamp,ap>`, `locate <mac> <timestamp>`, `stats`,
-/// `ping`, `snapshot <path>`, `shutdown`, `quit`) *or* a raw NDJSON
+/// `compact [retain-seconds]`, `ping`, `snapshot <path>`, `shutdown`, `quit`)
+/// *or* a raw NDJSON
 /// [`WireRequest`] frame — the REPL is the wire protocol over stdio.
 ///
 /// ```
@@ -536,6 +612,23 @@ pub fn parse_repl_line(line: &str) -> Result<ReplCommand, WireError> {
         "shutdown" => Ok(ReplCommand::Request(WireRequest::Shutdown)),
         "ping" => Ok(ReplCommand::Request(WireRequest::Ping)),
         "stats" => Ok(ReplCommand::Request(WireRequest::Stats)),
+        "compact" => {
+            if rest.is_empty() {
+                return Ok(ReplCommand::Request(WireRequest::Compact {
+                    retain: None,
+                    horizon: None,
+                }));
+            }
+            let Ok(retain) = rest.parse::<Timestamp>() else {
+                return Err(WireError::BadRequest {
+                    message: "usage: compact [retain-seconds]".to_string(),
+                });
+            };
+            Ok(ReplCommand::Request(WireRequest::Compact {
+                retain: Some(retain),
+                horizon: None,
+            }))
+        }
         "snapshot" => {
             if rest.is_empty() {
                 Err(WireError::BadRequest {
@@ -586,7 +679,7 @@ pub fn parse_repl_line(line: &str) -> Result<ReplCommand, WireError> {
         }
         other => Err(WireError::BadRequest {
             message: format!(
-                "unknown command {other:?} (ingest / locate / stats / snapshot / ping / shutdown / quit)"
+                "unknown command {other:?} (ingest / locate / stats / compact / snapshot / ping / shutdown / quit)"
             ),
         }),
     }
@@ -726,6 +819,20 @@ mod tests {
             })
         );
         assert_eq!(
+            parse_repl_line("compact").unwrap(),
+            ReplCommand::Request(WireRequest::Compact {
+                retain: None,
+                horizon: None
+            })
+        );
+        assert_eq!(
+            parse_repl_line("compact 604800").unwrap(),
+            ReplCommand::Request(WireRequest::Compact {
+                retain: Some(604_800),
+                horizon: None
+            })
+        );
+        assert_eq!(
             parse_repl_line("ingest aa:bb,100,wap1").unwrap(),
             ReplCommand::Request(WireRequest::Ingest {
                 mac: "aa:bb".into(),
@@ -762,6 +869,10 @@ mod tests {
         ));
         assert!(matches!(
             parse_repl_line("snapshot"),
+            Err(WireError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            parse_repl_line("compact soon"),
             Err(WireError::BadRequest { .. })
         ));
         assert!(matches!(

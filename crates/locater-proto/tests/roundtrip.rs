@@ -6,8 +6,9 @@ use locater_core::coarse::CoarseMethod;
 use locater_core::system::{Answer, CacheMode, FineMode, Location};
 use locater_events::DeviceId;
 use locater_proto::{
-    decode_request, decode_response, encode_request, encode_response, WireError, WireRequest,
-    WireResponse, WireShardStats, WireStats, WireWalStats, PROTOCOL_VERSION,
+    decode_request, decode_response, encode_request, encode_response, WireCompactionStats,
+    WireError, WireRequest, WireResponse, WireShardStats, WireStats, WireWalStats,
+    PROTOCOL_VERSION,
 };
 use locater_space::{RegionId, RoomId};
 use locater_store::RawEvent;
@@ -30,6 +31,16 @@ fn sample_stats() -> WireStats {
         queued: 1,
         rejected_overloaded: 11,
         rejected_shutting_down: 1,
+        resident_bytes: 65_536,
+        head_segments: 3,
+        sealed_segments: 12,
+        compaction: WireCompactionStats {
+            runs: 2,
+            evicted_events: 400,
+            evicted_segments: 8,
+            last_cut: Some(604_800),
+            summary_rows: 17,
+        },
         per_shard: vec![
             WireShardStats {
                 shard: 0,
@@ -41,6 +52,9 @@ fn sample_stats() -> WireStats {
                 live_samples: 7,
                 index_ap_lists: 3,
                 index_buckets: 4,
+                head_segments: 2,
+                sealed_segments: 7,
+                resident_bytes: 40_960,
             },
             WireShardStats {
                 shard: 1,
@@ -52,6 +66,9 @@ fn sample_stats() -> WireStats {
                 live_samples: 0,
                 index_ap_lists: 2,
                 index_buckets: 2,
+                head_segments: 1,
+                sealed_segments: 5,
+                resident_bytes: 24_576,
             },
         ],
         wal: Some(WireWalStats {
@@ -98,6 +115,18 @@ fn every_request() -> Vec<WireRequest> {
         WireRequest::Stats,
         WireRequest::Snapshot {
             path: "/tmp/drain dir/store.snap".into(),
+        },
+        WireRequest::Compact {
+            retain: Some(604_800),
+            horizon: None,
+        },
+        WireRequest::Compact {
+            retain: None,
+            horizon: Some(1_209_600),
+        },
+        WireRequest::Compact {
+            retain: None,
+            horizon: None,
         },
         WireRequest::Shutdown,
     ]
@@ -153,6 +182,14 @@ fn every_response() -> Vec<WireResponse> {
             path: "/tmp/x.snap".into(),
             bytes: 123_456,
         },
+        WireResponse::Compacted(WireCompactionStats {
+            runs: 1,
+            evicted_events: 250,
+            evicted_segments: 5,
+            last_cut: Some(86_400),
+            summary_rows: 9,
+        }),
+        WireResponse::Compacted(WireCompactionStats::default()),
         WireResponse::ShuttingDown,
     ];
     let errors = [
@@ -217,6 +254,48 @@ fn stats_without_wal_field_still_decodes() {
     let stripped = line.replace(",\"wal\":null", "");
     assert_ne!(stripped, line, "the null wal field was present to strip");
     let back = decode_response(&stripped).unwrap();
+    assert_eq!(back, WireResponse::Stats(stats));
+}
+
+/// A `stats` frame from a v1 server (no tiering gauges anywhere) still
+/// decodes — every v2 stats field defaults.
+#[test]
+fn v1_stats_without_tiering_fields_still_decodes() {
+    let mut stats = sample_stats();
+    stats.wal = None;
+    let line = encode_response(&WireResponse::Stats(stats.clone()));
+    let mut stripped = line.replace(",\"wal\":null", "");
+    for key in [
+        "resident_bytes",
+        "head_segments",
+        "sealed_segments",
+        "last_cut",
+    ] {
+        while let Some(start) = stripped.find(&format!(",\"{key}\":")) {
+            let tail = &stripped[start + 1..];
+            let len = tail
+                .char_indices()
+                .find(|&(_, c)| c == ',' || c == '}')
+                .map(|(i, _)| i)
+                .unwrap_or(tail.len());
+            stripped.replace_range(start..start + 1 + len, "");
+        }
+    }
+    stripped = stripped.replace(
+        ",\"compaction\":{\"runs\":2,\"evicted_events\":400,\"evicted_segments\":8,\"summary_rows\":17}",
+        "",
+    );
+    assert_ne!(stripped, line, "the v2 fields were present to strip");
+    let back = decode_response(&stripped).unwrap();
+    stats.resident_bytes = 0;
+    stats.head_segments = 0;
+    stats.sealed_segments = 0;
+    stats.compaction = WireCompactionStats::default();
+    for shard in &mut stats.per_shard {
+        shard.resident_bytes = 0;
+        shard.head_segments = 0;
+        shard.sealed_segments = 0;
+    }
     assert_eq!(back, WireResponse::Stats(stats));
 }
 

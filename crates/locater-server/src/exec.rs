@@ -7,10 +7,13 @@
 //! asked.
 
 use locater_core::system::{Location, ShardedLocaterService};
+use locater_events::clock::Timestamp;
 use locater_proto::{
-    WireError, WireRequest, WireResponse, WireStats, WireWalStats, PROTOCOL_VERSION,
+    WireCompactionStats, WireError, WireRequest, WireResponse, WireStats, WireWalStats,
+    PROTOCOL_VERSION,
 };
 use locater_space::Space;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -33,6 +36,12 @@ pub struct ServerState {
     rejected_shutting_down: AtomicU64,
     draining: AtomicBool,
     drain_snapshot: Option<String>,
+    /// Default retention for `compact` requests that carry no horizon of
+    /// their own (`serve --retain`); `None` means such requests are rejected.
+    retain: Option<Timestamp>,
+    /// Where compaction persists its cold tiers (`serve --spill-dir`);
+    /// `None` keeps summaries in memory only and discards spills.
+    spill_dir: Option<PathBuf>,
 }
 
 impl ServerState {
@@ -49,7 +58,34 @@ impl ServerState {
             rejected_shutting_down: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             drain_snapshot,
+            retain: None,
+            spill_dir: None,
         }
+    }
+
+    /// Configures retention: the default `retain` for compact requests that
+    /// carry none, and the directory cold tiers are persisted into.
+    pub fn with_retention(mut self, retain: Option<Timestamp>, spill_dir: Option<PathBuf>) -> Self {
+        self.retain = retain;
+        self.spill_dir = spill_dir;
+        self
+    }
+
+    /// The configured default retention, if any.
+    pub fn retain(&self) -> Option<Timestamp> {
+        self.retain
+    }
+
+    /// Runs one scheduled compaction tick against the configured retention
+    /// (the `--compact-interval` timer calls this). No-op without `--retain`.
+    pub fn compaction_tick(&self) -> Result<(), String> {
+        let Some(retain) = self.retain else {
+            return Ok(());
+        };
+        self.service
+            .compact_all(retain, self.spill_dir.as_deref())
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     }
 
     /// The wrapped service.
@@ -117,6 +153,32 @@ impl ServerState {
                     message: e.to_string(),
                 }),
             },
+            WireRequest::Compact { retain, horizon } => {
+                let spill = self.spill_dir.as_deref();
+                let outcome = match (retain.or(self.retain), horizon) {
+                    (Some(retain), _) => self.service.compact_all(retain, spill),
+                    (None, Some(horizon)) => self.service.compact_to(*horizon, spill),
+                    (None, None) => {
+                        return WireResponse::Error(WireError::BadRequest {
+                            message: "compact needs a retain or horizon (or start the server \
+                                      with --retain)"
+                                .to_string(),
+                        })
+                    }
+                };
+                match outcome {
+                    Ok(status) => WireResponse::Compacted(WireCompactionStats {
+                        runs: status.runs,
+                        evicted_events: status.evicted_events,
+                        evicted_segments: status.evicted_segments,
+                        last_cut: status.last_cut,
+                        summary_rows: status.summary_rows,
+                    }),
+                    Err(e) => WireResponse::Error(WireError::Internal {
+                        message: e.to_string(),
+                    }),
+                }
+            }
             WireRequest::Shutdown => {
                 self.request_drain();
                 WireResponse::ShuttingDown
@@ -154,6 +216,19 @@ impl ServerState {
             queued: self.queued.load(Ordering::Relaxed),
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            resident_bytes: per_shard.iter().map(|s| s.resident_bytes).sum(),
+            head_segments: per_shard.iter().map(|s| s.head_segments).sum(),
+            sealed_segments: per_shard.iter().map(|s| s.sealed_segments).sum(),
+            compaction: {
+                let status = self.service.compaction_status();
+                WireCompactionStats {
+                    runs: status.runs,
+                    evicted_events: status.evicted_events,
+                    evicted_segments: status.evicted_segments,
+                    last_cut: status.last_cut,
+                    summary_rows: status.summary_rows,
+                }
+            },
             per_shard,
             wal: self.service.wal_status().map(|wal| WireWalStats {
                 dir: wal.dir,
@@ -366,6 +441,20 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
                 stats.rejected_overloaded,
                 stats.rejected_shutting_down
             );
+            let _ = write!(
+                report,
+                "\ntiers: {} head + {} sealed segment(s), ~{} resident bytes; compaction: {} run(s), {} events evicted, {} summary rows{}",
+                stats.head_segments,
+                stats.sealed_segments,
+                stats.resident_bytes,
+                stats.compaction.runs,
+                stats.compaction.evicted_events,
+                stats.compaction.summary_rows,
+                match stats.compaction.last_cut {
+                    Some(cut) => format!(", last cut @ {cut}"),
+                    None => String::new(),
+                }
+            );
             if let Some(wal) = &stats.wal {
                 let _ = write!(
                     report,
@@ -382,6 +471,17 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
             report
         }
         WireResponse::SnapshotSaved { path, bytes } => format!("saved {path} ({bytes} bytes)"),
+        WireResponse::Compacted(c) => format!(
+            "compacted: {} run(s) since boot, {} events in {} segment(s) evicted, {} summary rows{}",
+            c.runs,
+            c.evicted_events,
+            c.evicted_segments,
+            c.summary_rows,
+            match c.last_cut {
+                Some(cut) => format!(", last cut @ {cut}"),
+                None => String::new(),
+            }
+        ),
         WireResponse::ShuttingDown => "shutting down: draining in-flight requests".to_string(),
         WireResponse::Error(e) => format!("error: {e}"),
     }
@@ -461,6 +561,23 @@ mod tests {
         assert_eq!(stats.events, 1);
         assert_eq!(stats.shards, 2);
         assert_eq!(stats.requests_served, 4);
+        // Without a configured or per-request horizon, compaction is refused.
+        assert!(matches!(
+            state.execute(&WireRequest::Compact {
+                retain: None,
+                horizon: None
+            }),
+            WireResponse::Error(WireError::BadRequest { .. })
+        ));
+        // With one, it answers with the cumulative gauges (nothing evictable
+        // here: all history is within the retention).
+        assert_eq!(
+            state.execute(&WireRequest::Compact {
+                retain: Some(1_000_000),
+                horizon: None
+            }),
+            WireResponse::Compacted(WireCompactionStats::default())
+        );
         assert!(!state.is_draining());
         assert_eq!(
             state.execute(&WireRequest::Shutdown),
@@ -519,7 +636,12 @@ mod tests {
         );
         assert!(stats.contains("1 events, 1 devices across 2 shard(s)"));
         assert!(stats.contains("shard 0:"));
-        assert!(stats.contains("server: protocol v1"));
+        assert!(stats.contains("server: protocol v2"));
         assert!(stats.contains("rejected: 0 overloaded, 0 shutting-down"));
+        assert!(
+            stats.contains("tiers: 1 head + 0 sealed segment(s)"),
+            "stats: {stats}"
+        );
+        assert!(stats.contains("compaction: 0 run(s)"));
     }
 }

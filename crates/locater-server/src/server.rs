@@ -86,6 +86,8 @@ pub struct ServerReport {
 
 /// One pending unit of work on a connection: either a request to execute or a
 /// pre-computed response (rejections, parse errors) holding its ordered slot.
+// Sized by `WireResponse` (see the allow there); a queue slot is short-lived.
+#[allow(clippy::large_enum_variant)]
 enum Pending {
     Exec(WireRequest),
     Ready(WireResponse),

@@ -223,6 +223,35 @@ impl BucketedTimestamps {
             idx: 0,
         }
     }
+
+    /// Drops every bucket with id `< cut_bucket` (and with it exactly the
+    /// timestamps `< cut_bucket · span` — buckets partition time) and releases
+    /// the freed capacity. Returns the number of timestamps removed.
+    pub(crate) fn trim_before_bucket(&mut self, cut_bucket: i64) -> usize {
+        let n = self.buckets.partition_point(|b| b.bucket < cut_bucket);
+        if n == 0 {
+            return 0;
+        }
+        let removed = self
+            .buckets
+            .get(n)
+            .map(|b| b.start)
+            .unwrap_or(self.ts.len());
+        self.ts.drain(..removed);
+        self.buckets.drain(..n);
+        for bucket in &mut self.buckets {
+            bucket.start -= removed;
+        }
+        self.ts.shrink_to_fit();
+        self.buckets.shrink_to_fit();
+        removed
+    }
+
+    /// Approximate heap footprint in bytes (allocated capacity).
+    pub fn approx_bytes(&self) -> usize {
+        self.ts.capacity() * std::mem::size_of::<Timestamp>()
+            + self.buckets.capacity() * std::mem::size_of::<BucketRef>()
+    }
 }
 
 /// Forward-only cursor over a sorted timestamp slice.
@@ -389,6 +418,33 @@ impl DevicePostings {
         };
         self.lists[idx].record(t);
     }
+
+    /// TTL trim: drops every posting bucket below `cut_bucket` from the
+    /// per-AP lists and the all-APs multiset, removing posting lists that
+    /// become empty. Returns the number of postings removed (per the all-APs
+    /// multiset; each per-AP list loses its share of the same events).
+    fn trim_before_bucket(&mut self, cut_bucket: i64) -> usize {
+        let removed = self.all.trim_before_bucket(cut_bucket);
+        if removed > 0 {
+            for list in &mut self.lists {
+                list.ts.trim_before_bucket(cut_bucket);
+            }
+            self.lists.retain(|list| !list.is_empty());
+            self.lists.shrink_to_fit();
+        }
+        removed
+    }
+
+    /// Approximate heap footprint in bytes (allocated capacity).
+    pub fn approx_bytes(&self) -> usize {
+        self.lists.capacity() * std::mem::size_of::<ApPostings>()
+            + self.all.approx_bytes()
+            + self
+                .lists
+                .iter()
+                .map(|list| list.ts.approx_bytes())
+                .sum::<usize>()
+    }
 }
 
 /// Size counters of a [`ColocationIndex`] (reported by `locater-cli stats` and
@@ -474,6 +530,28 @@ impl ColocationIndex {
 
     pub(crate) fn devices(&self) -> &[DevicePostings] {
         &self.devices
+    }
+
+    /// TTL trim across all devices: drops every posting bucket below
+    /// `cut_bucket`. Returns the number of indexed events removed. Because
+    /// buckets partition time at the store's segment span, this removes
+    /// exactly the postings of the timeline events a same-cut segment
+    /// eviction removes — index and storage can never disagree.
+    pub(crate) fn trim_before_bucket(&mut self, cut_bucket: i64) -> usize {
+        self.devices
+            .iter_mut()
+            .map(|postings| postings.trim_before_bucket(cut_bucket))
+            .sum()
+    }
+
+    /// Approximate heap footprint of the index in bytes (allocated capacity).
+    pub fn approx_bytes(&self) -> usize {
+        self.devices.capacity() * std::mem::size_of::<DevicePostings>()
+            + self
+                .devices
+                .iter()
+                .map(DevicePostings::approx_bytes)
+                .sum::<usize>()
     }
 
     /// Aggregate size counters.
@@ -629,6 +707,46 @@ mod tests {
         }
         let rebuilt = ColocationIndex::rebuild(250, &[timeline]);
         assert_eq!(rebuilt, incremental);
+    }
+
+    #[test]
+    fn trim_before_bucket_keeps_exactly_the_retained_postings() {
+        let events = [
+            (10i64, 0u32),
+            (20, 1),
+            (150, 0),
+            (420, 0),
+            (421, 1),
+            (999, 2),
+        ];
+        let mut index = index_with(&events, 100);
+        // Cut at bucket 4 → drops timestamps < 400.
+        assert_eq!(index.trim_before_bucket(4), 3);
+        let postings = index.device(DeviceId::new(0));
+        assert_eq!(postings.len(), 3);
+        assert_eq!(
+            postings.on_ap(ap(0)).unwrap().timestamps().timestamps(),
+            &[420]
+        );
+        assert_eq!(
+            postings.on_ap(ap(1)).unwrap().timestamps().timestamps(),
+            &[421]
+        );
+        assert_eq!(
+            postings.on_ap(ap(2)).unwrap().timestamps().timestamps(),
+            &[999]
+        );
+        // Trimmed index equals one built from the retained events alone.
+        let retained: Vec<(Timestamp, u32)> =
+            events.iter().copied().filter(|&(t, _)| t >= 400).collect();
+        assert_eq!(index, index_with(&retained, 100));
+        // Lists that lose all postings disappear.
+        assert_eq!(index.trim_before_bucket(5), 2);
+        let postings = index.device(DeviceId::new(0));
+        assert!(postings.on_ap(ap(0)).is_none());
+        assert!(postings.on_ap(ap(1)).is_none());
+        assert_eq!(postings.len(), 1);
+        assert_eq!(index.trim_before_bucket(5), 0);
     }
 
     #[test]

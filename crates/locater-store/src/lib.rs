@@ -32,6 +32,13 @@
 //!   log tail (truncating a torn final frame), reproducing the pre-crash
 //!   store bit-identically. [`DurableEventStore`] is the single-store
 //!   embedding;
+//! * **compaction and tiered ageing** ([`compaction`]) —
+//!   [`EventStore::compact`] evicts whole segment buckets below a retention
+//!   horizon from all three structures in one coherent mutation, distilling
+//!   the evicted history into per-device per-AP dwell summaries (the coarse
+//!   tier) and an eviction-only spill store in the snapshot format (the cold
+//!   tier), so an always-on service runs at bounded memory while answers
+//!   inside the retained window stay byte-identical;
 //! * **per-device sharding** — [`EventStore::split`] / [`EventStore::rejoin`]
 //!   partition a store into per-device shards and reassemble them
 //!   bit-identically ([`shard_of_device`] is the assignment), and the
@@ -104,6 +111,7 @@
 #![warn(missing_docs)]
 
 pub mod colocation;
+pub mod compaction;
 mod csv;
 mod error;
 mod ndjson;
@@ -119,6 +127,10 @@ pub mod wal;
 
 pub use colocation::{
     ApPostings, ColocationIndex, ColocationIndexStats, DevicePostings, PostingCursor,
+};
+pub use compaction::{
+    list_spills, load_spill, load_summaries, merge_dwell_summaries, merge_spills, persist_tiers,
+    spill_path, summary_path, CompactionReport, DwellSummary, TierStats,
 };
 pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
 pub use error::{IngestError, StoreError};

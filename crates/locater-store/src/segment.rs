@@ -395,6 +395,41 @@ impl DeviceTimeline {
         out
     }
 
+    /// Evicts every segment whose bucket is `< cut_bucket` (a prefix —
+    /// segments are bucket-sorted) and returns them, oldest first. Global
+    /// indexes rebase so the surviving events keep consistent positions, and
+    /// the freed capacity is released. Buckets partition time uniformly, so
+    /// this removes exactly the events with `t < cut_bucket · span`.
+    pub fn evict_before_bucket(&mut self, cut_bucket: i64) -> Vec<Segment> {
+        let n = self.segments.partition_point(|s| s.bucket < cut_bucket);
+        if n == 0 {
+            return Vec::new();
+        }
+        let evicted: Vec<Segment> = self.segments.drain(..n).collect();
+        let removed: usize = evicted.iter().map(Segment::len).sum();
+        self.starts.drain(..n);
+        for start in &mut self.starts {
+            *start -= removed;
+        }
+        self.len -= removed;
+        self.segments.shrink_to_fit();
+        self.starts.shrink_to_fit();
+        evicted
+    }
+
+    /// Approximate heap footprint of the timeline in bytes (allocated
+    /// capacity across the segment table, the start index and the per-segment
+    /// event arrays).
+    pub fn approx_bytes(&self) -> usize {
+        self.segments.capacity() * std::mem::size_of::<Segment>()
+            + self.starts.capacity() * std::mem::size_of::<usize>()
+            + self
+                .segments
+                .iter()
+                .map(|s| s.events.approx_bytes())
+                .sum::<usize>()
+    }
+
     /// Materializes the timeline into one contiguous [`EventSeq`] (mainly for
     /// tests and format conversions; queries should use the segment-pruned
     /// accessors instead).
@@ -601,6 +636,37 @@ mod tests {
         assert!(tl.gaps_in_window(Interval::new(0, 100), 10).is_empty());
         assert_eq!(tl.iter().count(), 0);
         assert_eq!(tl.segment_span(), DEFAULT_SEGMENT_SPAN);
+    }
+
+    #[test]
+    fn evict_before_bucket_rebases_global_indexes() {
+        let mut tl = timeline(100, &[10, 20, 150, 420, 421, 999]);
+        let evicted = tl.evict_before_bucket(4);
+        assert_eq!(evicted.len(), 2);
+        let old: Vec<Timestamp> = evicted
+            .iter()
+            .flat_map(|s| s.events().iter().map(|e| e.t))
+            .collect();
+        assert_eq!(old, vec![10, 20, 150]);
+        assert_eq!(tl.len(), 3);
+        let ts: Vec<Timestamp> = tl.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![420, 421, 999]);
+        // Global indexing, partition points and window scans stay consistent.
+        assert_eq!(tl.get(0).unwrap().t, 420);
+        assert_eq!(tl.get(2).unwrap().t, 999);
+        assert_eq!(tl.partition_le(421), 2);
+        assert_eq!(tl.partition_lt(999), 2);
+        let got: Vec<Timestamp> = tl
+            .in_range(Interval::new(421, 1_000))
+            .map(|e| e.t)
+            .collect();
+        assert_eq!(got, vec![421, 999]);
+        // Nothing below the cut: a second eviction at the same cut is a no-op.
+        assert!(tl.evict_before_bucket(4).is_empty());
+        // Evicting everything empties the timeline.
+        assert_eq!(tl.evict_before_bucket(i64::MAX).len(), 2);
+        assert!(tl.is_empty());
+        assert_eq!(tl.iter().count(), 0);
     }
 
     #[test]

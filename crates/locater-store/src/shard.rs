@@ -217,9 +217,9 @@ impl<'a> ShardedRead<'a> {
         self.shards[shard]
     }
 
-    /// K-way merge of the shards' `(t, device)`-sorted windows in `[from, to)`
-    /// — restores the canonical global scan order, so the shared scan helpers
-    /// run exactly as they would on the combined index.
+    /// K-way merge of the shards' `(t, device, id)`-sorted windows in
+    /// `[from, to)` — restores the canonical global scan order, so the shared
+    /// scan helpers run exactly as they would on the combined index.
     fn merged_window(&self, from: Timestamp, to: Timestamp) -> Vec<&'a TimelineEntry> {
         let windows: Vec<&[TimelineEntry]> = self
             .shards
@@ -235,7 +235,10 @@ impl<'a> ShardedRead<'a> {
                 if let Some(entry) = window.get(cursors[shard]) {
                     let better = match best {
                         None => true,
-                        Some((_, current)) => (entry.t, entry.device) < (current.t, current.device),
+                        Some((_, current)) => {
+                            (entry.t, entry.device, entry.id)
+                                < (current.t, current.device, current.id)
+                        }
                     };
                     if better {
                         best = Some((shard, entry));

@@ -1,6 +1,7 @@
 //! The time-partitioned, segmented event store.
 
 use crate::colocation::{ColocationIndex, ColocationIndexStats, DevicePostings};
+use crate::compaction::{self, CompactionReport, TierStats};
 use crate::csv::{format_csv, is_csv_header, parse_csv_line, RawEvent};
 use crate::error::{IngestError, StoreError};
 use crate::ndjson::parse_ndjson_line;
@@ -226,7 +227,7 @@ impl EventStore {
         let id = EventId::new(self.next_event_id);
         self.next_event_id += 1;
         self.timelines[device.index()].push(StoredEvent::new(id, t, ap));
-        self.timeline.record(t, device, ap);
+        self.timeline.record(t, device, id, ap);
         self.colocation.record(device, t, ap);
         Ok(id)
     }
@@ -372,6 +373,97 @@ impl EventStore {
     /// Size counters of the co-location index (reported by `locater-cli stats`).
     pub fn colocation_stats(&self) -> ColocationIndexStats {
         self.colocation.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction / tiered ageing (policy lives in `crate::compaction`)
+    // ------------------------------------------------------------------
+
+    /// Compacts the store against a retention horizon: evicts every whole
+    /// segment bucket strictly below `horizon` from the per-device timelines,
+    /// the global timeline index and the co-location posting lists in one
+    /// coherent mutation, and distills the evicted history into the cold
+    /// tiers of the returned [`CompactionReport`] (per-device per-AP dwell
+    /// summaries plus an eviction-only spill store).
+    ///
+    /// The cut is **bucket-aligned** (`cut = horizon.div_euclid(span) · span ≤
+    /// horizon`): buckets partition time uniformly for all devices and for
+    /// the posting lists, so all three structures drop exactly the events
+    /// with `t < cut` and can never disagree. The event-id counter, the
+    /// device table and every retained segment are untouched — answers whose
+    /// consulted window lies at or above `cut` are byte-identical with
+    /// compaction on or off.
+    pub fn compact(&mut self, horizon: Timestamp) -> CompactionReport {
+        let cut_bucket = horizon.div_euclid(self.segment_span);
+        let cut = cut_bucket.saturating_mul(self.segment_span);
+        let mut evicted: Vec<(DeviceId, Vec<crate::segment::Segment>)> = Vec::new();
+        let mut evicted_events = 0usize;
+        let mut evicted_segments = 0usize;
+        for (idx, timeline) in self.timelines.iter_mut().enumerate() {
+            let segments = timeline.evict_before_bucket(cut_bucket);
+            if !segments.is_empty() {
+                evicted_segments += segments.len();
+                evicted_events += segments.iter().map(|s| s.len()).sum::<usize>();
+                evicted.push((DeviceId::new(idx as u32), segments));
+            }
+        }
+        if evicted_events == 0 {
+            return CompactionReport::empty(horizon, cut);
+        }
+        let trimmed_entries = self.timeline.trim_before(cut);
+        let trimmed_postings = self.colocation.trim_before_bucket(cut_bucket);
+        debug_assert_eq!(trimmed_entries, evicted_events);
+        debug_assert_eq!(trimmed_postings, evicted_events);
+        let mut summaries = Vec::new();
+        for (device, segments) in &evicted {
+            compaction::summarize_device(
+                &self.space,
+                &self.devices[device.index()],
+                segments,
+                self.segment_span,
+                &mut summaries,
+            );
+        }
+        let spill = compaction::build_spill(self, &evicted)
+            .expect("evicted events came from this store and re-ingest cleanly");
+        CompactionReport {
+            horizon,
+            cut,
+            evicted_events,
+            evicted_segments,
+            summaries,
+            spill: Some(spill),
+        }
+    }
+
+    /// Approximate resident heap bytes of the store (allocated capacity of
+    /// the per-device timelines, the global timeline index and the
+    /// co-location posting lists — the structures that grow with history).
+    /// Compaction releases the freed capacity, so this gauge falls when
+    /// segments are evicted; it is what the soak harness and the `stats`
+    /// surfaces report.
+    pub fn approx_resident_bytes(&self) -> usize {
+        self.timelines
+            .iter()
+            .map(DeviceTimeline::approx_bytes)
+            .sum::<usize>()
+            + self.timeline.approx_bytes()
+            + self.colocation.approx_bytes()
+    }
+
+    /// Hot-tier shape of the store: head vs. sealed segment counts plus the
+    /// resident-bytes estimate (see [`TierStats`]).
+    pub fn tier_stats(&self) -> TierStats {
+        let head_segments = self
+            .timelines
+            .iter()
+            .filter(|timeline| !timeline.is_empty())
+            .count();
+        TierStats {
+            head_segments,
+            sealed_segments: self.num_segments() - head_segments,
+            resident_bytes: self.approx_resident_bytes(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -551,8 +643,8 @@ impl EventStore {
         }
         entries.sort_unstable_by_key(|&(t, id, device, _)| (t, device, id));
         let mut timeline = Timeline::new();
-        for (t, _, device, ap) in entries {
-            timeline.record(t, device, ap);
+        for (t, id, device, ap) in entries {
+            timeline.record(t, device, EventId::new(id), ap);
         }
         let segment_span = segment_span.max(1);
         let colocation = match colocation {

@@ -6,7 +6,7 @@
 //! connected in `[t_q − slack, t_q + slack]`, and to which AP?" with one binary search
 //! plus a short range scan.
 
-use locater_events::{Device, DeviceId, Timestamp};
+use locater_events::{Device, DeviceId, EventId, Timestamp};
 use locater_space::{AccessPointId, RegionId};
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +17,8 @@ pub struct TimelineEntry {
     pub t: Timestamp,
     /// Device that produced the event.
     pub device: DeviceId,
+    /// Id of the event (breaks `(t, device)` ties canonically).
+    pub id: EventId,
     /// Access point that logged it.
     pub ap: AccessPointId,
 }
@@ -34,23 +36,24 @@ pub struct NearbyDevice {
 
 /// Time-sorted index of all events of all devices.
 ///
-/// Entries are kept in **canonical `(t, device)` order**: ties at the same
-/// timestamp are ordered by device id, and only events of the *same* device at
-/// the same timestamp keep their ingestion order. This makes the index — and
-/// everything derived from it, most importantly the neighbor order of
+/// Entries are kept in **canonical `(t, device, id)` order**: ties at the same
+/// timestamp are ordered by device id, and ties of the *same* device at the
+/// same timestamp by event id. This makes the index — and everything derived
+/// from it, most importantly the neighbor order of
 /// [`Timeline::devices_near`] — a pure function of the event *set*, independent
-/// of the interleaving the events arrived in. That representation transparency
-/// is what lets a sharded deployment (per-device partitioned stores, see
-/// [`crate::ShardedRead`]) reproduce the answers of a single store bit for bit.
+/// of the interleaving the events arrived in (backfill included). That
+/// representation transparency is what lets a sharded deployment (per-device
+/// partitioned stores, see [`crate::ShardedRead`]) reproduce the answers of a
+/// single store bit for bit, and what makes late/out-of-order ingest safe.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Timeline {
     entries: Vec<TimelineEntry>,
 }
 
-/// The canonical ordering key of a timeline entry: time first, device id second.
+/// The canonical ordering key of a timeline entry: time, device id, event id.
 #[inline]
-fn entry_key(entry: &TimelineEntry) -> (Timestamp, DeviceId) {
-    (entry.t, entry.device)
+fn entry_key(entry: &TimelineEntry) -> (Timestamp, DeviceId, EventId) {
+    (entry.t, entry.device, entry.id)
 }
 
 /// Scans canonically ordered timeline entries and reports each device once with
@@ -204,11 +207,11 @@ impl Timeline {
         self.entries.is_empty()
     }
 
-    /// Records an event, keeping the index in canonical `(t, device)` order
-    /// (events of the same device at the same timestamp keep ingestion order).
-    /// Appends are O(1) when events arrive in canonical order.
-    pub fn record(&mut self, t: Timestamp, device: DeviceId, ap: AccessPointId) {
-        let entry = TimelineEntry { t, device, ap };
+    /// Records an event, keeping the index in canonical `(t, device, id)`
+    /// order. Appends are O(1) when events arrive in canonical order;
+    /// out-of-order backfill splices into place.
+    pub fn record(&mut self, t: Timestamp, device: DeviceId, id: EventId, ap: AccessPointId) {
+        let entry = TimelineEntry { t, device, id, ap };
         let key = entry_key(&entry);
         match self.entries.last() {
             Some(last) if entry_key(last) > key => {
@@ -217,6 +220,22 @@ impl Timeline {
             }
             _ => self.entries.push(entry),
         }
+    }
+
+    /// Drops every entry with `t < cut` (a prefix — entries are time-sorted)
+    /// and releases the freed capacity. Returns the number of entries removed.
+    pub fn trim_before(&mut self, cut: Timestamp) -> usize {
+        let n = self.entries.partition_point(|e| e.t < cut);
+        if n > 0 {
+            self.entries.drain(..n);
+            self.entries.shrink_to_fit();
+        }
+        n
+    }
+
+    /// Approximate heap footprint of the index in bytes (allocated capacity).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<TimelineEntry>()
     }
 
     /// All entries with `t` in `[from, to)`.
@@ -264,8 +283,8 @@ mod tests {
 
     fn timeline(entries: &[(Timestamp, DeviceId, AccessPointId)]) -> Timeline {
         let mut tl = Timeline::new();
-        for &(t, d, ap) in entries {
-            tl.record(t, d, ap);
+        for (i, &(t, d, ap)) in entries.iter().enumerate() {
+            tl.record(t, d, EventId::new(i as u64), ap);
         }
         tl
     }
@@ -318,6 +337,48 @@ mod tests {
         assert_eq!(near.len(), 1);
         assert_eq!(near[0].ap, AccessPointId::new(3));
         assert_eq!(near[0].t, 98);
+    }
+
+    #[test]
+    fn record_is_order_independent_with_ids() {
+        // Same event set, opposite arrival orders → identical indexes.
+        let mut forward = Timeline::new();
+        let mut backward = Timeline::new();
+        let events = [
+            (100, 0u32, 0u64, 0u32),
+            (100, 0, 1, 2),
+            (100, 1, 2, 1),
+            (50, 0, 3, 0),
+        ];
+        for &(t, d, id, ap) in &events {
+            forward.record(
+                t,
+                DeviceId::new(d),
+                EventId::new(id),
+                AccessPointId::new(ap),
+            );
+        }
+        for &(t, d, id, ap) in events.iter().rev() {
+            backward.record(
+                t,
+                DeviceId::new(d),
+                EventId::new(id),
+                AccessPointId::new(ap),
+            );
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn trim_before_drops_exact_prefix() {
+        let mut tl = timeline(&[entry(100, 0, 0), entry(200, 1, 0), entry(300, 2, 0)]);
+        assert_eq!(tl.trim_before(200), 1);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.range(0, 1_000).first().unwrap().t, 200);
+        assert_eq!(tl.trim_before(1_000), 2);
+        assert!(tl.is_empty());
+        assert_eq!(tl.trim_before(1_000), 0);
+        assert!(tl.approx_bytes() < std::mem::size_of::<TimelineEntry>() * 4);
     }
 
     #[test]

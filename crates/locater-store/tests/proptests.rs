@@ -246,6 +246,130 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Compaction, tiered ageing, and the pinned-id backfill path
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The backfill-splice path is fully order-independent: replaying the
+    /// same labelled event set in *any* permutation — devices pre-interned
+    /// in canonical order, each event ingested under its pinned id — yields
+    /// a bit-identical store, snapshot bytes included. This is the invariant
+    /// WAL replay and spill merging stand on.
+    #[test]
+    fn pinned_id_replay_is_permutation_invariant(
+        events in arb_events(),
+        span in 1_000i64..100_000,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        let mut reference = EventStore::new(space()).with_segment_span(span);
+        let mut labeled = Vec::with_capacity(events.len());
+        for (dev, t, ap) in &events {
+            let id = reference.ingest_raw(&mac_of(*dev), *t, &format!("wap{ap}")).unwrap();
+            labeled.push((id.0, mac_of(*dev), *t, format!("wap{ap}")));
+        }
+
+        // Seeded Fisher–Yates: every case gets its own permutation.
+        let mut state = perm_seed | 1;
+        let mut rand = move |n: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % n as u64) as usize
+        };
+        for i in (1..labeled.len()).rev() {
+            labeled.swap(i, rand(i + 1));
+        }
+
+        let mut replay = EventStore::new(space()).with_segment_span(span);
+        for (dev, _, _) in &events {
+            replay.intern_device(&mac_of(*dev)).unwrap();
+        }
+        for (id, mac, t, ap) in &labeled {
+            replay.set_next_event_id(*id);
+            replay.ingest_raw(mac, *t, ap).unwrap();
+        }
+        replay.set_next_event_id(reference.next_event_id());
+
+        prop_assert_eq!(&replay, &reference);
+        prop_assert_eq!(
+            replay.to_snapshot_bytes().unwrap(),
+            reference.to_snapshot_bytes().unwrap()
+        );
+    }
+
+    /// Compaction's coordinated trim evicts exactly the events below the
+    /// bucket-aligned cut and nothing else: every timeline read and every
+    /// co-location posting inside a window at or above the cut is identical
+    /// to the untrimmed store's.
+    #[test]
+    fn compaction_trim_never_drops_an_in_window_posting(
+        events in arb_events(),
+        span in 500i64..50_000,
+        horizon in 0i64..600_000,
+        start_off in 0i64..150_000,
+        width in 1i64..150_000,
+    ) {
+        let full = build_store(&events, span);
+        let mut compacted = build_store(&events, span);
+        let report = compacted.compact(horizon);
+        let cut = report.cut;
+        prop_assert_eq!(
+            compacted.num_events(),
+            events.iter().filter(|(_, t, _)| *t >= cut).count(),
+            "the cut evicts exactly the events below it"
+        );
+        prop_assert_eq!(report.evicted_events, full.num_events() - compacted.num_events());
+
+        let window = Interval::new(cut + start_off, cut + start_off + width);
+        for device in full.devices() {
+            prop_assert_eq!(
+                compacted.events_of_in(device.id, window).copied().collect::<Vec<_>>(),
+                full.events_of_in(device.id, window).copied().collect::<Vec<_>>()
+            );
+            let slices = |store: &EventStore| -> std::collections::BTreeMap<u32, Vec<i64>> {
+                store
+                    .device_postings(device.id)
+                    .ap_lists()
+                    .iter()
+                    .map(|list| (list.ap().raw(), list.timestamps_in(window).collect()))
+                    .filter(|(_, ts): &(u32, Vec<i64>)| !ts.is_empty())
+                    .collect()
+            };
+            prop_assert_eq!(slices(&compacted), slices(&full));
+        }
+    }
+
+    /// Compact → snapshot → load is bit-identical, and the spill tier the
+    /// run produces is itself an ordinary round-trippable snapshot holding
+    /// exactly the evicted events.
+    #[test]
+    fn compact_snapshot_load_roundtrip_is_bit_identical(
+        events in arb_events(),
+        span in 500i64..50_000,
+        horizon in 0i64..600_000,
+    ) {
+        let mut store = build_store(&events, span);
+        store.estimate_deltas();
+        let report = store.compact(horizon);
+
+        let bytes = store.to_snapshot_bytes().unwrap();
+        let back = EventStore::from_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &store);
+        prop_assert_eq!(back.to_snapshot_bytes().unwrap(), bytes);
+
+        match report.spill {
+            Some(spill) => {
+                prop_assert_eq!(spill.num_events(), report.evicted_events);
+                prop_assert_eq!(spill.num_events() + store.num_events(), events.len());
+                let spill_bytes = spill.to_snapshot_bytes().unwrap();
+                let spill_back = EventStore::from_snapshot_bytes(&spill_bytes).unwrap();
+                prop_assert_eq!(&spill_back, &spill);
+                prop_assert_eq!(spill_back.to_snapshot_bytes().unwrap(), spill_bytes);
+            }
+            None => prop_assert_eq!(report.evicted_events, 0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Durability: WAL round-trips and replay idempotence
 // ---------------------------------------------------------------------------
 

@@ -12,7 +12,9 @@
 //! locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]
 //! locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]
 //! locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]
+//! locater-cli serve    ... --retain SECS [--compact-interval SECS] [--spill-dir DIR] [--segment-span SECS]
 //! locater-cli request  <addr> <verb line or raw JSON frame>
+//! locater-cli compact  <store.snap> (--retain SECS | --horizon T) [--spill-dir DIR] [--out PATH]
 //! locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]
 //! locater-cli snapshot load <store.snap>
 //! locater-cli wal inspect  <wal-dir>
@@ -40,8 +42,8 @@
 //! * `serve` starts a live [`ShardedLocaterService`] (`--shards N`, default 1 —
 //!   the plain `LocaterService` regime). Without `--listen` it reads commands
 //!   from stdin — the legacy verb syntax (`ingest <mac,timestamp,ap>`,
-//!   `locate <mac> <timestamp>`, `stats`, `ping`, `snapshot <path>`,
-//!   `shutdown`, `quit`) or raw NDJSON [`WireRequest`]
+//!   `locate <mac> <timestamp>`, `stats`, `compact [retain-seconds]`,
+//!   `ping`, `snapshot <path>`, `shutdown`, `quit`) or raw NDJSON [`WireRequest`]
 //!   frames; the REPL is the
 //!   wire protocol over stdio (`locater_proto::parse_repl_line`). With
 //!   `--listen <addr>` it serves the same protocol over TCP
@@ -63,6 +65,18 @@
 //!   discarding everything from the first invalid frame onward (the manual
 //!   counterpart of the torn-tail truncation recovery applies automatically
 //!   to the final segment).
+//! * `serve --retain SECS` bounds the hot tier: history older than the
+//!   retention (measured from the event-time watermark, rounded down to a
+//!   whole segment bucket) is compacted away — distilled into per-device
+//!   per-AP dwell summaries and, with `--spill-dir`, spilled as reloadable
+//!   snapshot files. `--compact-interval SECS` schedules the compaction tick
+//!   on a background thread off the ingest path (`--listen` mode); the
+//!   `compact` REPL/wire verb triggers one on demand. Answers inside the
+//!   retained window are byte-identical with compaction on or off.
+//! * `compact` is the offline counterpart: load a snapshot, evict history
+//!   below the horizon (absolute `--horizon` or watermark-relative
+//!   `--retain`), persist the cold tiers, write the compacted snapshot back
+//!   (in place, or to `--out`).
 //! * `request` sends one request (verb syntax or raw JSON) to a running
 //!   `serve --listen` server and prints the raw NDJSON response frame.
 //! * `simulate` writes `<out-prefix>.space.json`, `<out-prefix>.events.csv` and
@@ -136,7 +150,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]\n  locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]\n  locater-cli request  <addr> <verb line or raw JSON frame>\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli wal inspect  <wal-dir>\n  locater-cli wal truncate <wal-dir>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
+    "usage:\n  locater-cli stats    <space.json> <events.csv>\n  locater-cli locate   <space.json> <events.csv> <mac> <timestamp> [--dependent] [--no-cache]\n  locater-cli batch    <space.json> <events.csv> <queries.csv> [--dependent] [--jobs N] [--shards N]\n  locater-cli serve    <space.json> [<events.csv>] [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    --snapshot <store.snap> [--dependent] [--no-cache] [--shards N]\n  locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]\n  locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]\n  locater-cli serve    ... --retain SECS [--compact-interval SECS] [--spill-dir DIR] [--segment-span SECS]\n  locater-cli request  <addr> <verb line or raw JSON frame>\n  locater-cli compact  <store.snap> (--retain SECS | --horizon T) [--spill-dir DIR] [--out PATH]\n  locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]\n  locater-cli snapshot load <store.snap>\n  locater-cli wal inspect  <wal-dir>\n  locater-cli wal truncate <wal-dir>\n  locater-cli simulate campus|metro_campus|office|university|mall|airport <out-prefix> [--days N] [--seed N]"
 }
 
 /// Parses arguments and runs one command, returning the text to print.
@@ -151,6 +165,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
         "batch" => batch(args),
         "serve" => serve(args),
         "request" => request(args),
+        "compact" => compact(args),
         "snapshot" => snapshot(args),
         "wal" => wal(args),
         "simulate" => simulate(args),
@@ -205,6 +220,24 @@ fn shards_from_flags(args: &[String]) -> Result<usize, CliError> {
             .ok_or("--shards must be a positive integer".into()),
         None if args.iter().any(|a| a == "--shards") => Err("--shards requires a value".into()),
         None => Ok(1),
+    }
+}
+
+/// Parses an optional non-negative integer-seconds flag (`--retain`,
+/// `--horizon`, `--compact-interval`), rejecting a dangling flag or a bad
+/// value.
+fn secs_flag(args: &[String], name: &str) -> Result<Option<Timestamp>, CliError> {
+    match flag_value(args, name) {
+        Some(v) => v
+            .parse::<Timestamp>()
+            .ok()
+            .filter(|&n| n >= 0)
+            .map(Some)
+            .ok_or_else(|| CliError::Usage(format!("{name} must be a non-negative integer"))),
+        None if args.iter().any(|a| a == name) => {
+            Err(CliError::Usage(format!("{name} requires a value")))
+        }
+        None => Ok(None),
     }
 }
 
@@ -370,7 +403,7 @@ fn batch(args: &[String]) -> Result<String, CliError> {
 }
 
 fn serve(args: &[String]) -> Result<String, CliError> {
-    let store = if let Some(snapshot_path) = flag_value(args, "--snapshot") {
+    let mut store = if let Some(snapshot_path) = flag_value(args, "--snapshot") {
         // Cold start from the binary snapshot: no CSV replay, validity periods
         // already estimated, segments restored verbatim.
         EventStore::load_snapshot(&snapshot_path)
@@ -383,6 +416,11 @@ fn serve(args: &[String]) -> Result<String, CliError> {
             None => EventStore::new(load_space(space_path)?),
         }
     };
+    // Compaction cuts are bucket-aligned, so a retention much shorter than
+    // the default one-week span needs a matching bucket width to bite.
+    if let Some(span) = secs_flag(args, "--segment-span")?.filter(|&secs| secs > 0) {
+        store = store.with_segment_span(span);
+    }
     let config = config_from_flags(args);
     let shards = shards_from_flags(args)?;
     let service = match durability_from_flags(args)? {
@@ -398,11 +436,20 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         }
         None => ShardedLocaterService::new(store, config, shards),
     };
-    let state = Arc::new(ServerState::new(
-        service,
-        flag_value(args, "--drain-snapshot"),
-    ));
+    let retain = secs_flag(args, "--retain")?;
+    let compact_interval = secs_flag(args, "--compact-interval")?;
+    if compact_interval.is_some() && retain.is_none() {
+        return Err("--compact-interval requires --retain".into());
+    }
+    let spill_dir = flag_value(args, "--spill-dir").map(std::path::PathBuf::from);
+    let state = Arc::new(
+        ServerState::new(service, flag_value(args, "--drain-snapshot"))
+            .with_retention(retain, spill_dir),
+    );
     if let Some(listen) = flag_value(args, "--listen") {
+        if let Some(interval) = compact_interval.filter(|&secs| secs > 0) {
+            spawn_compaction_ticker(Arc::clone(&state), interval as u64);
+        }
         return serve_tcp(state, &listen, args);
     }
     let stdin = std::io::stdin();
@@ -416,6 +463,27 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         append_drain_summary(&mut out, &state.finish_drain())?;
     }
     Ok(out)
+}
+
+/// The `--compact-interval` timer: a detached thread running one compaction
+/// tick per interval against the configured `--retain` horizon. The tick
+/// takes one shard write lock at a time, so it never stalls ingest on the
+/// other shards; the thread exits when the server starts draining (checked
+/// once per second so shutdown stays prompt).
+fn spawn_compaction_ticker(state: Arc<ServerState>, interval_secs: u64) {
+    std::thread::spawn(move || loop {
+        let mut remaining = interval_secs.max(1);
+        while remaining > 0 && !state.is_draining() {
+            std::thread::sleep(Duration::from_secs(1));
+            remaining -= 1;
+        }
+        if state.is_draining() {
+            return;
+        }
+        if let Err(e) = state.compaction_tick() {
+            eprintln!("# compaction tick failed: {e}");
+        }
+    });
 }
 
 /// One boot line summarizing what crash recovery found in the WAL directory,
@@ -527,6 +595,7 @@ fn serve_tcp(state: Arc<ServerState>, listen: &str, args: &[String]) -> Result<S
 /// ingest <mac,timestamp,ap>   append one live event (CSV, same as events.csv rows)
 /// locate <mac> <timestamp>    answer a query over the current store
 /// stats                       totals, per-shard counts, serving-layer gauges
+/// compact [retain-seconds]    age history out of the hot tier
 /// ping | snapshot <path> | shutdown
 /// quit                        stop reading (without draining)
 /// ```
@@ -604,6 +673,65 @@ fn request(args: &[String]) -> Result<String, CliError> {
         ));
     }
     Ok(response)
+}
+
+/// The `compact` command: offline compaction of a snapshot file. Loads the
+/// store, evicts whole segment buckets below the horizon (absolute
+/// `--horizon T`, or `--retain SECS` behind the event-time watermark),
+/// persists the cold tiers into `--spill-dir` (spill snapshot + merged
+/// dwell summaries), and writes the compacted snapshot back — in place, or
+/// to `--out`. Answers inside the retained window are unchanged; the
+/// evicted history stays reloadable from the spill file.
+fn compact(args: &[String]) -> Result<String, CliError> {
+    let snap = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing store.snap")?;
+    let retain = secs_flag(args, "--retain")?;
+    let horizon_flag = secs_flag(args, "--horizon")?;
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| snap.clone());
+    let spill_dir = flag_value(args, "--spill-dir");
+    let mut store = EventStore::load_snapshot(snap)
+        .map_err(|e| CliError::Runtime(format!("cannot load snapshot {snap}: {e}")))?;
+    let horizon = match (retain, horizon_flag) {
+        (Some(retain), _) => store
+            .time_span()
+            .map(|span| (span.end - 1).saturating_sub(retain))
+            .unwrap_or(0),
+        (None, Some(horizon)) => horizon,
+        (None, None) => return Err("compact needs --retain or --horizon".into()),
+    };
+    let report = store.compact(horizon);
+    let mut out = format!(
+        "compacted {snap}: {} event(s) in {} segment(s) evicted below cut {} ({} summary row(s)); {} event(s) retained\n",
+        report.evicted_events,
+        report.evicted_segments,
+        report.cut,
+        report.summaries.len(),
+        store.num_events()
+    );
+    if let Some(dir) = &spill_dir {
+        let dir_path = std::path::Path::new(dir);
+        let spilled = locater::store::persist_tiers(dir_path, &report)
+            .map_err(|e| format!("cannot persist tiers into {dir}: {e}"))?;
+        if let Some(path) = spilled {
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let _ = writeln!(out, "spilled {} ({bytes} bytes)", path.display());
+        }
+        if !report.summaries.is_empty() {
+            let _ = writeln!(
+                out,
+                "summaries merged into {}",
+                locater::store::summary_path(dir_path).display()
+            );
+        }
+    }
+    store
+        .save_snapshot(&out_path)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    let _ = writeln!(out, "wrote {out_path} ({bytes} bytes)");
+    Ok(out)
 }
 
 fn snapshot(args: &[String]) -> Result<String, CliError> {
@@ -1042,6 +1170,87 @@ mod tests {
     }
 
     #[test]
+    fn compact_command_evicts_spills_and_rewrites_the_snapshot() {
+        let dir = std::env::temp_dir().join(format!("locater-cli-compact-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("office").to_string_lossy().to_string();
+        run(&[
+            "simulate".into(),
+            "office".into(),
+            prefix.clone(),
+            "--days".into(),
+            "21".into(),
+            "--seed".into(),
+            "3".into(),
+        ])
+        .expect("simulate succeeds");
+        let snap = format!("{prefix}.snap");
+        run(&[
+            "snapshot".into(),
+            "save".into(),
+            format!("{prefix}.space.json"),
+            format!("{prefix}.events.csv"),
+            snap.clone(),
+        ])
+        .expect("snapshot save succeeds");
+        let before = EventStore::load_snapshot(&snap).unwrap();
+
+        // A retention wider than the history evicts nothing and leaves the
+        // store byte-identical.
+        let compacted = dir.join("unchanged.snap").to_string_lossy().to_string();
+        let noop = run(&[
+            "compact".into(),
+            snap.clone(),
+            "--retain".into(),
+            "999999999".into(),
+            "--out".into(),
+            compacted.clone(),
+        ])
+        .expect("no-op compact succeeds");
+        assert!(
+            noop.contains("0 event(s) in 0 segment(s) evicted"),
+            "{noop}"
+        );
+        assert_eq!(EventStore::load_snapshot(&compacted).unwrap(), before);
+
+        // One week of retention on a three-week corpus evicts history and
+        // persists both cold tiers.
+        let spill_dir = dir.join("spill");
+        let out = run(&[
+            "compact".into(),
+            snap.clone(),
+            "--retain".into(),
+            "604800".into(),
+            "--spill-dir".into(),
+            spill_dir.to_string_lossy().to_string(),
+        ])
+        .expect("compact succeeds");
+        assert!(!out.contains("0 event(s) in 0 segment(s)"), "{out}");
+        assert!(out.contains("spilled"), "{out}");
+        assert!(out.contains("summaries merged into"), "{out}");
+        assert!(out.contains(&format!("wrote {snap}")), "{out}");
+        let after = EventStore::load_snapshot(&snap).unwrap();
+        assert!(after.num_events() < before.num_events());
+        // Evicted + retained account for every original event, and the spill
+        // reloads as an ordinary snapshot.
+        let spills = locater::store::list_spills(&spill_dir).unwrap();
+        assert_eq!(spills.len(), 1);
+        let spill = locater::store::load_spill(&spills[0].1).unwrap();
+        assert_eq!(spill.num_events() + after.num_events(), before.num_events());
+        assert!(!locater::store::load_summaries(&spill_dir)
+            .unwrap()
+            .is_empty());
+
+        // Bad usage is rejected before touching any file.
+        assert!(run(&["compact".into()]).is_err());
+        assert!(run(&["compact".into(), snap.clone()]).is_err());
+        assert!(run(&["compact".into(), snap, "--retain".into(), "soon".into()]).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn snapshot_command_rejects_bad_usage() {
         assert!(run(&["snapshot".into()]).is_err());
         assert!(run(&["snapshot".into(), "frob".into()]).is_err());
@@ -1149,7 +1358,7 @@ locate aa:bb:cc:dd:ee:01 1000
         assert_eq!(commands, 3, "shutdown stops the loop");
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
-        assert!(out.contains("pong (protocol v1)"));
+        assert!(out.contains("pong (protocol v2)"));
         assert!(out.contains("shutting down"));
         assert!(state.is_draining());
         let summary = state.finish_drain();

@@ -1,0 +1,408 @@
+//! The correctness cornerstone of the compaction subsystem: **answer
+//! equivalence inside the retained window**. A service that compacts while
+//! serving — under LCG-seeded interleavings of frontier ingest, heavy
+//! out-of-order backfill (including splices that land *below* the cut),
+//! δ-boundary ties, locates, and compaction runs — must answer every
+//! in-scope locate byte-identically to an uncompacted reference that
+//! ingested the same sequence.
+//!
+//! "In scope" is the documented contract, not a convenience: an answer is
+//! covered when its whole consulted window (coarse history and fine affinity
+//! window, padded by the validity slack δ on both sides) lies at or above
+//! the cut, and no consulted gap spans the cut (the coarse gap scan reads
+//! one event *before* the history window, so a device returning from an
+//! absence that reaches below the cut is explicitly out of scope). The
+//! probes here filter by exactly that rule and assert byte equality on
+//! everything that passes.
+//!
+//! The second half reuses the `wal_recovery` harness idea — copy the WAL
+//! directory at chosen instants to freeze crash points — to prove
+//! compaction is WAL-coherent: a kill *before* the compaction checkpoint
+//! recovers the uncompacted prefix bit-for-bit; a kill *after* recovers the
+//! compacted state bit-for-bit; and a crash at the end recovers compacted
+//! prefix + replayed tail, byte-identical to an uncrashed control that
+//! compacted live.
+
+use locater::prelude::*;
+use locater::proto::{encode_response, WireResponse};
+use locater::store::{Durability, FsyncPolicy};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn space() -> Space {
+    SpaceBuilder::new("compaction-eq")
+        .add_access_point("wap0", &["office-a", "office-b", "lounge"])
+        .add_access_point("wap1", &["lounge", "lab"])
+        .room_type("lounge", RoomType::Public)
+        .room_owner("office-a", "alice")
+        .room_owner("office-b", "bob")
+        .build()
+        .unwrap()
+}
+
+const MACS: [&str; 4] = [
+    "aa:00:00:00:00:01",
+    "aa:00:00:00:00:02",
+    "aa:00:00:00:00:03",
+    "aa:00:00:00:00:04",
+];
+
+/// Coarse history / fine affinity window of the test config (seconds).
+const HISTORY: i64 = 3_000;
+/// `ValidityConfig`'s default upper clamp on δ.
+const DELTA_MAX: i64 = 1_800;
+/// Event-time retention handed to `compact_all`.
+const RETAIN: i64 = 5_000;
+/// Segment span: small enough that a trace crosses many buckets.
+const SPAN: i64 = 500;
+
+/// A short consulted window so a bounded trace spans many retention cycles,
+/// and no affinity cache so each answer depends only on store contents —
+/// byte equality then checks exactly what compaction promises to preserve.
+fn config() -> LocaterConfig {
+    let mut config = LocaterConfig::default();
+    config.coarse.history = HISTORY;
+    config.fine.affinity_window = HISTORY;
+    config.cache = CacheMode::Disabled;
+    config
+}
+
+fn service(shards: usize) -> ShardedLocaterService {
+    let store = EventStore::new(space()).with_segment_span(SPAN);
+    ShardedLocaterService::new(store, config(), shards)
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+enum Op {
+    Ingest(&'static str, i64, &'static str),
+    Locate(&'static str, i64),
+    Compact,
+}
+
+/// One seeded interleaving. Per-device frontiers advance by bounded steps
+/// (< 2δ, with exact-δ and δ±1 ties), a third of the ingests are backfill
+/// splices — reaching far enough back to land *below* an earlier cut — and
+/// locates probe near the frontier of a random device.
+fn trace(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = Lcg(seed);
+    let mut frontier = [5_000i64; 4];
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let d = rng.below(4) as usize;
+        let ap = if rng.below(2) == 0 { "wap0" } else { "wap1" };
+        match rng.below(12) {
+            0..=5 => {
+                frontier[d] += match rng.below(6) {
+                    0 => 600, // the default δ exactly
+                    1 => 599,
+                    2 => 601,
+                    _ => 30 + rng.below(900) as i64,
+                };
+                ops.push(Op::Ingest(MACS[d], frontier[d], ap));
+            }
+            6..=8 => {
+                let back = 1 + rng.below(6_000) as i64;
+                ops.push(Op::Ingest(MACS[d], (frontier[d] - back).max(0), ap));
+            }
+            9 | 10 => ops.push(Op::Locate(MACS[d], frontier[d] - rng.below(900) as i64)),
+            _ => ops.push(Op::Compact),
+        }
+    }
+    ops
+}
+
+/// A locate answer as wire bytes, with the raw event counter zeroed: the
+/// compacted store holds fewer events by design; the equivalence claim
+/// covers the answer and the device epoch.
+fn answer_bytes(service: &ShardedLocaterService, mac: &str, t: i64) -> String {
+    let request = LocateRequest {
+        mac: Some(mac.to_string()),
+        device: None,
+        t,
+        fine_mode: None,
+        cache: None,
+        diagnostics: false,
+    };
+    match service.locate(&request) {
+        Ok(mut response) => {
+            response.events_seen = 0;
+            encode_response(&WireResponse::located(&response))
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// `true` when a probe at `(times, t)` is inside the equivalence scope for
+/// the given cut: the full consulted window clears the cut and every event
+/// the gap scans reach back to is retained.
+fn in_scope(times: &[i64], t: i64, cut: i64) -> bool {
+    if t - HISTORY - DELTA_MAX < cut {
+        return false;
+    }
+    let at = times.partition_point(|&x| x <= t);
+    if at == 0 || times[at - 1] < cut {
+        return false; // the gap containing t is left-bounded below the cut
+    }
+    let before_window = times.partition_point(|&x| x <= t - HISTORY + DELTA_MAX);
+    before_window == 0 || times[before_window - 1] >= cut
+}
+
+#[test]
+fn compacting_service_answers_byte_identically_inside_the_retained_window() {
+    for shards in [1usize, 4] {
+        for seed in [5u64, 71, 207] {
+            let ops = trace(seed, 600);
+            let compacted = service(shards);
+            let reference = service(shards);
+            let mut times: std::collections::HashMap<&str, Vec<i64>> =
+                std::collections::HashMap::new();
+            let mut compared = 0usize;
+            for op in &ops {
+                match op {
+                    Op::Ingest(mac, t, ap) => {
+                        compacted.ingest(mac, *t, ap).expect("compacted ingest");
+                        reference.ingest(mac, *t, ap).expect("reference ingest");
+                        let slot = times.entry(mac).or_default();
+                        let at = slot.partition_point(|&x| x <= *t);
+                        slot.insert(at, *t);
+                    }
+                    Op::Locate(mac, t) => {
+                        let cut = compacted.compaction_status().last_cut.unwrap_or(i64::MIN);
+                        let device_times = times.get(mac).map(Vec::as_slice).unwrap_or(&[]);
+                        if !in_scope(device_times, *t, cut) {
+                            continue;
+                        }
+                        compared += 1;
+                        assert_eq!(
+                            answer_bytes(&compacted, mac, *t),
+                            answer_bytes(&reference, mac, *t),
+                            "in-window answer drifted (shards={shards}, seed={seed}, \
+                             mac={mac}, t={t}, cut={cut})"
+                        );
+                    }
+                    Op::Compact => {
+                        compacted.compact_all(RETAIN, None).expect("compact");
+                    }
+                }
+            }
+            let status = compacted.compaction_status();
+            assert!(
+                status.evicted_events > 0,
+                "the trace must actually evict history (shards={shards}, seed={seed})"
+            );
+            assert!(
+                compared >= 20,
+                "too few probes survived scoping to mean anything \
+                 (shards={shards}, seed={seed}, compared={compared})"
+            );
+            assert!(
+                compacted.num_events() < reference.num_events(),
+                "compaction kept every event (shards={shards}, seed={seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn late_backfill_below_the_cut_is_accepted_and_aged_out_by_the_next_run() {
+    // An out-of-order event older than everything evicted so far must still
+    // ingest cleanly (same id sequencing as the reference), must not disturb
+    // retained answers, and must itself be evicted by the next run.
+    let compacted = service(4);
+    let reference = service(4);
+    let mut t = 5_000;
+    for i in 0..120 {
+        let mac = MACS[i % 4];
+        t += 400;
+        compacted.ingest(mac, t, "wap0").unwrap();
+        reference.ingest(mac, t, "wap0").unwrap();
+    }
+    compacted.compact_all(RETAIN, None).unwrap();
+    let cut = compacted.compaction_status().last_cut.expect("evicted");
+    assert!(cut > 5_000);
+
+    // Splice far below the cut, into both services.
+    let late = cut - 2_000;
+    let id_c = compacted.ingest(MACS[0], late, "wap1").unwrap();
+    let id_r = reference.ingest(MACS[0], late, "wap1").unwrap();
+    assert_eq!(id_c, id_r, "backfill keeps id sequencing aligned");
+    let probe = t - 300;
+    assert_eq!(
+        answer_bytes(&compacted, MACS[0], probe),
+        answer_bytes(&reference, MACS[0], probe),
+        "a below-cut splice must not disturb retained answers"
+    );
+
+    // The next run ages the splice out again.
+    let before = compacted.num_events();
+    compacted.compact_all(RETAIN, None).unwrap();
+    assert_eq!(compacted.num_events(), before - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-recover equivalence across a compaction run
+// ---------------------------------------------------------------------------
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "locater-compact-eq-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durability(dir: &Path) -> Durability {
+    Durability::new(dir).with_fsync(FsyncPolicy::Always)
+}
+
+fn durable_service(dir: &Path, shards: usize) -> ShardedLocaterService {
+    let store = EventStore::new(space()).with_segment_span(SPAN);
+    let (service, _) =
+        ShardedLocaterService::with_durability(store, config(), shards, durability(dir))
+            .expect("durable boot");
+    service
+}
+
+fn recover(dir: &Path, shards: usize) -> (ShardedLocaterService, u64) {
+    let store = EventStore::new(space()).with_segment_span(SPAN);
+    let (service, report) =
+        ShardedLocaterService::with_durability(store, config(), shards, durability(dir))
+            .expect("recovery boot");
+    (service, report.replayed)
+}
+
+fn snapshot_bytes(service: &ShardedLocaterService) -> Vec<u8> {
+    service
+        .store_snapshot()
+        .to_snapshot_bytes()
+        .expect("snapshot bytes")
+}
+
+fn copy_wal(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_wal(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn compaction_survives_kill_and_recover_at_every_interesting_instant() {
+    let ingests: Vec<(&'static str, i64, &'static str)> = trace(99, 400)
+        .into_iter()
+        .filter_map(|op| match op {
+            Op::Ingest(mac, t, ap) => Some((mac, t, ap)),
+            _ => None,
+        })
+        .collect();
+    assert!(ingests.len() >= 150);
+    let (prefix, suffix) = ingests.split_at(ingests.len() * 2 / 3);
+    let horizon = prefix.iter().map(|&(_, t, _)| t).max().unwrap() - RETAIN;
+
+    for shards in [1usize, 4] {
+        let dir = scratch("live");
+        let pre = scratch("pre");
+        let post = scratch("post");
+        {
+            let live = durable_service(&dir, shards);
+            for (mac, t, ap) in prefix {
+                live.ingest(mac, *t, ap).unwrap();
+            }
+            copy_wal(&dir, &pre); // kill before the compaction checkpoint
+            let status = live.compact_to(horizon, None).expect("durable compact");
+            assert!(status.evicted_events > 0, "the run must evict something");
+            copy_wal(&dir, &post); // kill right after
+            for (mac, t, ap) in suffix {
+                live.ingest(mac, *t, ap).unwrap();
+            }
+            // Dropped without a further checkpoint: the final crash.
+        }
+
+        // Uncrashed controls, rendered as snapshot bytes.
+        let uncompacted_prefix = {
+            let s = service(shards);
+            for (mac, t, ap) in prefix {
+                s.ingest(mac, *t, ap).unwrap();
+            }
+            snapshot_bytes(&s)
+        };
+        let compacted_prefix = {
+            let s = service(shards);
+            for (mac, t, ap) in prefix {
+                s.ingest(mac, *t, ap).unwrap();
+            }
+            s.compact_to(horizon, None).unwrap();
+            snapshot_bytes(&s)
+        };
+        let compacted_full = {
+            let s = service(shards);
+            for (mac, t, ap) in prefix {
+                s.ingest(mac, *t, ap).unwrap();
+            }
+            s.compact_to(horizon, None).unwrap();
+            for (mac, t, ap) in suffix {
+                s.ingest(mac, *t, ap).unwrap();
+            }
+            snapshot_bytes(&s)
+        };
+
+        // Kill before the checkpoint: nothing is lost, nothing is compacted.
+        let (recovered, replayed) = recover(&pre, shards);
+        assert_eq!(replayed, prefix.len() as u64);
+        assert_eq!(
+            snapshot_bytes(&recovered),
+            uncompacted_prefix,
+            "pre-compaction kill must recover the uncompacted prefix (shards={shards})"
+        );
+
+        // Kill after: recovery restarts from the compacted checkpoint — the
+        // WAL does not resurrect evicted history.
+        let (recovered, replayed) = recover(&post, shards);
+        assert_eq!(replayed, 0, "the compaction checkpoint covers the log");
+        assert_eq!(
+            snapshot_bytes(&recovered),
+            compacted_prefix,
+            "post-compaction kill must recover the compacted state (shards={shards})"
+        );
+
+        // Final crash: compacted checkpoint + replayed tail equals a control
+        // that compacted live, byte for byte.
+        let (recovered, replayed) = recover(&dir, shards);
+        assert_eq!(replayed, suffix.len() as u64);
+        assert_eq!(
+            snapshot_bytes(&recovered),
+            compacted_full,
+            "crash after post-compaction ingest must recover compacted prefix \
+             plus tail (shards={shards})"
+        );
+
+        for d in [&dir, &pre, &post] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}
