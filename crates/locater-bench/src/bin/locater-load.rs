@@ -24,6 +24,13 @@
 //! # compacted RSS plateaus (final within 10% of the 25%-mark) while the
 //! # control grows, with zero answer drift.
 //! locater-load --soak [--weeks N] [--retain SECS] [--shards N] [--out PATH]
+//!
+//! # Chaos run: route the resilient retry client through a seeded fault proxy
+//! # (drops, stalls, half-closes, mid-frame splits) against a self-hosted
+//! # server and assert every acked ingest is applied exactly once. Exits
+//! # non-zero on any lost ack, duplicate application, or exhausted retry.
+//! locater-load --chaos [--seed HEX] [--clients K] [--requests N]
+//!              [--request-timeout SECS] [--addr HOST:PORT]
 //! ```
 //!
 //! The open-loop mode is coordinated-omission safe: each request has a fixed
@@ -81,6 +88,14 @@ struct Options {
     weeks: i64,
     /// Event-time retention (seconds) for the soak's compacted service.
     retain: i64,
+    /// Per-response read timeout; a slot that times out is counted under
+    /// `timed_out` instead of silently stalling the client forever.
+    request_timeout: Duration,
+    /// Chaos mode: drive the resilient retry client through a seeded fault
+    /// proxy and assert zero lost or duplicated acked ingests.
+    chaos: bool,
+    /// Seed for `--chaos` (proxy decision stream + client backoff jitter).
+    chaos_seed: u64,
 }
 
 impl Default for Options {
@@ -99,6 +114,9 @@ impl Default for Options {
             soak: false,
             weeks: 4,
             retain: 4 * 86_400,
+            request_timeout: Duration::from_secs(60),
+            chaos: false,
+            chaos_seed: 0xC405,
         }
     }
 }
@@ -164,6 +182,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--out" => opts.out = Some(value("--out", &mut it)?),
+            "--request-timeout" => {
+                let secs: f64 = value("--request-timeout", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--request-timeout: {e}"))?;
+                if secs.is_nan() || secs <= 0.0 {
+                    return Err("--request-timeout must be a positive number of seconds".into());
+                }
+                opts.request_timeout = Duration::from_secs_f64(secs);
+            }
+            "--chaos" => opts.chaos = true,
+            "--seed" => {
+                opts.chaos_seed = value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--soak" => opts.soak = true,
             "--weeks" => {
                 opts.weeks = value("--weeks", &mut it)?
@@ -187,9 +220,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.smoke && opts.addr.is_none() {
         return Err("--smoke needs --addr HOST:PORT".into());
     }
-    if !opts.self_host && !opts.soak && opts.addr.is_none() {
+    if !opts.self_host && !opts.soak && !opts.chaos && opts.addr.is_none() {
         return Err(format!(
-            "pick --self-host, --soak or --addr HOST:PORT\n{USAGE}"
+            "pick --self-host, --soak, --chaos or --addr HOST:PORT\n{USAGE}"
         ));
     }
     Ok(opts)
@@ -198,9 +231,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 const USAGE: &str = "\
 usage: locater-load --self-host [--shards 1,4] [--clients K] [--requests N]
                     [--qps Q] [--duration SECS] [--mix PCT] [--out PATH]
+                    [--request-timeout SECS]
        locater-load --smoke --addr HOST:PORT [--clients K] [--requests N]
        locater-load --addr HOST:PORT [--clients K] [--requests N]
        locater-load --soak [--weeks N] [--retain SECS] [--shards N] [--out PATH]
+       locater-load --chaos [--seed N] [--clients K] [--requests N]
+                    [--request-timeout SECS] [--addr HOST:PORT]
 ";
 
 // ---------------------------------------------------------------------------
@@ -295,6 +331,7 @@ fn client_script(w: &Workload, k: usize, clients: usize, count: usize, mix_pct: 
                         mac: e.mac.clone(),
                         t: e.t,
                         ap: e.ap.clone(),
+                        request_id: None,
                     },
                 )
             } else {
@@ -341,6 +378,8 @@ struct ClientStats {
     app_errors: u64,
     protocol_errors: u64,
     transport_errors: u64,
+    /// Response slots whose read exceeded `--request-timeout`.
+    timed_out: u64,
 }
 
 impl ClientStats {
@@ -353,6 +392,18 @@ impl ClientStats {
         self.app_errors += other.app_errors;
         self.protocol_errors += other.protocol_errors;
         self.transport_errors += other.transport_errors;
+        self.timed_out += other.timed_out;
+    }
+
+    /// Books one failed response read: timeouts are their own bucket so a
+    /// stalled server is distinguishable from a closed socket.
+    fn record_read_failure(&mut self, error: Option<&std::io::Error>) {
+        match error.map(std::io::Error::kind) {
+            Some(std::io::ErrorKind::WouldBlock) | Some(std::io::ErrorKind::TimedOut) => {
+                self.timed_out += 1
+            }
+            _ => self.transport_errors += 1,
+        }
     }
 
     fn record(&mut self, kind: OpKind, line: &str, latency: Duration) {
@@ -417,16 +468,20 @@ struct RunResult {
 // Clients
 // ---------------------------------------------------------------------------
 
-fn connect(addr: &str) -> Result<TcpStream, String> {
+fn connect(addr: &str, request_timeout: Duration) -> Result<TcpStream, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    stream.set_read_timeout(Some(request_timeout)).ok();
     Ok(stream)
 }
 
 /// Synchronous request/response loop: latency is the classic round-trip time.
-fn closed_loop_client(addr: &str, ops: &[Op]) -> Result<ClientStats, String> {
-    let mut writer = connect(addr)?;
+fn closed_loop_client(
+    addr: &str,
+    ops: &[Op],
+    request_timeout: Duration,
+) -> Result<ClientStats, String> {
+    let mut writer = connect(addr, request_timeout)?;
     let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
     let mut stats = ClientStats::default();
     let mut line = String::new();
@@ -438,8 +493,12 @@ fn closed_loop_client(addr: &str, ops: &[Op]) -> Result<ClientStats, String> {
         }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => {
-                stats.transport_errors += 1;
+            Ok(0) => {
+                stats.record_read_failure(None);
+                break;
+            }
+            Err(e) => {
+                stats.record_read_failure(Some(&e));
                 break;
             }
             Ok(_) => stats.record(op.kind, &line, sent.elapsed()),
@@ -457,8 +516,9 @@ fn open_loop_client(
     start: Instant,
     offset: Duration,
     interval: Duration,
+    request_timeout: Duration,
 ) -> Result<ClientStats, String> {
-    let mut writer = connect(addr)?;
+    let mut writer = connect(addr, request_timeout)?;
     let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
     let (tx, rx) = mpsc::channel::<(OpKind, Instant)>();
 
@@ -468,8 +528,12 @@ fn open_loop_client(
         while let Ok((kind, scheduled)) = rx.recv() {
             line.clear();
             match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => {
-                    stats.transport_errors += 1;
+                Ok(0) => {
+                    stats.record_read_failure(None);
+                    break;
+                }
+                Err(e) => {
+                    stats.record_read_failure(Some(&e));
                     break;
                 }
                 Ok(_) => stats.record(kind, &line, Instant::now() - scheduled),
@@ -502,6 +566,7 @@ fn drive(
     addr: &str,
     scripts: Vec<Vec<Op>>,
     open_loop: Option<f64>,
+    request_timeout: Duration,
 ) -> Result<(ClientStats, f64), String> {
     let failures = AtomicUsize::new(0);
     let started = Instant::now();
@@ -514,7 +579,7 @@ fn drive(
                 let failures = &failures;
                 scope.spawn(move || {
                     let run = match open_loop {
-                        None => closed_loop_client(addr, ops),
+                        None => closed_loop_client(addr, ops, request_timeout),
                         Some(qps) => {
                             let interval = Duration::from_secs_f64(clients as f64 / qps);
                             let offset = interval.mul_f64(k as f64 / clients as f64);
@@ -525,6 +590,7 @@ fn drive(
                                 started + Duration::from_millis(20),
                                 offset,
                                 interval,
+                                request_timeout,
                             )
                         }
                     };
@@ -577,12 +643,12 @@ fn run_self_hosted(
         .map(|k| client_script(w, k, opts.clients, per_client, opts.mix_pct))
         .collect();
     let open = (mode == "open").then_some(opts.qps);
-    let (stats, wall_s) = drive(&addr, scripts, open)?;
+    let (stats, wall_s) = drive(&addr, scripts, open, opts.request_timeout)?;
 
     let server_stats = server.state().stats();
 
     // Graceful teardown: a shutdown frame, then drain.
-    let mut ctl = connect(&addr)?;
+    let mut ctl = connect(&addr, opts.request_timeout)?;
     let mut frame = encode_request(&WireRequest::Shutdown);
     frame.push('\n');
     ctl.write_all(frame.as_bytes()).map_err(|e| e.to_string())?;
@@ -626,6 +692,7 @@ fn run_json(r: &RunResult) -> String {
          \"ingest\": {}, \"locate\": {}, \
          \"rejected_overloaded\": {}, \"rejected_shutting_down\": {}, \
          \"protocol_errors\": {}, \"app_errors\": {}, \"transport_errors\": {}, \
+         \"timed_out\": {}, \
          \"server\": {{\"requests_served\": {}, \"events\": {}}}}}",
         r.shards,
         r.mode,
@@ -638,6 +705,7 @@ fn run_json(r: &RunResult) -> String {
         r.stats.protocol_errors,
         r.stats.app_errors,
         r.stats.transport_errors,
+        r.stats.timed_out,
         r.server_requests_served,
         r.server_events,
     )
@@ -977,14 +1045,17 @@ fn smoke(opts: &Options) -> Result<(), String> {
     let clients = opts.clients.clamp(1, 2);
     let per_client = opts.requests.clamp(1, 200);
     let scripts: Vec<Vec<Op>> = (0..clients).map(|_| probe_script(per_client)).collect();
-    let (stats, wall_s) = drive(addr, scripts, None)?;
+    let (stats, wall_s) = drive(addr, scripts, None, opts.request_timeout)?;
     let ok = stats.completed_ok();
     let throughput = ok as f64 / wall_s.max(1e-9);
     println!(
         "smoke: {ok} responses in {wall_s:.3}s ({throughput:.1} req/s), \
-         protocol_errors={}, app_errors={}, transport_errors={}",
-        stats.protocol_errors, stats.app_errors, stats.transport_errors
+         protocol_errors={}, app_errors={}, transport_errors={}, timed_out={}",
+        stats.protocol_errors, stats.app_errors, stats.transport_errors, stats.timed_out
     );
+    if stats.timed_out > 0 {
+        return Err("smoke failed: requests timed out".into());
+    }
     if stats.protocol_errors > 0 || stats.app_errors > 0 || stats.transport_errors > 0 {
         return Err("smoke failed: errors on the wire".into());
     }
@@ -1000,7 +1071,7 @@ fn probe(opts: &Options) -> Result<(), String> {
     let scripts: Vec<Vec<Op>> = (0..opts.clients)
         .map(|_| probe_script(opts.requests))
         .collect();
-    let (stats, wall_s) = drive(addr, scripts, None)?;
+    let (stats, wall_s) = drive(addr, scripts, None, opts.request_timeout)?;
     let summary = summarize(stats.other_lat_us.clone());
     println!(
         "probe: {} responses in {wall_s:.3}s ({:.1} req/s), \
@@ -1012,6 +1083,193 @@ fn probe(opts: &Options) -> Result<(), String> {
         summary.p999_us,
         stats.protocol_errors
     );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// Drives the resilient retry client through a seeded fault proxy and asserts
+/// the end-to-end idempotency invariant: every acked ingest is applied exactly
+/// once, no matter how many connections the proxy slams mid-request.
+///
+/// Self-hosts a small server unless `--addr` points at an external one (in
+/// which case the exactly-once check is skipped — we cannot read a remote
+/// server's event counter before other traffic moves it).
+fn chaos(opts: &Options) -> Result<(), String> {
+    use locater_bench::{ChaosConfig, ChaosProxy};
+    use locater_client::{BackoffPolicy, ClientConfig, RetryClient};
+    use std::net::ToSocketAddrs;
+
+    // Upstream: an external server, or a self-hosted two-shard one.
+    let hosted = if opts.addr.is_none() {
+        let space = locater_space::SpaceBuilder::new("chaos")
+            .add_access_point("wap1", &["r1", "r2"])
+            .add_access_point("wap2", &["r3", "r4"])
+            .build()
+            .map_err(|e| format!("space: {e}"))?;
+        let service =
+            ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2);
+        let state = Arc::new(ServerState::new(service, None));
+        let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default())
+            .map_err(|e| format!("bind: {e}"))?;
+        Some(server)
+    } else {
+        None
+    };
+    let upstream = match &hosted {
+        Some(server) => server.local_addr(),
+        None => opts
+            .addr
+            .as_deref()
+            .unwrap()
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve --addr: {e}"))?
+            .next()
+            .ok_or("--addr resolved to no address")?,
+    };
+
+    let config = ChaosConfig {
+        seed: opts.chaos_seed,
+        ..ChaosConfig::default()
+    };
+    let proxy = ChaosProxy::start(upstream, config).map_err(|e| format!("proxy: {e}"))?;
+    let proxy_addr = proxy.local_addr().to_string();
+
+    let per_client = opts.requests;
+    let mut handles = Vec::new();
+    for k in 0..opts.clients {
+        let addr = proxy_addr.clone();
+        let seed = opts.chaos_seed;
+        let timeout = opts.request_timeout;
+        handles.push(std::thread::spawn(move || {
+            let mut client = RetryClient::new(ClientConfig {
+                addr,
+                request_timeout: timeout.min(Duration::from_secs(5)),
+                max_retries: 20,
+                backoff: BackoffPolicy {
+                    base: Duration::from_millis(5),
+                    cap: Duration::from_millis(200),
+                    seed: seed ^ k as u64,
+                },
+                id_seed: seed.wrapping_mul(31).wrapping_add(k as u64),
+            });
+            let mac = format!("aa:bb:cc:dd:ee:{:02x}", k % 256);
+            let (mut acked, mut failures) = (0u64, 0u64);
+            let mut last_acked_t = None;
+            for i in 0..per_client {
+                let t = (i as i64 + 1) * 60;
+                // Every 4th request reads back the client's own device at its
+                // last acked timestamp; the rest ingest fresh (mac, t) pairs.
+                let request = match last_acked_t {
+                    Some(at) if i % 4 == 3 => WireRequest::Locate {
+                        mac: Some(mac.clone()),
+                        device: None,
+                        t: at,
+                        fine_mode: None,
+                        cache: None,
+                    },
+                    _ => WireRequest::Ingest {
+                        mac: mac.clone(),
+                        t,
+                        ap: if i % 2 == 0 { "wap1" } else { "wap2" }.into(),
+                        request_id: None,
+                    },
+                };
+                let is_ingest = matches!(request, WireRequest::Ingest { .. });
+                match client.request(&request) {
+                    Ok(WireResponse::Error(e)) => {
+                        let _ = e;
+                        failures += 1;
+                    }
+                    Ok(_) if is_ingest => {
+                        acked += 1;
+                        last_acked_t = Some(t);
+                    }
+                    Ok(_) => {}
+                    Err(_) => failures += 1,
+                }
+            }
+            (acked, failures, client.stats())
+        }));
+    }
+
+    let (mut acked, mut failures) = (0u64, 0u64);
+    let mut retries = 0u64;
+    let mut connects = 0u64;
+    for handle in handles {
+        let (a, f, stats) = handle.join().expect("chaos client panicked");
+        acked += a;
+        failures += f;
+        retries += stats.retries;
+        connects += stats.connects;
+    }
+
+    let counters = proxy.counters();
+    proxy.stop();
+
+    // Self-hosted: graceful shutdown straight to the upstream (not through
+    // the now-stopped proxy), then check exactly-once application.
+    let mut server_events = None;
+    if let Some(server) = hosted {
+        let stats = server.state().stats();
+        server_events = Some(stats.events as u64);
+        let mut ctl = connect(&upstream.to_string(), opts.request_timeout)?;
+        let mut frame = encode_request(&WireRequest::Shutdown);
+        frame.push('\n');
+        ctl.write_all(frame.as_bytes()).map_err(|e| e.to_string())?;
+        let mut ack = String::new();
+        BufReader::new(&ctl)
+            .read_line(&mut ack)
+            .map_err(|e| e.to_string())?;
+        let report = server.join();
+        if let Some(message) = report.drain.failure_message() {
+            return Err(format!("drain: {message}"));
+        }
+    }
+
+    println!(
+        "chaos: seed={:#x} clients={} acked_ingests={} failures={} \
+         retries={} connects={} proxy[drops={} stalls={} half_closes={} splits={} conns={}]{}",
+        opts.chaos_seed,
+        opts.clients,
+        acked,
+        failures,
+        retries,
+        connects,
+        counters.drops,
+        counters.stalls,
+        counters.half_closes,
+        counters.splits,
+        counters.connections,
+        match server_events {
+            Some(events) => format!(" server_events={events}"),
+            None => String::new(),
+        },
+    );
+
+    if failures > 0 {
+        return Err(format!(
+            "chaos failed: {failures} request(s) exhausted retries"
+        ));
+    }
+    if let Some(events) = server_events {
+        if events != acked {
+            return Err(format!(
+                "chaos failed: {acked} acked ingest(s) but server applied {events} — \
+                 {}",
+                if events < acked {
+                    "acked writes were lost"
+                } else {
+                    "retried writes were applied twice"
+                }
+            ));
+        }
+        println!("chaos ok: every acked ingest applied exactly once");
+    } else {
+        println!("chaos ok: zero client-visible failures (external server, count unchecked)");
+    }
     Ok(())
 }
 
@@ -1048,6 +1306,7 @@ fn main() {
     let result = match parse_args(&args) {
         Ok(opts) if opts.smoke => smoke(&opts),
         Ok(opts) if opts.soak => soak(&opts),
+        Ok(opts) if opts.chaos => chaos(&opts),
         Ok(opts) if opts.self_host => self_host(&opts),
         Ok(opts) => probe(&opts),
         Err(message) => Err(message),

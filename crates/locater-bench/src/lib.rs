@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod datasets;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
+pub use chaos::{ChaosAction, ChaosConfig, ChaosCounters, ChaosProxy};
 pub use datasets::{campus_fixture, scenario_fixture, BenchScale, CampusFixture, ScenarioFixture};
 pub use report::Table;
 pub use runner::{evaluate_baseline, evaluate_locater, truth_at, SystemEvaluation};

@@ -35,7 +35,7 @@ use super::batch::{self, BatchItem};
 use super::epoch::{EpochCache, EpochRead, EpochTable, ModelEntry};
 use super::request::{LocateRequest, LocateResponse};
 use super::service::{resolve_target, Engines, FinePlan};
-use super::{assemble_answer, Answer, CacheMode, LocaterConfig, QueryDiagnostics};
+use super::{assemble_answer, Answer, CacheMode, LocaterConfig, Location, QueryDiagnostics};
 use crate::cache::{edge_key, rank_by_weight};
 use crate::coarse::{CoarseLabel, DeviceCoarseModel};
 use crate::error::LocaterError;
@@ -44,10 +44,13 @@ use locater_events::clock::Timestamp;
 use locater_events::validity::estimate_delta_events;
 use locater_events::{DeviceId, EventId};
 use locater_space::Space;
-use locater_store::recovery::{initialize_wal, recover_store, write_checkpoint, RecoveryReport};
+use locater_store::recovery::{
+    initialize_wal, recover_store_io, write_checkpoint_io, RecoveryReport,
+};
 use locater_store::{
     compaction, shard_of_device, CompactionReport, Durability, DwellSummary, EventRead, EventStore,
-    IngestError, RawEvent, ShardWal, ShardedRead, StoreError, WalError, WalRecord, WalShardStats,
+    IngestError, RawEvent, RealIo, ShardWal, ShardedRead, StorageIo, StoreError, WalError,
+    WalRecord, WalShardStats,
 };
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -269,7 +272,7 @@ impl ShardedLocaterService {
         shards: usize,
         durability: Durability,
     ) -> Result<(Self, RecoveryReport), WalError> {
-        let (store, report) = recover_store(&durability.dir, store)?;
+        let (store, report) = recover_store_io(&durability.dir, store, durability.io.as_ref())?;
         let writers = initialize_wal(&durability, &store, shards.max(1))?.0;
         let mut service = Self::new(store, config, shards);
         for (shard, wal) in service.shards.iter().zip(writers) {
@@ -536,6 +539,39 @@ impl ShardedLocaterService {
             device_epoch: epochs.epoch_of(device),
             events_seen: view.num_events(),
             diagnostics: request.diagnostics.then_some(diagnostics),
+        })
+    }
+
+    /// Answers one request with the coarse step only — the *degraded* path a
+    /// server takes when a request's deadline has already expired: the room
+    /// stays unknown ([`Location::Region`]) but the caller still learns
+    /// whether the device was inside and where, at coarse-step cost (no
+    /// neighbor scan, no fine-step iterations, no cache writes).
+    pub fn locate_coarse(&self, request: &LocateRequest) -> Result<LocateResponse, LocaterError> {
+        let guards = self.read_all();
+        let view = ShardedRead::new(guards.iter().map(|guard| &guard.store).collect());
+        let epochs = ShardedEpochs {
+            tables: guards.iter().map(|guard| &guard.epochs).collect(),
+        };
+        let device = resolve_target(&view, request.mac.as_deref(), request.device)?;
+        let home = self.home_shard(device);
+        let engines = &self.shards[home].engines;
+        let (coarse, _model_reused) = engines.coarse_outcome(&view, &epochs, device, request.t);
+        let answer = Answer {
+            device,
+            t: request.t,
+            location: match coarse.label {
+                CoarseLabel::Outside => Location::Outside,
+                CoarseLabel::Inside(region) => Location::Region(region),
+            },
+            coarse_method: coarse.method,
+            confidence: coarse.confidence,
+        };
+        Ok(LocateResponse {
+            answer,
+            device_epoch: epochs.epoch_of(device),
+            events_seen: view.num_events(),
+            diagnostics: None,
         })
     }
 
@@ -853,7 +889,7 @@ impl ShardedLocaterService {
             EventStore::rejoin(guards.iter().map(|guard| &guard.store))
                 .expect("shards of one service always rejoin")
         };
-        let bytes = write_checkpoint(&durability.dir, &combined)?;
+        let bytes = write_checkpoint_io(&durability.dir, &combined, durability.io.as_ref())?;
         for guard in guards.iter_mut() {
             if let Some(wal) = guard.wal.as_mut() {
                 wal.reset()?;
@@ -963,7 +999,11 @@ impl ShardedLocaterService {
                 summaries,
                 spill: compaction::merge_spills(spills),
             };
-            compaction::persist_tiers(dir, &combined)?;
+            let io: &dyn StorageIo = match self.durability.as_ref() {
+                Some(durability) => durability.io.as_ref(),
+                None => &RealIo,
+            };
+            compaction::persist_tiers_io(dir, &combined, io)?;
         }
         if self.durability.is_some() {
             self.checkpoint()?;

@@ -53,7 +53,15 @@ use std::fmt;
 /// v2 added [`WireRequest::Compact`] / [`WireResponse::Compacted`] and the
 /// tiering gauges on [`WireStats`] / [`WireShardStats`] (all `#[serde(default)]`,
 /// so v1 responses still decode).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 added the resilience surface: optional `request_id` on the ingest
+/// requests (servers deduplicate replays, making client retries idempotent
+/// across reconnects), the `degraded` flag on [`WireResponse::Located`]
+/// (coarse-only answer under deadline pressure), the
+/// [`WireError::retryable`] classification, and the `panics` / `degraded` /
+/// `deduped` counters on [`WireStats`]. All additions are `#[serde(default)]`
+/// optional, so v2 frames still decode.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -72,11 +80,21 @@ pub enum WireRequest {
         t: Timestamp,
         /// Access point name.
         ap: String,
+        /// Client-chosen idempotency token: a server remembers recently seen
+        /// ids and acknowledges a replayed id *without* appending again, so a
+        /// client that lost the ack mid-reconnect can retry safely. `None`
+        /// opts out (every frame appends).
+        #[serde(default)]
+        request_id: Option<u64>,
     },
     /// Append a batch of events atomically with respect to queries.
     IngestBatch {
         /// The events, in ingest order.
         events: Vec<RawEvent>,
+        /// Idempotency token covering the whole batch (see
+        /// [`WireRequest::Ingest::request_id`]).
+        #[serde(default)]
+        request_id: Option<u64>,
     },
     /// Answer a location query, with optional per-request overrides.
     Locate {
@@ -201,6 +219,11 @@ pub enum WireResponse {
         device_epoch: u64,
         /// Total events in the store when the answer was computed.
         events_seen: usize,
+        /// `true` when the server answered coarse-only because the request's
+        /// deadline expired before the fine step could run: the answer is
+        /// building/region-accurate but the room is unresolved.
+        #[serde(default)]
+        degraded: bool,
     },
     /// Answer to [`WireRequest::Stats`].
     Stats(WireStats),
@@ -225,10 +248,17 @@ pub enum WireResponse {
 impl WireResponse {
     /// The wire form of an in-process locate result.
     pub fn located(response: &LocateResponse) -> Self {
+        Self::located_degraded(response, false)
+    }
+
+    /// The wire form of an in-process locate result, with the degradation
+    /// flag set explicitly (the deadline-expired coarse-only path).
+    pub fn located_degraded(response: &LocateResponse, degraded: bool) -> Self {
         WireResponse::Located {
             answer: response.answer.clone(),
             device_epoch: response.device_epoch,
             events_seen: response.events_seen,
+            degraded,
         }
     }
 
@@ -319,6 +349,24 @@ impl fmt::Display for WireError {
 }
 
 impl WireError {
+    /// Whether a client may safely retry the request that produced this
+    /// error. Transient server conditions — backpressure, a drain racing the
+    /// request, an isolated worker panic — are retryable (pair ingest retries
+    /// with a `request_id` so a replay that *did* land is not applied twice);
+    /// deterministic rejections (malformed frame, unknown device, invalid
+    /// ingest) would fail identically on every attempt and are not.
+    pub fn retryable(&self) -> bool {
+        match self {
+            WireError::Overloaded { .. } | WireError::ShuttingDown | WireError::Internal { .. } => {
+                true
+            }
+            WireError::Parse { .. }
+            | WireError::UnknownDevice { .. }
+            | WireError::BadRequest { .. }
+            | WireError::Ingest { .. } => false,
+        }
+    }
+
     /// Stamps the 1-based connection line number onto a parse error (other
     /// variants are returned unchanged).
     pub fn at_line(self, line: u64) -> Self {
@@ -396,6 +444,19 @@ pub struct WireStats {
     pub rejected_overloaded: u64,
     /// Requests rejected because the service was draining.
     pub rejected_shutting_down: u64,
+    /// Worker panics isolated into [`WireError::Internal`] responses since
+    /// start (each one is a bug worth a report — but never a wedged server).
+    /// Defaulted for pre-v3 responses.
+    #[serde(default)]
+    pub panics: u64,
+    /// Locate requests answered coarse-only because their deadline expired.
+    /// Defaulted for pre-v3 responses.
+    #[serde(default)]
+    pub degraded: u64,
+    /// Replayed ingest `request_id`s acknowledged without re-applying.
+    /// Defaulted for pre-v3 responses.
+    #[serde(default)]
+    pub deduped: u64,
     /// Approximate resident heap bytes across all shard stores (allocated
     /// capacity of timelines, global index and posting lists). Defaulted for
     /// v1 responses.
@@ -649,6 +710,7 @@ pub fn parse_repl_line(line: &str) -> Result<ReplCommand, WireError> {
                         mac: row.mac,
                         t: row.t,
                         ap: row.ap,
+                        request_id: None,
                     }))
                 }
                 Ok(_) => Err(WireError::BadRequest {
@@ -697,6 +759,7 @@ mod tests {
                 mac: "aa\nbb".into(),
                 t: 12,
                 ap: "wap\"1".into(),
+                request_id: Some(9),
             },
             WireRequest::Stats,
             WireRequest::Shutdown,
@@ -837,7 +900,8 @@ mod tests {
             ReplCommand::Request(WireRequest::Ingest {
                 mac: "aa:bb".into(),
                 t: 100,
-                ap: "wap1".into()
+                ap: "wap1".into(),
+                request_id: None,
             })
         );
         let locate = parse_repl_line("locate aa:bb 250").unwrap();
@@ -851,6 +915,66 @@ mod tests {
                 cache: None,
             })
         );
+    }
+
+    #[test]
+    fn pre_v3_frames_still_decode() {
+        // A v2 ingest frame has no request_id; it must decode to None.
+        let decoded = decode_request(r#"{"Ingest":{"mac":"aa:bb","t":5,"ap":"wap1"}}"#).unwrap();
+        assert_eq!(
+            decoded,
+            WireRequest::Ingest {
+                mac: "aa:bb".into(),
+                t: 5,
+                ap: "wap1".into(),
+                request_id: None,
+            }
+        );
+        let decoded = decode_request(r#"{"IngestBatch":{"events":[]}}"#).unwrap();
+        assert_eq!(
+            decoded,
+            WireRequest::IngestBatch {
+                events: Vec::new(),
+                request_id: None,
+            }
+        );
+    }
+
+    #[test]
+    fn retryable_classification_is_stable() {
+        let retryable = [
+            WireError::Overloaded {
+                in_flight: 1,
+                queued: 1,
+                limit: 2,
+            },
+            WireError::ShuttingDown,
+            WireError::Internal {
+                message: "worker panic".into(),
+            },
+        ];
+        for e in &retryable {
+            assert!(e.retryable(), "{e} must be retryable");
+        }
+        let terminal = [
+            WireError::Parse {
+                line: 1,
+                column: 1,
+                message: "x".into(),
+            },
+            WireError::UnknownDevice {
+                mac: "ghost".into(),
+            },
+            WireError::BadRequest {
+                message: "x".into(),
+            },
+            WireError::Ingest {
+                message: "x".into(),
+            },
+        ];
+        for e in &terminal {
+            assert!(!e.retryable(), "{e} must not be retryable");
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ fn sample_stats() -> WireStats {
         queued: 1,
         rejected_overloaded: 11,
         rejected_shutting_down: 1,
+        panics: 1,
+        degraded: 5,
+        deduped: 3,
         resident_bytes: 65_536,
         head_segments: 3,
         sealed_segments: 12,
@@ -90,14 +93,25 @@ fn every_request() -> Vec<WireRequest> {
             mac: "aa:bb:cc:dd:ee:01".into(),
             t: 1_000,
             ap: "wap1".into(),
+            request_id: None,
+        },
+        WireRequest::Ingest {
+            mac: "aa:bb:cc:dd:ee:02".into(),
+            t: 1_001,
+            ap: "wap2".into(),
+            request_id: Some(u64::MAX),
         },
         WireRequest::IngestBatch {
             events: vec![
                 RawEvent::new("aa", 1, "wap1"),
                 RawEvent::new("bb \"quoted\" \\ name", 2, "wap,2"),
             ],
+            request_id: Some(17),
         },
-        WireRequest::IngestBatch { events: vec![] },
+        WireRequest::IngestBatch {
+            events: vec![],
+            request_id: None,
+        },
         WireRequest::Locate {
             mac: Some("aa".into()),
             device: None,
@@ -158,6 +172,7 @@ fn every_response() -> Vec<WireResponse> {
             answer: answer.clone(),
             device_epoch: 2,
             events_seen: 77,
+            degraded: false,
         },
         WireResponse::Located {
             answer: Answer {
@@ -167,6 +182,7 @@ fn every_response() -> Vec<WireResponse> {
             },
             device_epoch: 0,
             events_seen: 0,
+            degraded: false,
         },
         WireResponse::Located {
             answer: Answer {
@@ -176,6 +192,7 @@ fn every_response() -> Vec<WireResponse> {
             },
             device_epoch: 1,
             events_seen: 1,
+            degraded: true,
         },
         WireResponse::Stats(sample_stats()),
         WireResponse::SnapshotSaved {
@@ -325,6 +342,7 @@ fn fuzzed_requests_roundtrip() {
                 mac: rand_string(&mut next),
                 t,
                 ap: rand_string(&mut next),
+                request_id: (next() % 2 == 0).then(|| next() as u64),
             },
             2 => WireRequest::Locate {
                 mac: (next() % 2 == 0).then(|| rand_string(&mut next)),
@@ -345,6 +363,7 @@ fn fuzzed_requests_roundtrip() {
                 events: (0..next() % 4)
                     .map(|i| RawEvent::new(rand_string(&mut next), i as i64, "wap"))
                     .collect(),
+                request_id: (next() % 2 == 0).then(|| next() as u64),
             },
             _ => WireRequest::Snapshot {
                 path: rand_string(&mut next),

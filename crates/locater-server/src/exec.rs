@@ -13,9 +13,31 @@ use locater_proto::{
     PROTOCOL_VERSION,
 };
 use locater_space::Space;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Ingesting this MAC panics inside the executor. The chaos tests use it to
+/// prove that a worker panic is isolated into a typed [`WireError::Internal`]
+/// response instead of wedging the connection or poisoning server locks.
+#[doc(hidden)]
+pub const CHAOS_PANIC_MAC: &str = "chaos:panic";
+
+/// How many acknowledged ingest request ids the server remembers for replay
+/// deduplication. Old entries age out in insertion order; a client retrying
+/// within this window gets the original ack back instead of a second apply.
+const DEDUP_CAPACITY: usize = 1024;
+
+/// The bounded replay cache: acked responses keyed by client request id,
+/// with insertion order tracked so eviction is FIFO.
+#[derive(Debug, Default)]
+struct DedupCache {
+    responses: HashMap<u64, WireResponse>,
+    order: VecDeque<u64>,
+}
 
 /// A live service plus the serving-layer bookkeeping around it.
 ///
@@ -34,6 +56,10 @@ pub struct ServerState {
     queued: AtomicUsize,
     rejected_overloaded: AtomicU64,
     rejected_shutting_down: AtomicU64,
+    panics: AtomicU64,
+    degraded: AtomicU64,
+    deduped: AtomicU64,
+    dedup: Mutex<DedupCache>,
     draining: AtomicBool,
     drain_snapshot: Option<String>,
     /// Default retention for `compact` requests that carry no horizon of
@@ -56,6 +82,10 @@ impl ServerState {
             queued: AtomicUsize::new(0),
             rejected_overloaded: AtomicU64::new(0),
             rejected_shutting_down: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            dedup: Mutex::new(DedupCache::default()),
             draining: AtomicBool::new(false),
             drain_snapshot,
             retain: None,
@@ -105,42 +135,141 @@ impl ServerState {
     }
 
     /// Executes one request against the service. Every failure is a
-    /// structured [`WireResponse::Error`]; this never panics on user input.
+    /// structured [`WireResponse::Error`]; this never panics on user input —
+    /// even a bug-induced panic inside the service is caught and isolated
+    /// into [`WireError::Internal`].
     pub fn execute(&self, request: &WireRequest) -> WireResponse {
-        let response = self.execute_inner(request);
+        self.execute_with_budget(request, false)
+    }
+
+    /// [`execute`](Self::execute) with an explicit time-budget verdict from
+    /// the caller. When `over_deadline` is true, `Locate` requests degrade
+    /// to the coarse-only answer (marked `degraded: true` on the wire)
+    /// instead of spending the fine-grained budget the request no longer
+    /// has; every other request type runs normally, since partial ingest or
+    /// compaction would be worse than late ingest or compaction.
+    pub fn execute_with_budget(&self, request: &WireRequest, over_deadline: bool) -> WireResponse {
+        let response = match Self::dedup_key(request) {
+            Some(id) => match self.replay_response(id) {
+                Some(cached) => cached,
+                None => {
+                    let response = self.execute_guarded(request, over_deadline);
+                    self.remember_response(id, &response);
+                    response
+                }
+            },
+            None => self.execute_guarded(request, over_deadline),
+        };
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         response
     }
 
-    fn execute_inner(&self, request: &WireRequest) -> WireResponse {
+    /// The replay-dedup key: only ingest requests carry one, and only when
+    /// the client opted in by sending a `request_id`.
+    fn dedup_key(request: &WireRequest) -> Option<u64> {
+        match request {
+            WireRequest::Ingest { request_id, .. }
+            | WireRequest::IngestBatch { request_id, .. } => *request_id,
+            _ => None,
+        }
+    }
+
+    /// Looks up a previously acked response for this request id. A hit means
+    /// the client is retrying an ingest the server already applied (the ack
+    /// was lost on the wire): replay the original ack, apply nothing.
+    fn replay_response(&self, id: u64) -> Option<WireResponse> {
+        let cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+        let cached = cache.responses.get(&id).cloned();
+        if cached.is_some() {
+            self.deduped.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
+    /// Records the response for a request id so a retry replays it. Only
+    /// acks are remembered: a failed ingest applied nothing, so a retry
+    /// after an error must re-execute, not replay the failure.
+    fn remember_response(&self, id: u64, response: &WireResponse) {
+        if matches!(response, WireResponse::Error(_)) {
+            return;
+        }
+        let mut cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+        if cache.responses.insert(id, response.clone()).is_none() {
+            cache.order.push_back(id);
+            if cache.order.len() > DEDUP_CAPACITY {
+                if let Some(evicted) = cache.order.pop_front() {
+                    cache.responses.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Runs the request with a panic fence around it: a panic anywhere in
+    /// the service becomes a typed `Internal` error (retryable — the client
+    /// cannot know how far the request got) and bumps the `panics` counter,
+    /// instead of unwinding through the worker and poisoning shared locks.
+    fn execute_guarded(&self, request: &WireRequest, over_deadline: bool) -> WireResponse {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.execute_inner(request, over_deadline)
+        }))
+        .unwrap_or_else(|payload| {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            WireResponse::Error(WireError::Internal {
+                message: format!("worker panicked: {}", panic_message(&payload)),
+            })
+        })
+    }
+
+    fn execute_inner(&self, request: &WireRequest, over_deadline: bool) -> WireResponse {
         match request {
             WireRequest::Ping => WireResponse::Pong {
                 version: PROTOCOL_VERSION,
             },
-            WireRequest::Ingest { mac, t, ap } => match self.service.ingest(mac, *t, ap) {
-                Ok(_) => {
-                    let device = self
-                        .service
-                        .device_id(mac)
-                        .expect("ingest interned the device");
-                    WireResponse::Ingested {
-                        mac: mac.clone(),
-                        t: *t,
-                        ap: ap.clone(),
-                        device_epoch: self.service.device_epoch(device),
-                    }
+            WireRequest::Ingest {
+                mac,
+                t,
+                ap,
+                request_id: _,
+            } => {
+                if mac == CHAOS_PANIC_MAC {
+                    panic!("injected chaos panic (mac {CHAOS_PANIC_MAC})");
                 }
-                Err(e) => WireResponse::Error(e.into()),
-            },
-            WireRequest::IngestBatch { events } => match self.service.ingest_batch(events.iter()) {
+                match self.service.ingest(mac, *t, ap) {
+                    Ok(_) => {
+                        let device = self
+                            .service
+                            .device_id(mac)
+                            .expect("ingest interned the device");
+                        WireResponse::Ingested {
+                            mac: mac.clone(),
+                            t: *t,
+                            ap: ap.clone(),
+                            device_epoch: self.service.device_epoch(device),
+                        }
+                    }
+                    Err(e) => WireResponse::Error(e.into()),
+                }
+            }
+            WireRequest::IngestBatch {
+                events,
+                request_id: _,
+            } => match self.service.ingest_batch(events.iter()) {
                 Ok(appended) => WireResponse::IngestedBatch { appended },
                 Err(e) => WireResponse::Error(e.into()),
             },
             WireRequest::Locate { .. } => {
                 let locate = request.to_locate().expect("Locate variant");
-                match self.service.locate(&locate) {
-                    Ok(response) => WireResponse::located(&response),
-                    Err(e) => WireResponse::Error(e.into()),
+                if over_deadline {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                    match self.service.locate_coarse(&locate) {
+                        Ok(response) => WireResponse::located_degraded(&response, true),
+                        Err(e) => WireResponse::Error(e.into()),
+                    }
+                } else {
+                    match self.service.locate(&locate) {
+                        Ok(response) => WireResponse::located(&response),
+                        Err(e) => WireResponse::Error(e.into()),
+                    }
                 }
             }
             WireRequest::Stats => WireResponse::Stats(self.stats()),
@@ -216,6 +345,9 @@ impl ServerState {
             queued: self.queued.load(Ordering::Relaxed),
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
             resident_bytes: per_shard.iter().map(|s| s.resident_bytes).sum(),
             head_segments: per_shard.iter().map(|s| s.head_segments).sum(),
             sealed_segments: per_shard.iter().map(|s| s.sealed_segments).sum(),
@@ -321,6 +453,18 @@ impl ServerState {
     }
 }
 
+/// Best-effort rendering of a panic payload (`&str` and `String` payloads
+/// cover `panic!` and `expect`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// What the graceful-drain epilogue did: the WAL checkpoint and the drain
 /// snapshot, each `None` when not configured, `Err` with the rendered cause
 /// when attempted and failed. The server surfaces failures in its final
@@ -389,17 +533,23 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
             answer,
             device_epoch,
             events_seen,
+            degraded,
         } => {
             let who = match request {
                 WireRequest::Locate { mac: Some(mac), .. } => mac.clone(),
                 _ => format!("device {}", answer.device.0),
             };
             format!(
-                "{who} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {device_epoch}, {events_seen} events)",
+                "{who} @ {}: {} (decided by {:?}, confidence {:.2}, epoch {device_epoch}, {events_seen} events){}",
                 locater_events::clock::format_timestamp(answer.t),
                 describe_location(space, &answer.location),
                 answer.coarse_method,
-                answer.confidence
+                answer.confidence,
+                if *degraded {
+                    " [degraded: coarse only]"
+                } else {
+                    ""
+                }
             )
         }
         WireResponse::Stats(stats) => {
@@ -432,14 +582,17 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
             }
             let _ = write!(
                 report,
-                "\nserver: protocol v{}, up {}ms; {} in flight, {} queued, {} served; rejected: {} overloaded, {} shutting-down",
+                "\nserver: protocol v{}, up {}ms; {} in flight, {} queued, {} served; rejected: {} overloaded, {} shutting-down; faults: {} panic(s), {} degraded, {} deduped",
                 stats.version,
                 stats.uptime_ms,
                 stats.in_flight,
                 stats.queued,
                 stats.requests_served,
                 stats.rejected_overloaded,
-                stats.rejected_shutting_down
+                stats.rejected_shutting_down,
+                stats.panics,
+                stats.degraded,
+                stats.deduped
             );
             let _ = write!(
                 report,
@@ -523,6 +676,7 @@ mod tests {
             mac: "aa".into(),
             t: 1_000,
             ap: "wap1".into(),
+            request_id: None,
         };
         assert!(matches!(
             state.execute(&ingest),
@@ -617,6 +771,7 @@ mod tests {
             mac: "aa".into(),
             t: 1_000,
             ap: "wap1".into(),
+            request_id: None,
         });
         let space = state.service().space();
         let request = WireRequest::Locate {
@@ -636,12 +791,149 @@ mod tests {
         );
         assert!(stats.contains("1 events, 1 devices across 2 shard(s)"));
         assert!(stats.contains("shard 0:"));
-        assert!(stats.contains("server: protocol v2"));
+        assert!(stats.contains("server: protocol v3"));
         assert!(stats.contains("rejected: 0 overloaded, 0 shutting-down"));
+        assert!(stats.contains("faults: 0 panic(s), 0 degraded, 0 deduped"));
         assert!(
             stats.contains("tiers: 1 head + 0 sealed segment(s)"),
             "stats: {stats}"
         );
         assert!(stats.contains("compaction: 0 run(s)"));
+    }
+
+    #[test]
+    fn replayed_ingest_request_ids_are_idempotent() {
+        let state = state();
+        let ingest = WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: Some(42),
+        };
+        let first = state.execute(&ingest);
+        assert!(matches!(first, WireResponse::Ingested { .. }));
+        // The retry replays the original ack byte-for-byte and applies
+        // nothing: still one event, and the dedup counter records the hit.
+        let retry = state.execute(&ingest);
+        assert_eq!(retry, first);
+        let stats = state.stats();
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.deduped, 1);
+        // A different id is a different request, even for identical bytes
+        // (the service itself then rejects the duplicate (mac, t) pair or
+        // applies it, per its own semantics — here it applies).
+        let other = WireRequest::Ingest {
+            mac: "bb".into(),
+            t: 2_000,
+            ap: "wap1".into(),
+            request_id: Some(43),
+        };
+        assert!(matches!(
+            state.execute(&other),
+            WireResponse::Ingested { .. }
+        ));
+        assert_eq!(state.stats().events, 2);
+    }
+
+    #[test]
+    fn failed_ingests_are_not_remembered_for_replay() {
+        let state = state();
+        let bad = WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "no-such-ap".into(),
+            request_id: Some(7),
+        };
+        assert!(matches!(state.execute(&bad), WireResponse::Error(_)));
+        // Retrying the id after a failure re-executes (nothing was applied,
+        // so there is nothing to replay) — with a fixed request it succeeds.
+        let fixed = WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: Some(7),
+        };
+        assert!(matches!(
+            state.execute(&fixed),
+            WireResponse::Ingested { .. }
+        ));
+        assert_eq!(state.stats().deduped, 0);
+    }
+
+    #[test]
+    fn worker_panics_become_internal_errors() {
+        let state = state();
+        let boom = WireRequest::Ingest {
+            mac: CHAOS_PANIC_MAC.into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: None,
+        };
+        let response = state.execute(&boom);
+        let WireResponse::Error(error) = response else {
+            panic!("panic must surface as a typed error, got {response:?}");
+        };
+        assert!(matches!(error, WireError::Internal { .. }));
+        assert!(error.retryable(), "internal errors are retryable");
+        // The executor is still healthy afterwards.
+        assert_eq!(
+            state.execute(&WireRequest::Ping),
+            WireResponse::Pong {
+                version: PROTOCOL_VERSION
+            }
+        );
+        let stats = state.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.events, 0);
+    }
+
+    #[test]
+    fn over_deadline_locates_degrade_to_coarse_answers() {
+        let state = state();
+        state.execute(&WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: None,
+        });
+        let locate = WireRequest::Locate {
+            mac: Some("aa".into()),
+            device: None,
+            t: 1_000,
+            fine_mode: None,
+            cache: None,
+        };
+        // Within budget: the normal (possibly fine-grained) answer.
+        assert!(matches!(
+            state.execute_with_budget(&locate, false),
+            WireResponse::Located {
+                degraded: false,
+                ..
+            }
+        ));
+        // Over budget: a coarse-only answer, flagged degraded on the wire.
+        let degraded = state.execute_with_budget(&locate, true);
+        let WireResponse::Located {
+            answer,
+            degraded: true,
+            ..
+        } = &degraded
+        else {
+            panic!("over-deadline locate must answer degraded, got {degraded:?}");
+        };
+        assert!(!matches!(answer.location, Location::Room { .. }));
+        assert_eq!(state.stats().degraded, 1);
+        // Ingest never degrades: over-deadline ingest still applies fully.
+        let response = state.execute_with_budget(
+            &WireRequest::Ingest {
+                mac: "bb".into(),
+                t: 2_000,
+                ap: "wap1".into(),
+                request_id: None,
+            },
+            true,
+        );
+        assert!(matches!(response, WireResponse::Ingested { .. }));
+        assert_eq!(state.stats().events, 2);
     }
 }

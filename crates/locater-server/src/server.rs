@@ -39,9 +39,21 @@ use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poison instead of propagating the panic.
+///
+/// The executor fences request panics with `catch_unwind`, but a defect in
+/// the serving layer itself could still unwind while holding a lock. Every
+/// structure guarded here (connection FIFOs, the ready queue, the connection
+/// registry) is mutated in small all-or-nothing steps, so the inner value is
+/// structurally valid even after a panicked holder — serving must continue,
+/// not cascade the panic through every thread that touches the lock next.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -54,6 +66,12 @@ pub struct ServerConfig {
     /// A connection idle (no request line) for this long is closed; also the
     /// per-response write timeout guarding against stuck clients.
     pub idle_timeout: Duration,
+    /// Time budget from admission to execution pickup. A `Locate` picked up
+    /// past its deadline degrades to the coarse-only answer (flagged
+    /// `degraded: true` on the wire) instead of spending a fine-grained
+    /// budget the request no longer has; other request types run in full
+    /// regardless. `None` disables deadline-based degradation.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +80,7 @@ impl Default for ServerConfig {
             workers: 0,
             admission_limit: 1024,
             idle_timeout: Duration::from_secs(60),
+            deadline: None,
         }
     }
 }
@@ -89,7 +108,9 @@ pub struct ServerReport {
 // Sized by `WireResponse` (see the allow there); a queue slot is short-lived.
 #[allow(clippy::large_enum_variant)]
 enum Pending {
-    Exec(WireRequest),
+    /// A request to execute, stamped with its admission time so the worker
+    /// that picks it up can tell whether the deadline budget is spent.
+    Exec(WireRequest, Instant),
     Ready(WireResponse),
 }
 
@@ -207,13 +228,13 @@ impl Server {
         // Phase 2: stop the readers (EOF on the read half) so no further
         // rejection responses are enqueued, then let the workers flush what
         // is already queued.
-        for conn in self.shared.conns.lock().expect("conn registry").iter() {
+        for conn in relock(&self.shared.conns).iter() {
             if let Some(conn) = conn.upgrade() {
                 let _ = conn.stream.shutdown(Shutdown::Read);
             }
         }
         loop {
-            let ready_empty = self.shared.ready.lock().expect("ready queue").is_empty();
+            let ready_empty = relock(&self.shared.ready).is_empty();
             if ready_empty && self.shared.busy_workers.load(Ordering::SeqCst) == 0 {
                 break;
             }
@@ -255,7 +276,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 });
                 shared.connections.fetch_add(1, Ordering::Relaxed);
                 {
-                    let mut conns = shared.conns.lock().expect("conn registry");
+                    let mut conns = relock(&shared.conns);
                     conns.retain(|weak| weak.strong_count() > 0);
                     conns.push(Arc::downgrade(&conn));
                 }
@@ -302,7 +323,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
             match decode_request(&line) {
                 Err(e) => Pending::Ready(WireResponse::Error(e.at_line(line_no))),
                 Ok(request) => match state.try_admit(shared.config.admission_limit) {
-                    Ok(()) => Pending::Exec(request),
+                    Ok(()) => Pending::Exec(request, Instant::now()),
                     Err(e) => Pending::Ready(WireResponse::Error(e)),
                 },
             }
@@ -315,16 +336,12 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
 /// not already in the ready queue or held by a worker.
 fn submit(shared: &Shared, conn: &Arc<Conn>, job: Pending) {
     let schedule = {
-        let mut queue = conn.queue.lock().expect("conn queue");
+        let mut queue = relock(&conn.queue);
         queue.jobs.push_back(job);
         !std::mem::replace(&mut queue.scheduled, true)
     };
     if schedule {
-        shared
-            .ready
-            .lock()
-            .expect("ready queue")
-            .push_back(Arc::clone(conn));
+        relock(&shared.ready).push_back(Arc::clone(conn));
         shared.ready_cv.notify_one();
     }
 }
@@ -332,7 +349,7 @@ fn submit(shared: &Shared, conn: &Arc<Conn>, job: Pending) {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let conn = {
-            let mut ready = shared.ready.lock().expect("ready queue");
+            let mut ready = relock(&shared.ready);
             loop {
                 if let Some(conn) = ready.pop_front() {
                     break conn;
@@ -343,38 +360,42 @@ fn worker_loop(shared: &Arc<Shared>) {
                 ready = shared
                     .ready_cv
                     .wait_timeout(ready, Duration::from_millis(100))
-                    .expect("ready queue")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .0;
             }
         };
         shared.busy_workers.fetch_add(1, Ordering::SeqCst);
         // One job per pickup: keeps scheduling fair across connections while
         // preserving per-connection execution order.
-        let job = conn.queue.lock().expect("conn queue").jobs.pop_front();
+        let job = relock(&conn.queue).jobs.pop_front();
         let response = match job {
             None => None,
             Some(Pending::Ready(response)) => Some(response),
-            Some(Pending::Exec(request)) => {
+            Some(Pending::Exec(request, admitted)) => {
                 let state = &shared.state;
                 state.begin_execution();
-                let response = state.execute(&request);
+                let over_deadline = shared
+                    .config
+                    .deadline
+                    .is_some_and(|budget| admitted.elapsed() > budget);
+                let response = state.execute_with_budget(&request, over_deadline);
                 state.finish_execution();
                 Some(response)
             }
         };
         if let Some(response) = response {
-            let dead = conn.queue.lock().expect("conn queue").dead;
+            let dead = relock(&conn.queue).dead;
             if !dead {
                 let mut frame = encode_response(&response);
                 frame.push('\n');
                 let mut write_half = &conn.stream;
                 if write_half.write_all(frame.as_bytes()).is_err() {
-                    conn.queue.lock().expect("conn queue").dead = true;
+                    relock(&conn.queue).dead = true;
                 }
             }
         }
         let reschedule = {
-            let mut queue = conn.queue.lock().expect("conn queue");
+            let mut queue = relock(&conn.queue);
             if queue.jobs.is_empty() {
                 queue.scheduled = false;
                 false
@@ -383,11 +404,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         if reschedule {
-            shared
-                .ready
-                .lock()
-                .expect("ready queue")
-                .push_back(Arc::clone(&conn));
+            relock(&shared.ready).push_back(Arc::clone(&conn));
             shared.ready_cv.notify_one();
         }
         shared.busy_workers.fetch_sub(1, Ordering::SeqCst);

@@ -76,6 +76,7 @@ fn ingest(mac: &str, t: i64, ap: &str) -> WireRequest {
         mac: mac.into(),
         t,
         ap: ap.into(),
+        request_id: None,
     }
 }
 
@@ -94,7 +95,7 @@ fn locate(mac: &str, t: i64) -> WireRequest {
 /// against the executor checking itself.
 fn direct_expected(service: &ShardedLocaterService, request: &WireRequest) -> WireResponse {
     match request {
-        WireRequest::Ingest { mac, t, ap } => match service.ingest(mac, *t, ap) {
+        WireRequest::Ingest { mac, t, ap, .. } => match service.ingest(mac, *t, ap) {
             Ok(_) => WireResponse::Ingested {
                 mac: mac.clone(),
                 t: *t,
@@ -215,7 +216,7 @@ fn overload_yields_explicit_backpressure_not_silent_drops() {
     let config = ServerConfig {
         workers: 1,
         admission_limit: 1,
-        idle_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
     };
     let pings = 300usize;
     let mut saw_overload = false;
@@ -231,7 +232,10 @@ fn overload_yields_explicit_backpressure_not_silent_drops() {
                 )
             })
             .collect();
-        client.send(&WireRequest::IngestBatch { events });
+        client.send(&WireRequest::IngestBatch {
+            events,
+            request_id: None,
+        });
         for _ in 0..pings {
             client.send(&WireRequest::Ping);
         }
@@ -320,6 +324,81 @@ fn graceful_shutdown_drains_and_snapshot_equals_direct_save() {
         ShardedLocaterService::from_snapshot(&drained, LocaterConfig::default(), 2).unwrap();
     assert_eq!(restored.num_events(), 3);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_panicking_request_does_not_wedge_the_server() {
+    let server = start(1, ServerConfig::default(), None);
+    let mut client = Client::connect(&server);
+    // The magic chaos MAC panics inside the executor; the panic must come
+    // back as a typed internal error, not close or wedge anything.
+    client.send(&ingest(locater_server::CHAOS_PANIC_MAC, 1_000, "wap1"));
+    match client.recv() {
+        WireResponse::Error(WireError::Internal { message }) => {
+            assert!(message.contains("panicked"), "message: {message}");
+        }
+        other => panic!("expected internal error, got {other:?}"),
+    }
+    // The same connection keeps working…
+    client.send(&WireRequest::Ping);
+    assert!(matches!(client.recv(), WireResponse::Pong { .. }));
+    // …and so does a fresh one (no lock was poisoned by the unwind).
+    let mut fresh = Client::connect(&server);
+    fresh.send(&ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1"));
+    assert!(matches!(fresh.recv(), WireResponse::Ingested { .. }));
+    let stats = server.state().stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.events, 1);
+}
+
+#[test]
+fn ingest_retries_with_request_ids_are_idempotent_across_reconnects() {
+    let server = start(2, ServerConfig::default(), None);
+    let request = WireRequest::Ingest {
+        mac: "aa:bb:cc:dd:ee:01".into(),
+        t: 1_000,
+        ap: "wap1".into(),
+        request_id: Some(99),
+    };
+    let mut first = Client::connect(&server);
+    first.send(&request);
+    let ack = first.recv();
+    assert!(matches!(ack, WireResponse::Ingested { .. }));
+    // The client loses the connection after the ack and retries the exact
+    // frame on a new one: the server replays the original ack and applies
+    // nothing — one event, not two.
+    drop(first);
+    let mut second = Client::connect(&server);
+    second.send(&request);
+    assert_eq!(second.recv(), ack);
+    let stats = server.state().stats();
+    assert_eq!(stats.events, 1);
+    assert_eq!(stats.deduped, 1);
+}
+
+#[test]
+fn past_deadline_locates_degrade_to_coarse_answers() {
+    // A zero deadline means every request is picked up over budget, so every
+    // locate must take the degraded coarse-only path — and still answer.
+    let config = ServerConfig {
+        deadline: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let server = start(2, config, None);
+    let mut client = Client::connect(&server);
+    client.send(&ingest("aa:bb:cc:dd:ee:01", 1_000, "wap1"));
+    assert!(matches!(client.recv(), WireResponse::Ingested { .. }));
+    client.send(&locate("aa:bb:cc:dd:ee:01", 1_000));
+    match client.recv() {
+        WireResponse::Located {
+            answer, degraded, ..
+        } => {
+            assert!(degraded, "zero budget must flag the answer degraded");
+            assert!(!answer.is_outside());
+        }
+        other => panic!("expected a located answer, got {other:?}"),
+    }
+    assert_eq!(server.state().stats().degraded, 1);
 }
 
 #[test]

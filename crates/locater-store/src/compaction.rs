@@ -26,7 +26,7 @@
 
 use crate::error::StoreError;
 use crate::segment::Segment;
-use crate::snapshot::write_atomic;
+use crate::snapshot::write_atomic_io;
 use crate::store::EventStore;
 use locater_events::{Device, DeviceId, Timestamp};
 use locater_space::Space;
@@ -233,11 +233,24 @@ pub fn summary_path(dir: &Path) -> PathBuf {
 /// accumulated `summaries.json` with `report`'s rows merged in. Returns the
 /// spill path when one was written.
 pub fn persist_tiers(dir: &Path, report: &CompactionReport) -> Result<Option<PathBuf>, StoreError> {
+    persist_tiers_io(dir, report, &crate::io::RealIo)
+}
+
+/// [`persist_tiers`] with an explicit storage backend, so chaos tests can
+/// inject `ENOSPC` and torn renames into the spill tier. Both files go
+/// through the atomic write path, so a faulted persist never corrupts an
+/// existing spill or summary file.
+pub fn persist_tiers_io(
+    dir: &Path,
+    report: &CompactionReport,
+    io: &dyn crate::io::StorageIo,
+) -> Result<Option<PathBuf>, StoreError> {
     std::fs::create_dir_all(dir)?;
     let spilled = match &report.spill {
         Some(spill) => {
             let path = spill_path(dir, report.cut);
-            spill.save_snapshot(&path)?;
+            let bytes = spill.to_snapshot_bytes()?;
+            write_atomic_io(&path, &bytes, io)?;
             Some(path)
         }
         None => None,
@@ -247,7 +260,7 @@ pub fn persist_tiers(dir: &Path, report: &CompactionReport) -> Result<Option<Pat
         merge_dwell_summaries(&mut accumulated, &report.summaries);
         let json = serde_json::to_string(&accumulated)
             .map_err(|err| StoreError::Corrupt(format!("summaries encode: {err}")))?;
-        write_atomic(&summary_path(dir), json.as_bytes())?;
+        write_atomic_io(&summary_path(dir), json.as_bytes(), io)?;
     }
     Ok(spilled)
 }

@@ -114,6 +114,7 @@ pub mod colocation;
 pub mod compaction;
 mod csv;
 mod error;
+pub mod io;
 mod ndjson;
 mod read;
 pub mod recovery;
@@ -130,14 +131,16 @@ pub use colocation::{
 };
 pub use compaction::{
     list_spills, load_spill, load_summaries, merge_dwell_summaries, merge_spills, persist_tiers,
-    spill_path, summary_path, CompactionReport, DwellSummary, TierStats,
+    persist_tiers_io, spill_path, summary_path, CompactionReport, DwellSummary, TierStats,
 };
 pub use csv::{format_csv, parse_csv, parse_csv_line, RawEvent, CSV_HEADER};
 pub use error::{IngestError, StoreError};
+pub use io::{FaultIo, FaultKind, FaultPlan, RealIo, StorageIo};
 pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
 pub use read::{EventRead, ScanRead};
 pub use recovery::{
-    initialize_wal, recover_store, write_checkpoint, DurableEventStore, RecoveryReport,
+    initialize_wal, recover_store, recover_store_io, write_checkpoint, write_checkpoint_io,
+    DurableEventStore, RecoveryReport,
 };
 pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
 pub use shard::{shard_of_device, ShardedRead};
@@ -146,6 +149,6 @@ pub use stats::DatasetStatistics;
 pub use store::EventStore;
 pub use timeline::{NearbyDevice, Timeline};
 pub use wal::{
-    checkpoint_path, inspect_wal, truncate_wal, Durability, FsyncPolicy, ShardWal, WalError,
-    WalInspection, WalRecord, WalShardStats,
+    checkpoint_path, inspect_wal, scan_segment, scan_segment_io, truncate_wal, Durability,
+    FsyncPolicy, ShardWal, WalError, WalInspection, WalRecord, WalShardStats,
 };

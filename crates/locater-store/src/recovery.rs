@@ -24,11 +24,12 @@
 //! segments loses nothing and duplicates nothing.
 
 use crate::error::IngestError;
-use crate::snapshot::write_atomic;
+use crate::io::{RealIo, StorageIo};
+use crate::snapshot::write_atomic_io;
 use crate::store::EventStore;
 use crate::wal::{
-    checkpoint_path, list_segments, list_shard_dirs, scan_segment, Durability, ShardWal, WalError,
-    WalRecord, WalShardStats,
+    checkpoint_path, list_segments, list_shard_dirs, scan_segment_io, Durability, ShardWal,
+    WalError, WalRecord, WalShardStats,
 };
 use locater_events::MacAddress;
 use locater_space::AccessPointId;
@@ -61,7 +62,11 @@ pub struct RecoveryReport {
 /// but each shard's last segment, lenient for the last. Purely read-only —
 /// physical truncation of torn tails happens when a writer re-attaches
 /// ([`ShardWal::open`]) or via [`crate::wal::truncate_wal`].
-fn read_tails(dir: &Path, report: &mut RecoveryReport) -> Result<Vec<WalRecord>, WalError> {
+fn read_tails(
+    dir: &Path,
+    report: &mut RecoveryReport,
+    io: &dyn StorageIo,
+) -> Result<Vec<WalRecord>, WalError> {
     let mut records = Vec::new();
     for (_shard, shard_path) in list_shard_dirs(dir)? {
         report.shards += 1;
@@ -70,11 +75,11 @@ fn read_tails(dir: &Path, report: &mut RecoveryReport) -> Result<Vec<WalRecord>,
             continue;
         };
         for (_, path) in earlier {
-            let scan = scan_segment(path, false)?;
+            let scan = scan_segment_io(path, false, io)?;
             report.segments += 1;
             records.extend(scan.records);
         }
-        let scan = scan_segment(last_path, true)?;
+        let scan = scan_segment_io(last_path, true, io)?;
         report.segments += 1;
         if let Some(torn) = &scan.torn {
             report.torn.push((last_path.clone(), torn.offset));
@@ -91,9 +96,20 @@ pub fn recover_store(
     dir: &Path,
     fallback: EventStore,
 ) -> Result<(EventStore, RecoveryReport), WalError> {
+    recover_store_io(dir, fallback, &RealIo)
+}
+
+/// [`recover_store`] with an explicit storage backend, so chaos tests can
+/// fault the checkpoint load and the segment scans.
+pub fn recover_store_io(
+    dir: &Path,
+    fallback: EventStore,
+    io: &dyn StorageIo,
+) -> Result<(EventStore, RecoveryReport), WalError> {
     let checkpoint = checkpoint_path(dir);
     let (mut store, checkpoint_loaded) = if checkpoint.exists() {
-        (EventStore::load_snapshot(&checkpoint)?, true)
+        let bytes = io.read(&checkpoint).map_err(WalError::Io)?;
+        (EventStore::from_snapshot_bytes(&bytes)?, true)
     } else {
         (fallback, false)
     };
@@ -109,7 +125,7 @@ pub fn recover_store(
     if !dir.exists() {
         return Ok((store, report));
     }
-    let mut records = read_tails(dir, &mut report)?;
+    let mut records = read_tails(dir, &mut report, io)?;
     records.sort_by_key(|r| r.id);
     for pair in records.windows(2) {
         if pair[0].id == pair[1].id {
@@ -137,9 +153,20 @@ pub fn recover_store(
 /// Writes (atomically) the checkpoint snapshot for `store` under `dir`,
 /// creating the directory if needed. Returns the snapshot size in bytes.
 pub fn write_checkpoint(dir: &Path, store: &EventStore) -> Result<u64, WalError> {
+    write_checkpoint_io(dir, store, &RealIo)
+}
+
+/// [`write_checkpoint`] with an explicit storage backend, so chaos tests can
+/// fault the snapshot write, its fsync, or the commit rename. Whatever fails,
+/// an existing checkpoint at the same path is never damaged.
+pub fn write_checkpoint_io(
+    dir: &Path,
+    store: &EventStore,
+    io: &dyn StorageIo,
+) -> Result<u64, WalError> {
     std::fs::create_dir_all(dir)?;
     let bytes = store.to_snapshot_bytes()?;
-    write_atomic(&checkpoint_path(dir), &bytes)?;
+    write_atomic_io(&checkpoint_path(dir), &bytes, io)?;
     Ok(bytes.len() as u64)
 }
 
@@ -154,7 +181,7 @@ pub fn initialize_wal(
     store: &EventStore,
     shards: usize,
 ) -> Result<(Vec<ShardWal>, u64), WalError> {
-    let checkpoint_bytes = write_checkpoint(&config.dir, store)?;
+    let checkpoint_bytes = write_checkpoint_io(&config.dir, store, config.io.as_ref())?;
     for (_, shard_path) in list_shard_dirs(&config.dir)? {
         std::fs::remove_dir_all(&shard_path)?;
     }
@@ -190,7 +217,7 @@ impl DurableEventStore {
         config: Durability,
         fallback: EventStore,
     ) -> Result<(Self, RecoveryReport), WalError> {
-        let (store, report) = recover_store(&config.dir, fallback)?;
+        let (store, report) = recover_store_io(&config.dir, fallback, config.io.as_ref())?;
         let (mut writers, _bytes) = initialize_wal(&config, &store, 1)?;
         let wal = writers.pop().expect("initialize_wal returns one writer");
         Ok((DurableEventStore { store, wal, config }, report))
@@ -228,7 +255,7 @@ impl DurableEventStore {
     /// After this, recovery loads the snapshot and replays nothing. Returns
     /// the checkpoint size in bytes.
     pub fn checkpoint(&mut self) -> Result<u64, WalError> {
-        let bytes = write_checkpoint(&self.config.dir, &self.store)?;
+        let bytes = write_checkpoint_io(&self.config.dir, &self.store, self.config.io.as_ref())?;
         self.wal.reset()?;
         Ok(bytes)
     }

@@ -518,6 +518,18 @@ impl EventStore {
 /// same directory, fsyncs it, and renames it into place — so a crash at any
 /// point leaves either the old file or the new one, never a truncated mix.
 pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    write_atomic_io(path, bytes, &crate::io::RealIo)
+}
+
+/// [`write_atomic`] with an explicit storage backend so chaos tests can fault
+/// the write, the fsync, or the commit rename. Whatever fails, `path` still
+/// holds either the old bytes or the new ones — the temporary is cleaned up
+/// and a stale one is ignored by every reader (exact-name lookups only).
+pub(crate) fn write_atomic_io(
+    path: &Path,
+    bytes: &[u8],
+    io: &dyn crate::io::StorageIo,
+) -> Result<(), StoreError> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path
         .file_name()
@@ -529,15 +541,15 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> 
     };
     let write = (|| -> std::io::Result<()> {
         let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
+        io.write_all(&mut file, bytes)?;
+        io.sync_all(&file)?;
         Ok(())
     })();
     if let Err(err) = write {
         let _ = std::fs::remove_file(&tmp);
         return Err(StoreError::Io(err));
     }
-    if let Err(err) = std::fs::rename(&tmp, path) {
+    if let Err(err) = io.rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(StoreError::Io(err));
     }

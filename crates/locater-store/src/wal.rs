@@ -59,11 +59,12 @@
 //!   never be mistaken for a post-checkpoint one.
 
 use crate::error::{IngestError, StoreError};
+use crate::io::{RealIo, StorageIo};
 use crate::snapshot::fnv1a;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic bytes every WAL segment starts with.
@@ -151,7 +152,7 @@ impl fmt::Display for FsyncPolicy {
 }
 
 /// Durability configuration: where the WAL lives and how eagerly it syncs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Durability {
     /// The WAL directory (created if missing); holds the checkpoint snapshot
     /// and one sub-directory of segments per shard.
@@ -163,16 +164,33 @@ pub struct Durability {
     /// scan and makes deltas (segments sealed since the last checkpoint)
     /// explicit files.
     pub segment_max_bytes: u64,
+    /// The storage backend every durability-critical operation routes
+    /// through: [`RealIo`] in production, a [`crate::io::FaultIo`] in chaos
+    /// tests. Shared across shards so one fault schedule spans the service.
+    pub io: Arc<dyn StorageIo>,
 }
+
+// The io handle is a behavior plug, not configuration state: two configs are
+// the same durability setup regardless of which backend executes the ops.
+impl PartialEq for Durability {
+    fn eq(&self, other: &Self) -> bool {
+        self.dir == other.dir
+            && self.fsync == other.fsync
+            && self.segment_max_bytes == other.segment_max_bytes
+    }
+}
+
+impl Eq for Durability {}
 
 impl Durability {
     /// Durability at `dir` with the safe defaults: `fsync=always`, 8 MiB
-    /// segments.
+    /// segments, real storage I/O.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Durability {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
             segment_max_bytes: 8 * 1024 * 1024,
+            io: Arc::new(RealIo),
         }
     }
 
@@ -186,6 +204,12 @@ impl Durability {
     /// header size plus one minimal frame).
     pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
         self.segment_max_bytes = bytes.max((WAL_HEADER_LEN + WAL_FRAME_HEADER_LEN) as u64);
+        self
+    }
+
+    /// Replaces the storage backend (fault injection hooks in here).
+    pub fn with_io(mut self, io: Arc<dyn StorageIo>) -> Self {
+        self.io = io;
         self
     }
 }
@@ -227,6 +251,18 @@ pub enum WalError {
     /// The per-shard logs are individually valid but mutually inconsistent
     /// (e.g. two shards claim the same event id).
     InvalidLog(String),
+    /// The writer is permanently poisoned by an earlier write/fsync failure:
+    /// the on-disk tail is in an unknown state (a short write may have left
+    /// torn bytes; a failed fsync may have dropped pages), so appending or
+    /// re-syncing could silently bury acknowledged frames. Every subsequent
+    /// `append`/`sync`/`seal`/`reset` returns this; the only way out is to
+    /// reopen the log, which re-scans and truncates to the valid prefix.
+    Poisoned {
+        /// The poisoned shard.
+        shard: u32,
+        /// The original failure, rendered.
+        reason: String,
+    },
     /// Loading or writing the checkpoint snapshot failed.
     Snapshot(StoreError),
     /// Replaying a durable record into the store failed (the log references
@@ -256,6 +292,11 @@ impl fmt::Display for WalError {
                 segment.display()
             ),
             WalError::InvalidLog(reason) => write!(f, "invalid WAL: {reason}"),
+            WalError::Poisoned { shard, reason } => write!(
+                f,
+                "WAL writer for shard {shard} is poisoned by an earlier failure ({reason}); \
+                 reopen the log to recover the durable prefix"
+            ),
             WalError::Snapshot(err) => write!(f, "WAL checkpoint snapshot: {err}"),
             WalError::Replay(err) => write!(f, "WAL replay: {err}"),
         }
@@ -418,7 +459,17 @@ impl SegmentScan {
 /// [`WalError::Corrupt`]. A wrong magic or an unsupported version is an error
 /// in both modes — foreign files are never silently truncated.
 pub fn scan_segment(path: &Path, lenient: bool) -> Result<SegmentScan, WalError> {
-    let bytes = std::fs::read(path)?;
+    scan_segment_io(path, lenient, &RealIo)
+}
+
+/// [`scan_segment`] with an explicit storage backend, so chaos tests can
+/// inject interrupted reads into the recovery path.
+pub fn scan_segment_io(
+    path: &Path,
+    lenient: bool,
+    io: &dyn StorageIo,
+) -> Result<SegmentScan, WalError> {
+    let bytes = io.read(path)?;
     let file_len = bytes.len() as u64;
     let torn_or_err = |offset: u64, reason: String| -> Result<Option<TornTail>, WalError> {
         if lenient {
@@ -596,6 +647,7 @@ pub struct ShardWal {
     shard: u32,
     fsync: FsyncPolicy,
     segment_max_bytes: u64,
+    io: Arc<dyn StorageIo>,
     file: File,
     active_index: u64,
     active_bytes: u64,
@@ -605,6 +657,13 @@ pub struct ShardWal {
     sealed_segments: u64,
     unsynced: u64,
     last_sync: Instant,
+    /// Set (with the rendered cause) by the first failed write or fsync:
+    /// from then on every mutation returns [`WalError::Poisoned`]. Sticky by
+    /// design — after a failed `sync_data` the kernel may have *dropped* the
+    /// dirty pages, so a retried fsync that succeeds proves nothing about
+    /// the frames the failed one covered; an un-synced frame must never
+    /// become ackable through silent retry.
+    poisoned: Option<String>,
 }
 
 impl ShardWal {
@@ -621,15 +680,16 @@ impl ShardWal {
         let mut records = Vec::new();
         let mut sealed_bytes = 0u64;
         let mut sealed_frames = 0u64;
+        let io = Arc::clone(&config.io);
         let mut wal = if let Some((&(last_index, ref last_path), earlier)) = segments.split_last() {
             for (index, path) in earlier {
-                let scan = scan_segment(path, false)?;
+                let scan = scan_segment_io(path, false, io.as_ref())?;
                 check_header(&scan, shard, *index)?;
                 sealed_bytes += scan.valid_bytes;
                 sealed_frames += scan.records.len() as u64;
                 records.extend(scan.records);
             }
-            let scan = scan_segment(last_path, true)?;
+            let scan = scan_segment_io(last_path, true, io.as_ref())?;
             if let Some((header_shard, header_index)) = scan.header {
                 check_header(&scan, shard, last_index)?;
                 let _ = (header_shard, header_index);
@@ -638,18 +698,22 @@ impl ShardWal {
             if scan.valid_bytes < scan.file_len || scan.header.is_none() {
                 // Torn tail: truncate to the last complete frame (or rewrite
                 // a torn header from scratch) so appends extend a valid file.
-                file.set_len(scan.valid_bytes.max(if scan.header.is_some() {
-                    WAL_HEADER_LEN as u64
-                } else {
-                    0
-                }))?;
-                file.sync_data()?;
+                io.set_len(
+                    &file,
+                    scan.valid_bytes.max(if scan.header.is_some() {
+                        WAL_HEADER_LEN as u64
+                    } else {
+                        0
+                    }),
+                )?;
+                io.sync_data(&file)?;
             }
             let mut wal = ShardWal {
                 dir,
                 shard,
                 fsync: config.fsync,
                 segment_max_bytes: config.segment_max_bytes,
+                io: Arc::clone(&io),
                 file,
                 active_index: last_index,
                 active_bytes: scan.valid_bytes.max(WAL_HEADER_LEN as u64),
@@ -659,25 +723,26 @@ impl ShardWal {
                 sealed_segments: segments.len() as u64 - 1,
                 unsynced: 0,
                 last_sync: Instant::now(),
+                poisoned: None,
             };
             if scan.header.is_none() {
                 // The file was truncated to zero above; give it a header.
-                wal.file
-                    .write_all(&encode_segment_header(shard, last_index))?;
-                wal.file.sync_data()?;
+                io.write_all(&mut wal.file, &encode_segment_header(shard, last_index))?;
+                io.sync_data(&wal.file)?;
                 wal.active_bytes = WAL_HEADER_LEN as u64;
                 wal.active_frames = 0;
             }
             records.extend(scan.records);
             wal
         } else {
-            let (file, path) = create_segment(&dir, shard, 0)?;
+            let (file, path) = create_segment_io(&dir, shard, 0, io.as_ref())?;
             let _ = path;
             ShardWal {
                 dir,
                 shard,
                 fsync: config.fsync,
                 segment_max_bytes: config.segment_max_bytes,
+                io: Arc::clone(&io),
                 file,
                 active_index: 0,
                 active_bytes: WAL_HEADER_LEN as u64,
@@ -687,6 +752,7 @@ impl ShardWal {
                 sealed_segments: 0,
                 unsynced: 0,
                 last_sync: Instant::now(),
+                poisoned: None,
             }
         };
         wal.last_sync = Instant::now();
@@ -698,16 +764,49 @@ impl ShardWal {
         self.shard
     }
 
+    /// The rendered cause when this writer is poisoned by an earlier write or
+    /// fsync failure, `None` while it is healthy.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Returns [`WalError::Poisoned`] once the writer has seen a write/fsync
+    /// failure; every mutating entry point calls this first.
+    fn check_poisoned(&self) -> Result<(), WalError> {
+        match &self.poisoned {
+            Some(reason) => Err(WalError::Poisoned {
+                shard: self.shard,
+                reason: reason.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the writer poisoned and passes the original failure through. The
+    /// *first* caller sees the real error; everyone after sees `Poisoned`.
+    fn poison(&mut self, op: &str, err: WalError) -> WalError {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(format!("{op} failed: {err}"));
+        }
+        err
+    }
+
     /// Appends one record as a checksummed frame, rotating the segment first
     /// if it is full, then applies the fsync policy. The frame is written
-    /// with one `write_all`; durability is governed by the policy.
+    /// with one `write_all`; durability is governed by the policy. Any write
+    /// or fsync failure poisons the writer (see [`WalError::Poisoned`]).
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        self.check_poisoned()?;
         let frame = encode_frame(record)?;
         if self.active_frames > 0 && self.active_bytes + frame.len() as u64 > self.segment_max_bytes
         {
             self.seal()?;
         }
-        self.file.write_all(&frame)?;
+        if let Err(err) = self.io.write_all(&mut self.file, &frame) {
+            // A short write may have left torn bytes the in-memory counters
+            // do not cover; appending past them would bury this frame.
+            return Err(self.poison("append write", WalError::Io(err)));
+        }
         self.active_bytes += frame.len() as u64;
         self.active_frames += 1;
         self.unsynced += 1;
@@ -727,10 +826,16 @@ impl ShardWal {
         Ok(())
     }
 
-    /// Forces every appended frame to disk now, regardless of policy.
+    /// Forces every appended frame to disk now, regardless of policy. A
+    /// failed `fdatasync` poisons the writer permanently: the kernel may have
+    /// dropped the dirty pages, so a *retried* fsync that succeeds proves
+    /// nothing about the frames the failed one covered.
     pub fn sync(&mut self) -> Result<(), WalError> {
+        self.check_poisoned()?;
         if self.unsynced > 0 {
-            self.file.sync_data()?;
+            if let Err(err) = self.io.sync_data(&self.file) {
+                return Err(self.poison("fsync", WalError::Io(err)));
+            }
         }
         self.unsynced = 0;
         self.last_sync = Instant::now();
@@ -742,14 +847,20 @@ impl ShardWal {
     /// since the last checkpoint not yet in a sealed segment — is now durable
     /// and immutable, without rewriting the checkpoint snapshot.
     pub fn seal(&mut self) -> Result<(), WalError> {
-        self.file.sync_data()?;
+        self.check_poisoned()?;
+        if let Err(err) = self.io.sync_data(&self.file) {
+            return Err(self.poison("seal fsync", WalError::Io(err)));
+        }
         self.unsynced = 0;
         self.last_sync = Instant::now();
         self.sealed_bytes += self.active_bytes;
         self.sealed_frames += self.active_frames;
         self.sealed_segments += 1;
         let next = self.active_index + 1;
-        let (file, _path) = create_segment(&self.dir, self.shard, next)?;
+        let (file, _path) = match create_segment_io(&self.dir, self.shard, next, self.io.as_ref()) {
+            Ok(created) => created,
+            Err(err) => return Err(self.poison("seal rotation", err)),
+        };
         self.file = file;
         self.active_index = next;
         self.active_bytes = WAL_HEADER_LEN as u64;
@@ -762,8 +873,12 @@ impl ShardWal {
     /// segment keeps the monotonic index sequence, so a stale pre-checkpoint
     /// segment can never alias a live one.
     pub fn reset(&mut self) -> Result<(), WalError> {
+        self.check_poisoned()?;
         let next = self.active_index + 1;
-        let (file, _path) = create_segment(&self.dir, self.shard, next)?;
+        let (file, _path) = match create_segment_io(&self.dir, self.shard, next, self.io.as_ref()) {
+            Ok(created) => created,
+            Err(err) => return Err(self.poison("reset rotation", err)),
+        };
         for (index, path) in list_segments(&self.dir)? {
             if index != next {
                 std::fs::remove_file(&path)?;
@@ -810,15 +925,20 @@ fn check_header(scan: &SegmentScan, shard: u32, index: u64) -> Result<(), WalErr
     Ok(())
 }
 
-fn create_segment(dir: &Path, shard: u32, index: u64) -> Result<(File, PathBuf), WalError> {
+fn create_segment_io(
+    dir: &Path,
+    shard: u32,
+    index: u64,
+    io: &dyn StorageIo,
+) -> Result<(File, PathBuf), WalError> {
     let path = segment_path(dir, index);
     let mut file = OpenOptions::new()
         .create(true)
         .write(true)
         .truncate(true)
         .open(&path)?;
-    file.write_all(&encode_segment_header(shard, index))?;
-    file.sync_data()?;
+    io.write_all(&mut file, &encode_segment_header(shard, index))?;
+    io.sync_data(&file)?;
     fsync_dir(dir);
     Ok((file, path))
 }
@@ -1217,6 +1337,92 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, WalError::Unencodable(_)));
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_writer_stickily() {
+        use crate::io::{FaultIo, FaultKind, FaultPlan};
+        let dir = temp_dir("poison-sync");
+        // Opening a fresh log consumes sync op 0 (the segment header sync);
+        // the first append's fsync is sync op 1 — schedule the fault there.
+        let plan = (0..500)
+            .map(|seed| FaultPlan {
+                seed,
+                writes: 0,
+                syncs: 1,
+                reads: 0,
+                renames: 0,
+                horizon: 2,
+            })
+            .find(|&p| FaultIo::new(p).schedule() == vec![(FaultKind::SyncFailure, 1)])
+            .expect("some seed schedules the sync fault at op 1");
+        let io = std::sync::Arc::new(FaultIo::new(plan));
+        let config = Durability::new(&dir).with_io(io.clone());
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        assert!(wal.poisoned().is_none());
+        // First failure surfaces the real I/O error and poisons the writer.
+        let err = wal.append(&record(0)).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "unexpected error: {err}");
+        assert!(wal.poisoned().unwrap().contains("fsync"));
+        // Every subsequent mutation is refused — no silent retry-fsync.
+        for _ in 0..2 {
+            let err = wal.append(&record(1)).unwrap_err();
+            assert!(matches!(err, WalError::Poisoned { shard: 0, .. }));
+        }
+        assert!(matches!(wal.sync().unwrap_err(), WalError::Poisoned { .. }));
+        assert!(matches!(wal.seal().unwrap_err(), WalError::Poisoned { .. }));
+        assert!(matches!(
+            wal.reset().unwrap_err(),
+            WalError::Poisoned { .. }
+        ));
+        assert_eq!(io.fired(), vec![(FaultKind::SyncFailure, 1)]);
+        drop(wal);
+        // Reopening re-scans the durable prefix and yields a healthy writer.
+        let clean = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&clean, 0).unwrap();
+        assert!(wal.poisoned().is_none());
+        wal.append(&record(2)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_write_poisons_and_reopen_truncates_the_torn_frame() {
+        use crate::io::{FaultIo, FaultKind, FaultPlan};
+        let dir = temp_dir("poison-write");
+        // Write op 0 is the segment header; the first frame is write op 1.
+        let plan = (0..500)
+            .map(|seed| FaultPlan {
+                seed,
+                writes: 1,
+                syncs: 0,
+                reads: 0,
+                renames: 0,
+                horizon: 2,
+            })
+            .find(|&p| FaultIo::new(p).schedule() == vec![(FaultKind::ShortWrite, 1)])
+            .expect("some seed schedules a short write at op 1");
+        let config = Durability::new(&dir).with_io(std::sync::Arc::new(FaultIo::new(plan)));
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        let err = wal.append(&record(0)).unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "unexpected error: {err}");
+        assert!(matches!(
+            wal.append(&record(1)).unwrap_err(),
+            WalError::Poisoned { .. }
+        ));
+        drop(wal);
+        // The torn half-frame is on disk; reopening truncates it away and
+        // recovers exactly the acked (empty) prefix.
+        let seg = segment_path(&shard_dir(&dir, 0), 0);
+        assert!(std::fs::metadata(&seg).unwrap().len() > WAL_HEADER_LEN as u64);
+        let clean = Durability::new(&dir);
+        let (mut wal, recovered) = ShardWal::open(&clean, 0).unwrap();
+        assert!(recovered.is_empty(), "the torn frame was never acked");
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            WAL_HEADER_LEN as u64
+        );
+        wal.append(&record(0)).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

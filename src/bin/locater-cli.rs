@@ -13,7 +13,7 @@
 //! locater-cli serve    ... --listen <addr> [--workers N] [--queue N] [--idle-timeout SECS] [--drain-snapshot PATH]
 //! locater-cli serve    ... --wal-dir <dir> [--fsync always|every=N|interval=MS] [--wal-segment-bytes N]
 //! locater-cli serve    ... --retain SECS [--compact-interval SECS] [--spill-dir DIR] [--segment-span SECS]
-//! locater-cli request  <addr> <verb line or raw JSON frame>
+//! locater-cli request  <addr> [--retries N] <verb line or raw JSON frame>
 //! locater-cli compact  <store.snap> (--retain SECS | --horizon T) [--spill-dir DIR] [--out PATH]
 //! locater-cli snapshot save <space.json> <events.csv> <out.snap> [--embed-index]
 //! locater-cli snapshot load <store.snap>
@@ -84,7 +84,7 @@
 //!   a fully synthetic deployment.
 
 use locater::prelude::*;
-use locater::proto::{encode_request, parse_repl_line, ReplCommand, WireResponse};
+use locater::proto::{parse_repl_line, ReplCommand, WireResponse};
 use locater::server::{
     describe_location, render_response, DrainSummary, ServerConfig, ServerState,
 };
@@ -640,9 +640,28 @@ fn serve_loop(
 
 /// The `request` command: send one NDJSON request to a running
 /// `serve --listen` server and print the raw response frame.
+///
+/// With `--retries N` the frame goes through the resilient [`RetryClient`]:
+/// ingests are stamped with a request id before the first send, transport
+/// failures and retryable server errors reconnect and resend with jittered
+/// backoff, and the server's request-id dedup guarantees the retried write is
+/// applied at most once.
 fn request(args: &[String]) -> Result<String, CliError> {
     let addr = args.get(1).ok_or("missing server address")?;
-    let line = args[2..].join(" ");
+    let mut retries = 0u32;
+    let mut words: Vec<&str> = Vec::new();
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        if arg == "--retries" {
+            let value = it.next().ok_or("--retries requires a value")?;
+            retries = value
+                .parse()
+                .map_err(|_| CliError::Usage("--retries must be a non-negative integer".into()))?;
+        } else {
+            words.push(arg);
+        }
+    }
+    let line = words.join(" ");
     let request = match parse_repl_line(&line) {
         Ok(ReplCommand::Request(request)) => request,
         Ok(ReplCommand::Empty) => {
@@ -653,26 +672,22 @@ fn request(args: &[String]) -> Result<String, CliError> {
         }
         Err(e) => return Err(CliError::Runtime(e.to_string())),
     };
-    let stream = std::net::TcpStream::connect(addr.as_str())
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .map_err(|e| e.to_string())?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writeln!(writer, "{}", encode_request(&request))
-        .map_err(|e| format!("cannot send request: {e}"))?;
-    let mut reader = std::io::BufReader::new(stream);
-    let mut response = String::new();
-    let n = reader
-        .read_line(&mut response)
-        .map_err(|e| format!("cannot read response: {e}"))?;
-    if n == 0 {
-        return Err(CliError::Runtime(
-            "server closed the connection without a response".to_string(),
-        ));
-    }
-    Ok(response)
+    let mut client = RetryClient::new(ClientConfig {
+        addr: addr.clone(),
+        request_timeout: Duration::from_secs(30),
+        max_retries: retries,
+        ..ClientConfig::default()
+    });
+    // A non-retryable server error is still a response frame — print it like
+    // the direct path always has, rather than turning it into a CLI failure.
+    let response = match client.request(&request) {
+        Ok(response) => response,
+        Err(ClientError::Server(error)) => WireResponse::Error(error),
+        Err(e) => return Err(CliError::Runtime(format!("request to {addr} failed: {e}"))),
+    };
+    let mut frame = locater::proto::encode_response(&response);
+    frame.push('\n');
+    Ok(frame)
 }
 
 /// The `compact` command: offline compaction of a snapshot file. Loads the
@@ -1358,7 +1373,7 @@ locate aa:bb:cc:dd:ee:01 1000
         assert_eq!(commands, 3, "shutdown stops the loop");
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("ingested aa:bb:cc:dd:ee:01 @ 1000 via wap1 (device epoch 1)"));
-        assert!(out.contains("pong (protocol v2)"));
+        assert!(out.contains("pong (protocol v3)"));
         assert!(out.contains("shutting down"));
         assert!(state.is_draining());
         let summary = state.finish_drain();

@@ -35,6 +35,7 @@
 //! | [`locater_core`] | coarse & fine localization, caching, baselines, metrics, the `Locater` system |
 //! | [`locater_sim`] | SmartBench-style scenario simulator + DBH-like campus dataset generator |
 //! | [`locater_proto`] | versioned NDJSON wire protocol: `WireRequest`/`WireResponse` frames, codec, REPL syntax |
+//! | [`locater_client`] | resilient TCP client: reconnect, per-request timeouts, seeded backoff, idempotent retries |
 //! | [`locater_server`] | std-net TCP server: worker pool, pipelining, admission control, graceful drain |
 //!
 //! ## Quickstart
@@ -96,6 +97,7 @@
 //! assert!(response.diagnostics.is_some());
 //! ```
 
+pub use locater_client as client;
 pub use locater_core as core;
 pub use locater_events as events;
 pub use locater_learn as learn;
@@ -107,6 +109,7 @@ pub use locater_store as store;
 
 /// Convenience re-exports of the most commonly used types across all LOCATER crates.
 pub mod prelude {
+    pub use locater_client::{BackoffPolicy, ClientConfig, ClientError, RetryClient};
     pub use locater_core::baselines::{Baseline1, Baseline2, BaselineSystem};
     pub use locater_core::metrics::{EvaluationReport, PrecisionCounts};
     pub use locater_core::system::{

@@ -408,6 +408,7 @@ fn graceful_drain_checkpoints_and_leaves_an_empty_tail() {
                 mac: mac.clone(),
                 t: *t,
                 ap: ap.clone(),
+                request_id: None,
             });
         }
         let status = state.service().wal_status().expect("durable service");
