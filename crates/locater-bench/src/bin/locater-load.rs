@@ -630,9 +630,12 @@ fn run_self_hosted(
         .ingest_batch(w.preload.iter())
         .map_err(|e| format!("preload: {e}"))?;
     let service = ShardedLocaterService::new(store, LocaterConfig::default(), shards);
-    let state = Arc::new(ServerState::new(service, None));
-    let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default())
-        .map_err(|e| format!("bind: {e}"))?;
+    let config = ServerConfig::default();
+    let state = Arc::new(
+        ServerState::new(service, None)
+            .with_dedup_capacity(config.admission_limit.saturating_mul(4).max(1024)),
+    );
+    let server = Server::bind(state, "127.0.0.1:0", config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().to_string();
 
     let per_client = match mode {
@@ -1111,9 +1114,13 @@ fn chaos(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("space: {e}"))?;
         let service =
             ShardedLocaterService::new(EventStore::new(space), LocaterConfig::default(), 2);
-        let state = Arc::new(ServerState::new(service, None));
-        let server = Server::bind(state, "127.0.0.1:0", ServerConfig::default())
-            .map_err(|e| format!("bind: {e}"))?;
+        let config = ServerConfig::default();
+        let state = Arc::new(
+            ServerState::new(service, None)
+                .with_dedup_capacity(config.admission_limit.saturating_mul(4).max(1024)),
+        );
+        let server =
+            Server::bind(state, "127.0.0.1:0", config).map_err(|e| format!("bind: {e}"))?;
         Some(server)
     } else {
         None

@@ -128,8 +128,23 @@ pub struct ClientConfig {
     pub backoff: BackoffPolicy,
     /// Seed for the client-unique `request_id` stream stamped onto ingest
     /// frames. Distinct concurrent clients must use distinct seeds, or the
-    /// server may dedup one client's ingest against another's.
+    /// server may dedup one client's ingest against another's and replay
+    /// the wrong ack. [`Default`] draws a fresh random seed per config, so
+    /// default-configured clients are safe out of the box; set it
+    /// explicitly only for reproducible tests, with a distinct value per
+    /// client.
     pub id_seed: u64,
+}
+
+/// A random seed for one client's `request_id` stream, from the standard
+/// library's per-instance hasher entropy (no extra dependency): every call
+/// yields a fresh value, so two default-configured clients — same process
+/// or not — never share an id stream by accident.
+fn random_id_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
 }
 
 impl Default for ClientConfig {
@@ -139,7 +154,7 @@ impl Default for ClientConfig {
             request_timeout: Duration::from_secs(10),
             max_retries: 8,
             backoff: BackoffPolicy::default(),
-            id_seed: 0,
+            id_seed: random_id_seed(),
         }
     }
 }
@@ -394,6 +409,35 @@ mod tests {
         assert_eq!(client.stamped(&chosen), chosen);
         // Ping is never stamped.
         assert_eq!(client.stamped(&WireRequest::Ping), WireRequest::Ping);
+    }
+
+    #[test]
+    fn default_configured_clients_draw_disjoint_id_streams() {
+        // Each default config gets its own random seed, so two clients that
+        // never chose one still stamp different ids — the server must not
+        // dedup one client's ingest against another's.
+        let first = ClientConfig::default();
+        let second = ClientConfig::default();
+        assert_ne!(first.id_seed, second.id_seed, "seeds are per-instance");
+        let bare = WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1,
+            ap: "wap1".into(),
+            request_id: None,
+        };
+        let (mut a, mut b) = (RetryClient::new(first), RetryClient::new(second));
+        let (
+            WireRequest::Ingest {
+                request_id: ida, ..
+            },
+            WireRequest::Ingest {
+                request_id: idb, ..
+            },
+        ) = (a.stamped(&bare), b.stamped(&bare))
+        else {
+            panic!("ingest must be stamped");
+        };
+        assert_ne!(ida, idb);
     }
 
     /// A misbehaving one-shot server: slams the first connection shut before

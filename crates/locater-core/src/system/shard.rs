@@ -356,12 +356,27 @@ impl ShardedLocaterService {
     /// brief all-shard write lock to intern it into every replicated device
     /// table at the same dense id.
     pub fn ingest(&self, mac: &str, t: Timestamp, ap_name: &str) -> Result<EventId, IngestError> {
+        self.ingest_tagged(mac, t, ap_name, None)
+    }
+
+    /// [`ingest`](Self::ingest) carrying the client's idempotency token. When
+    /// the shard is durable, the token is persisted inside the event's WAL
+    /// frame, so crash recovery can report which acked ingests a retrying
+    /// client might replay (see `RecoveryReport::acked_ingests`) — without it,
+    /// a replay-dedup cache cannot survive a restart.
+    pub fn ingest_tagged(
+        &self,
+        mac: &str,
+        t: Timestamp,
+        ap_name: &str,
+        request_id: Option<u64>,
+    ) -> Result<EventId, IngestError> {
         let known = self.shards[0].live.read().store.device_id(mac);
         if let Some(device) = known {
             let home = self.home_shard(device);
             let mut live = self.shards[home].live.write();
             live.store.validate_raw(t, ap_name)?;
-            let id = self.sequenced_ingest(&mut live, mac, t, ap_name)?;
+            let id = self.sequenced_ingest(&mut live, mac, t, ap_name, request_id)?;
             live.epochs.bump(device);
             return Ok(id);
         }
@@ -370,7 +385,7 @@ impl ShardedLocaterService {
         let mut guards = self.write_all();
         let device = Self::intern_everywhere(&mut guards, mac, t, ap_name)?;
         let home = shard_of_device(device, guards.len());
-        let id = self.sequenced_ingest(&mut guards[home], mac, t, ap_name)?;
+        let id = self.sequenced_ingest(&mut guards[home], mac, t, ap_name, request_id)?;
         guards[home].epochs.bump(device);
         Ok(id)
     }
@@ -390,6 +405,7 @@ impl ShardedLocaterService {
         mac: &str,
         t: Timestamp,
         ap_name: &str,
+        request_id: Option<u64>,
     ) -> Result<EventId, IngestError> {
         let id = self.next_event_id.fetch_add(1, Ordering::Relaxed);
         if let Some(wal) = live.wal.as_mut() {
@@ -399,6 +415,7 @@ impl ShardedLocaterService {
                 t,
                 ap: ap.raw(),
                 mac: mac.to_string(),
+                request_id,
             })
             .map_err(|e| IngestError::Wal(e.to_string()))?;
         }
@@ -423,7 +440,11 @@ impl ShardedLocaterService {
             };
             guards[0].store.validate_raw(event.t, &event.ap)?;
             let home = shard_of_device(device, guards.len());
-            self.sequenced_ingest(&mut guards[home], &event.mac, event.t, &event.ap)?;
+            // Batch tokens are not persisted per event: a batch is acked only
+            // as a whole, and a partially durable batch must re-execute on
+            // retry, so its replay window stays in-memory (see the server's
+            // dedup cache).
+            self.sequenced_ingest(&mut guards[home], &event.mac, event.t, &event.ap, None)?;
             guards[home].epochs.bump(device);
             count += 1;
         }

@@ -457,6 +457,12 @@ pub struct WireStats {
     /// Defaulted for pre-v3 responses.
     #[serde(default)]
     pub deduped: u64,
+    /// Completed replay-dedup entries aged out of the FIFO window since
+    /// start. Nonzero under load means a client could retry past the
+    /// window and double-apply — raise the window (it is sized off the
+    /// server's `--queue` admission limit). Defaulted for pre-v3 responses.
+    #[serde(default)]
+    pub dedup_evicted: u64,
     /// Approximate resident heap bytes across all shard stores (allocated
     /// capacity of timelines, global index and posting lists). Defaulted for
     /// v1 responses.

@@ -34,6 +34,7 @@ fn sample_stats() -> WireStats {
         panics: 1,
         degraded: 5,
         deduped: 3,
+        dedup_evicted: 1,
         resident_bytes: 65_536,
         head_segments: 3,
         sealed_segments: 12,

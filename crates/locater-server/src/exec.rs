@@ -12,12 +12,13 @@ use locater_proto::{
     WireCompactionStats, WireError, WireRequest, WireResponse, WireStats, WireWalStats,
     PROTOCOL_VERSION,
 };
-use locater_space::Space;
+use locater_space::{AccessPointId, Space};
+use locater_store::RecoveryReport;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Ingesting this MAC panics inside the executor. The chaos tests use it to
@@ -26,17 +27,52 @@ use std::time::Instant;
 #[doc(hidden)]
 pub const CHAOS_PANIC_MAC: &str = "chaos:panic";
 
-/// How many acknowledged ingest request ids the server remembers for replay
-/// deduplication. Old entries age out in insertion order; a client retrying
-/// within this window gets the original ack back instead of a second apply.
+/// Ingesting this MAC stalls inside the executor for a moment before
+/// applying. The dedup tests use it to hold a request id in its in-flight
+/// window long enough for a concurrent duplicate of the same id to arrive.
+/// (Colon-free on purpose: unlike [`CHAOS_PANIC_MAC`], this identifier
+/// continues into a real ingest, and a colon would trip strict hardware-MAC
+/// syntax validation.)
+#[doc(hidden)]
+pub const CHAOS_STALL_MAC: &str = "chaos-stall";
+
+/// Default bound on how many acknowledged ingest request ids the server
+/// remembers for replay deduplication ([`ServerState::with_dedup_capacity`]
+/// overrides it — the server sizes the window off its admission limit). Old
+/// entries age out in insertion order; a client retrying within this window
+/// gets the original ack back instead of a second apply.
 const DEDUP_CAPACITY: usize = 1024;
 
-/// The bounded replay cache: acked responses keyed by client request id,
-/// with insertion order tracked so eviction is FIFO.
+/// One request id's place in the replay-dedup window.
+#[derive(Debug, Clone)]
+enum DedupSlot {
+    /// A worker claimed the id and is executing it right now. Concurrent
+    /// arrivals of the same id park on the marker instead of executing a
+    /// second apply.
+    InFlight,
+    /// The id completed with this ack; retries replay it verbatim.
+    /// (Boxed: the slot map holds up to the whole window's worth of acks.)
+    Done(Box<WireResponse>),
+}
+
+/// The bounded replay cache: per-request-id slots plus the insertion order
+/// of *completed* acks, so eviction is FIFO over completed entries only —
+/// an in-flight marker is never evicted (the worker that planted it always
+/// completes or removes it).
 #[derive(Debug, Default)]
 struct DedupCache {
-    responses: HashMap<u64, WireResponse>,
+    slots: HashMap<u64, DedupSlot>,
     order: VecDeque<u64>,
+}
+
+/// What [`ServerState::claim_dedup`] decided for a request id.
+enum DedupClaim {
+    /// The caller owns the id: execute the request, then resolve the marker
+    /// with [`ServerState::complete_dedup`].
+    Execute,
+    /// The id already completed (possibly while this call waited out an
+    /// in-flight marker): answer with the original ack, apply nothing.
+    Replay(Box<WireResponse>),
 }
 
 /// A live service plus the serving-layer bookkeeping around it.
@@ -59,7 +95,12 @@ pub struct ServerState {
     panics: AtomicU64,
     degraded: AtomicU64,
     deduped: AtomicU64,
+    dedup_evicted: AtomicU64,
     dedup: Mutex<DedupCache>,
+    /// Signalled whenever an in-flight dedup marker resolves, waking
+    /// duplicates parked in [`claim_dedup`](Self::claim_dedup).
+    dedup_done: Condvar,
+    dedup_capacity: usize,
     draining: AtomicBool,
     drain_snapshot: Option<String>,
     /// Default retention for `compact` requests that carry no horizon of
@@ -85,7 +126,10 @@ impl ServerState {
             panics: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             deduped: AtomicU64::new(0),
+            dedup_evicted: AtomicU64::new(0),
             dedup: Mutex::new(DedupCache::default()),
+            dedup_done: Condvar::new(),
+            dedup_capacity: DEDUP_CAPACITY,
             draining: AtomicBool::new(false),
             drain_snapshot,
             retain: None,
@@ -104,6 +148,17 @@ impl ServerState {
     /// The configured default retention, if any.
     pub fn retain(&self) -> Option<Timestamp> {
         self.retain
+    }
+
+    /// Sizes the replay-dedup window. The TCP server passes a multiple of
+    /// its admission limit: with a window no smaller than the number of
+    /// requests that can be in the building at once, an id acked moments ago
+    /// cannot be evicted while its client is still inside the retry backoff
+    /// (evictions under load are visible as `dedup_evicted` in `stats`).
+    /// Clamped to at least one entry.
+    pub fn with_dedup_capacity(mut self, capacity: usize) -> Self {
+        self.dedup_capacity = capacity.max(1);
+        self
     }
 
     /// Runs one scheduled compaction tick against the configured retention
@@ -150,11 +205,11 @@ impl ServerState {
     /// compaction would be worse than late ingest or compaction.
     pub fn execute_with_budget(&self, request: &WireRequest, over_deadline: bool) -> WireResponse {
         let response = match Self::dedup_key(request) {
-            Some(id) => match self.replay_response(id) {
-                Some(cached) => cached,
-                None => {
+            Some(id) => match self.claim_dedup(id) {
+                DedupClaim::Replay(cached) => *cached,
+                DedupClaim::Execute => {
                     let response = self.execute_guarded(request, over_deadline);
-                    self.remember_response(id, &response);
+                    self.complete_dedup(id, &response);
                     response
                 }
             },
@@ -174,34 +229,103 @@ impl ServerState {
         }
     }
 
-    /// Looks up a previously acked response for this request id. A hit means
-    /// the client is retrying an ingest the server already applied (the ack
-    /// was lost on the wire): replay the original ack, apply nothing.
-    fn replay_response(&self, id: u64) -> Option<WireResponse> {
-        let cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
-        let cached = cache.responses.get(&id).cloned();
-        if cached.is_some() {
-            self.deduped.fetch_add(1, Ordering::Relaxed);
-        }
-        cached
-    }
-
-    /// Records the response for a request id so a retry replays it. Only
-    /// acks are remembered: a failed ingest applied nothing, so a retry
-    /// after an error must re-execute, not replay the failure.
-    fn remember_response(&self, id: u64, response: &WireResponse) {
-        if matches!(response, WireResponse::Error(_)) {
-            return;
-        }
+    /// Resolves a request id against the replay window in **one** lock
+    /// acquisition — check and claim are atomic, so two retries of the same
+    /// id can never both apply, however they interleave. A completed id
+    /// replays its original ack (the client is retrying an ingest the
+    /// server already applied; the ack was lost on the wire). An unseen id
+    /// is claimed with an in-flight marker; the caller must resolve it with
+    /// [`complete_dedup`](Self::complete_dedup). An id some other worker is
+    /// executing right now parks until that worker resolves the marker,
+    /// then replays its ack — or, if it resolved to an error (which removes
+    /// the marker: nothing was applied, nothing to replay), claims the id
+    /// and re-executes.
+    fn claim_dedup(&self, id: u64) -> DedupClaim {
         let mut cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
-        if cache.responses.insert(id, response.clone()).is_none() {
-            cache.order.push_back(id);
-            if cache.order.len() > DEDUP_CAPACITY {
-                if let Some(evicted) = cache.order.pop_front() {
-                    cache.responses.remove(&evicted);
+        loop {
+            match cache.slots.get(&id) {
+                Some(DedupSlot::Done(response)) => {
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                    return DedupClaim::Replay(response.clone());
+                }
+                Some(DedupSlot::InFlight) => {
+                    cache = self
+                        .dedup_done
+                        .wait(cache)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+                None => {
+                    cache.slots.insert(id, DedupSlot::InFlight);
+                    return DedupClaim::Execute;
                 }
             }
         }
+    }
+
+    /// Resolves an in-flight marker planted by [`claim_dedup`](Self::claim_dedup)
+    /// and wakes every duplicate parked on it. Only acks are remembered for
+    /// replay: a failed ingest applied nothing, so its marker is dropped and
+    /// a retry after an error re-executes instead of replaying the failure.
+    fn complete_dedup(&self, id: u64, response: &WireResponse) {
+        {
+            let mut cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+            if matches!(response, WireResponse::Error(_)) {
+                cache.slots.remove(&id);
+            } else {
+                self.remember_locked(&mut cache, id, response.clone());
+            }
+        }
+        self.dedup_done.notify_all();
+    }
+
+    /// Inserts a completed ack under the (held) dedup lock, then evicts the
+    /// oldest completed entries beyond the window. Every eviction bumps the
+    /// `dedup_evicted` gauge — a nonzero value in `stats` means retries can
+    /// outlive the window under the current load.
+    fn remember_locked(&self, cache: &mut DedupCache, id: u64, response: WireResponse) {
+        let previous = cache.slots.insert(id, DedupSlot::Done(Box::new(response)));
+        if !matches!(previous, Some(DedupSlot::Done(_))) {
+            cache.order.push_back(id);
+        }
+        while cache.order.len() > self.dedup_capacity {
+            if let Some(evicted) = cache.order.pop_front() {
+                cache.slots.remove(&evicted);
+                self.dedup_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Re-seeds the replay window from crash recovery, restoring dedup
+    /// across a restart: every durable ingest that carried a client request
+    /// id gets its ack reconstructed, so a client retrying an ingest whose
+    /// ack was lost to the crash is answered instead of re-applied. The
+    /// reconstructed `device_epoch` is the *post-recovery* epoch (the
+    /// pre-crash value died with the process, and recovery rebuilt the
+    /// device's state wholesale anyway). Ids whose device or access point
+    /// no longer resolves (a checkpoint from a different space) are skipped,
+    /// not errors. Returns how many acks were seeded.
+    pub fn seed_dedup_from_recovery(&self, report: &RecoveryReport) -> usize {
+        let space = self.service.space();
+        let mut seeded = 0;
+        let mut cache = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+        for acked in &report.acked_ingests {
+            let Some(device) = self.service.device_id(&acked.mac) else {
+                continue;
+            };
+            let ap = AccessPointId::new(acked.ap);
+            if ap.index() >= space.num_access_points() {
+                continue;
+            }
+            let response = WireResponse::Ingested {
+                mac: acked.mac.clone(),
+                t: acked.t,
+                ap: space.access_point(ap).name.clone(),
+                device_epoch: self.service.device_epoch(device),
+            };
+            self.remember_locked(&mut cache, acked.request_id, response);
+            seeded += 1;
+        }
+        seeded
     }
 
     /// Runs the request with a panic fence around it: a panic anywhere in
@@ -229,12 +353,15 @@ impl ServerState {
                 mac,
                 t,
                 ap,
-                request_id: _,
+                request_id,
             } => {
                 if mac == CHAOS_PANIC_MAC {
                     panic!("injected chaos panic (mac {CHAOS_PANIC_MAC})");
                 }
-                match self.service.ingest(mac, *t, ap) {
+                if mac == CHAOS_STALL_MAC {
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                }
+                match self.service.ingest_tagged(mac, *t, ap, *request_id) {
                     Ok(_) => {
                         let device = self
                             .service
@@ -348,6 +475,7 @@ impl ServerState {
             panics: self.panics.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             deduped: self.deduped.load(Ordering::Relaxed),
+            dedup_evicted: self.dedup_evicted.load(Ordering::Relaxed),
             resident_bytes: per_shard.iter().map(|s| s.resident_bytes).sum(),
             head_segments: per_shard.iter().map(|s| s.head_segments).sum(),
             sealed_segments: per_shard.iter().map(|s| s.sealed_segments).sum(),
@@ -582,7 +710,7 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
             }
             let _ = write!(
                 report,
-                "\nserver: protocol v{}, up {}ms; {} in flight, {} queued, {} served; rejected: {} overloaded, {} shutting-down; faults: {} panic(s), {} degraded, {} deduped",
+                "\nserver: protocol v{}, up {}ms; {} in flight, {} queued, {} served; rejected: {} overloaded, {} shutting-down; faults: {} panic(s), {} degraded, {} deduped, {} dedup-evicted",
                 stats.version,
                 stats.uptime_ms,
                 stats.in_flight,
@@ -592,7 +720,8 @@ pub fn render_response(space: &Space, request: &WireRequest, response: &WireResp
                 stats.rejected_shutting_down,
                 stats.panics,
                 stats.degraded,
-                stats.deduped
+                stats.deduped,
+                stats.dedup_evicted
             );
             let _ = write!(
                 report,
@@ -833,6 +962,133 @@ mod tests {
             WireResponse::Ingested { .. }
         ));
         assert_eq!(state.stats().events, 2);
+    }
+
+    #[test]
+    fn concurrent_duplicates_of_one_id_apply_once() {
+        let state = state();
+        let stall = WireRequest::Ingest {
+            mac: CHAOS_STALL_MAC.into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: Some(9),
+        };
+        // Two connections race the same request id; whichever claims first
+        // stalls inside the executor long enough for the other to arrive
+        // while the id is in flight. The loser must park on the in-flight
+        // marker and replay the winner's ack — never execute a second apply
+        // (the original check-then-execute-then-remember flow lost exactly
+        // this race).
+        let (first, second) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| state.execute(&stall));
+            let b = scope.spawn(|| state.execute(&stall));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert!(
+            matches!(first, WireResponse::Ingested { .. }),
+            "got {first:?} / {second:?}"
+        );
+        assert_eq!(first, second, "the duplicate replays the original ack");
+        let stats = state.stats();
+        assert_eq!(stats.events, 1, "exactly one apply");
+        assert_eq!(stats.deduped, 1, "exactly one replay");
+    }
+
+    #[test]
+    fn dedup_window_eviction_is_fifo_and_counted() {
+        let state = state().with_dedup_capacity(2);
+        for (i, mac) in ["aa", "bb", "cc"].iter().enumerate() {
+            let response = state.execute(&WireRequest::Ingest {
+                mac: (*mac).into(),
+                t: 1_000 + i as i64,
+                ap: "wap1".into(),
+                request_id: Some(i as u64 + 1),
+            });
+            assert!(matches!(response, WireResponse::Ingested { .. }));
+        }
+        // Three acks through a two-entry window: the oldest id aged out.
+        assert_eq!(state.stats().dedup_evicted, 1);
+        // A retry of the evicted id re-executes (the service applies a
+        // second event — the window was too small for this retry, which is
+        // exactly what the gauge is there to surface)…
+        state.execute(&WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: Some(1),
+        });
+        assert_eq!(state.stats().events, 4);
+        assert_eq!(state.stats().deduped, 0);
+        // …while a retry of an id still inside the window replays.
+        state.execute(&WireRequest::Ingest {
+            mac: "cc".into(),
+            t: 1_002,
+            ap: "wap1".into(),
+            request_id: Some(3),
+        });
+        assert_eq!(state.stats().events, 4);
+        assert_eq!(state.stats().deduped, 1);
+    }
+
+    #[test]
+    fn recovery_seeded_ids_replay_across_a_restart() {
+        use locater_store::AckedIngest;
+        let state = state();
+        // The "pre-crash" ingest: durable in the store, but its ack never
+        // reached the client.
+        state.execute(&WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: None,
+        });
+        let report = RecoveryReport {
+            checkpoint_loaded: false,
+            base_events: 0,
+            replayed: 1,
+            skipped: 0,
+            shards: 1,
+            segments: 1,
+            torn: Vec::new(),
+            acked_ingests: vec![
+                AckedIngest {
+                    request_id: 42,
+                    mac: "aa".into(),
+                    t: 1_000,
+                    ap: 0,
+                },
+                // Tokens whose device or AP no longer resolves (a WAL from
+                // a different space) are skipped, not errors.
+                AckedIngest {
+                    request_id: 43,
+                    mac: "ghost".into(),
+                    t: 1_000,
+                    ap: 0,
+                },
+                AckedIngest {
+                    request_id: 44,
+                    mac: "aa".into(),
+                    t: 1_000,
+                    ap: 7,
+                },
+            ],
+        };
+        assert_eq!(state.seed_dedup_from_recovery(&report), 1);
+        // The client's retry of the durable-but-unacked ingest replays the
+        // reconstructed ack instead of applying a second event.
+        let retry = state.execute(&WireRequest::Ingest {
+            mac: "aa".into(),
+            t: 1_000,
+            ap: "wap1".into(),
+            request_id: Some(42),
+        });
+        let WireResponse::Ingested { mac, t, ap, .. } = retry else {
+            panic!("seeded id must replay an ack, got {retry:?}");
+        };
+        assert_eq!((mac.as_str(), t, ap.as_str()), ("aa", 1_000, "wap1"));
+        let stats = state.stats();
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.deduped, 1);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub trait StorageIo: Send + Sync + fmt::Debug {
     /// Renames a file (the commit point of every atomic write).
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
 
+    /// Deletes a file (checkpoint trim of stale WAL segments). A failure
+    /// leaves the file in place.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
     /// Truncates/extends a file (torn-tail repair).
     fn set_len(&self, file: &File, len: u64) -> io::Result<()>;
 }
@@ -71,6 +75,10 @@ impl StorageIo for RealIo {
         std::fs::rename(from, to)
     }
 
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
     fn set_len(&self, file: &File, len: u64) -> io::Result<()> {
         file.set_len(len)
     }
@@ -90,6 +98,8 @@ pub enum FaultKind {
     ReadInterrupted,
     /// A rename fails, leaving the destination untouched.
     RenameFailure,
+    /// A file deletion fails, leaving the file in place.
+    RemoveFailure,
 }
 
 impl fmt::Display for FaultKind {
@@ -100,6 +110,7 @@ impl fmt::Display for FaultKind {
             FaultKind::SyncFailure => f.write_str("sync-failure"),
             FaultKind::ReadInterrupted => f.write_str("read-interrupted"),
             FaultKind::RenameFailure => f.write_str("rename-failure"),
+            FaultKind::RemoveFailure => f.write_str("remove-failure"),
         }
     }
 }
@@ -119,6 +130,8 @@ pub struct FaultPlan {
     pub reads: usize,
     /// Rename faults to schedule.
     pub renames: usize,
+    /// File-deletion faults to schedule.
+    pub removes: usize,
     /// Operation-count window the fault indices are drawn from, per
     /// category. Clamped up to the category's fault count.
     pub horizon: u64,
@@ -133,6 +146,7 @@ impl FaultPlan {
             syncs: 0,
             reads: 0,
             renames: 0,
+            removes: 0,
             horizon: 0,
         }
     }
@@ -163,6 +177,7 @@ struct Schedule {
     syncs: BTreeSet<u64>,
     reads: BTreeSet<u64>,
     renames: BTreeSet<u64>,
+    removes: BTreeSet<u64>,
 }
 
 fn draw_indices(rng: &mut Lcg, count: usize, horizon: u64) -> BTreeSet<u64> {
@@ -190,6 +205,7 @@ pub struct FaultIo {
     syncs: AtomicU64,
     reads: AtomicU64,
     renames: AtomicU64,
+    removes: AtomicU64,
     fired: Mutex<Vec<(FaultKind, u64)>>,
 }
 
@@ -209,6 +225,9 @@ impl FaultIo {
         schedule.syncs = draw_indices(&mut rng, plan.syncs, plan.horizon);
         schedule.reads = draw_indices(&mut rng, plan.reads, plan.horizon);
         schedule.renames = draw_indices(&mut rng, plan.renames, plan.horizon);
+        // Drawn last so plans without remove faults keep the schedule their
+        // seed produced before this category existed.
+        schedule.removes = draw_indices(&mut rng, plan.removes, plan.horizon);
         FaultIo {
             plan,
             schedule,
@@ -216,6 +235,7 @@ impl FaultIo {
             syncs: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             renames: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
             fired: Mutex::new(Vec::new()),
         }
     }
@@ -249,6 +269,12 @@ impl FaultIo {
                 .iter()
                 .map(|&op| (FaultKind::RenameFailure, op)),
         );
+        out.extend(
+            self.schedule
+                .removes
+                .iter()
+                .map(|&op| (FaultKind::RemoveFailure, op)),
+        );
         out.sort_unstable();
         out
     }
@@ -273,6 +299,7 @@ impl FaultIo {
             FaultKind::SyncFailure => "EIO on fsync",
             FaultKind::ReadInterrupted => "interrupted read (EINTR)",
             FaultKind::RenameFailure => "rename failed",
+            FaultKind::RemoveFailure => "remove failed",
         };
         let message = format!("injected fault at op {op}: {what}");
         match kind {
@@ -341,6 +368,15 @@ impl StorageIo for FaultIo {
         // where a failure is already surfaced as an open error.
         RealIo.set_len(file, len)
     }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let op = self.removes.fetch_add(1, Ordering::SeqCst);
+        if self.schedule.removes.contains(&op) {
+            self.record(FaultKind::RemoveFailure, op);
+            return Err(Self::injected(FaultKind::RemoveFailure, op));
+        }
+        RealIo.remove_file(path)
+    }
 }
 
 #[cfg(test)]
@@ -369,7 +405,8 @@ mod tests {
         let file = File::options().write(true).open(&moved).unwrap();
         RealIo.set_len(&file, 2).unwrap();
         assert_eq!(RealIo.read(&moved).unwrap(), b"he");
-        std::fs::remove_file(&moved).ok();
+        RealIo.remove_file(&moved).unwrap();
+        assert!(!moved.exists());
     }
 
     #[test]
@@ -380,12 +417,19 @@ mod tests {
             syncs: 2,
             reads: 2,
             renames: 1,
+            removes: 1,
             horizon: 50,
         };
         let a = FaultIo::new(plan);
         let b = FaultIo::new(plan);
         assert_eq!(a.schedule(), b.schedule());
-        assert_eq!(a.schedule().len(), 8);
+        assert_eq!(a.schedule().len(), 9);
+        // Remove faults are drawn after every older category, so a plan
+        // without them reproduces the schedule its seed always produced.
+        let legacy = FaultIo::new(FaultPlan { removes: 0, ..plan });
+        let mut without_removes = a.schedule();
+        without_removes.retain(|&(kind, _)| kind != FaultKind::RemoveFailure);
+        assert_eq!(legacy.schedule(), without_removes);
         // A different seed reshuffles the schedule.
         let c = FaultIo::new(FaultPlan { seed: 43, ..plan });
         assert_ne!(a.schedule(), c.schedule());
@@ -399,6 +443,7 @@ mod tests {
             syncs: 0,
             reads: 0,
             renames: 0,
+            removes: 0,
             horizon: 5,
         };
         let io = FaultIo::new(plan);
@@ -428,6 +473,7 @@ mod tests {
                     syncs: 0,
                     reads: 0,
                     renames: 0,
+                    removes: 0,
                     horizon: 1,
                 })
                 .find(|&p| FaultIo::new(p).schedule() == vec![(kind, 0)])
@@ -454,6 +500,7 @@ mod tests {
             syncs: 1,
             reads: 1,
             renames: 1,
+            removes: 1,
             horizon: 1,
         };
         let io = FaultIo::new(plan);
@@ -468,15 +515,19 @@ mod tests {
         assert!(io.rename(&path, &other).is_err());
         assert!(path.exists(), "failed rename leaves the source in place");
         io.rename(&path, &other).unwrap();
+        assert!(io.remove_file(&other).is_err());
+        assert!(other.exists(), "failed remove leaves the file in place");
+        io.remove_file(&other).unwrap();
+        assert!(!other.exists());
         assert_eq!(
             io.fired().iter().map(|&(kind, _)| kind).collect::<Vec<_>>(),
             vec![
                 FaultKind::SyncFailure,
                 FaultKind::ReadInterrupted,
-                FaultKind::RenameFailure
+                FaultKind::RenameFailure,
+                FaultKind::RemoveFailure
             ]
         );
-        std::fs::remove_file(&other).ok();
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub use ndjson::{format_ndjson, parse_ndjson, parse_ndjson_line};
 pub use read::{EventRead, ScanRead};
 pub use recovery::{
     initialize_wal, recover_store, recover_store_io, write_checkpoint, write_checkpoint_io,
-    DurableEventStore, RecoveryReport,
+    AckedIngest, DurableEventStore, RecoveryReport,
 };
 pub use segment::{DeviceTimeline, EventsInRange, Segment, TimelineIter, DEFAULT_SEGMENT_SPAN};
 pub use shard::{shard_of_device, ShardedRead};

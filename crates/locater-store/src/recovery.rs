@@ -56,6 +56,26 @@ pub struct RecoveryReport {
     /// Torn tails encountered (and ignored past the tear), as
     /// `(segment, offset of the first invalid byte)`.
     pub torn: Vec<(PathBuf, u64)>,
+    /// Durable ingests that carried a client idempotency token, in event-id
+    /// order — both replayed records and records the checkpoint already
+    /// covered. A serving layer re-seeds its replay-dedup cache from these,
+    /// so a client retry of a durable-but-unacked ingest is answered instead
+    /// of re-applied, even across a crash.
+    pub acked_ingests: Vec<AckedIngest>,
+}
+
+/// One durable ingest recovered together with its client idempotency token
+/// (see [`RecoveryReport::acked_ingests`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckedIngest {
+    /// The client request id the ingest frame carried.
+    pub request_id: u64,
+    /// Device MAC address / log identifier.
+    pub mac: String,
+    /// Event timestamp.
+    pub t: i64,
+    /// Resolved access point id ([`locater_space::AccessPointId::raw`]).
+    pub ap: u32,
 }
 
 /// Reads the durable tail of every shard under `dir`: strict scans for all
@@ -121,6 +141,7 @@ pub fn recover_store_io(
         shards: 0,
         segments: 0,
         torn: Vec::new(),
+        acked_ingests: Vec::new(),
     };
     if !dir.exists() {
         return Ok((store, report));
@@ -137,6 +158,16 @@ pub fn recover_store_io(
     }
     let resume_at = store.next_event_id();
     for record in records {
+        // Tokens are collected for skipped records too: a record inside the
+        // checkpoint was just as durable, and its ack just as losable.
+        if let Some(request_id) = record.request_id {
+            report.acked_ingests.push(AckedIngest {
+                request_id,
+                mac: record.mac.clone(),
+                t: record.t,
+                ap: record.ap,
+            });
+        }
         if record.id < resume_at {
             report.skipped += 1;
             continue;
@@ -240,6 +271,7 @@ impl DurableEventStore {
                 t,
                 ap: ap.raw(),
                 mac: mac.to_string(),
+                request_id: None,
             })
             .map_err(|e| IngestError::Wal(e.to_string()))?;
         self.store
@@ -403,6 +435,54 @@ mod tests {
     }
 
     #[test]
+    fn recovery_reports_durable_request_ids_for_replayed_and_skipped_records() {
+        let dir = temp_dir("acked-ingests");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = Durability::new(&dir);
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        for (id, request_id) in [(0u64, Some(0xA1)), (1, None), (2, Some(0xA2))] {
+            wal.append(&WalRecord {
+                id,
+                t: 100 + id as i64,
+                ap: 0,
+                mac: "aa:bb:cc:dd:ee:01".into(),
+                request_id,
+            })
+            .unwrap();
+        }
+        drop(wal);
+        let (recovered, report) = recover_store(&dir, EventStore::new(space())).unwrap();
+        assert_eq!(report.replayed, 3);
+        // Only tagged records surface, in event-id order; untagged ones
+        // (batch members, pre-token clients) carry nothing to replay.
+        assert_eq!(
+            report.acked_ingests,
+            vec![
+                AckedIngest {
+                    request_id: 0xA1,
+                    mac: "aa:bb:cc:dd:ee:01".into(),
+                    t: 100,
+                    ap: 0,
+                },
+                AckedIngest {
+                    request_id: 0xA2,
+                    mac: "aa:bb:cc:dd:ee:01".into(),
+                    t: 102,
+                    ap: 0,
+                },
+            ]
+        );
+        // A checkpoint covering the tail keeps the tokens visible: a record
+        // inside the checkpoint was just as durable, and its ack just as
+        // losable, as one the replay applied.
+        write_checkpoint(&dir, &recovered).unwrap();
+        let (_, report) = recover_store(&dir, EventStore::new(space())).unwrap();
+        assert_eq!((report.replayed, report.skipped), (0, 3));
+        assert_eq!(report.acked_ingests.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn duplicate_event_ids_across_shards_are_a_typed_error() {
         let dir = temp_dir("duplicate-ids");
         std::fs::remove_dir_all(&dir).ok();
@@ -414,6 +494,7 @@ mod tests {
                 t: 100,
                 ap: 0,
                 mac: format!("aa:bb:cc:dd:ee:{shard:02x}"),
+                request_id: None,
             })
             .unwrap();
         }
@@ -434,6 +515,7 @@ mod tests {
             t: 100,
             ap: 99, // no such access point in the fallback space
             mac: "aa:bb:cc:dd:ee:01".into(),
+            request_id: None,
         })
         .unwrap();
         drop(wal);

@@ -36,7 +36,10 @@
 //! ```text
 //! length    u32   payload byte count
 //! checksum  u64   FNV-1a 64 over the payload bytes (same hash as snapshots)
-//! payload:  id (u64), t (i64), ap (u32), mac (u16 len + UTF-8 bytes)
+//! payload:  id (u64), t (i64), ap (u32), mac (u16 len + UTF-8 bytes),
+//!           then optionally the client request id (u64) when the ingest
+//!           carried an idempotency token — presence is encoded by payload
+//!           length, so untagged frames are byte-identical to older logs
 //! ```
 //!
 //! All integers are little-endian. A frame is valid only if it is complete
@@ -349,10 +352,17 @@ pub struct WalRecord {
     pub ap: u32,
     /// Device MAC address / log identifier.
     pub mac: String,
+    /// The client idempotency token the ingest carried, if any. Persisting it
+    /// lets recovery rebuild the server's replay-dedup cache, so a retry of a
+    /// durable-but-unacked ingest is answered, not re-applied, even across a
+    /// crash.
+    pub request_id: Option<u64>,
 }
 
 /// Encodes a record payload: the snapshot event encoding (`id u64, t i64,
-/// ap u32`) plus the device identifier (`u16` length + UTF-8 bytes).
+/// ap u32`) plus the device identifier (`u16` length + UTF-8 bytes) and,
+/// when present, the client request id (`u64`) — its presence is carried by
+/// the payload length, so untagged records keep the original frame bytes.
 pub fn encode_record(record: &WalRecord) -> Result<Vec<u8>, WalError> {
     let mac = record.mac.as_bytes();
     let mac_len = u16::try_from(mac.len()).map_err(|_| {
@@ -362,12 +372,15 @@ pub fn encode_record(record: &WalRecord) -> Result<Vec<u8>, WalError> {
             u16::MAX
         ))
     })?;
-    let mut out = Vec::with_capacity(8 + 8 + 4 + 2 + mac.len());
+    let mut out = Vec::with_capacity(8 + 8 + 4 + 2 + mac.len() + 8);
     out.extend_from_slice(&record.id.to_le_bytes());
     out.extend_from_slice(&record.t.to_le_bytes());
     out.extend_from_slice(&record.ap.to_le_bytes());
     out.extend_from_slice(&mac_len.to_le_bytes());
     out.extend_from_slice(mac);
+    if let Some(request_id) = record.request_id {
+        out.extend_from_slice(&request_id.to_le_bytes());
+    }
     Ok(out)
 }
 
@@ -385,16 +398,30 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
     let ap = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes"));
     let mac_len = u16::from_le_bytes(payload[20..22].try_into().expect("2 bytes")) as usize;
     let rest = &payload[22..];
-    if rest.len() != mac_len {
-        return Err(format!(
-            "record declares a {mac_len}-byte identifier but carries {} bytes",
-            rest.len()
-        ));
-    }
-    let mac = std::str::from_utf8(rest)
+    // After the identifier, a record optionally carries the client request id
+    // (exactly 8 more bytes); any other trailing length is corruption.
+    let request_id = match rest.len().checked_sub(mac_len) {
+        Some(0) => None,
+        Some(8) => Some(u64::from_le_bytes(
+            rest[mac_len..].try_into().expect("8 bytes"),
+        )),
+        _ => {
+            return Err(format!(
+                "record declares a {mac_len}-byte identifier but carries {} bytes",
+                rest.len()
+            ))
+        }
+    };
+    let mac = std::str::from_utf8(&rest[..mac_len])
         .map_err(|_| "non-UTF-8 device identifier".to_string())?
         .to_string();
-    Ok(WalRecord { id, t, ap, mac })
+    Ok(WalRecord {
+        id,
+        t,
+        ap,
+        mac,
+        request_id,
+    })
 }
 
 fn encode_frame(record: &WalRecord) -> Result<Vec<u8>, WalError> {
@@ -879,9 +906,19 @@ impl ShardWal {
             Ok(created) => created,
             Err(err) => return Err(self.poison("reset rotation", err)),
         };
-        for (index, path) in list_segments(&self.dir)? {
+        let segments = match list_segments(&self.dir) {
+            Ok(segments) => segments,
+            Err(err) => return Err(self.poison("reset trim scan", err)),
+        };
+        for (index, path) in segments {
             if index != next {
-                std::fs::remove_file(&path)?;
+                // A stale segment the checkpoint already covers must not
+                // outlive the trim: a failed delete poisons the writer so the
+                // operator reopens the log (which retries the trim) instead of
+                // appending alongside a segment recovery will rescan.
+                if let Err(err) = self.io.remove_file(&path) {
+                    return Err(self.poison("reset trim", WalError::Io(err)));
+                }
             }
         }
         fsync_dir(&self.dir);
@@ -1150,6 +1187,9 @@ mod tests {
             t: 1_000 + id as i64,
             ap: (id % 3) as u32,
             mac: format!("aa:bb:cc:dd:ee:{id:02x}"),
+            // Every third record carries an idempotency token, so round-trip
+            // tests cover both payload shapes.
+            request_id: id.is_multiple_of(3).then_some(0x1000 + id),
         }
     }
 
@@ -1328,12 +1368,46 @@ mod tests {
     }
 
     #[test]
+    fn failed_reset_trim_poisons_the_writer() {
+        use crate::io::{FaultIo, FaultKind, FaultPlan};
+        let dir = temp_dir("poison-reset");
+        // The only remove ops are reset's stale-segment deletions; fault the
+        // very first one.
+        let plan = FaultPlan {
+            removes: 1,
+            horizon: 1,
+            ..FaultPlan::quiet(3)
+        };
+        let io = std::sync::Arc::new(FaultIo::new(plan));
+        let config = Durability::new(&dir).with_io(io.clone());
+        let (mut wal, _) = ShardWal::open(&config, 0).unwrap();
+        wal.append(&record(0)).unwrap();
+        let err = wal.reset().unwrap_err();
+        assert!(matches!(err, WalError::Io(_)), "unexpected error: {err}");
+        assert!(wal.poisoned().unwrap().contains("reset trim"));
+        assert!(matches!(
+            wal.append(&record(1)).unwrap_err(),
+            WalError::Poisoned { shard: 0, .. }
+        ));
+        assert_eq!(io.fired(), vec![(FaultKind::RemoveFailure, 0)]);
+        // The stale segment survived the failed delete; reopening recovers
+        // its records (replay is idempotent, so nothing is lost or doubled).
+        drop(wal);
+        let (mut wal, recovered) = ShardWal::open(&Durability::new(&dir), 0).unwrap();
+        assert_eq!(recovered.len(), 1);
+        wal.reset().unwrap();
+        assert_eq!(list_segments(&shard_dir(&dir, 0)).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn oversized_identifiers_fail_at_append_time() {
         let err = encode_record(&WalRecord {
             id: 0,
             t: 0,
             ap: 0,
             mac: "x".repeat(70_000),
+            request_id: None,
         })
         .unwrap_err();
         assert!(matches!(err, WalError::Unencodable(_)));
@@ -1352,6 +1426,7 @@ mod tests {
                 syncs: 1,
                 reads: 0,
                 renames: 0,
+                removes: 0,
                 horizon: 2,
             })
             .find(|&p| FaultIo::new(p).schedule() == vec![(FaultKind::SyncFailure, 1)])
@@ -1397,6 +1472,7 @@ mod tests {
                 syncs: 0,
                 reads: 0,
                 renames: 0,
+                removes: 0,
                 horizon: 2,
             })
             .find(|&p| FaultIo::new(p).schedule() == vec![(FaultKind::ShortWrite, 1)])

@@ -423,6 +423,7 @@ fn serve(args: &[String]) -> Result<String, CliError> {
     }
     let config = config_from_flags(args);
     let shards = shards_from_flags(args)?;
+    let mut recovery_report = None;
     let service = match durability_from_flags(args)? {
         Some(durability) => {
             // Recovery happens here: last checkpoint + WAL tail replay, then a
@@ -432,6 +433,7 @@ fn serve(args: &[String]) -> Result<String, CliError> {
                 ShardedLocaterService::with_durability(store, config, shards, durability)
                     .map_err(|e| CliError::Runtime(format!("cannot open wal {wal_dir}: {e}")))?;
             println!("{}", render_recovery(&recovery));
+            recovery_report = Some(recovery);
             service
         }
         None => ShardedLocaterService::new(store, config, shards),
@@ -442,10 +444,31 @@ fn serve(args: &[String]) -> Result<String, CliError> {
         return Err("--compact-interval requires --retain".into());
     }
     let spill_dir = flag_value(args, "--spill-dir").map(std::path::PathBuf::from);
+    // The replay-dedup window scales with admission (`--queue`): at 4× the
+    // limit, an id acked moments ago survives at least three more full
+    // admission waves before FIFO eviction can reach it — longer than any
+    // client's retry backoff at the server's own saturation throughput.
+    let admission_limit = match flag_value(args, "--queue") {
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or("--queue must be a positive integer")?,
+        None => ServerConfig::default().admission_limit,
+    };
     let state = Arc::new(
         ServerState::new(service, flag_value(args, "--drain-snapshot"))
-            .with_retention(retain, spill_dir),
+            .with_retention(retain, spill_dir)
+            .with_dedup_capacity(admission_limit.saturating_mul(4).max(1024)),
     );
+    if let Some(recovery) = &recovery_report {
+        // Restart-spanning idempotence: durable request ids from the
+        // recovered WAL answer client retries whose acks the crash ate.
+        let seeded = state.seed_dedup_from_recovery(recovery);
+        if seeded > 0 {
+            println!("# wal: re-seeded replay dedup with {seeded} durable request id(s)");
+        }
+    }
     if let Some(listen) = flag_value(args, "--listen") {
         if let Some(interval) = compact_interval.filter(|&secs| secs > 0) {
             spawn_compaction_ticker(Arc::clone(&state), interval as u64);

@@ -329,6 +329,7 @@ fn disk_fault_schedules_never_lose_acked_ingests() {
             syncs: round as usize % 2,
             reads: 0,
             renames: round as usize % 2,
+            removes: 0,
             horizon: 40,
         };
         let dir = scratch("disk");
@@ -416,6 +417,7 @@ fn combined_fault_schedules_hold_every_invariant() {
             syncs: 1 + (round as usize % 2),
             reads: 0,
             renames: 0,
+            removes: 0,
             horizon: 60,
         };
         let wire = ChaosConfig {
@@ -519,6 +521,7 @@ fn fault_sequences_are_bit_identical_for_equal_seeds() {
             syncs: 2,
             reads: 2,
             renames: 1,
+            removes: 1,
             horizon: 64,
         };
         assert_eq!(

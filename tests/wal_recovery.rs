@@ -16,7 +16,7 @@
 //! shutdown leaves an empty tail.
 
 use locater::prelude::*;
-use locater::proto::WireRequest;
+use locater::proto::{WireRequest, WireResponse};
 use locater::server::ServerState;
 use locater::store::{inspect_wal, truncate_wal, Durability, FsyncPolicy, WalError};
 use std::path::Path;
@@ -387,6 +387,58 @@ fn corrupt_middle_segment_is_a_typed_error_and_truncate_repairs_it() {
         recovered.store_snapshot().to_snapshot_bytes().unwrap(),
         reference_bytes(1, &ops[..surviving as usize]),
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The full restart-spanning idempotence chain: an ingest acknowledged (and
+/// WAL-durable) whose ack the client never saw, a crash, a reboot that
+/// re-seeds the serving layer's replay window from the recovery report —
+/// and the client's retry answered from the reconstructed ack instead of
+/// applied a second time.
+#[test]
+fn retries_of_acked_ingests_replay_across_a_crash_reboot() {
+    let dir = scratch("dedup-reseed");
+    {
+        let (service, _) = ShardedLocaterService::with_durability(
+            EventStore::new(space()),
+            LocaterConfig::default(),
+            2,
+            durability(&dir),
+        )
+        .expect("durable boot");
+        let state = ServerState::new(service, None);
+        let ack = state.execute(&WireRequest::Ingest {
+            mac: MACS[0].into(),
+            t: 1_000,
+            ap: "wap0".into(),
+            request_id: Some(7_001),
+        });
+        assert!(matches!(ack, WireResponse::Ingested { .. }), "got {ack:?}");
+        // Crash: dropped without a checkpoint. The ack never reached the
+        // client, which will retry the same request id after the reboot.
+    }
+    let (service, report) = ShardedLocaterService::with_durability(
+        EventStore::new(space()),
+        LocaterConfig::default(),
+        2,
+        durability(&dir),
+    )
+    .expect("reboot");
+    assert_eq!(report.replayed, 1);
+    let state = ServerState::new(service, None);
+    assert_eq!(state.seed_dedup_from_recovery(&report), 1);
+    let retry = state.execute(&WireRequest::Ingest {
+        mac: MACS[0].into(),
+        t: 1_000,
+        ap: "wap0".into(),
+        request_id: Some(7_001),
+    });
+    let WireResponse::Ingested { mac, t, ap, .. } = retry else {
+        panic!("retry must replay an ack, got {retry:?}");
+    };
+    assert_eq!((mac.as_str(), t, ap.as_str()), (MACS[0], 1_000, "wap0"));
+    assert_eq!(state.stats().events, 1, "no second apply");
+    assert_eq!(state.stats().deduped, 1);
     std::fs::remove_dir_all(&dir).ok();
 }
 
